@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hipo"
+)
+
+func writeScenario(t *testing.T) string {
+	t.Helper()
+	sc := &hipo.Scenario{
+		Min: hipo.Point{X: 0, Y: 0},
+		Max: hipo.Point{X: 30, Y: 30},
+		ChargerTypes: []hipo.ChargerSpec{
+			{Name: "c", Alpha: math.Pi / 2, DMin: 2, DMax: 8, Count: 2},
+		},
+		DeviceTypes: []hipo.DeviceSpec{{Name: "d", Alpha: math.Pi, PTh: 0.05}},
+		Power:       [][]hipo.PowerParams{{{A: 100, B: 40}}},
+		Devices: []hipo.Device{
+			{Pos: hipo.Point{X: 10, Y: 10}, Orient: 0, Type: 0},
+			{Pos: hipo.Point{X: 20, Y: 20}, Orient: math.Pi, Type: 0},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "sc.json")
+	b, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func readPlacement(t *testing.T, path string) *hipo.Placement {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p hipo.Placement
+	if err := json.Unmarshal(b, &p); err != nil {
+		t.Fatal(err)
+	}
+	return &p
+}
+
+func TestRunUtilityObjective(t *testing.T) {
+	in := writeScenario(t)
+	out := filepath.Join(t.TempDir(), "out.json")
+	if err := run(in, out, 0.15, false, 0, "utility", 0, 0, 0, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	p := readPlacement(t, out)
+	if len(p.Chargers) == 0 || p.Utility <= 0 {
+		t.Errorf("placement = %+v", p)
+	}
+}
+
+func TestRunPerTypeGreedy(t *testing.T) {
+	in := writeScenario(t)
+	out := filepath.Join(t.TempDir(), "out.json")
+	if err := run(in, out, 0.1, true, 2, "utility", 0, 0, 0, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if readPlacement(t, out).Utility <= 0 {
+		t.Error("per-type run produced zero utility")
+	}
+}
+
+func TestRunMaxMinAndPropFair(t *testing.T) {
+	in := writeScenario(t)
+	for _, obj := range []string{"maxmin", "propfair"} {
+		out := filepath.Join(t.TempDir(), obj+".json")
+		if err := run(in, out, 0.15, false, 0, obj, 0, 0, 0, 100, 1); err != nil {
+			t.Fatalf("%s: %v", obj, err)
+		}
+		if len(readPlacement(t, out).Chargers) == 0 {
+			t.Errorf("%s placed nothing", obj)
+		}
+	}
+}
+
+func TestRunBudgeted(t *testing.T) {
+	in := writeScenario(t)
+	out := filepath.Join(t.TempDir(), "out.json")
+	if err := run(in, out, 0.15, false, 0, "utility", 25, 0, 0, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	_ = readPlacement(t, out) // budget may admit zero chargers; just no error
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), "", 0.15, false, 0, "utility", 0, 0, 0, 100, 1); err == nil {
+		t.Error("missing input should fail")
+	}
+	in := writeScenario(t)
+	if err := run(in, "", 0.15, false, 0, "bogus", 0, 0, 0, 100, 1); err == nil {
+		t.Error("unknown objective should fail")
+	}
+	// Corrupt JSON.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{nope"), 0o644)
+	if err := run(bad, "", 0.15, false, 0, "utility", 0, 0, 0, 100, 1); err == nil {
+		t.Error("corrupt input should fail")
+	}
+}

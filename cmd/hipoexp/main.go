@@ -1,0 +1,228 @@
+// Command hipoexp regenerates the paper's evaluation figures and tables.
+//
+// Usage:
+//
+//	hipoexp -fig all                 # everything (slow with high -runs)
+//	hipoexp -fig 11a -runs 100       # one figure at paper fidelity
+//	hipoexp -fig summary             # HIPO-vs-baselines improvement summary
+//	hipoexp -fig 10 -svgdir out/     # instance illustration + SVGs
+//
+// Each figure is printed as an aligned console table and, with -csvdir,
+// written as CSV. Figure IDs: 10, 11a–11f, 12, 13, 14, 15, 25, 26, 27,
+// summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hipo/internal/baselines"
+	"hipo/internal/expt"
+	"hipo/internal/svg"
+)
+
+func main() {
+	var (
+		figArg  = flag.String("fig", "all", "figure id (10, 11a..11f, 12, 13, 14, 15, 25, 26, 27, summary, ablation-eps, ablation-obstacles, complexity, fairness, redeploy-sweep, all)")
+		runs    = flag.Int("runs", 10, "random topologies per data point (paper: 100)")
+		seed    = flag.Int64("seed", 1, "base seed")
+		eps     = flag.Float64("eps", 0.15, "approximation parameter ε")
+		csvDir  = flag.String("csvdir", "", "write each figure as CSV into this directory")
+		svgDir  = flag.String("svgdir", "", "write Figure 10 instance SVGs into this directory")
+		workers = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	rc := expt.RunConfig{Runs: *runs, Seed: *seed, Eps: *eps, Workers: *workers}
+	if err := run(*figArg, rc, *csvDir, *svgDir); err != nil {
+		fmt.Fprintln(os.Stderr, "hipoexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(figArg string, rc expt.RunConfig, csvDir, svgDir string) error {
+	want := map[string]bool{}
+	for _, f := range strings.Split(figArg, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	var sweeps []expt.Figure
+
+	emit := func(fig expt.Figure) error {
+		expt.WriteTable(os.Stdout, fig)
+		fmt.Println()
+		if csvDir != "" {
+			if err := os.MkdirAll(csvDir, 0o755); err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(csvDir, fig.ID+".csv"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := expt.WriteCSV(f, fig); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if all || want["10"] {
+		res := expt.RunInstance(rc)
+		fmt.Println("# fig10 — Instance illustration (chargers 4× initial)")
+		names := make([]string, 0, len(res.Utilities))
+		for n := range res.Utilities {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(a, b int) bool { return res.Utilities[names[a]] > res.Utilities[names[b]] })
+		for _, n := range names {
+			fmt.Printf("%-18s utility %.4f (%d chargers placed)\n",
+				n, res.Utilities[n], len(res.Placements[n]))
+		}
+		fmt.Println()
+		if svgDir != "" {
+			if err := os.MkdirAll(svgDir, 0o755); err != nil {
+				return err
+			}
+			for name, placed := range res.Placements {
+				fn := filepath.Join(svgDir, "fig10_"+sanitize(name)+".svg")
+				f, err := os.Create(fn)
+				if err != nil {
+					return err
+				}
+				err = svg.Render(f, res.Scenario, placed, svg.Options{Title: name})
+				f.Close()
+				if err != nil {
+					return err
+				}
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d SVGs to %s\n", len(res.Placements), svgDir)
+		}
+	}
+
+	type runner struct {
+		id string
+		fn func(expt.RunConfig) expt.Figure
+	}
+	for _, r := range []runner{
+		{"11a", expt.RunNsSweep},
+		{"11b", expt.RunNoSweep},
+		{"11c", expt.RunAlphaSSweep},
+		{"11d", expt.RunAlphaOSweep},
+		{"11e", expt.RunPthSweep},
+		{"11f", expt.RunDminSweep},
+	} {
+		if all || want[r.id] || want["summary"] {
+			fig := r.fn(rc)
+			sweeps = append(sweeps, fig)
+			if all || want[r.id] {
+				if err := emit(fig); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	if all || want["12"] {
+		fig := expt.RunDistributedTiming(rc)
+		if err := emit(fig); err != nil {
+			return err
+		}
+		red := expt.DistributedReduction(fig)
+		fmt.Println("# fig12 — average time reduction vs non-distributed")
+		for _, m := range expt.MachineCounts {
+			label := fmt.Sprintf("Dis-%d", m)
+			fmt.Printf("%-8s %6.2f%%\n", label, red[label])
+		}
+		fmt.Println()
+	}
+	if all || want["13"] {
+		if err := emit(expt.RunPthLadder(rc)); err != nil {
+			return err
+		}
+	}
+	if all || want["14"] {
+		if err := emit(expt.RunDminDmaxGrid(rc)); err != nil {
+			return err
+		}
+	}
+	if all || want["15"] {
+		if err := emit(expt.RunUtilityCDF(rc)); err != nil {
+			return err
+		}
+	}
+	if all || want["25"] || want["26"] {
+		res := expt.RunTestbed(rc)
+		if all || want["25"] {
+			if err := emit(expt.TestbedUtilityFigure(res)); err != nil {
+				return err
+			}
+		}
+		if all || want["26"] {
+			if err := emit(expt.TestbedPowerCDFFigure(res)); err != nil {
+				return err
+			}
+		}
+	}
+	if all || want["27"] {
+		res, err := expt.RunRedeploy(rc)
+		if err != nil {
+			return err
+		}
+		fmt.Println("# fig27 — charger redeployment between two topologies")
+		fmt.Printf("min-total plan: total %.3f, max %.3f (%d moves)\n",
+			res.MinTotalPlan.Total, res.MinTotalPlan.Max, len(res.MinTotalPlan.Moves))
+		fmt.Printf("min-max plan:   total %.3f, max %.3f\n",
+			res.MinMaxPlan.Total, res.MinMaxPlan.Max)
+		fmt.Println()
+	}
+	if want["ablation-eps"] {
+		if err := emit(expt.RunEpsSweep(rc)); err != nil {
+			return err
+		}
+	}
+	if want["ablation-obstacles"] {
+		if err := emit(expt.RunObstacleSweep(rc)); err != nil {
+			return err
+		}
+	}
+	if want["complexity"] {
+		if err := emit(expt.RunComplexitySweep(rc)); err != nil {
+			return err
+		}
+	}
+	if want["fairness"] {
+		if err := emit(expt.RunFairnessComparison(rc)); err != nil {
+			return err
+		}
+	}
+	if want["redeploy-sweep"] {
+		if err := emit(expt.RunRedeployOverheadSweep(rc)); err != nil {
+			return err
+		}
+	}
+	if all || want["summary"] {
+		summary := expt.Summary(sweeps)
+		expt.WriteSummary(os.Stdout, summary)
+		// Headline: minimum improvement across baselines.
+		minImp, minName := 1e18, ""
+		for n, v := range summary {
+			if v < minImp {
+				minImp, minName = v, n
+			}
+		}
+		if minName != "" {
+			fmt.Printf("\nHIPO outperforms every baseline by at least %.2f%% on average (vs %s); paper: 33.49%% (vs %s)\n",
+				minImp, minName, baselines.NameGPPDCSTriangle)
+		}
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	return strings.ReplaceAll(strings.ToLower(s), " ", "_")
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hipo/internal/expt"
+)
+
+func fastRC() expt.RunConfig {
+	return expt.RunConfig{Runs: 1, Seed: 1, Eps: 0.15,
+		Algorithms: []string{"HIPO", "RPAR"}}
+}
+
+func TestRunSingleFigureWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	// Redirect stdout noise away from the test log.
+	old := os.Stdout
+	null, _ := os.Open(os.DevNull)
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; null.Close(); devnull.Close() }()
+
+	if err := run("11e", fastRC(), dir, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig11e.csv")); err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+}
+
+func TestRunInstanceWithSVG(t *testing.T) {
+	dir := t.TempDir()
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	if err := run("10", fastRC(), "", dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 { // one SVG per algorithm (HIPO, RPAR)
+		t.Errorf("SVG files = %d, want 2", len(entries))
+	}
+}
+
+func TestRunRedeployAndSummary(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	if err := run("27", fastRC(), "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("summary", fastRC(), "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("GPPDCS Triangle"); got != "gppdcs_triangle" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

@@ -1,0 +1,131 @@
+// Command hipofield renders the charging-power field of a placement as an
+// SVG heatmap: the power an omnidirectional probe would harvest at each
+// point, honoring charger sectors and obstacle shadows. Useful for seeing
+// where a placement leaves dead zones.
+//
+// Usage:
+//
+//	hipogen -seed 3 > sc.json
+//	hipo -in sc.json -out place.json
+//	hipofield -scenario sc.json -placement place.json -out field.svg
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hipo"
+	"hipo/internal/field"
+	"hipo/internal/geom"
+	"hipo/internal/model"
+)
+
+func main() {
+	var (
+		scPath  = flag.String("scenario", "", "scenario JSON (required)")
+		plPath  = flag.String("placement", "", "placement JSON (required)")
+		outPath = flag.String("out", "", "output SVG (default stdout)")
+		res     = flag.Int("res", 120, "grid resolution per axis")
+		probe   = flag.Int("probe", 0, "device type index calibrating the probe")
+		workers = flag.Int("workers", 0, "sampling goroutines (0 = one per row)")
+	)
+	flag.Parse()
+	if *scPath == "" || *plPath == "" {
+		fmt.Fprintln(os.Stderr, "hipofield: -scenario and -placement are required")
+		os.Exit(1)
+	}
+	if err := run(*scPath, *plPath, *outPath, *res, *probe, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "hipofield:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scPath, plPath, outPath string, res, probe, workers int) error {
+	var pub hipo.Scenario
+	if err := decodeFile(scPath, &pub); err != nil {
+		return err
+	}
+	sc, err := internalScenario(&pub)
+	if err != nil {
+		return err
+	}
+	if probe < 0 || probe >= len(sc.DeviceTypes) {
+		return fmt.Errorf("probe type %d out of range", probe)
+	}
+	var pl hipo.Placement
+	if err := decodeFile(plPath, &pl); err != nil {
+		return err
+	}
+	var placed []model.Strategy
+	for _, c := range pl.Chargers {
+		placed = append(placed, model.Strategy{
+			Pos: geom.V(c.Pos.X, c.Pos.Y), Orient: c.Orient, Type: c.Type,
+		})
+	}
+	grid := field.Sample(sc, placed, probe, res, res, workers)
+	fmt.Fprintf(os.Stderr, "peak probe power %.4f; coverage ≥ Pth: %.1f%%\n",
+		grid.MaxValue(),
+		100*grid.CoverageFraction(sc.DeviceTypes[probe].PTh))
+
+	var out io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return field.RenderHeatmap(out, sc, grid)
+}
+
+func decodeFile(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return json.NewDecoder(f).Decode(v)
+}
+
+func internalScenario(s *hipo.Scenario) (*model.Scenario, error) {
+	sc := &model.Scenario{
+		Region: model.Region{Min: geom.V(s.Min.X, s.Min.Y), Max: geom.V(s.Max.X, s.Max.Y)},
+	}
+	for _, c := range s.ChargerTypes {
+		sc.ChargerTypes = append(sc.ChargerTypes, model.ChargerType{
+			Name: c.Name, Alpha: c.Alpha, DMin: c.DMin, DMax: c.DMax, Count: c.Count,
+		})
+	}
+	for _, d := range s.DeviceTypes {
+		sc.DeviceTypes = append(sc.DeviceTypes, model.DeviceType{
+			Name: d.Name, Alpha: d.Alpha, PTh: d.PTh,
+		})
+	}
+	for _, row := range s.Power {
+		var r []model.PowerParams
+		for _, p := range row {
+			r = append(r, model.PowerParams{A: p.A, B: p.B})
+		}
+		sc.Power = append(sc.Power, r)
+	}
+	for _, d := range s.Devices {
+		sc.Devices = append(sc.Devices, model.Device{
+			Pos: geom.V(d.Pos.X, d.Pos.Y), Orient: d.Orient, Type: d.Type,
+		})
+	}
+	for _, o := range s.Obstacles {
+		var vs []geom.Vec
+		for _, v := range o.Vertices {
+			vs = append(vs, geom.V(v.X, v.Y))
+		}
+		sc.Obstacles = append(sc.Obstacles, model.Obstacle{Shape: geom.Polygon{Vertices: vs}})
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}

@@ -1,0 +1,102 @@
+// Command hipogen generates HIPO scenario JSON files: either the paper's
+// default simulation setup (Tables 2–4 with a seeded random device topology
+// on the 40 m × 40 m two-obstacle plane) or the Section 7 field-testbed
+// replica.
+//
+// Usage:
+//
+//	hipogen [-preset default|testbed] [-seed N] [-charger-mult N]
+//	        [-device-mult N] [-out scenario.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hipo"
+	"hipo/internal/expt"
+	"hipo/internal/model"
+)
+
+func main() {
+	var (
+		preset      = flag.String("preset", "default", "default | testbed")
+		seed        = flag.Int64("seed", 1, "device topology seed (default preset)")
+		chargerMult = flag.Int("charger-mult", 0, "charger count multiplier (0 = paper default 3)")
+		deviceMult  = flag.Int("device-mult", 0, "device count multiplier (0 = paper default 4)")
+		outPath     = flag.String("out", "", "output path (default stdout)")
+	)
+	flag.Parse()
+
+	var sc *model.Scenario
+	switch *preset {
+	case "default":
+		sc = expt.BuildScenario(expt.Params{
+			ChargerMult: *chargerMult, DeviceMult: *deviceMult, Seed: *seed,
+		})
+	case "testbed":
+		sc = expt.TestbedScenario()
+	default:
+		fmt.Fprintf(os.Stderr, "hipogen: unknown preset %q\n", *preset)
+		os.Exit(1)
+	}
+
+	pub := toPublic(sc)
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hipogen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(pub); err != nil {
+		fmt.Fprintln(os.Stderr, "hipogen:", err)
+		os.Exit(1)
+	}
+}
+
+// toPublic converts an internal scenario to the public JSON schema.
+func toPublic(sc *model.Scenario) *hipo.Scenario {
+	out := &hipo.Scenario{
+		Min: hipo.Point{X: sc.Region.Min.X, Y: sc.Region.Min.Y},
+		Max: hipo.Point{X: sc.Region.Max.X, Y: sc.Region.Max.Y},
+	}
+	for _, c := range sc.ChargerTypes {
+		out.ChargerTypes = append(out.ChargerTypes, hipo.ChargerSpec{
+			Name: c.Name, Alpha: c.Alpha, DMin: c.DMin, DMax: c.DMax, Count: c.Count,
+		})
+	}
+	for _, d := range sc.DeviceTypes {
+		out.DeviceTypes = append(out.DeviceTypes, hipo.DeviceSpec{
+			Name: d.Name, Alpha: d.Alpha, PTh: d.PTh,
+		})
+	}
+	for _, row := range sc.Power {
+		var r []hipo.PowerParams
+		for _, p := range row {
+			r = append(r, hipo.PowerParams{A: p.A, B: p.B})
+		}
+		out.Power = append(out.Power, r)
+	}
+	for _, d := range sc.Devices {
+		out.Devices = append(out.Devices, hipo.Device{
+			Pos: hipo.Point{X: d.Pos.X, Y: d.Pos.Y}, Orient: d.Orient, Type: d.Type,
+		})
+	}
+	for _, o := range sc.Obstacles {
+		var vs []hipo.Point
+		for _, v := range o.Shape.Vertices {
+			vs = append(vs, hipo.Point{X: v.X, Y: v.Y})
+		}
+		out.Obstacles = append(out.Obstacles, hipo.Obstacle{Vertices: vs})
+	}
+	return out
+}

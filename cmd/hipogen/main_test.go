@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"hipo/internal/expt"
+)
+
+func TestToPublicRoundTrip(t *testing.T) {
+	sc := expt.BuildScenario(expt.Params{Seed: 4})
+	pub := toPublic(sc)
+	if err := pub.Validate(); err != nil {
+		t.Fatalf("converted scenario invalid: %v", err)
+	}
+	if len(pub.Devices) != len(sc.Devices) {
+		t.Errorf("devices = %d, want %d", len(pub.Devices), len(sc.Devices))
+	}
+	if len(pub.ChargerTypes) != 3 || len(pub.DeviceTypes) != 4 {
+		t.Error("type tables wrong size")
+	}
+	if len(pub.Obstacles) != 2 {
+		t.Errorf("obstacles = %d", len(pub.Obstacles))
+	}
+	if pub.ChargerTypes[0].Count != sc.ChargerTypes[0].Count {
+		t.Error("counts lost")
+	}
+	if pub.Power[2][3].A != sc.Power[2][3].A {
+		t.Error("power matrix lost")
+	}
+}
+
+func TestToPublicTestbed(t *testing.T) {
+	pub := toPublic(expt.TestbedScenario())
+	if err := pub.Validate(); err != nil {
+		t.Fatalf("testbed conversion invalid: %v", err)
+	}
+	if len(pub.Devices) != 10 || len(pub.Obstacles) != 3 {
+		t.Error("testbed layout lost in conversion")
+	}
+}

@@ -1,0 +1,62 @@
+package hipo_test
+
+import (
+	"fmt"
+	"math"
+
+	"hipo"
+)
+
+// exampleScenario is a deterministic two-device setup used by the runnable
+// documentation examples.
+func exampleScenario() *hipo.Scenario {
+	return &hipo.Scenario{
+		Min: hipo.Point{X: 0, Y: 0},
+		Max: hipo.Point{X: 30, Y: 30},
+		ChargerTypes: []hipo.ChargerSpec{
+			{Name: "beam", Alpha: math.Pi / 2, DMin: 2, DMax: 8, Count: 2},
+		},
+		DeviceTypes: []hipo.DeviceSpec{
+			{Name: "sensor", Alpha: math.Pi, PTh: 0.05},
+		},
+		Power: [][]hipo.PowerParams{{{A: 100, B: 40}}},
+		Devices: []hipo.Device{
+			{Pos: hipo.Point{X: 10, Y: 10}, Orient: 0, Type: 0},
+			{Pos: hipo.Point{X: 14, Y: 10}, Orient: math.Pi, Type: 0},
+		},
+	}
+}
+
+// ExampleScenario_Solve places chargers and reports the achieved utility.
+func ExampleScenario_Solve() {
+	placement, err := exampleScenario().Solve()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("chargers: %d, utility: %.2f\n", len(placement.Chargers), placement.Utility)
+	// Output: chargers: 2, utility: 1.00
+}
+
+// ExampleScenario_Evaluate scores a hand-crafted placement.
+func ExampleScenario_Evaluate() {
+	sc := exampleScenario()
+	manual := &hipo.Placement{Chargers: []hipo.PlacedCharger{
+		// A charger 5 m in front of device 0 (which faces +x), aimed back
+		// at it. Device 1 sits inside the charger's d_min dead zone.
+		{Pos: hipo.Point{X: 15, Y: 10}, Orient: math.Pi, Type: 0},
+	}}
+	m, err := sc.Evaluate(manual)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("device 0 utility: %.2f, device 1 utility: %.2f\n",
+		m.DeviceUtilities[0], m.DeviceUtilities[1])
+	// Output: device 0 utility: 0.99, device 1 utility: 0.00
+}
+
+// ExampleApproximationRatio shows the theoretical guarantee.
+func ExampleApproximationRatio() {
+	fmt.Printf("default: %.2f, eps=0.05: %.2f\n",
+		hipo.ApproximationRatio(), hipo.ApproximationRatio(hipo.WithEps(0.05)))
+	// Output: default: 0.35, eps=0.05: 0.45
+}

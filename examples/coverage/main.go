@@ -1,0 +1,106 @@
+// Coverage: diagnose a deployment before and after solving. Uses the
+// feasible-area diagnostics to spot hard-to-reach sensors up front, solves,
+// then renders the charging-power field as an SVG heatmap and reports the
+// area fraction covered at the power threshold.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"hipo"
+)
+
+func main() {
+	scenario := buildOffice()
+
+	// 1. Pre-solve diagnostics: how much room does each sensor leave for
+	// chargers, and is anything unreachable outright?
+	fmt.Println("pre-solve feasibility (area in m² where a charger could serve each sensor):")
+	for j := range scenario.Devices {
+		best := 0.0
+		for q := range scenario.ChargerTypes {
+			a, err := scenario.FeasibleArea(q, j)
+			if err != nil {
+				log.Fatal(err)
+			}
+			best = math.Max(best, a)
+		}
+		marker := ""
+		if best < 5 {
+			marker = "  <- tight!"
+		}
+		fmt.Printf("  sensor %2d: %6.1f m²%s\n", j, best, marker)
+	}
+	if un, _ := scenario.UnreachableDevices(); len(un) > 0 {
+		fmt.Printf("unreachable sensors: %v\n", un)
+	}
+
+	// 2. Solve and report.
+	placement, err := scenario.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	metrics, err := scenario.Evaluate(placement)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplaced %d chargers, utility %.3f (worst sensor %.3f)\n",
+		len(placement.Chargers), metrics.Utility, metrics.MinUtility)
+
+	// 3. Power-field heatmap: where would a wandering tag get charged?
+	field, err := scenario.Field(placement, 0, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("peak field power %.4f; %.1f%% of free space above the charging threshold\n",
+		field.Peak, 100*field.CoverageAtPth)
+
+	out, err := os.Create("coverage.svg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+	if err := field.WriteHeatmap(out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote coverage.svg")
+}
+
+// buildOffice lays out a 25 m × 18 m office with two partition walls and
+// nine desk sensors.
+func buildOffice() *hipo.Scenario {
+	deg := func(d float64) float64 { return d * math.Pi / 180 }
+	sc := &hipo.Scenario{
+		Min: hipo.Point{X: 0, Y: 0},
+		Max: hipo.Point{X: 25, Y: 18},
+		ChargerTypes: []hipo.ChargerSpec{
+			{Name: "ceiling", Alpha: deg(70), DMin: 2.5, DMax: 8, Count: 4},
+			{Name: "desk-pad", Alpha: deg(120), DMin: 1, DMax: 4, Count: 3},
+		},
+		DeviceTypes: []hipo.DeviceSpec{
+			{Name: "badge", Alpha: deg(160), PTh: 0.05},
+		},
+		Power: [][]hipo.PowerParams{
+			{{A: 120, B: 44}},
+			{{A: 90, B: 36}},
+		},
+		Obstacles: []hipo.Obstacle{
+			{Vertices: []hipo.Point{{X: 8, Y: 0}, {X: 8.4, Y: 0}, {X: 8.4, Y: 11}, {X: 8, Y: 11}}},
+			{Vertices: []hipo.Point{{X: 16, Y: 7}, {X: 16.4, Y: 7}, {X: 16.4, Y: 18}, {X: 16, Y: 18}}},
+		},
+	}
+	desks := []struct{ x, y, facing float64 }{
+		{x: 3, y: 4, facing: 60}, {x: 5, y: 14, facing: 290}, {x: 7.5, y: 8, facing: 180},
+		{x: 11, y: 3, facing: 100}, {x: 13, y: 15, facing: 250}, {x: 15.5, y: 9, facing: 170},
+		{x: 19, y: 4, facing: 80}, {x: 21, y: 12, facing: 200}, {x: 23.5, y: 16, facing: 220},
+	}
+	for _, d := range desks {
+		sc.Devices = append(sc.Devices, hipo.Device{
+			Pos: hipo.Point{X: d.x, Y: d.y}, Orient: deg(d.facing), Type: 0,
+		})
+	}
+	return sc
+}

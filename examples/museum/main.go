@@ -1,0 +1,104 @@
+// Museum: power battery-free exhibit tags in a gallery whose walls block
+// wireless power. Compares the utility-maximizing placement against the
+// proportional-fairness placement — in a museum, every exhibit staying
+// alive matters more than total harvested energy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hipo"
+)
+
+func main() {
+	scenario := buildGallery()
+
+	// 1. Maximize total charging utility (the headline HIPO objective).
+	best, err := scenario.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// 2. Proportional fairness: log-utility spreads power across exhibits.
+	fair, err := scenario.SolveProportionalFair()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, run := range []struct {
+		name string
+		p    *hipo.Placement
+	}{{"max-utility", best}, {"proportional-fair", fair}} {
+		m, err := scenario.Evaluate(run.p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		starved := 0
+		for _, u := range m.DeviceUtilities {
+			if u < 0.2 {
+				starved++
+			}
+		}
+		fmt.Printf("%-18s total %.3f  worst exhibit %.3f  starved(<0.2) %d/%d\n",
+			run.name, m.Utility, m.MinUtility, starved, len(m.DeviceUtilities))
+	}
+
+	fmt.Println("\nmax-utility placement:")
+	for _, c := range best.Chargers {
+		fmt.Printf("  %-10s (%5.1f, %5.1f) @ %5.1f°\n",
+			scenario.ChargerTypes[c.Type].Name, c.Pos.X, c.Pos.Y, c.Orient*180/math.Pi)
+	}
+}
+
+// buildGallery lays out a 30 m × 20 m gallery: two exhibition walls, a
+// central vitrine, and twelve exhibit tags of three hardware generations
+// mounted on walls and plinths.
+func buildGallery() *hipo.Scenario {
+	sc := &hipo.Scenario{
+		Min: hipo.Point{X: 0, Y: 0},
+		Max: hipo.Point{X: 30, Y: 20},
+		ChargerTypes: []hipo.ChargerSpec{
+			// Ceiling-track spots: narrow, long reach.
+			{Name: "track-spot", Alpha: math.Pi / 6, DMin: 4, DMax: 10, Count: 3},
+			// Wall boxes: wide, short reach.
+			{Name: "wall-box", Alpha: math.Pi / 2, DMin: 1.5, DMax: 6, Count: 4},
+		},
+		DeviceTypes: []hipo.DeviceSpec{
+			{Name: "tag-v1", Alpha: math.Pi / 2, PTh: 0.05},
+			{Name: "tag-v2", Alpha: 3 * math.Pi / 4, PTh: 0.04},
+			{Name: "tag-v3", Alpha: math.Pi, PTh: 0.03},
+		},
+		Power: [][]hipo.PowerParams{
+			{{A: 100, B: 40}, {A: 120, B: 48}, {A: 140, B: 56}},
+			{{A: 110, B: 44}, {A: 132, B: 52}, {A: 154, B: 60}},
+		},
+		Obstacles: []hipo.Obstacle{
+			// Two interior exhibition walls.
+			{Vertices: []hipo.Point{{X: 8, Y: 0}, {X: 8.6, Y: 0}, {X: 8.6, Y: 12}, {X: 8, Y: 12}}},
+			{Vertices: []hipo.Point{{X: 19, Y: 8}, {X: 19.6, Y: 8}, {X: 19.6, Y: 20}, {X: 19, Y: 20}}},
+			// Central vitrine.
+			{Vertices: []hipo.Point{{X: 13, Y: 9}, {X: 16, Y: 9}, {X: 16, Y: 11}, {X: 13, Y: 11}}},
+		},
+	}
+	deg := func(d float64) float64 { return d * math.Pi / 180 }
+	type tag struct {
+		x, y, facing float64
+		gen          int
+	}
+	for _, t := range []tag{
+		// West room.
+		{2, 4, 0, 0}, {5, 16, 270, 1}, {7.5, 8, 180, 2}, {3, 11, 45, 2},
+		// Middle room.
+		{10, 3, 90, 0}, {12, 17, 315, 1}, {17, 5, 135, 1}, {14, 12.5, 90, 2},
+		// East room.
+		{21, 2, 90, 0}, {26, 6, 180, 1}, {28, 14, 200, 2}, {22, 18, 300, 0},
+	} {
+		sc.Devices = append(sc.Devices, hipo.Device{
+			Pos:    hipo.Point{X: t.x, Y: t.y},
+			Orient: deg(t.facing),
+			Type:   t.gen,
+		})
+	}
+	return sc
+}

@@ -1,0 +1,66 @@
+// Quickstart: place two kinds of directional chargers to power four sensors
+// around an obstacle, then inspect the per-device outcome.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hipo"
+)
+
+func main() {
+	scenario := &hipo.Scenario{
+		// A 40 m × 40 m hall.
+		Min: hipo.Point{X: 0, Y: 0},
+		Max: hipo.Point{X: 40, Y: 40},
+		// Two charger models: a narrow long-range beam and a wide
+		// short-range one. Each charges only inside its sector ring
+		// [DMin, DMax].
+		ChargerTypes: []hipo.ChargerSpec{
+			{Name: "narrow-beam", Alpha: math.Pi / 3, DMin: 3, DMax: 8, Count: 2},
+			{Name: "wide-beam", Alpha: math.Pi / 2, DMin: 2, DMax: 6, Count: 2},
+		},
+		// One device build: 180° receiving aperture, saturating at 50 mW.
+		DeviceTypes: []hipo.DeviceSpec{
+			{Name: "sensor", Alpha: math.Pi, PTh: 0.05},
+		},
+		// Charging power P = A/((d+B)²) per (charger type, device type).
+		Power: [][]hipo.PowerParams{
+			{{A: 100, B: 40}},
+			{{A: 120, B: 48}},
+		},
+		// Four sensors with fixed positions and facing directions.
+		Devices: []hipo.Device{
+			{Pos: hipo.Point{X: 10, Y: 10}, Orient: 0, Type: 0},
+			{Pos: hipo.Point{X: 14, Y: 12}, Orient: math.Pi, Type: 0},
+			{Pos: hipo.Point{X: 28, Y: 28}, Orient: math.Pi / 2, Type: 0},
+			{Pos: hipo.Point{X: 30, Y: 24}, Orient: math.Pi, Type: 0},
+		},
+		// A pillar that blocks wireless power and placement.
+		Obstacles: []hipo.Obstacle{
+			{Vertices: []hipo.Point{{X: 18, Y: 16}, {X: 22, Y: 16}, {X: 22, Y: 20}, {X: 18, Y: 20}}},
+		},
+	}
+
+	placement, err := scenario.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placed %d chargers, total utility %.3f (guaranteed ≥ %.2f of optimal)\n",
+		len(placement.Chargers), placement.Utility, hipo.ApproximationRatio())
+	for _, c := range placement.Chargers {
+		fmt.Printf("  %-12s at (%5.2f, %5.2f) facing %6.1f°\n",
+			scenario.ChargerTypes[c.Type].Name, c.Pos.X, c.Pos.Y, c.Orient*180/math.Pi)
+	}
+
+	metrics, err := scenario.Evaluate(placement)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for j, u := range metrics.DeviceUtilities {
+		fmt.Printf("device %d: utility %.3f (%.2f mW received)\n",
+			j, u, metrics.DevicePowers[j]*1000)
+	}
+}

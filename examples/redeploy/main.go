@@ -1,0 +1,105 @@
+// Redeploy: the device topology changes overnight (half the sensors move),
+// so yesterday's chargers must be migrated to today's optimal placement.
+// Compares the two objectives of Section 8.1: minimizing the total
+// switching overhead versus minimizing the worst single charger's overhead
+// (and total overhead among such plans).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hipo"
+)
+
+func main() {
+	yesterday := buildFloor(0)
+	today := buildFloor(1)
+
+	oldPlacement, err := yesterday.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	newPlacement, err := today.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("yesterday: utility %.3f with %d chargers\n", oldPlacement.Utility, len(oldPlacement.Chargers))
+	fmt.Printf("today:     utility %.3f with %d chargers\n\n", newPlacement.Utility, len(newPlacement.Chargers))
+
+	cost := hipo.RedeployCost{PerMeter: 1, PerRadian: 0.5}
+	minTotal, err := yesterday.RedeployMinTotal(oldPlacement, newPlacement, cost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	minMax, err := yesterday.RedeployMinMax(oldPlacement, newPlacement, cost)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("min-total plan: total overhead %.2f, worst charger %.2f\n",
+		minTotal.TotalCost, minTotal.MaxCost)
+	fmt.Printf("min-max plan:   total overhead %.2f, worst charger %.2f\n\n",
+		minMax.TotalCost, minMax.MaxCost)
+
+	fmt.Println("min-max migration orders:")
+	for i, mv := range minMax.Moves {
+		fmt.Printf("  charger %2d (type %d): (%5.1f,%5.1f)@%5.1f° -> (%5.1f,%5.1f)@%5.1f°  cost %.2f\n",
+			i, mv.From.Type,
+			mv.From.Pos.X, mv.From.Pos.Y, mv.From.Orient*180/math.Pi,
+			mv.To.Pos.X, mv.To.Pos.Y, mv.To.Orient*180/math.Pi, mv.Cost)
+	}
+}
+
+// buildFloor returns a 35 m × 35 m floor with one obstacle and ten sensors;
+// phase 1 relocates half the sensors to the opposite side.
+func buildFloor(phase int) *hipo.Scenario {
+	sc := &hipo.Scenario{
+		Min: hipo.Point{X: 0, Y: 0},
+		Max: hipo.Point{X: 35, Y: 35},
+		ChargerTypes: []hipo.ChargerSpec{
+			{Name: "A", Alpha: math.Pi / 3, DMin: 3, DMax: 9, Count: 3},
+			{Name: "B", Alpha: math.Pi / 2, DMin: 2, DMax: 6, Count: 2},
+		},
+		DeviceTypes: []hipo.DeviceSpec{
+			{Name: "node", Alpha: math.Pi, PTh: 0.05},
+		},
+		Power: [][]hipo.PowerParams{
+			{{A: 100, B: 40}},
+			{{A: 120, B: 48}},
+		},
+		Obstacles: []hipo.Obstacle{
+			{Vertices: []hipo.Point{{X: 16, Y: 14}, {X: 20, Y: 14}, {X: 20, Y: 20}, {X: 16, Y: 20}}},
+		},
+	}
+	deg := func(d float64) float64 { return d * math.Pi / 180 }
+	fixed := []hipo.Device{
+		{Pos: hipo.Point{X: 6, Y: 6}, Orient: deg(45), Type: 0},
+		{Pos: hipo.Point{X: 10, Y: 25}, Orient: deg(300), Type: 0},
+		{Pos: hipo.Point{X: 28, Y: 8}, Orient: deg(120), Type: 0},
+		{Pos: hipo.Point{X: 30, Y: 28}, Orient: deg(210), Type: 0},
+		{Pos: hipo.Point{X: 8, Y: 15}, Orient: deg(0), Type: 0},
+	}
+	movableBefore := []hipo.Device{
+		{Pos: hipo.Point{X: 5, Y: 30}, Orient: deg(315), Type: 0},
+		{Pos: hipo.Point{X: 12, Y: 9}, Orient: deg(90), Type: 0},
+		{Pos: hipo.Point{X: 25, Y: 20}, Orient: deg(180), Type: 0},
+		{Pos: hipo.Point{X: 14, Y: 28}, Orient: deg(270), Type: 0},
+		{Pos: hipo.Point{X: 24, Y: 30}, Orient: deg(250), Type: 0},
+	}
+	movableAfter := []hipo.Device{
+		{Pos: hipo.Point{X: 30, Y: 5}, Orient: deg(135), Type: 0},
+		{Pos: hipo.Point{X: 25, Y: 12}, Orient: deg(200), Type: 0},
+		{Pos: hipo.Point{X: 6, Y: 20}, Orient: deg(20), Type: 0},
+		{Pos: hipo.Point{X: 28, Y: 24}, Orient: deg(160), Type: 0},
+		{Pos: hipo.Point{X: 12, Y: 32}, Orient: deg(290), Type: 0},
+	}
+	sc.Devices = append(sc.Devices, fixed...)
+	if phase == 0 {
+		sc.Devices = append(sc.Devices, movableBefore...)
+	} else {
+		sc.Devices = append(sc.Devices, movableAfter...)
+	}
+	return sc
+}

@@ -1,0 +1,95 @@
+// Warehouse: power shelf-mounted inventory sensors between racking aisles,
+// under a deployment budget — chargers are carted from the loading dock and
+// every meter of travel, radian of alignment, and watt of transmit power
+// costs money (Section 8.2 of the paper). Sweeps the budget to show the
+// utility/cost trade-off.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hipo"
+)
+
+func main() {
+	scenario := buildWarehouse()
+
+	unconstrained, err := scenario.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cardinality-capped: %d chargers, utility %.3f\n\n",
+		len(unconstrained.Chargers), unconstrained.Utility)
+	fmt.Println("under a budget the per-type caps are replaced by spend (Section 8.2),")
+	fmt.Println("so a big budget may buy more chargers than the caps would allow:")
+
+	dock := hipo.Point{X: 0, Y: 15}
+	fmt.Println("budget sweep (cost = 1/m travel + 0.5/rad alignment + 2/W power):")
+	for _, budget := range []float64{20, 40, 80, 160, 320} {
+		p, err := scenario.SolveBudgeted(hipo.DeploymentBudget{
+			Depot:     dock,
+			PerMeter:  1,
+			PerRadian: 0.5,
+			PerWatt:   2,
+			TypePower: []float64{1, 3}, // watts per charger type
+			Budget:    budget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := scenario.Evaluate(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  budget %6.0f: %2d chargers, utility %.3f (%.0f%% of the capped run)\n",
+			budget, len(p.Chargers), m.Utility, 100*m.Utility/unconstrained.Utility)
+	}
+}
+
+// buildWarehouse lays out a 50 m × 30 m floor with four racking rows and
+// twenty shelf sensors facing the aisles.
+func buildWarehouse() *hipo.Scenario {
+	sc := &hipo.Scenario{
+		Min: hipo.Point{X: 0, Y: 0},
+		Max: hipo.Point{X: 50, Y: 30},
+		ChargerTypes: []hipo.ChargerSpec{
+			// Pole-mounted 1 W units for aisle ends.
+			{Name: "pole-1W", Alpha: math.Pi / 2, DMin: 2, DMax: 7, Count: 6},
+			// High-power 3 W beam for long aisles.
+			{Name: "beam-3W", Alpha: math.Pi / 4, DMin: 4, DMax: 12, Count: 3},
+		},
+		DeviceTypes: []hipo.DeviceSpec{
+			{Name: "shelf-sensor", Alpha: 2 * math.Pi / 3, PTh: 0.05},
+		},
+		Power: [][]hipo.PowerParams{
+			{{A: 110, B: 44}},
+			{{A: 200, B: 60}},
+		},
+	}
+	// Four racking rows, 2 m deep, spanning most of the floor.
+	for _, y := range []float64{5, 11, 17, 23} {
+		sc.Obstacles = append(sc.Obstacles, hipo.Obstacle{
+			Vertices: []hipo.Point{{X: 8, Y: y}, {X: 44, Y: y}, {X: 44, Y: y + 2}, {X: 8, Y: y + 2}},
+		})
+	}
+	// Shelf sensors on rack faces, facing into the aisles (alternating
+	// north/south faces).
+	deg := func(d float64) float64 { return d * math.Pi / 180 }
+	for i, y := range []float64{4.8, 7.2, 10.8, 13.2, 16.8, 19.2, 22.8, 25.2} {
+		facing := 270.0 // mounted on a north face, looking south
+		if i%2 == 1 {
+			facing = 90 // south face, looking north
+		}
+		for _, x := range []float64{12, 12 + 9, 12 + 18, 12 + 27} {
+			// Slight stagger per row so sensors don't align perfectly.
+			sc.Devices = append(sc.Devices, hipo.Device{
+				Pos:    hipo.Point{X: x + float64(i%3), Y: y},
+				Orient: deg(facing),
+				Type:   0,
+			})
+		}
+	}
+	return sc
+}

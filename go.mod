@@ -1,0 +1,3 @@
+module hipo
+
+go 1.22

@@ -1,0 +1,171 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hipo/internal/geom"
+	"hipo/internal/model"
+	"hipo/internal/power"
+)
+
+func testScenario() *model.Scenario {
+	sc := &model.Scenario{
+		Region: model.Region{Min: geom.V(0, 0), Max: geom.V(40, 40)},
+		ChargerTypes: []model.ChargerType{
+			{Name: "c1", Alpha: math.Pi / 2, DMin: 2, DMax: 8, Count: 3},
+			{Name: "c2", Alpha: math.Pi, DMin: 1, DMax: 6, Count: 2},
+		},
+		DeviceTypes: []model.DeviceType{
+			{Name: "d1", Alpha: math.Pi, PTh: 0.05},
+		},
+		Power: [][]model.PowerParams{
+			{{A: 100, B: 40}},
+			{{A: 120, B: 48}},
+		},
+		Obstacles: []model.Obstacle{{Shape: geom.Rect(18, 18, 22, 22)}},
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 8; i++ {
+		for {
+			p := geom.V(rng.Float64()*40, rng.Float64()*40)
+			if sc.FeasiblePosition(p) {
+				sc.Devices = append(sc.Devices, model.Device{
+					Pos: p, Orient: rng.Float64() * 2 * math.Pi, Type: 0,
+				})
+				break
+			}
+		}
+	}
+	return sc
+}
+
+func checkPlacement(t *testing.T, sc *model.Scenario, placed []model.Strategy, name string) {
+	t.Helper()
+	counts := make(map[int]int)
+	for _, s := range placed {
+		counts[s.Type]++
+		if !sc.FeasiblePosition(s.Pos) {
+			t.Errorf("%s: infeasible position %v", name, s.Pos)
+		}
+	}
+	for q, ct := range sc.ChargerTypes {
+		if counts[q] > ct.Count {
+			t.Errorf("%s: type %d over budget (%d > %d)", name, q, counts[q], ct.Count)
+		}
+	}
+}
+
+func TestAllBaselinesRun(t *testing.T) {
+	sc := testScenario()
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range All() {
+		placed := Run(name, sc, rng, 0.4)
+		checkPlacement(t, sc, placed, name)
+		u := power.TotalUtility(sc, placed)
+		if u < 0 || u > 1 {
+			t.Errorf("%s: utility %v out of range", name, u)
+		}
+	}
+}
+
+func TestRPARUsesFullBudget(t *testing.T) {
+	sc := testScenario()
+	placed := RPAR(sc, rand.New(rand.NewSource(2)))
+	if len(placed) != sc.TotalChargers() {
+		t.Errorf("RPAR placed %d, want %d", len(placed), sc.TotalChargers())
+	}
+}
+
+func TestRPADBeatsRPAROnAverage(t *testing.T) {
+	sc := testScenario()
+	sumRPAR, sumRPAD := 0.0, 0.0
+	const runs = 20
+	for i := 0; i < runs; i++ {
+		rng1 := rand.New(rand.NewSource(int64(100 + i)))
+		rng2 := rand.New(rand.NewSource(int64(100 + i)))
+		sumRPAR += power.TotalUtility(sc, RPAR(sc, rng1))
+		sumRPAD += power.TotalUtility(sc, RPAD(sc, rng2))
+	}
+	if sumRPAD < sumRPAR {
+		t.Errorf("RPAD average %v below RPAR %v", sumRPAD/runs, sumRPAR/runs)
+	}
+}
+
+func TestGPADBeatsGPAROnAverage(t *testing.T) {
+	sc := testScenario()
+	sumAR, sumAD := 0.0, 0.0
+	const runs = 10
+	for i := 0; i < runs; i++ {
+		rng := rand.New(rand.NewSource(int64(200 + i)))
+		sumAR += power.TotalUtility(sc, GPAR(sc, rng, Square))
+		sumAD += power.TotalUtility(sc, GPAD(sc, Square))
+	}
+	if sumAD < sumAR {
+		t.Errorf("GPAD average %v below GPAR %v", sumAD/runs, sumAR/runs)
+	}
+}
+
+func TestGPPDCSAtLeastGPAD(t *testing.T) {
+	// GPPDCS's point-case PDCS orientations dominate GPAD's fixed grid of
+	// orientations in coverage terms, so its greedy value shouldn't be
+	// dramatically worse. We assert it reaches at least 90% of GPAD here
+	// (exact dominance holds per-point for coverage sets, not utilities).
+	sc := testScenario()
+	uAD := power.TotalUtility(sc, GPAD(sc, Triangle))
+	uPD := power.TotalUtility(sc, GPPDCS(sc, Triangle, 0.4))
+	if uPD < 0.9*uAD {
+		t.Errorf("GPPDCS %v far below GPAD %v", uPD, uAD)
+	}
+}
+
+func TestGridPoints(t *testing.T) {
+	sc := testScenario()
+	sq := GridPoints(sc, 0, Square)
+	tr := GridPoints(sc, 0, Triangle)
+	if len(sq) == 0 || len(tr) == 0 {
+		t.Fatal("empty grids")
+	}
+	for _, p := range append(append([]geom.Vec{}, sq...), tr...) {
+		if !sc.FeasiblePosition(p) {
+			t.Errorf("infeasible grid point %v", p)
+		}
+	}
+	// Square spacing check: first two x-values differ by √2/2·dmax.
+	spacing := math.Sqrt2 / 2 * sc.ChargerTypes[0].DMax
+	if math.Abs(sq[1].Y-sq[0].Y-spacing) > 1e-9 && math.Abs(sq[1].X-sq[0].X) > 1e-9 {
+		t.Errorf("unexpected square spacing: %v %v", sq[0], sq[1])
+	}
+	// Obstacle interior excluded.
+	for _, p := range sq {
+		if sc.Obstacles[0].Shape.ContainsInterior(p) {
+			t.Errorf("grid point inside obstacle: %v", p)
+		}
+	}
+}
+
+func TestDiscreteOrients(t *testing.T) {
+	os := discreteOrients(math.Pi / 2)
+	if len(os) != 4 {
+		t.Errorf("orients for π/2 = %d, want 4", len(os))
+	}
+	os = discreteOrients(math.Pi / 3)
+	if len(os) != 6 {
+		t.Errorf("orients for π/3 = %d, want 6", len(os))
+	}
+	// Non-divisor angle rounds up.
+	os = discreteOrients(2.5)
+	if len(os) != 3 {
+		t.Errorf("orients for 2.5 = %d, want 3", len(os))
+	}
+}
+
+func TestRunUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown baseline")
+		}
+	}()
+	Run("nope", testScenario(), rand.New(rand.NewSource(1)), 0.4)
+}

@@ -1,0 +1,97 @@
+// Package deploycost implements the deployment-cost extension of Section
+// 8.2: a cost model combining travel distance, rotation, and working power,
+// a TSP tour builder (nearest-neighbor construction plus 2-opt improvement)
+// for estimating the travel component when chargers are carted from a base
+// station, and budget-constrained placement via the cost-benefit greedy.
+package deploycost
+
+import "hipo/internal/geom"
+
+// TourLength returns the length of the closed tour visiting pts in order,
+// starting and ending at depot.
+func TourLength(depot geom.Vec, pts []geom.Vec) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	total := depot.Dist(pts[0])
+	for i := 1; i < len(pts); i++ {
+		total += pts[i-1].Dist(pts[i])
+	}
+	total += pts[len(pts)-1].Dist(depot)
+	return total
+}
+
+// NearestNeighborTour orders pts by the nearest-neighbor heuristic starting
+// from depot and returns the visiting order as indices into pts.
+func NearestNeighborTour(depot geom.Vec, pts []geom.Vec) []int {
+	n := len(pts)
+	order := make([]int, 0, n)
+	visited := make([]bool, n)
+	cur := depot
+	for len(order) < n {
+		best, bestD := -1, 0.0
+		for i := 0; i < n; i++ {
+			if visited[i] {
+				continue
+			}
+			d := cur.Dist(pts[i])
+			if best < 0 || d < bestD {
+				best, bestD = i, d
+			}
+		}
+		visited[best] = true
+		order = append(order, best)
+		cur = pts[best]
+	}
+	return order
+}
+
+// TwoOpt improves a tour order in place using 2-opt moves until no
+// improving move remains (or maxPasses passes complete). The tour is closed
+// through the depot.
+func TwoOpt(depot geom.Vec, pts []geom.Vec, order []int, maxPasses int) []int {
+	n := len(order)
+	if n < 3 {
+		return order
+	}
+	at := func(i int) geom.Vec {
+		if i < 0 || i >= n {
+			return depot
+		}
+		return pts[order[i]]
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for i := -1; i < n-2; i++ {
+			for j := i + 1; j < n-1; j++ {
+				// Replace edges (i, i+1) and (j, j+1) with (i, j), (i+1, j+1).
+				a, b := at(i), at(i+1)
+				c, d := at(j), at(j+1)
+				delta := a.Dist(c) + b.Dist(d) - a.Dist(b) - c.Dist(d)
+				if delta < -geom.Eps {
+					// Reverse the segment order[i+1..j].
+					for lo, hi := i+1, j; lo < hi; lo, hi = lo+1, hi-1 {
+						order[lo], order[hi] = order[hi], order[lo]
+					}
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return order
+}
+
+// Tour builds a travel tour over pts from depot: nearest neighbor followed
+// by 2-opt. Returns the visiting order and the tour length.
+func Tour(depot geom.Vec, pts []geom.Vec) ([]int, float64) {
+	order := NearestNeighborTour(depot, pts)
+	order = TwoOpt(depot, pts, order, 32)
+	seq := make([]geom.Vec, len(order))
+	for i, idx := range order {
+		seq[i] = pts[idx]
+	}
+	return order, TourLength(depot, seq)
+}

@@ -1,0 +1,403 @@
+// Package discretize implements the area-discretization machinery of
+// Section 4.1: the distance-level rings of the piecewise-constant power
+// approximation, and the generation of candidate charger positions at the
+// critical points of the multi-feasible geometric areas — ring/ring,
+// ring/sector-edge, ring/obstacle-edge and ring/hole-ray intersections, the
+// device-pair line and inscribed-arc constructions of Algorithm 2, and
+// event-angle boundary samples.
+//
+// Rather than maintaining the planar arrangement of feasible geometric areas
+// explicitly (which the paper itself abandons for its distributed algorithm,
+// Section 5), we enumerate the arrangement's vertices and arc representatives
+// directly: every practical dominating coverage set has a witness strategy at
+// one of these points (Theorem 4.1's three shrinking operations terminate at
+// exactly these events).
+//
+// The generation is split per device (DevicePositions) and per device pair
+// (PairPositions) so that the distributed Algorithm 4 of Section 5 can
+// partition it into independent tasks; CandidatePositions is their
+// deduplicated union.
+package discretize
+
+import (
+	"math"
+	"runtime"
+
+	"hipo/internal/geom"
+	"hipo/internal/model"
+	"hipo/internal/power"
+	"hipo/internal/schedule"
+	"hipo/internal/visibility"
+)
+
+// Config tunes candidate generation.
+type Config struct {
+	// Eps1 is the piecewise-approximation parameter ε₁ of Lemma 4.1.
+	Eps1 float64
+	// Workers bounds the goroutines generating per-device positions
+	// (0 = GOMAXPROCS).
+	Workers int
+	// SkipPairConstructions disables the device-pair line/arc constructions
+	// (Algorithm 2 steps 1–7), leaving only per-device ring events. Used by
+	// ablation benchmarks.
+	SkipPairConstructions bool
+}
+
+// DefaultEps1 corresponds to the paper's default ε = 0.15 via
+// ε₁ = 2ε/(1−2ε).
+func DefaultEps1() float64 { return power.Eps1ForEps(0.15) }
+
+// Radii returns the candidate ring radii around device j for charger type
+// q: the charger's d_min plus every distance level of Lemma 4.1 for the
+// (q, type(j)) power constants. Radii are strictly increasing.
+func Radii(sc *model.Scenario, q, j int, eps1 float64) []float64 {
+	ct := sc.ChargerTypes[q]
+	dt := sc.Devices[j].Type
+	pp := sc.Power[q][dt]
+	lv := power.NewLevels(pp.A, pp.B, ct.DMin, ct.DMax, eps1)
+	out := make([]float64, 0, lv.NumBands()+1)
+	out = append(out, ct.DMin)
+	for _, b := range lv.Break {
+		if b > out[len(out)-1]+geom.Eps {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ReceivingRing returns device j's power receiving area for charger type q:
+// the sector ring with the device's receiving angle and the charger type's
+// distance range (Figure 1).
+func ReceivingRing(sc *model.Scenario, q, j int) geom.SectorRing {
+	ct := sc.ChargerTypes[q]
+	dev := sc.Devices[j]
+	return geom.SectorRing{
+		Apex:   dev.Pos,
+		Orient: dev.Orient,
+		Alpha:  sc.DeviceTypes[dev.Type].Alpha,
+		RMin:   ct.DMin,
+		RMax:   ct.DMax,
+	}
+}
+
+// Generator precomputes per-device geometry for one charger type and
+// produces candidate positions. It is safe for concurrent reads after
+// construction.
+type Generator struct {
+	sc  *model.Scenario
+	q   int
+	cfg Config
+
+	circles [][]geom.Circle  // level rings per device
+	edges   [][]geom.Segment // receiving-sector straight edges per device
+	holes   [][]geom.Segment // hole boundary rays per device
+	rings   []geom.SectorRing
+	obs     []geom.Segment // all obstacle edges
+}
+
+// NewGenerator builds the per-device geometry tables for charger type q.
+func NewGenerator(sc *model.Scenario, q int, cfg Config) *Generator {
+	no := len(sc.Devices)
+	g := &Generator{
+		sc: sc, q: q, cfg: cfg,
+		circles: make([][]geom.Circle, no),
+		edges:   make([][]geom.Segment, no),
+		holes:   make([][]geom.Segment, no),
+		rings:   make([]geom.SectorRing, no),
+	}
+	ct := sc.ChargerTypes[q]
+	for j := 0; j < no; j++ {
+		g.rings[j] = ReceivingRing(sc, q, j)
+		for _, r := range Radii(sc, q, j, cfg.Eps1) {
+			g.circles[j] = append(g.circles[j], geom.Circle{C: sc.Devices[j].Pos, R: r})
+		}
+		g.edges[j] = g.rings[j].BoundaryRays()
+		if len(sc.Obstacles) > 0 {
+			g.holes[j] = visibility.HoleRays(sc, sc.Devices[j].Pos, ct.DMax)
+		}
+	}
+	for _, o := range sc.Obstacles {
+		g.obs = append(g.obs, o.Shape.Edges()...)
+	}
+	return g
+}
+
+// DevicePositions emits the per-device candidate positions of device j:
+// its level rings cut against its own sector edges, hole rays, and all
+// obstacle edges, plus event-angle boundary samples (Algorithm 2 step 8).
+// Positions are filtered for placement feasibility but not deduplicated.
+func (g *Generator) DevicePositions(j int) []geom.Vec {
+	var out []geom.Vec
+	add := func(p geom.Vec) {
+		if g.sc.FeasiblePosition(p) {
+			out = append(out, p)
+		}
+	}
+	segs := make([]geom.Segment, 0, len(g.edges[j])+len(g.holes[j])+len(g.obs))
+	segs = append(segs, g.edges[j]...)
+	segs = append(segs, g.holes[j]...)
+	segs = append(segs, g.obs...)
+	for _, c := range g.circles[j] {
+		for _, s := range segs {
+			for _, p := range geom.CircleSegmentIntersections(c, s) {
+				add(p)
+			}
+		}
+	}
+	for _, p := range g.eventAngleSamples(j) {
+		add(p)
+	}
+	return out
+}
+
+// PairPositions emits the candidate positions arising from the device pair
+// (i, j): ring/ring intersections, cross ring/sector-edge and ring/hole-ray
+// intersections, and — unless disabled — Algorithm 2's line and
+// inscribed-arc constructions. Returns nil when the devices are farther
+// apart than 2·d_max. Not deduplicated.
+func (g *Generator) PairPositions(i, j int) []geom.Vec {
+	ct := g.sc.ChargerTypes[g.q]
+	pi, pj := g.sc.Devices[i].Pos, g.sc.Devices[j].Pos
+	if pi.Dist(pj) > 2*ct.DMax {
+		return nil
+	}
+	var out []geom.Vec
+	add := func(p geom.Vec) {
+		if g.sc.FeasiblePosition(p) {
+			out = append(out, p)
+		}
+	}
+	// Rings of i vs rings of j.
+	for _, ci := range g.circles[i] {
+		for _, cj := range g.circles[j] {
+			for _, p := range geom.CircleCircleIntersections(ci, cj) {
+				add(p)
+			}
+		}
+	}
+	// Rings of one vs sector edges and hole rays of the other.
+	crossSegs := func(cs []geom.Circle, segs []geom.Segment) {
+		for _, c := range cs {
+			for _, s := range segs {
+				for _, p := range geom.CircleSegmentIntersections(c, s) {
+					add(p)
+				}
+			}
+		}
+	}
+	crossSegs(g.circles[i], g.edges[j])
+	crossSegs(g.circles[i], g.holes[j])
+	crossSegs(g.circles[j], g.edges[i])
+	crossSegs(g.circles[j], g.holes[i])
+
+	if g.cfg.SkipPairConstructions {
+		return out
+	}
+	both := make([]geom.Circle, 0, len(g.circles[i])+len(g.circles[j]))
+	both = append(both, g.circles[i]...)
+	both = append(both, g.circles[j]...)
+	// Algorithm 2 steps 2–3: the straight line through the pair, cut
+	// against both devices' rings.
+	for _, c := range both {
+		for _, p := range geom.CircleLineIntersections(c, pi, pj) {
+			add(p)
+		}
+	}
+	// Algorithm 2 steps 5–6: inscribed-arc circles with circumferential
+	// angle α_s, cut against both devices' rings and sector edges.
+	for _, arc := range geom.InscribedArcCircles(pi, pj, ct.Alpha) {
+		for _, c := range both {
+			for _, p := range geom.CircleCircleIntersections(arc, c) {
+				add(p)
+			}
+		}
+		for _, s := range g.edges[i] {
+			for _, p := range geom.CircleSegmentIntersections(arc, s) {
+				add(p)
+			}
+		}
+		for _, s := range g.edges[j] {
+			for _, p := range geom.CircleSegmentIntersections(arc, s) {
+				add(p)
+			}
+		}
+	}
+	return out
+}
+
+// NeighborSet returns the indices of devices within 2·d_max of device i
+// (the O_i^k of Algorithm 4), excluding i itself.
+func (g *Generator) NeighborSet(i int) []int {
+	ct := g.sc.ChargerTypes[g.q]
+	var out []int
+	for j := range g.sc.Devices {
+		if j == i {
+			continue
+		}
+		if g.sc.Devices[i].Pos.Dist(g.sc.Devices[j].Pos) <= 2*ct.DMax {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// TaskPositions emits the complete candidate-position workload of
+// distributed task i for this charger type (Algorithm 4): device i's own
+// events plus the pair constructions with every neighbor of larger index
+// (smaller indices are handled by their own tasks, avoiding duplicate
+// work). Not deduplicated.
+func (g *Generator) TaskPositions(i int) []geom.Vec {
+	out := g.DevicePositions(i)
+	for _, j := range g.NeighborSet(i) {
+		if j > i {
+			out = append(out, g.PairPositions(i, j)...)
+		}
+	}
+	return out
+}
+
+// CandidatePositions returns the candidate charger positions for charger
+// type q: the deduplicated union of all per-device and per-pair positions,
+// restricted to the deployment region, outside obstacle interiors, and
+// within charging range of at least one device. Per-device workloads run
+// in parallel on cfg.Workers goroutines (0 = GOMAXPROCS); deduplication is
+// order-stable, so results are deterministic regardless of worker count.
+func CandidatePositions(sc *model.Scenario, q int, cfg Config) []geom.Vec {
+	g := NewGenerator(sc, q, cfg)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	perDevice := schedule.RunPool(len(sc.Devices), workers, func(i int) []geom.Vec {
+		return g.TaskPositions(i)
+	})
+	dd := newDeduper()
+	for _, pts := range perDevice {
+		for _, p := range pts {
+			dd.add(p)
+		}
+	}
+	return FilterUseful(sc, q, dd.points)
+}
+
+// FilterUseful keeps positions within charging range of at least one
+// device for charger type q.
+func FilterUseful(sc *model.Scenario, q int, pts []geom.Vec) []geom.Vec {
+	ct := sc.ChargerTypes[q]
+	out := pts[:0]
+	for _, p := range pts {
+		useful := false
+		for j := 0; j < len(sc.Devices) && !useful; j++ {
+			d := p.Dist(sc.Devices[j].Pos)
+			useful = d >= ct.DMin-geom.Eps && d <= ct.DMax+geom.Eps
+		}
+		if useful {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Dedup removes near-duplicate points (1e-6 tolerance), preserving first
+// occurrences.
+func Dedup(pts []geom.Vec) []geom.Vec {
+	dd := newDeduper()
+	for _, p := range pts {
+		dd.add(p)
+	}
+	return dd.points
+}
+
+// eventAngleSamples returns representative points on each level ring of
+// device j: one per maximal arc between consecutive event angles (sector
+// boundaries, hole-ray directions, obstacle shadow boundaries, and
+// directions toward nearby devices). This realizes Algorithm 2 step 8 — a
+// boundary point of every feasible geometric arc — without computing the
+// arrangement explicitly.
+func (g *Generator) eventAngleSamples(j int) []geom.Vec {
+	sc := g.sc
+	dev := sc.Devices[j]
+	ring := g.rings[j]
+	angles := []float64{
+		geom.NormAngle(dev.Orient - ring.Alpha/2),
+		geom.NormAngle(dev.Orient + ring.Alpha/2),
+	}
+	for _, h := range g.holes[j] {
+		angles = append(angles, h.A.Sub(dev.Pos).Angle())
+	}
+	angles = append(angles, visibility.EventAngles(sc, dev.Pos)...)
+	ct := sc.ChargerTypes[g.q]
+	for i := range sc.Devices {
+		if i == j {
+			continue
+		}
+		if sc.Devices[i].Pos.Dist(dev.Pos) <= 2*ct.DMax {
+			angles = append(angles, sc.Devices[i].Pos.Sub(dev.Pos).Angle())
+		}
+	}
+	sortAngles(angles)
+
+	var out []geom.Vec
+	emit := func(theta float64) {
+		if !ring.ContainsDirection(theta) {
+			return
+		}
+		for _, c := range g.circles[j] {
+			out = append(out, c.C.Add(geom.FromAngle(theta).Scale(c.R)))
+		}
+	}
+	for i, a := range angles {
+		emit(a)
+		next := angles[(i+1)%len(angles)]
+		if i == len(angles)-1 {
+			next += 2 * math.Pi
+		}
+		if next-a > 1e-9 {
+			emit(geom.NormAngle((a + next) / 2))
+		}
+	}
+	if len(angles) == 0 {
+		emit(dev.Orient)
+	}
+	return out
+}
+
+func sortAngles(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		k := i - 1
+		for k >= 0 && xs[k] > v {
+			xs[k+1] = xs[k]
+			k--
+		}
+		xs[k+1] = v
+	}
+}
+
+// deduper removes near-duplicate points using a hash grid with cell size
+// equal to the tolerance.
+type deduper struct {
+	tol    float64
+	cells  map[[2]int64][]int
+	points []geom.Vec
+}
+
+func newDeduper() *deduper {
+	return &deduper{tol: 1e-6, cells: make(map[[2]int64][]int)}
+}
+
+func (d *deduper) add(p geom.Vec) {
+	cx := int64(math.Floor(p.X / d.tol))
+	cy := int64(math.Floor(p.Y / d.tol))
+	for dx := int64(-1); dx <= 1; dx++ {
+		for dy := int64(-1); dy <= 1; dy++ {
+			for _, idx := range d.cells[[2]int64{cx + dx, cy + dy}] {
+				if d.points[idx].Dist(p) <= d.tol {
+					return
+				}
+			}
+		}
+	}
+	d.points = append(d.points, p)
+	d.cells[[2]int64{cx, cy}] = append(d.cells[[2]int64{cx, cy}], len(d.points)-1)
+}

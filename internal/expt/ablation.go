@@ -1,0 +1,96 @@
+package expt
+
+import (
+	"math/rand"
+
+	"hipo/internal/core"
+	"hipo/internal/geom"
+	"hipo/internal/model"
+)
+
+// RunEpsSweep is an ablation not in the paper's figures but implied by
+// Theorem 4.2: utility and candidate count versus the approximation
+// parameter ε. Finer ε buys a better guarantee (1/2 − ε) at the cost of
+// more distance levels and candidates; this sweep shows the measured
+// trade-off on the default scenario.
+func RunEpsSweep(rc RunConfig) Figure {
+	rc = rc.withDefaults()
+	epss := []float64{0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.45}
+	utility := Series{Label: "HIPO utility", X: epss, Y: make([]float64, len(epss))}
+	candidates := Series{Label: "candidates (hundreds)", X: epss, Y: make([]float64, len(epss))}
+	for xi, eps := range epss {
+		uSum, cSum := 0.0, 0.0
+		for r := 0; r < rc.Runs; r++ {
+			sc := BuildScenario(Params{Seed: rc.Seed + int64(r)})
+			sol, err := core.Solve(sc, core.Options{Eps: eps, Workers: rc.Workers})
+			if err != nil {
+				continue
+			}
+			uSum += sol.Utility
+			for _, c := range sol.Candidates {
+				cSum += float64(c)
+			}
+		}
+		utility.Y[xi] = uSum / float64(rc.Runs)
+		candidates.Y[xi] = cSum / float64(rc.Runs) / 100
+	}
+	return Figure{
+		ID: "ablation-eps", Title: "Ablation: approximation parameter ε",
+		XLabel: "eps", YLabel: "utility / candidate count",
+		Series: []Series{utility, candidates},
+	}
+}
+
+// RunObstacleSweep is an ablation probing the paper's "arbitrary obstacles"
+// claim quantitatively: HIPO utility as the number of random star-shaped
+// obstacles grows on the default plane.
+func RunObstacleSweep(rc RunConfig) Figure {
+	rc = rc.withDefaults()
+	counts := []float64{0, 1, 2, 4, 6, 8}
+	s := Series{Label: "HIPO", X: counts, Y: make([]float64, len(counts))}
+	for xi, n := range counts {
+		sum := 0.0
+		for r := 0; r < rc.Runs; r++ {
+			seed := rc.Seed + int64(r)
+			sc := scenarioWithRandomObstacles(seed, int(n))
+			sol, err := core.Solve(sc, core.Options{Eps: rc.Eps, Workers: rc.Workers})
+			if err != nil {
+				continue
+			}
+			sum += sol.Utility
+		}
+		s.Y[xi] = sum / float64(rc.Runs)
+	}
+	return Figure{
+		ID: "ablation-obstacles", Title: "Ablation: number of random obstacles",
+		XLabel: "Obstacles", YLabel: "Charging Utility",
+		Series: []Series{s},
+	}
+}
+
+// scenarioWithRandomObstacles builds the Tables 2–4 scenario but replaces
+// the fixed two obstacles by n random star-shaped polygons, then places the
+// default device population feasibly around them.
+func scenarioWithRandomObstacles(seed int64, n int) *model.Scenario {
+	sc := BaseScenario()
+	sc.Obstacles = nil
+	rng := rand.New(rand.NewSource(seed))
+	for q := range sc.ChargerTypes {
+		sc.ChargerTypes[q].Count = initialChargerCounts[q] * DefaultChargerMult
+	}
+	for len(sc.Obstacles) < n {
+		c := geom.V(5+rng.Float64()*30, 5+rng.Float64()*30)
+		poly := geom.RandomSimplePolygon(rng, c, 1, 3, 3+rng.Intn(6))
+		lo, hi := poly.BoundingBox()
+		if lo.X < 0 || lo.Y < 0 || hi.X > AreaSide || hi.Y > AreaSide {
+			continue
+		}
+		sc.Obstacles = append(sc.Obstacles, model.Obstacle{Shape: poly})
+	}
+	counts := make([]int, len(sc.DeviceTypes))
+	for t := range counts {
+		counts[t] = initialDeviceCounts[t] * DefaultDeviceMult
+	}
+	PlaceRandomDevices(sc, rng, counts)
+	return sc
+}

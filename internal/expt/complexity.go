@@ -1,0 +1,78 @@
+package expt
+
+import (
+	"math"
+	"time"
+
+	"hipo/internal/core"
+)
+
+// RunComplexitySweep measures end-to-end solve wall time versus the number
+// of devices (1×–8× the initial counts) and reports both the measured
+// times (normalized to the 1× point) and the slope of the log-log fit —
+// the empirical growth exponent to compare against the No⁴ factor of
+// Theorem 4.2's worst-case bound (practical instances are far below the
+// bound because candidate counts stay near-linear in device density).
+func RunComplexitySweep(rc RunConfig) Figure {
+	rc = rc.withDefaults()
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	times := Series{Label: "solve time (normalized)", X: xs, Y: make([]float64, len(xs))}
+	for xi, x := range xs {
+		total := 0.0
+		for r := 0; r < rc.Runs; r++ {
+			sc := BuildScenario(Params{DeviceMult: int(x), Seed: rc.Seed + int64(r)})
+			start := time.Now()
+			_, err := core.Solve(sc, core.Options{Eps: rc.Eps, Workers: rc.Workers})
+			if err != nil {
+				continue
+			}
+			total += time.Since(start).Seconds()
+		}
+		times.Y[xi] = total / float64(rc.Runs)
+	}
+	norm := times.Y[0]
+	if norm <= 0 {
+		norm = 1e-9
+	}
+	for i := range times.Y {
+		times.Y[i] /= norm
+	}
+	exponent := Series{
+		Label: "fitted exponent",
+		X:     []float64{0},
+		Y:     []float64{logLogSlope(times.X, times.Y)},
+	}
+	return Figure{
+		ID: "complexity", Title: "Empirical solve-time scaling vs No",
+		XLabel: "Number of Devices (Times)", YLabel: "Time (normalized)",
+		Series: []Series{times, exponent},
+	}
+}
+
+// logLogSlope returns the least-squares slope of log(y) against log(x),
+// skipping non-positive points.
+func logLogSlope(xs, ys []float64) float64 {
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	n := float64(len(lx))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range lx {
+		sx += lx[i]
+		sy += ly[i]
+		sxx += lx[i] * lx[i]
+		sxy += lx[i] * ly[i]
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}

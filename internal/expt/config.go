@@ -1,0 +1,188 @@
+// Package expt is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (Sections 6 and 7): the default
+// parameters of Tables 2–4, seeded random topologies on the 40 m × 40 m
+// two-obstacle plane of Figure 10(a), per-figure sweep runners, the field-
+// testbed replica of Section 7, and CSV/console reporting.
+package expt
+
+import (
+	"math"
+	"math/rand"
+
+	"hipo/internal/geom"
+	"hipo/internal/model"
+)
+
+// Default experiment constants from Section 6.
+const (
+	// DefaultEps is the approximation parameter ε.
+	DefaultEps = 0.15
+	// DefaultPth is the power threshold P_th for all devices.
+	DefaultPth = 0.05
+	// DefaultChargerMult: "the default setting for charger number is three
+	// times of initial setting".
+	DefaultChargerMult = 3
+	// DefaultDeviceMult: "that for device number is four times of initial
+	// setting".
+	DefaultDeviceMult = 4
+	// AreaSide is the side of the square deployment area (meters).
+	AreaSide = 40.0
+)
+
+// initialChargerCounts are the paper's initial per-type charger counts
+// (1, 2, 3); initialDeviceCounts the per-type device counts (4, 3, 2, 1).
+var (
+	initialChargerCounts = []int{1, 2, 3}
+	initialDeviceCounts  = []int{4, 3, 2, 1}
+)
+
+// Params parameterizes scenario construction for the sweeps of Figure 11
+// and later. Zero values mean "paper default".
+type Params struct {
+	// ChargerMult scales the initial charger counts (default 3).
+	ChargerMult int
+	// DeviceMult scales the initial device counts (default 4).
+	DeviceMult int
+	// EqualDeviceCounts uses 2 devices of each type times DeviceMult
+	// instead of the 4/3/2/1 ladder (Figure 13's setting).
+	EqualDeviceCounts bool
+	// AlphaSScale scales every charger's charging angle (Fig 11c).
+	AlphaSScale float64
+	// AlphaOScale scales every device's receiving angle (Fig 11d).
+	AlphaOScale float64
+	// Pth overrides the power threshold for all device types (Fig 11e).
+	Pth float64
+	// PthOffsets[t] adds a per-device-type offset to Pth (Fig 13).
+	PthOffsets []float64
+	// DminScale scales every charger's d_min (Fig 11f).
+	DminScale float64
+	// DmaxScale scales every charger's d_max (Fig 14).
+	DmaxScale float64
+	// DminOverDmax, when positive, sets d_min = ratio · d_max for all
+	// charger types (Fig 14's second axis), overriding DminScale.
+	DminOverDmax float64
+	// Seed drives device topology generation.
+	Seed int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.ChargerMult == 0 {
+		p.ChargerMult = DefaultChargerMult
+	}
+	if p.DeviceMult == 0 {
+		p.DeviceMult = DefaultDeviceMult
+	}
+	if p.AlphaSScale == 0 {
+		p.AlphaSScale = 1
+	}
+	if p.AlphaOScale == 0 {
+		p.AlphaOScale = 1
+	}
+	if p.Pth == 0 {
+		p.Pth = DefaultPth
+	}
+	if p.DminScale == 0 {
+		p.DminScale = 1
+	}
+	if p.DmaxScale == 0 {
+		p.DmaxScale = 1
+	}
+	return p
+}
+
+// BaseScenario returns the default simulation scenario skeleton of Section
+// 6 — Tables 2–4 plus the two obstacles of Figure 10(a) — without devices.
+func BaseScenario() *model.Scenario {
+	return &model.Scenario{
+		Region: model.Region{Min: geom.V(0, 0), Max: geom.V(AreaSide, AreaSide)},
+		ChargerTypes: []model.ChargerType{ // Table 2
+			{Name: "charger-1", Alpha: math.Pi / 6, DMin: 5, DMax: 10},
+			{Name: "charger-2", Alpha: math.Pi / 3, DMin: 3, DMax: 8},
+			{Name: "charger-3", Alpha: math.Pi / 2, DMin: 2, DMax: 6},
+		},
+		DeviceTypes: []model.DeviceType{ // Table 3
+			{Name: "device-1", Alpha: math.Pi / 2, PTh: DefaultPth},
+			{Name: "device-2", Alpha: 2 * math.Pi / 3, PTh: DefaultPth},
+			{Name: "device-3", Alpha: 3 * math.Pi / 4, PTh: DefaultPth},
+			{Name: "device-4", Alpha: math.Pi, PTh: DefaultPth},
+		},
+		Power: [][]model.PowerParams{ // Table 4
+			{{A: 100, B: 40}, {A: 130, B: 52}, {A: 160, B: 64}, {A: 190, B: 76}},
+			{{A: 110, B: 44}, {A: 140, B: 56}, {A: 170, B: 68}, {A: 200, B: 80}},
+			{{A: 120, B: 48}, {A: 150, B: 60}, {A: 180, B: 72}, {A: 210, B: 84}},
+		},
+		Obstacles: []model.Obstacle{ // the two obstacles of Figure 10(a)
+			{Shape: geom.Poly(geom.V(8, 22), geom.V(14, 20), geom.V(16, 26), geom.V(10, 29))},
+			{Shape: geom.Rect(24, 10, 31, 15)},
+		},
+	}
+}
+
+// BuildScenario constructs a complete scenario from Params: the Tables 2–4
+// defaults with the requested scalings applied, plus a seeded random device
+// topology ("if the randomly generated position happens to be inside an
+// obstacle... we repeat the process until a feasible position is obtained").
+func BuildScenario(p Params) *model.Scenario {
+	p = p.withDefaults()
+	sc := BaseScenario()
+	for q := range sc.ChargerTypes {
+		ct := &sc.ChargerTypes[q]
+		ct.Count = initialChargerCounts[q] * p.ChargerMult
+		ct.Alpha = math.Min(ct.Alpha*p.AlphaSScale, 2*math.Pi)
+		ct.DMax *= p.DmaxScale
+		if p.DminOverDmax > 0 {
+			ct.DMin = p.DminOverDmax * ct.DMax
+		} else {
+			ct.DMin *= p.DminScale
+		}
+		// Keep the ring non-degenerate.
+		if ct.DMin >= ct.DMax {
+			ct.DMin = ct.DMax * 0.99
+		}
+	}
+	for t := range sc.DeviceTypes {
+		dt := &sc.DeviceTypes[t]
+		dt.Alpha = math.Min(dt.Alpha*p.AlphaOScale, 2*math.Pi)
+		dt.PTh = p.Pth
+		if t < len(p.PthOffsets) {
+			dt.PTh += p.PthOffsets[t]
+		}
+		if dt.PTh <= 0 {
+			dt.PTh = 1e-6
+		}
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	counts := make([]int, len(sc.DeviceTypes))
+	for t := range counts {
+		if p.EqualDeviceCounts {
+			counts[t] = 2 * p.DeviceMult
+		} else {
+			counts[t] = initialDeviceCounts[t] * p.DeviceMult
+		}
+	}
+	PlaceRandomDevices(sc, rng, counts)
+	return sc
+}
+
+// PlaceRandomDevices appends counts[t] devices of each type t at uniform
+// random feasible positions with uniform random orientations.
+func PlaceRandomDevices(sc *model.Scenario, rng *rand.Rand, counts []int) {
+	for t, n := range counts {
+		for i := 0; i < n; i++ {
+			for {
+				p := geom.V(
+					sc.Region.Min.X+rng.Float64()*sc.Region.Width(),
+					sc.Region.Min.Y+rng.Float64()*sc.Region.Height(),
+				)
+				if sc.FeasiblePosition(p) {
+					sc.Devices = append(sc.Devices, model.Device{
+						Pos:    p,
+						Orient: rng.Float64() * 2 * math.Pi,
+						Type:   t,
+					})
+					break
+				}
+			}
+		}
+	}
+}

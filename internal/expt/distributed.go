@@ -1,0 +1,89 @@
+package expt
+
+import (
+	"fmt"
+
+	"hipo/internal/pdcs"
+	"hipo/internal/power"
+)
+
+// MachineCounts are the parallel-machine settings of Figure 12.
+var MachineCounts = []int{5, 10, 15, 20, 25}
+
+// RunDistributedTiming regenerates Figure 12: the (normalized) time
+// consumption of the parallel-processing part of PDCS extraction,
+// non-distributed versus LPT-distributed onto 5–25 machines, as the number
+// of devices grows 1×–8×. All values are divided by the non-distributed
+// time at 1× devices, exactly as the paper normalizes, so the curves are
+// platform-independent.
+func RunDistributedTiming(rc RunConfig) Figure {
+	rc = rc.withDefaults()
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	labels := append([]string{"Non-Dis"}, machineLabels()...)
+	series := make([]Series, len(labels))
+	for i, l := range labels {
+		series[i] = Series{Label: l, X: xs, Y: make([]float64, len(xs))}
+	}
+	cfg := pdcs.Config{Eps1: power.Eps1ForEps(rc.Eps)}
+
+	var norm float64 // non-distributed time at 1× devices, first run
+	for xi, x := range xs {
+		serialSum := 0.0
+		makespanSums := make([]float64, len(MachineCounts))
+		for r := 0; r < rc.Runs; r++ {
+			sc := BuildScenario(Params{DeviceMult: int(x), Seed: rc.Seed + int64(r)})
+			_, stats := pdcs.ExtractDistributed(sc, cfg, rc.Workers, MachineCounts)
+			serialSum += stats.SerialSeconds
+			for mi, m := range MachineCounts {
+				makespanSums[mi] += stats.MakespanSeconds[m]
+			}
+		}
+		if xi == 0 {
+			norm = serialSum / float64(rc.Runs)
+			if norm <= 0 {
+				norm = 1e-9
+			}
+		}
+		series[0].Y[xi] = serialSum / float64(rc.Runs) / norm
+		for mi := range MachineCounts {
+			series[mi+1].Y[xi] = makespanSums[mi] / float64(rc.Runs) / norm
+		}
+	}
+	return Figure{
+		ID: "fig12", Title: "Time consumption: distributed vs non-distributed",
+		XLabel: "Number of Devices (Times)", YLabel: "Time Consumption (Times)",
+		Series: series,
+	}
+}
+
+func machineLabels() []string {
+	out := make([]string, len(MachineCounts))
+	for i, m := range MachineCounts {
+		out[i] = fmt.Sprintf("Dis-%d", m)
+	}
+	return out
+}
+
+// DistributedReduction summarizes Figure 12 the way the paper reports it:
+// the average percentage reduction of each distributed setting relative to
+// the non-distributed time, across device multiples.
+func DistributedReduction(fig Figure) map[string]float64 {
+	nonDis := fig.FindSeries("Non-Dis")
+	out := make(map[string]float64)
+	if nonDis == nil {
+		return out
+	}
+	for _, s := range fig.Series {
+		if s.Label == "Non-Dis" {
+			continue
+		}
+		var vals []float64
+		for i := range s.Y {
+			if nonDis.Y[i] > 0 {
+				vals = append(vals, 100*(nonDis.Y[i]-s.Y[i])/nonDis.Y[i])
+			}
+		}
+		out[s.Label] = Mean(vals)
+	}
+	return out
+}

@@ -1,0 +1,654 @@
+package expt
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"hipo/internal/baselines"
+	"hipo/internal/core"
+	"hipo/internal/model"
+)
+
+func fastRC() RunConfig {
+	return RunConfig{Runs: 1, Seed: 7, Eps: 0.15,
+		Algorithms: []string{baselines.NameHIPO, baselines.NameRPAR, baselines.NameGPADSquare}}
+}
+
+func TestBuildScenarioDefaults(t *testing.T) {
+	sc := BuildScenario(Params{Seed: 1})
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("default scenario invalid: %v", err)
+	}
+	// Default: chargers 3×(1,2,3) = 18, devices 4×(4,3,2,1) = 40.
+	if got := sc.TotalChargers(); got != 18 {
+		t.Errorf("chargers = %d, want 18", got)
+	}
+	if got := len(sc.Devices); got != 40 {
+		t.Errorf("devices = %d, want 40", got)
+	}
+	if len(sc.Obstacles) != 2 {
+		t.Errorf("obstacles = %d, want 2", len(sc.Obstacles))
+	}
+	// Table 2 spot checks.
+	if sc.ChargerTypes[0].Alpha != math.Pi/6 || sc.ChargerTypes[0].DMin != 5 || sc.ChargerTypes[0].DMax != 10 {
+		t.Error("charger type 1 params wrong")
+	}
+	// Table 4 spot checks.
+	if sc.Power[2][3].A != 210 || sc.Power[2][3].B != 84 {
+		t.Error("power matrix corner wrong")
+	}
+	// Determinism.
+	sc2 := BuildScenario(Params{Seed: 1})
+	for i := range sc.Devices {
+		if !sc.Devices[i].Pos.Eq(sc2.Devices[i].Pos) {
+			t.Fatal("scenario generation not deterministic")
+		}
+	}
+}
+
+func TestBuildScenarioScales(t *testing.T) {
+	sc := BuildScenario(Params{AlphaSScale: 2, AlphaOScale: 0.5, Pth: 0.08,
+		DminScale: 0.5, DmaxScale: 1.5, Seed: 2})
+	if sc.ChargerTypes[0].Alpha != math.Pi/3 {
+		t.Error("alpha_s scale wrong")
+	}
+	if sc.DeviceTypes[0].Alpha != math.Pi/4 {
+		t.Error("alpha_o scale wrong")
+	}
+	if sc.DeviceTypes[0].PTh != 0.08 {
+		t.Error("pth wrong")
+	}
+	if sc.ChargerTypes[0].DMin != 2.5 || sc.ChargerTypes[0].DMax != 15 {
+		t.Error("distance scales wrong")
+	}
+	// Alpha capped at 2π.
+	big := BuildScenario(Params{AlphaSScale: 100, Seed: 2})
+	if big.ChargerTypes[0].Alpha > 2*math.Pi {
+		t.Error("alpha not capped")
+	}
+	// Ratio override keeps rings valid.
+	rt := BuildScenario(Params{DminOverDmax: 0.9, Seed: 2})
+	for _, ct := range rt.ChargerTypes {
+		if ct.DMin >= ct.DMax {
+			t.Error("degenerate ring from ratio")
+		}
+		if math.Abs(ct.DMin/ct.DMax-0.9) > 1e-9 {
+			t.Errorf("ratio = %v", ct.DMin/ct.DMax)
+		}
+	}
+}
+
+func TestBuildScenarioPthLadder(t *testing.T) {
+	sc := BuildScenario(Params{EqualDeviceCounts: true, DeviceMult: 2,
+		PthOffsets: []float64{-0.01, 0, 0.01, 0.02}, Seed: 3})
+	if len(sc.Devices) != 16 { // 2 per type × mult 2 × 4 types
+		t.Errorf("devices = %d, want 16", len(sc.Devices))
+	}
+	if math.Abs(sc.DeviceTypes[0].PTh-0.04) > 1e-12 {
+		t.Errorf("type 0 Pth = %v", sc.DeviceTypes[0].PTh)
+	}
+	if math.Abs(sc.DeviceTypes[3].PTh-0.07) > 1e-12 {
+		t.Errorf("type 3 Pth = %v", sc.DeviceTypes[3].PTh)
+	}
+}
+
+func TestRunNsSweepShape(t *testing.T) {
+	fig := RunNsSweep(fastRC())
+	if fig.ID != "fig11a" || len(fig.Series) != 3 {
+		t.Fatalf("fig = %s with %d series", fig.ID, len(fig.Series))
+	}
+	hipo := fig.FindSeries(baselines.NameHIPO)
+	if hipo == nil {
+		t.Fatal("no HIPO series")
+	}
+	// Monotone nondecreasing in Ns (more budget can't hurt the greedy).
+	for i := 1; i < len(hipo.Y); i++ {
+		if hipo.Y[i] < hipo.Y[i-1]-1e-9 {
+			t.Errorf("HIPO utility decreased with more chargers at %d: %v",
+				i, hipo.Y)
+		}
+	}
+	// HIPO beats RPAR everywhere.
+	rpar := fig.FindSeries(baselines.NameRPAR)
+	for i := range hipo.Y {
+		if hipo.Y[i] < rpar.Y[i]-1e-9 {
+			t.Errorf("HIPO below RPAR at %d: %v vs %v", i, hipo.Y[i], rpar.Y[i])
+		}
+	}
+}
+
+func TestRunNoSweepShape(t *testing.T) {
+	rc := fastRC()
+	rc.Algorithms = []string{baselines.NameHIPO}
+	fig := RunNoSweep(rc)
+	hipo := fig.FindSeries(baselines.NameHIPO)
+	if hipo == nil || len(hipo.Y) != 8 {
+		t.Fatal("bad shape")
+	}
+	// Utility should broadly decrease with more devices (paper Fig 11b):
+	// compare the first and last points.
+	if hipo.Y[7] > hipo.Y[0]+1e-9 {
+		t.Errorf("utility grew with 8× devices: %v -> %v", hipo.Y[0], hipo.Y[7])
+	}
+}
+
+func TestRunPthSweepShape(t *testing.T) {
+	rc := fastRC()
+	rc.Algorithms = []string{baselines.NameHIPO}
+	fig := RunPthSweep(rc)
+	hipo := fig.FindSeries(baselines.NameHIPO)
+	// Larger threshold can only lower utility (same power, higher bar).
+	if hipo.Y[len(hipo.Y)-1] > hipo.Y[0]+1e-9 {
+		t.Errorf("utility grew with Pth: %v", hipo.Y)
+	}
+}
+
+func TestRunUtilityCDF(t *testing.T) {
+	fig := RunUtilityCDF(fastRC())
+	for _, s := range fig.Series {
+		if len(s.X) != 40 {
+			t.Fatalf("%s: CDF over %d devices, want 40", s.Label, len(s.X))
+		}
+		// CDF is nondecreasing and ends at 1.
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1] {
+				t.Fatalf("%s: CDF decreasing", s.Label)
+			}
+		}
+		if math.Abs(s.Y[len(s.Y)-1]-1) > 1e-12 {
+			t.Fatalf("%s: CDF ends at %v", s.Label, s.Y[len(s.Y)-1])
+		}
+	}
+}
+
+func TestRunInstance(t *testing.T) {
+	res := RunInstance(fastRC())
+	if res.Scenario.TotalChargers() != 24 { // 4× initial (1+2+3)
+		t.Errorf("instance chargers = %d, want 24", res.Scenario.TotalChargers())
+	}
+	hipo := res.Utilities[baselines.NameHIPO]
+	rpar := res.Utilities[baselines.NameRPAR]
+	if hipo <= rpar {
+		t.Errorf("HIPO %v should beat RPAR %v on the instance", hipo, rpar)
+	}
+	for name, placed := range res.Placements {
+		for _, s := range placed {
+			if !res.Scenario.FeasiblePosition(s.Pos) {
+				t.Errorf("%s placed at infeasible %v", name, s.Pos)
+			}
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	figs := []Figure{{
+		Series: []Series{
+			{Label: baselines.NameHIPO, Y: []float64{0.8, 0.9}},
+			{Label: baselines.NameRPAR, Y: []float64{0.4, 0.45}},
+		},
+	}}
+	s := Summary(figs)
+	if math.Abs(s[baselines.NameRPAR]-100) > 1e-9 {
+		t.Errorf("improvement = %v, want 100", s[baselines.NameRPAR])
+	}
+}
+
+func TestRunTestbed(t *testing.T) {
+	res := RunTestbed(RunConfig{Runs: 1, Seed: 1})
+	if err := res.Scenario.Validate(); err != nil {
+		t.Fatalf("testbed scenario invalid: %v", err)
+	}
+	if len(res.Scenario.Devices) != 10 || len(res.Scenario.Obstacles) != 3 {
+		t.Error("testbed layout wrong")
+	}
+	if res.Scenario.TotalChargers() != 6 {
+		t.Error("testbed should have 6 chargers")
+	}
+	hipoU := res.Utilities[baselines.NameHIPO]
+	if len(hipoU) != 10 {
+		t.Fatal("missing per-device utilities")
+	}
+	// Paper: HIPO charges every device with nonzero utility.
+	for j, u := range hipoU {
+		if u <= 0 {
+			t.Errorf("HIPO leaves device %d uncharged", j+1)
+		}
+	}
+	uf := TestbedUtilityFigure(res)
+	pf := TestbedPowerCDFFigure(res)
+	if len(uf.Series) != 3 || len(pf.Series) != 3 {
+		t.Error("testbed figures missing series")
+	}
+}
+
+func TestRunRedeploy(t *testing.T) {
+	res, err := RunRedeploy(RunConfig{Runs: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinMaxPlan.Max > res.MinTotalPlan.Max+1e-9 {
+		t.Errorf("min-max plan has larger max: %v vs %v",
+			res.MinMaxPlan.Max, res.MinTotalPlan.Max)
+	}
+	if res.MinTotalPlan.Total > res.MinMaxPlan.Total+1e-9 {
+		t.Errorf("min-total plan has larger total: %v vs %v",
+			res.MinTotalPlan.Total, res.MinMaxPlan.Total)
+	}
+	if len(res.MinTotalPlan.Moves) != res.Old.TotalChargers() {
+		t.Errorf("moves = %d, want %d", len(res.MinTotalPlan.Moves), res.Old.TotalChargers())
+	}
+}
+
+func TestWriteCSVAndTable(t *testing.T) {
+	fig := Figure{
+		ID: "test", Title: "T", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "A", X: []float64{1, 2}, Y: []float64{0.5, 0.6}},
+			{Label: "B", X: []float64{1, 2}, Y: []float64{0.1, 0.2}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "test,A,1,0.5") {
+		t.Errorf("CSV missing row: %s", out)
+	}
+	buf.Reset()
+	WriteTable(&buf, fig)
+	if !strings.Contains(buf.String(), "A") || !strings.Contains(buf.String(), "0.6000") {
+		t.Errorf("table output: %s", buf.String())
+	}
+	// Mismatched X falls back to per-series blocks.
+	fig.Series[1].X = []float64{3}
+	fig.Series[1].Y = []float64{0.9}
+	buf.Reset()
+	WriteTable(&buf, fig)
+	if !strings.Contains(buf.String(), "B (x → y):") {
+		t.Errorf("per-series table output: %s", buf.String())
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	if Mean(nil) != 0 || Mean([]float64{2, 4}) != 3 {
+		t.Error("Mean broken")
+	}
+	xs, ys := CDF([]float64{3, 1, 2})
+	if xs[0] != 1 || xs[2] != 3 || ys[2] != 1 {
+		t.Error("CDF broken")
+	}
+	if got := ImprovementPercent([]float64{2}, []float64{1}); got != 100 {
+		t.Errorf("improvement = %v", got)
+	}
+	if got := ImprovementPercent([]float64{2}, []float64{0}); got != 0 {
+		t.Errorf("zero-base improvement = %v", got)
+	}
+}
+
+func TestDistributedReduction(t *testing.T) {
+	fig := Figure{Series: []Series{
+		{Label: "Non-Dis", Y: []float64{10, 20}},
+		{Label: "Dis-5", Y: []float64{2, 4}},
+	}}
+	red := DistributedReduction(fig)
+	if math.Abs(red["Dis-5"]-80) > 1e-9 {
+		t.Errorf("reduction = %v, want 80", red["Dis-5"])
+	}
+}
+
+func TestRunEpsSweep(t *testing.T) {
+	rc := RunConfig{Runs: 1, Seed: 2}
+	fig := RunEpsSweep(rc)
+	if len(fig.Series) != 2 {
+		t.Fatal("eps sweep needs two series")
+	}
+	cands := fig.Series[1]
+	// Finer eps ⇒ more distance levels ⇒ at least as many candidates.
+	if cands.Y[0] < cands.Y[len(cands.Y)-1] {
+		t.Errorf("candidate count not decreasing in eps: %v", cands.Y)
+	}
+	for _, u := range fig.Series[0].Y {
+		if u <= 0 || u > 1 {
+			t.Errorf("utility %v out of range", u)
+		}
+	}
+}
+
+func TestRunObstacleSweep(t *testing.T) {
+	rc := RunConfig{Runs: 1, Seed: 3}
+	fig := RunObstacleSweep(rc)
+	s := fig.Series[0]
+	if len(s.Y) != 6 {
+		t.Fatal("wrong point count")
+	}
+	for _, u := range s.Y {
+		if u <= 0 || u > 1 {
+			t.Errorf("utility %v out of range", u)
+		}
+	}
+}
+
+func TestScenarioWithRandomObstacles(t *testing.T) {
+	sc := scenarioWithRandomObstacles(9, 5)
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if len(sc.Obstacles) != 5 {
+		t.Errorf("obstacles = %d", len(sc.Obstacles))
+	}
+	if len(sc.Devices) != 40 {
+		t.Errorf("devices = %d", len(sc.Devices))
+	}
+}
+
+func TestRunComplexitySweep(t *testing.T) {
+	rc := RunConfig{Runs: 1, Seed: 4}
+	fig := RunComplexitySweep(rc)
+	times := fig.Series[0]
+	if times.Y[0] != 1 {
+		t.Errorf("normalization broken: %v", times.Y[0])
+	}
+	// Solve time should grow with device count overall.
+	if times.Y[len(times.Y)-1] <= times.Y[0] {
+		t.Errorf("no growth in solve time: %v", times.Y)
+	}
+	exp := fig.Series[1].Y[0]
+	// Growth between linear-ish and the theorem's quartic worst case.
+	if exp < 0.3 || exp > 4.5 {
+		t.Errorf("fitted exponent %v implausible", exp)
+	}
+}
+
+func TestLogLogSlope(t *testing.T) {
+	// y = x² exactly.
+	xs := []float64{1, 2, 4, 8}
+	ys := []float64{1, 4, 16, 64}
+	if got := logLogSlope(xs, ys); math.Abs(got-2) > 1e-9 {
+		t.Errorf("slope = %v, want 2", got)
+	}
+	if got := logLogSlope([]float64{1}, []float64{1}); got != 0 {
+		t.Errorf("degenerate slope = %v", got)
+	}
+	if got := logLogSlope([]float64{0, -1}, []float64{1, 2}); got != 0 {
+		t.Errorf("nonpositive xs slope = %v", got)
+	}
+}
+
+func TestRemainingSweepRunners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep runners")
+	}
+	rc := RunConfig{Runs: 1, Seed: 7, Eps: 0.15, Algorithms: []string{baselines.NameHIPO}}
+	for _, run := range []struct {
+		name string
+		fn   func(RunConfig) Figure
+	}{
+		{"alphaS", RunAlphaSSweep},
+		{"alphaO", RunAlphaOSweep},
+		{"dmin", RunDminSweep},
+	} {
+		fig := run.fn(rc)
+		hipo := fig.FindSeries(baselines.NameHIPO)
+		if hipo == nil || len(hipo.Y) != 8 {
+			t.Fatalf("%s: bad shape", run.name)
+		}
+		for _, u := range hipo.Y {
+			if u < 0 || u > 1 {
+				t.Fatalf("%s: utility %v out of range", run.name, u)
+			}
+		}
+	}
+	// Angles help: 2× angle beats 0.6× angle.
+	figS := RunAlphaSSweep(rc)
+	hs := figS.FindSeries(baselines.NameHIPO)
+	if hs.Y[len(hs.Y)-1] < hs.Y[0] {
+		t.Errorf("wider charging angle lowered utility: %v", hs.Y)
+	}
+}
+
+func TestRunPthLadderShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rc := RunConfig{Runs: 1, Seed: 7}
+	fig := RunPthLadder(rc)
+	if len(fig.Series) != 5 {
+		t.Fatalf("ladders = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != 8 {
+			t.Fatalf("%s: %d points", s.Label, len(s.Y))
+		}
+		// Broad trend: utility at 8× devices below 1× devices.
+		if s.Y[7] > s.Y[0]+1e-9 {
+			t.Errorf("%s: utility grew with devices", s.Label)
+		}
+	}
+}
+
+func TestRunDminDmaxGridShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rc := RunConfig{Runs: 1, Seed: 7}
+	fig := RunDminDmaxGrid(rc)
+	if len(fig.Series) != 10 {
+		t.Fatalf("ratios = %d", len(fig.Series))
+	}
+	// At max dmax, utility decreases (weakly, modulo noise) from ratio 0 to
+	// ratio 0.9 — compare the extremes with slack.
+	lo := fig.Series[0].Y[len(fig.Series[0].Y)-1]
+	hi := fig.Series[9].Y[len(fig.Series[9].Y)-1]
+	if hi > lo+0.1 {
+		t.Errorf("large dmin/dmax ratio should not beat small: %v vs %v", hi, lo)
+	}
+}
+
+func TestRunDistributedTimingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rc := RunConfig{Runs: 1, Seed: 7}
+	fig := RunDistributedTiming(rc)
+	if len(fig.Series) != 1+len(MachineCounts) {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	nonDis := fig.FindSeries("Non-Dis")
+	if nonDis.Y[0] != 1 {
+		t.Errorf("normalization: %v", nonDis.Y[0])
+	}
+	dis5 := fig.FindSeries("Dis-5")
+	for i := range nonDis.Y {
+		if dis5.Y[i] > nonDis.Y[i]+1e-9 {
+			t.Errorf("Dis-5 slower than serial at %d", i)
+		}
+	}
+	red := DistributedReduction(fig)
+	if red["Dis-5"] <= 0 || red["Dis-25"] < red["Dis-5"]-5 {
+		t.Errorf("reductions implausible: %v", red)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Std() != 0 || w.N() != 0 {
+		t.Error("zero-value Welford should be empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", w.Mean())
+	}
+	// Sample std of that classic set: sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(w.Std()-want) > 1e-12 {
+		t.Errorf("std = %v, want %v", w.Std(), want)
+	}
+	if w.N() != 8 {
+		t.Errorf("n = %d", w.N())
+	}
+}
+
+func TestSweepReportsStd(t *testing.T) {
+	rc := RunConfig{Runs: 3, Seed: 5, Algorithms: []string{baselines.NameRPAR}}
+	fig := RunNoSweep(rc)
+	s := fig.Series[0]
+	if len(s.Err) != len(s.Y) {
+		t.Fatal("no Err column")
+	}
+	nonzero := false
+	for _, e := range s.Err {
+		if e < 0 {
+			t.Fatal("negative std")
+		}
+		if e > 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Error("randomized algorithm should show run-to-run dispersion")
+	}
+}
+
+func TestBuildScenarioWithTopologies(t *testing.T) {
+	for _, topo := range []Topology{Uniform, Clustered, Corridor} {
+		sc := BuildScenarioWith(Params{Seed: 5}, topo)
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("topology %d invalid: %v", topo, err)
+		}
+		if len(sc.Devices) != 40 {
+			t.Fatalf("topology %d devices = %d", topo, len(sc.Devices))
+		}
+	}
+	// Corridor: all devices within the middle band.
+	sc := BuildScenarioWith(Params{Seed: 5}, Corridor)
+	midY := AreaSide / 2
+	for _, d := range sc.Devices {
+		if math.Abs(d.Pos.Y-midY) > AreaSide/8+1e-9 {
+			t.Fatalf("corridor device at y=%v outside band", d.Pos.Y)
+		}
+	}
+	// Clustered: mean pairwise distance well below uniform's.
+	uni := BuildScenarioWith(Params{Seed: 5}, Uniform)
+	clu := BuildScenarioWith(Params{Seed: 5}, Clustered)
+	if meanPairDist(clu) >= meanPairDist(uni) {
+		t.Errorf("clustered spread %v not below uniform %v",
+			meanPairDist(clu), meanPairDist(uni))
+	}
+}
+
+func meanPairDist(sc *model.Scenario) float64 {
+	total, n := 0.0, 0
+	for i := range sc.Devices {
+		for j := i + 1; j < len(sc.Devices); j++ {
+			total += sc.Devices[i].Pos.Dist(sc.Devices[j].Pos)
+			n++
+		}
+	}
+	return total / float64(n)
+}
+
+func TestSolverHandlesAllTopologies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, topo := range []Topology{Clustered, Corridor} {
+		sc := BuildScenarioWith(Params{Seed: 11}, topo)
+		sol, err := core.Solve(sc, core.Options{Eps: 0.15})
+		if err != nil {
+			t.Fatalf("topology %d: %v", topo, err)
+		}
+		if sol.Utility <= 0 {
+			t.Errorf("topology %d: zero utility", topo)
+		}
+	}
+}
+
+func TestRunFairnessComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	fig := RunFairnessComparison(RunConfig{Runs: 1, Seed: 9})
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != 3 {
+			t.Fatalf("%s: %d metrics", s.Label, len(s.Y))
+		}
+		for i, v := range s.Y {
+			if v < 0 || v > 1+1e-9 {
+				t.Errorf("%s metric %d = %v", s.Label, i, v)
+			}
+		}
+	}
+	// The SA balancer is seeded with the greedy solution, so its min
+	// utility must be at least the greedy's.
+	var greedy, sa *Series
+	for i := range fig.Series {
+		switch fig.Series[i].Label {
+		case "Greedy":
+			greedy = &fig.Series[i]
+		case "MaxMin-SA":
+			sa = &fig.Series[i]
+		}
+	}
+	if sa.Y[0] < greedy.Y[0]-1e-9 {
+		t.Errorf("SA min utility %v below greedy %v", sa.Y[0], greedy.Y[0])
+	}
+}
+
+func TestPerturbDevices(t *testing.T) {
+	sc := BuildScenario(Params{Seed: 3})
+	half := perturbDevices(sc, 0.5, 99)
+	if len(half.Devices) != len(sc.Devices) {
+		t.Fatal("device count changed")
+	}
+	moved := 0
+	for i := range sc.Devices {
+		if !sc.Devices[i].Pos.Eq(half.Devices[i].Pos) {
+			moved++
+		}
+	}
+	if moved != len(sc.Devices)/2 {
+		t.Errorf("moved %d devices, want %d", moved, len(sc.Devices)/2)
+	}
+	if err := half.Validate(); err != nil {
+		t.Fatalf("perturbed scenario invalid: %v", err)
+	}
+	// fraction 0 moves nothing; fraction 1 moves everything (statistically
+	// all positions change).
+	none := perturbDevices(sc, 0, 100)
+	for i := range sc.Devices {
+		if !sc.Devices[i].Pos.Eq(none.Devices[i].Pos) {
+			t.Fatal("fraction 0 moved a device")
+		}
+	}
+}
+
+func TestRunRedeployOverheadSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	fig := RunRedeployOverheadSweep(RunConfig{Runs: 1, Seed: 13})
+	if len(fig.Series) != 2 {
+		t.Fatal("series count")
+	}
+	total := fig.Series[0]
+	// More churn costs (weakly) more in total overhead — compare extremes
+	// with slack for single-run noise.
+	if total.Y[len(total.Y)-1] < total.Y[0]*0.8 {
+		t.Errorf("full churn cheaper than 10%% churn: %v", total.Y)
+	}
+	for _, s := range fig.Series {
+		for _, v := range s.Y {
+			if v < 0 {
+				t.Fatal("negative overhead")
+			}
+		}
+	}
+}

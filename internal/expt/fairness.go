@@ -1,0 +1,89 @@
+package expt
+
+import (
+	"hipo/internal/core"
+	"hipo/internal/fairness"
+	"hipo/internal/model"
+	"hipo/internal/power"
+)
+
+// RunFairnessComparison evaluates the charging-utility balancing heuristics
+// of Section 8.3 — simulated annealing, particle swarm, and ant colony —
+// against the plain utility-maximizing greedy and the proportional-fairness
+// greedy, on the default scenario. The paper proposes these heuristics
+// without evaluating them; this experiment fills that gap. Reported series:
+// the max-min objective (minimum device utility), total utility, and Jain's
+// fairness index, averaged over rc.Runs topologies.
+func RunFairnessComparison(rc RunConfig) Figure {
+	rc = rc.withDefaults()
+	names := []string{"Greedy", "PropFair", "MaxMin-SA", "MaxMin-PSO", "MaxMin-ACO"}
+	// Metric order on the X axis: 0 = min utility, 1 = total utility,
+	// 2 = Jain index.
+	xs := []float64{0, 1, 2}
+	acc := make(map[string][]Welford)
+	for _, n := range names {
+		acc[n] = make([]Welford, len(xs))
+	}
+
+	for r := 0; r < rc.Runs; r++ {
+		seed := rc.Seed + int64(r)
+		sc := BuildScenario(Params{Seed: seed})
+		opt := core.Options{Eps: rc.Eps, Workers: rc.Workers}
+
+		add := func(name string, placed []model.Strategy) {
+			us := power.DeviceUtilities(sc, placed)
+			minU := 1.0
+			for _, u := range us {
+				if u < minU {
+					minU = u
+				}
+			}
+			if len(us) == 0 {
+				minU = 0
+			}
+			acc[name][0].Add(minU)
+			acc[name][1].Add(power.TotalUtility(sc, placed))
+			acc[name][2].Add(fairness.JainIndex(us))
+		}
+
+		if sol, err := core.Solve(sc, opt); err == nil {
+			add("Greedy", sol.Placed)
+		}
+		if sol, err := fairness.ProportionalFair(sc, opt); err == nil {
+			add("PropFair", sol.Placed)
+		}
+		sa := fairness.DefaultSAOptions()
+		sa.Iterations = 800
+		sa.Seed = seed
+		if placed, _, err := fairness.MaxMinSA(sc, opt, sa); err == nil {
+			add("MaxMin-SA", placed)
+		}
+		pso := fairness.DefaultPSOOptions()
+		pso.Particles = 15
+		pso.Iterations = 60
+		pso.Seed = seed
+		placedPSO, _ := fairness.MaxMinPSO(sc, pso)
+		add("MaxMin-PSO", placedPSO)
+		aco := fairness.DefaultACOOptions()
+		aco.Iterations = 30
+		aco.Seed = seed
+		if placed, _, err := fairness.MaxMinACO(sc, opt, aco); err == nil {
+			add("MaxMin-ACO", placed)
+		}
+	}
+
+	fig := Figure{
+		ID: "fairness", Title: "Utility balancing heuristics (Section 8.3)",
+		XLabel: "metric (0=min utility, 1=total utility, 2=Jain index)",
+		YLabel: "value",
+	}
+	for _, n := range names {
+		s := Series{Label: n, X: xs, Y: make([]float64, len(xs)), Err: make([]float64, len(xs))}
+		for i := range xs {
+			s.Y[i] = acc[n][i].Mean()
+			s.Err[i] = acc[n][i].Std()
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}

@@ -1,0 +1,102 @@
+package expt
+
+import (
+	"math"
+	"math/rand"
+
+	"hipo/internal/geom"
+	"hipo/internal/model"
+)
+
+// Topology selects how device positions are drawn in BuildScenarioWith.
+// The paper evaluates uniform random topologies only; the clustered and
+// corridor presets stress the solver on realistic non-uniform layouts.
+type Topology int
+
+const (
+	// Uniform draws device positions uniformly over the free space (the
+	// paper's setting).
+	Uniform Topology = iota
+	// Clustered draws devices around a few random cluster centers
+	// (sensor-hotspot deployments).
+	Clustered
+	// Corridor confines devices to a horizontal band through the middle of
+	// the region (warehouse aisle / hallway deployments).
+	Corridor
+)
+
+// BuildScenarioWith is BuildScenario with a selectable device topology.
+func BuildScenarioWith(p Params, topo Topology) *model.Scenario {
+	if topo == Uniform {
+		return BuildScenario(p)
+	}
+	p = p.withDefaults()
+	sc := BuildScenario(Params{ // build types/obstacles, then replace devices
+		ChargerMult: p.ChargerMult, DeviceMult: p.DeviceMult,
+		AlphaSScale: p.AlphaSScale, AlphaOScale: p.AlphaOScale,
+		Pth: p.Pth, PthOffsets: p.PthOffsets,
+		DminScale: p.DminScale, DmaxScale: p.DmaxScale,
+		DminOverDmax: p.DminOverDmax, Seed: p.Seed,
+		EqualDeviceCounts: p.EqualDeviceCounts,
+	})
+	counts := make(map[int]int)
+	for _, d := range sc.Devices {
+		counts[d.Type]++
+	}
+	sc.Devices = nil
+	rng := rand.New(rand.NewSource(p.Seed + 7_777))
+
+	var sample func() geom.Vec
+	switch topo {
+	case Clustered:
+		nClusters := 3
+		centers := make([]geom.Vec, nClusters)
+		for i := range centers {
+			for {
+				c := geom.V(
+					sc.Region.Min.X+5+rng.Float64()*(sc.Region.Width()-10),
+					sc.Region.Min.Y+5+rng.Float64()*(sc.Region.Height()-10),
+				)
+				if sc.FeasiblePosition(c) {
+					centers[i] = c
+					break
+				}
+			}
+		}
+		sample = func() geom.Vec {
+			c := centers[rng.Intn(nClusters)]
+			return c.Add(geom.V(rng.NormFloat64()*3, rng.NormFloat64()*3))
+		}
+	case Corridor:
+		midY := (sc.Region.Min.Y + sc.Region.Max.Y) / 2
+		halfWidth := sc.Region.Height() / 8
+		sample = func() geom.Vec {
+			return geom.V(
+				sc.Region.Min.X+rng.Float64()*sc.Region.Width(),
+				midY+(rng.Float64()*2-1)*halfWidth,
+			)
+		}
+	default:
+		sample = func() geom.Vec {
+			return geom.V(
+				sc.Region.Min.X+rng.Float64()*sc.Region.Width(),
+				sc.Region.Min.Y+rng.Float64()*sc.Region.Height(),
+			)
+		}
+	}
+
+	for t := 0; t < len(sc.DeviceTypes); t++ {
+		for k := 0; k < counts[t]; k++ {
+			for {
+				pos := sample()
+				if sc.Region.Contains(pos) && sc.FeasiblePosition(pos) {
+					sc.Devices = append(sc.Devices, model.Device{
+						Pos: pos, Orient: rng.Float64() * 2 * math.Pi, Type: t,
+					})
+					break
+				}
+			}
+		}
+	}
+	return sc
+}

@@ -1,0 +1,83 @@
+package expt
+
+import (
+	"hipo/internal/core"
+	"hipo/internal/model"
+	"hipo/internal/redeploy"
+)
+
+// RedeployResult is the Figure 27/28 experiment outcome: HIPO solutions for
+// two device topologies and the switching plans between them under both
+// objectives of Section 8.1.
+type RedeployResult struct {
+	Old, New     *model.Scenario
+	OldPlacement []model.Strategy
+	NewPlacement []model.Strategy
+	MinTotalPlan *redeploy.Plan
+	MinMaxPlan   *redeploy.Plan
+}
+
+// RunRedeploy regenerates the Figure 27 study: solve HIPO for an original
+// topology and for a perturbed topology, then compute the min-total and
+// min-max redeployment plans per charger type via the bipartite matchings
+// of Figure 28.
+func RunRedeploy(rc RunConfig) (*RedeployResult, error) {
+	rc = rc.withDefaults()
+	old := BuildScenario(Params{Seed: rc.Seed})
+	new_ := BuildScenario(Params{Seed: rc.Seed + 10_000})
+	oldSol, err := core.Solve(old, rc.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	newSol, err := core.Solve(new_, rc.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	// Pad both placements so every type has its full budget (greedy may
+	// place fewer when no candidate adds value; pad with repeats of the
+	// last placement of that type or depot-origin strategies).
+	oldP := padPlacement(old, oldSol.Placed)
+	newP := padPlacement(new_, newSol.Placed)
+
+	cm := redeploy.DefaultCostModel()
+	nTypes := len(old.ChargerTypes)
+	mt, err := redeploy.MinTotal(oldP, newP, nTypes, cm)
+	if err != nil {
+		return nil, err
+	}
+	mm, err := redeploy.MinMax(oldP, newP, nTypes, cm)
+	if err != nil {
+		return nil, err
+	}
+	return &RedeployResult{
+		Old: old, New: new_,
+		OldPlacement: oldP, NewPlacement: newP,
+		MinTotalPlan: mt, MinMaxPlan: mm,
+	}, nil
+}
+
+// padPlacement ensures the placement has exactly Count strategies per type
+// so old/new matchings are square: missing slots are filled by duplicating
+// the type's last strategy (an idle charger parked at the same spot), or a
+// region-corner strategy when the type placed nothing.
+func padPlacement(sc *model.Scenario, placed []model.Strategy) []model.Strategy {
+	out := append([]model.Strategy(nil), placed...)
+	for q, ct := range sc.ChargerTypes {
+		var last *model.Strategy
+		n := 0
+		for i := range out {
+			if out[i].Type == q {
+				n++
+				last = &out[i]
+			}
+		}
+		for ; n < ct.Count; n++ {
+			s := model.Strategy{Pos: sc.Region.Min, Orient: 0, Type: q}
+			if last != nil {
+				s = *last
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}

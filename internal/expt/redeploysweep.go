@@ -1,0 +1,83 @@
+package expt
+
+import (
+	"math"
+	"math/rand"
+
+	"hipo/internal/core"
+	"hipo/internal/geom"
+	"hipo/internal/model"
+	"hipo/internal/redeploy"
+)
+
+// RunRedeployOverheadSweep quantifies Section 8.1 beyond the paper's toy
+// example: as a growing fraction of devices relocates overnight, how much
+// switching overhead do the two redeployment objectives incur? For each
+// perturbation fraction, the scenario is re-solved and the min-total and
+// min-max plans computed; reported are the total overhead of the min-total
+// plan and the bottleneck (max single-charger) overhead of the min-max
+// plan, averaged over rc.Runs topologies.
+func RunRedeployOverheadSweep(rc RunConfig) Figure {
+	rc = rc.withDefaults()
+	fractions := []float64{0.1, 0.25, 0.5, 0.75, 1.0}
+	total := Series{Label: "min-total plan: total overhead", X: fractions,
+		Y: make([]float64, len(fractions)), Err: make([]float64, len(fractions))}
+	bottleneck := Series{Label: "min-max plan: max overhead", X: fractions,
+		Y: make([]float64, len(fractions)), Err: make([]float64, len(fractions))}
+	cm := redeploy.DefaultCostModel()
+
+	for fi, f := range fractions {
+		var accT, accB Welford
+		for r := 0; r < rc.Runs; r++ {
+			seed := rc.Seed + int64(r)
+			old := BuildScenario(Params{Seed: seed})
+			new_ := perturbDevices(old, f, seed+500)
+			opt := core.Options{Eps: rc.Eps, Workers: rc.Workers}
+			oldSol, err1 := core.Solve(old, opt)
+			newSol, err2 := core.Solve(new_, opt)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			oldP := padPlacement(old, oldSol.Placed)
+			newP := padPlacement(new_, newSol.Placed)
+			nTypes := len(old.ChargerTypes)
+			mt, err1 := redeploy.MinTotal(oldP, newP, nTypes, cm)
+			mm, err2 := redeploy.MinMax(oldP, newP, nTypes, cm)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			accT.Add(mt.Total)
+			accB.Add(mm.Max)
+		}
+		total.Y[fi], total.Err[fi] = accT.Mean(), accT.Std()
+		bottleneck.Y[fi], bottleneck.Err[fi] = accB.Mean(), accB.Std()
+	}
+	return Figure{
+		ID: "redeploy-sweep", Title: "Redeployment overhead vs topology churn (Section 8.1)",
+		XLabel: "fraction of devices relocated", YLabel: "switching overhead",
+		Series: []Series{total, bottleneck},
+	}
+}
+
+// perturbDevices returns a copy of the scenario with a `fraction` of the
+// devices moved to fresh random feasible positions and orientations.
+func perturbDevices(sc *model.Scenario, fraction float64, seed int64) *model.Scenario {
+	out := sc.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	n := int(math.Round(fraction * float64(len(out.Devices))))
+	perm := rng.Perm(len(out.Devices))
+	for _, idx := range perm[:n] {
+		for {
+			p := geom.V(
+				out.Region.Min.X+rng.Float64()*out.Region.Width(),
+				out.Region.Min.Y+rng.Float64()*out.Region.Height(),
+			)
+			if out.FeasiblePosition(p) {
+				out.Devices[idx].Pos = p
+				out.Devices[idx].Orient = rng.Float64() * 2 * math.Pi
+				break
+			}
+		}
+	}
+	return out
+}

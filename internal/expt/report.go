@@ -1,0 +1,103 @@
+package expt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV writes a figure as CSV: one row per (series, x, y) triple.
+func WriteCSV(w io.Writer, fig Figure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "series", "x", "y", "std"}); err != nil {
+		return err
+	}
+	for _, s := range fig.Series {
+		for i := range s.X {
+			std := ""
+			if i < len(s.Err) {
+				std = strconv.FormatFloat(s.Err[i], 'g', 10, 64)
+			}
+			rec := []string{
+				fig.ID, s.Label,
+				strconv.FormatFloat(s.X[i], 'g', 10, 64),
+				strconv.FormatFloat(s.Y[i], 'g', 10, 64),
+				std,
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable prints a figure as an aligned console table: the X column
+// followed by one column per series. Series must share X values (true for
+// all sweep figures; CDF figures are printed series-by-series).
+func WriteTable(w io.Writer, fig Figure) {
+	fmt.Fprintf(w, "# %s — %s\n", fig.ID, fig.Title)
+	if len(fig.Series) == 0 {
+		fmt.Fprintln(w, "(empty)")
+		return
+	}
+	if sharedX(fig.Series) {
+		// Column width adapts to the longest series label.
+		width := 16
+		for _, s := range fig.Series {
+			if len(s.Label)+2 > width {
+				width = len(s.Label) + 2
+			}
+		}
+		fmt.Fprintf(w, "%-28s", fig.XLabel)
+		for _, s := range fig.Series {
+			fmt.Fprintf(w, "%*s", width, s.Label)
+		}
+		fmt.Fprintln(w)
+		for i := range fig.Series[0].X {
+			fmt.Fprintf(w, "%-28.4g", fig.Series[0].X[i])
+			for _, s := range fig.Series {
+				fmt.Fprintf(w, "%*.4f", width, s.Y[i])
+			}
+			fmt.Fprintln(w)
+		}
+		return
+	}
+	for _, s := range fig.Series {
+		fmt.Fprintf(w, "%s (%s → %s):\n", s.Label, fig.XLabel, fig.YLabel)
+		for i := range s.X {
+			fmt.Fprintf(w, "  %10.4f %10.4f\n", s.X[i], s.Y[i])
+		}
+	}
+}
+
+func sharedX(series []Series) bool {
+	for _, s := range series[1:] {
+		if len(s.X) != len(series[0].X) {
+			return false
+		}
+		for i := range s.X {
+			if s.X[i] != series[0].X[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// WriteSummary prints the HIPO-vs-baseline improvement summary sorted by
+// baseline name.
+func WriteSummary(w io.Writer, summary map[string]float64) {
+	names := make([]string, 0, len(summary))
+	for n := range summary {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "# Average improvement of HIPO over baselines")
+	for _, n := range names {
+		fmt.Fprintf(w, "%-18s %+8.2f%%\n", n, summary[n])
+	}
+}

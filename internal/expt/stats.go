@@ -1,0 +1,104 @@
+package expt
+
+import (
+	"math"
+	"sort"
+)
+
+// Series is one labeled curve of a figure. Err, when non-nil, holds the
+// per-point sample standard deviation across the averaged runs.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+	Err   []float64
+}
+
+// Figure is a regenerated table or figure: a set of series with axis
+// metadata, ready for CSV export or console printing.
+type Figure struct {
+	ID     string // e.g. "fig11a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Welford accumulates a running mean and variance (Welford's algorithm),
+// numerically stable for the long experiment averages.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one sample into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Mean returns the running mean (0 before any sample).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Std returns the sample standard deviation (0 with fewer than 2 samples).
+func (w *Welford) Std() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// N returns the number of samples folded in.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// CDF returns the empirical CDF of xs evaluated at each sorted sample:
+// (sorted values, cumulative fractions).
+func CDF(xs []float64) ([]float64, []float64) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	fr := make([]float64, len(sorted))
+	for i := range sorted {
+		fr[i] = float64(i+1) / float64(len(sorted))
+	}
+	return sorted, fr
+}
+
+// ImprovementPercent returns the mean percentage by which curve a exceeds
+// curve b, 100·mean((a_i − b_i)/b_i), skipping points where b_i ≤ 0.
+func ImprovementPercent(a, b []float64) float64 {
+	var vals []float64
+	for i := range a {
+		if i < len(b) && b[i] > 0 {
+			vals = append(vals, 100*(a[i]-b[i])/b[i])
+		}
+	}
+	return Mean(vals)
+}
+
+// FindSeries returns the series with the given label, or nil.
+func (f *Figure) FindSeries(label string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package expt
+
+import (
+	"math"
+	"math/rand"
+
+	"hipo/internal/baselines"
+	"hipo/internal/core"
+	"hipo/internal/geom"
+	"hipo/internal/model"
+	"hipo/internal/power"
+)
+
+// TestbedScenario replicates the field experiment of Section 7: a
+// 120 cm × 120 cm square with three obstacles, ten rechargeable sensor
+// nodes at the exact strategies listed in the paper, and six chargers of
+// three types (one 1 W TB-Powersource, two 2 W TB-Powersource, three 3 W
+// TX91501). Distances are in centimeters and powers in milliwatts.
+//
+// The paper does not publish the testbed's obstacle geometry or the
+// charging-model constants fitted to the hardware, so this replica uses
+// calibrated stand-ins documented in DESIGN.md: TX91501's published 17 cm
+// minimum charging distance, beam widths around 60°, and a/b constants
+// scaled so near-field power lands in the few-tens-of-mW range of
+// Figure 26.
+func TestbedScenario() *model.Scenario {
+	deg := func(d float64) float64 { return d * math.Pi / 180 }
+	sc := &model.Scenario{
+		Region: model.Region{Min: geom.V(0, 0), Max: geom.V(120, 120)},
+		ChargerTypes: []model.ChargerType{
+			// TB-Powersource tuned to 1 W.
+			{Name: "TB-1W", Alpha: deg(60), DMin: 10, DMax: 60, Count: 1},
+			// TB-Powersource tuned to 2 W.
+			{Name: "TB-2W", Alpha: deg(60), DMin: 10, DMax: 85, Count: 2},
+			// TX91501 at 3 W: charges only beyond 17 cm (Powercast datasheet
+			// behaviour reported in Section 1).
+			{Name: "TX91501-3W", Alpha: deg(60), DMin: 17, DMax: 110, Count: 3},
+		},
+		DeviceTypes: []model.DeviceType{
+			// Two sensor-node builds around the P2110 power receiver.
+			{Name: "P2110-A", Alpha: deg(90), PTh: 20}, // threshold 20 mW
+			{Name: "P2110-B", Alpha: deg(120), PTh: 20},
+		},
+		// a in mW·cm², b in cm; a scales with transmit power.
+		Power: [][]model.PowerParams{
+			{{A: 27000, B: 30}, {A: 30000, B: 30}},
+			{{A: 53000, B: 30}, {A: 59000, B: 30}},
+			{{A: 80000, B: 30}, {A: 89000, B: 30}},
+		},
+		Obstacles: []model.Obstacle{
+			{Shape: geom.Rect(35, 40, 55, 55)},
+			{Shape: geom.Rect(75, 75, 92, 88)},
+			{Shape: geom.Poly(geom.V(15, 55), geom.V(28, 60), geom.V(24, 72), geom.V(12, 68))},
+		},
+	}
+	// The ten sensor strategies of Section 7, 〈(x, y), θ°〉.
+	specs := []struct {
+		x, y, deg float64
+	}{
+		{20, 15, 200}, {47, 20, 350}, {113, 65, 20}, {20, 85, 140}, {13, 95, 40},
+		{7, 115, 190}, {27, 110, 310}, {47, 100, 150}, {50, 118, 160}, {60, 93, 270},
+	}
+	for i, s := range specs {
+		typ := 0
+		if i >= 5 { // each type has five nodes
+			typ = 1
+		}
+		sc.Devices = append(sc.Devices, model.Device{
+			Pos:    geom.V(s.x, s.y),
+			Orient: deg(s.deg),
+			Type:   typ,
+		})
+	}
+	return sc
+}
+
+// TestbedResult holds the Section 7 comparison outcomes.
+type TestbedResult struct {
+	Scenario *model.Scenario
+	// Utilities[name][j] is device j's charging utility under algorithm
+	// name (Figure 25).
+	Utilities map[string][]float64
+	// Powers[name][j] is device j's received power in mW (Figure 26).
+	Powers map[string][]float64
+	// Placements[name] is the placement each algorithm produced.
+	Placements map[string][]model.Strategy
+}
+
+// TestbedAlgorithms are the three algorithms the field experiment compares.
+var TestbedAlgorithms = []string{
+	baselines.NameHIPO, baselines.NameGPPDCSTriangle, baselines.NameGPADTriangle,
+}
+
+// RunTestbed regenerates Figures 24–26: it solves the testbed with HIPO,
+// GPPDCS Triangle, and GPAD Triangle and reports per-device utilities and
+// received powers.
+func RunTestbed(rc RunConfig) TestbedResult {
+	rc = rc.withDefaults()
+	sc := TestbedScenario()
+	res := TestbedResult{
+		Scenario:   sc,
+		Utilities:  make(map[string][]float64),
+		Powers:     make(map[string][]float64),
+		Placements: make(map[string][]model.Strategy),
+	}
+	for a, name := range TestbedAlgorithms {
+		var placed []model.Strategy
+		if name == baselines.NameHIPO {
+			sol, err := core.Solve(sc, rc.coreOptions())
+			if err == nil {
+				placed = sol.Placed
+			}
+		} else {
+			rng := rand.New(rand.NewSource(rc.Seed*100 + int64(a)))
+			placed = baselines.Run(name, sc, rng, rc.eps1())
+		}
+		res.Placements[name] = placed
+		res.Utilities[name] = power.DeviceUtilities(sc, placed)
+		res.Powers[name] = power.DevicePowers(sc, placed)
+	}
+	return res
+}
+
+// TestbedUtilityFigure renders the per-device utilities as a Figure
+// (Figure 25: device index on X).
+func TestbedUtilityFigure(res TestbedResult) Figure {
+	fig := Figure{
+		ID: "fig25", Title: "Charging utility of each device (testbed)",
+		XLabel: "Device Index", YLabel: "Charging Utility",
+	}
+	for _, name := range TestbedAlgorithms {
+		us := res.Utilities[name]
+		xs := make([]float64, len(us))
+		for i := range xs {
+			xs[i] = float64(i + 1)
+		}
+		fig.Series = append(fig.Series, Series{Label: name, X: xs, Y: us})
+	}
+	return fig
+}
+
+// TestbedPowerCDFFigure renders the received-power CDF (Figure 26).
+func TestbedPowerCDFFigure(res TestbedResult) Figure {
+	fig := Figure{
+		ID: "fig26", Title: "Charging power CDF of different devices (testbed)",
+		XLabel: "Charging Power (mW)", YLabel: "CDF",
+	}
+	for _, name := range TestbedAlgorithms {
+		xs, ys := CDF(res.Powers[name])
+		fig.Series = append(fig.Series, Series{Label: name, X: xs, Y: ys})
+	}
+	return fig
+}

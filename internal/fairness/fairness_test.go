@@ -1,0 +1,212 @@
+package fairness
+
+import (
+	"math"
+	"testing"
+
+	"hipo/internal/core"
+	"hipo/internal/geom"
+	"hipo/internal/model"
+	"hipo/internal/power"
+)
+
+func fairScenario() *model.Scenario {
+	return &model.Scenario{
+		Region: model.Region{Min: geom.V(0, 0), Max: geom.V(30, 30)},
+		ChargerTypes: []model.ChargerType{
+			{Name: "c1", Alpha: math.Pi / 2, DMin: 2, DMax: 8, Count: 2},
+		},
+		DeviceTypes: []model.DeviceType{
+			{Name: "d1", Alpha: math.Pi, PTh: 0.05},
+		},
+		Power: [][]model.PowerParams{{{A: 100, B: 40}}},
+		Devices: []model.Device{
+			{Pos: geom.V(8, 8), Orient: 0, Type: 0},
+			{Pos: geom.V(12, 8), Orient: math.Pi, Type: 0},
+			{Pos: geom.V(20, 22), Orient: math.Pi / 2, Type: 0},
+			{Pos: geom.V(22, 18), Orient: math.Pi, Type: 0},
+		},
+	}
+}
+
+func TestMinUtility(t *testing.T) {
+	sc := fairScenario()
+	if got := MinUtility(sc, nil); got != 0 {
+		t.Errorf("empty placement min utility = %v", got)
+	}
+	empty := &model.Scenario{}
+	if got := MinUtility(empty, nil); got != 0 {
+		t.Errorf("no devices min utility = %v", got)
+	}
+}
+
+func TestMaxMinSAImprovesOrMatchesGreedy(t *testing.T) {
+	sc := fairScenario()
+	opt := core.DefaultOptions()
+	greedy, err := core.Solve(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedyMin := MinUtility(sc, greedy.Placed)
+	sa := DefaultSAOptions()
+	sa.Iterations = 500
+	placed, minU, err := MaxMinSA(sc, opt, sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placed) == 0 {
+		t.Fatal("SA placed nothing")
+	}
+	// SA is seeded with the greedy solution, so it can only improve the
+	// max-min objective (up to the tie-breaking epsilon term).
+	if minU < greedyMin-1e-9 {
+		t.Errorf("SA min utility %v below greedy %v", minU, greedyMin)
+	}
+	// Verify reported value.
+	if math.Abs(minU-MinUtility(sc, placed)) > 1e-12 {
+		t.Error("reported min utility mismatch")
+	}
+}
+
+func TestMaxMinPSO(t *testing.T) {
+	sc := fairScenario()
+	pso := DefaultPSOOptions()
+	pso.Particles = 10
+	pso.Iterations = 40
+	placed, minU := MaxMinPSO(sc, pso)
+	if len(placed) != sc.TotalChargers() {
+		t.Fatalf("PSO placed %d, want %d", len(placed), sc.TotalChargers())
+	}
+	for _, s := range placed {
+		if !sc.Region.Contains(s.Pos) {
+			t.Errorf("PSO position %v outside region", s.Pos)
+		}
+	}
+	if minU < 0 || minU > 1 {
+		t.Errorf("min utility = %v", minU)
+	}
+}
+
+func TestMaxMinPSOEmptyChargers(t *testing.T) {
+	sc := fairScenario()
+	sc.ChargerTypes[0].Count = 0
+	placed, minU := MaxMinPSO(sc, DefaultPSOOptions())
+	if len(placed) != 0 || minU != 0 {
+		t.Error("no chargers should yield empty placement")
+	}
+}
+
+func TestProportionalFair(t *testing.T) {
+	sc := fairScenario()
+	sol, err := ProportionalFair(sc, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Placed) == 0 {
+		t.Fatal("proportional fair placed nothing")
+	}
+	// Utility is still reported under the standard metric.
+	if got := power.TotalUtility(sc, sol.Placed); math.Abs(got-sol.Utility) > 1e-12 {
+		t.Error("utility mismatch")
+	}
+	if sol.Utility <= 0 {
+		t.Error("zero utility from proportional fair placement")
+	}
+}
+
+func TestProportionalFairTendsBalanced(t *testing.T) {
+	// With a log objective, covering a second device is worth more than
+	// stacking power on an already-saturated one; Jain index should not be
+	// lower than the plain greedy's by much. (Weak sanity check.)
+	sc := fairScenario()
+	plain, err := core.Solve(sc, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := ProportionalFair(sc, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jPlain := JainIndex(power.DeviceUtilities(sc, plain.Placed))
+	jPF := JainIndex(power.DeviceUtilities(sc, pf.Placed))
+	if jPF < jPlain*0.8 {
+		t.Errorf("proportional fair much less balanced: %v vs %v", jPF, jPlain)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("uniform Jain = %v", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0}); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("single-winner Jain = %v", got)
+	}
+	if got := JainIndex(nil); got != 1 {
+		t.Errorf("empty Jain = %v", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 1 {
+		t.Errorf("all-zero Jain = %v", got)
+	}
+}
+
+func TestMaxMinACO(t *testing.T) {
+	sc := fairScenario()
+	aco := DefaultACOOptions()
+	aco.Ants = 6
+	aco.Iterations = 20
+	placed, minU, err := MaxMinACO(sc, core.DefaultOptions(), aco)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placed) != sc.TotalChargers() {
+		t.Fatalf("ACO placed %d, want %d", len(placed), sc.TotalChargers())
+	}
+	for _, s := range placed {
+		if !sc.FeasiblePosition(s.Pos) {
+			t.Errorf("infeasible ACO placement %v", s.Pos)
+		}
+	}
+	if minU < 0 || minU > 1 {
+		t.Errorf("min utility = %v", minU)
+	}
+	if math.Abs(minU-MinUtility(sc, placed)) > 1e-12 {
+		t.Error("reported min utility mismatch")
+	}
+}
+
+func TestMaxMinACONoChargers(t *testing.T) {
+	sc := fairScenario()
+	sc.ChargerTypes[0].Count = 0
+	placed, minU, err := MaxMinACO(sc, core.DefaultOptions(), DefaultACOOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placed) != 0 || minU != 0 {
+		t.Error("no chargers should yield empty placement")
+	}
+}
+
+func TestHeuristicsComparable(t *testing.T) {
+	// The three heuristics should land in the same ballpark on a small
+	// instance (no formal guarantee; this is a smoke-level sanity check
+	// that none of them collapses to zero when coverage is possible).
+	sc := fairScenario()
+	opt := core.DefaultOptions()
+	sa := DefaultSAOptions()
+	sa.Iterations = 300
+	saPlaced, _, err := MaxMinSA(sc, opt, sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aco := DefaultACOOptions()
+	aco.Iterations = 20
+	acoPlaced, _, err := MaxMinACO(sc, opt, aco)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saMean := power.TotalUtility(sc, saPlaced)
+	acoMean := power.TotalUtility(sc, acoPlaced)
+	if saMean == 0 && acoMean == 0 {
+		t.Error("both heuristics produced zero-utility placements")
+	}
+}

@@ -1,0 +1,190 @@
+// Package field computes spatial charging-power fields: the total power a
+// virtual omnidirectional probe would harvest at each point of the plane
+// from a placement, honoring the chargers' sector rings and obstacle
+// line-of-sight but not any receiving-sector gate (the probe has no
+// orientation). Fields drive coverage heatmaps (cmd/hipofield) and
+// radiation-style analyses of placements.
+package field
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"hipo/internal/geom"
+	"hipo/internal/model"
+	"hipo/internal/schedule"
+)
+
+// ProbePower returns the power an omnidirectional probe of device type
+// probeType harvests at p from one placed charger: Eq. (1) with the
+// receiving-sector condition dropped.
+func ProbePower(sc *model.Scenario, s model.Strategy, probeType int, p geom.Vec) float64 {
+	ct := sc.ChargerTypes[s.Type]
+	delta := p.Sub(s.Pos)
+	d := delta.Len()
+	if d < ct.DMin-geom.Eps || d > ct.DMax+geom.Eps {
+		return 0
+	}
+	if ct.Alpha < 2*math.Pi-geom.Eps {
+		if d <= geom.Eps {
+			return 0
+		}
+		r := geom.FromAngle(s.Orient)
+		if delta.Dot(r) < d*math.Cos(ct.Alpha/2)-geom.Eps*math.Max(1, d) {
+			return 0
+		}
+	}
+	if !sc.LineOfSight(s.Pos, p) {
+		return 0
+	}
+	pp := sc.Power[s.Type][probeType]
+	return pp.A / ((d + pp.B) * (d + pp.B))
+}
+
+// Grid is a sampled scalar field over the scenario region: Values[iy][ix]
+// at the cell-center positions.
+type Grid struct {
+	Min, Max geom.Vec
+	NX, NY   int
+	Values   [][]float64
+}
+
+// At returns the sample position of cell (ix, iy).
+func (g *Grid) At(ix, iy int) geom.Vec {
+	dx := (g.Max.X - g.Min.X) / float64(g.NX)
+	dy := (g.Max.Y - g.Min.Y) / float64(g.NY)
+	return geom.V(g.Min.X+(float64(ix)+0.5)*dx, g.Min.Y+(float64(iy)+0.5)*dy)
+}
+
+// MaxValue returns the largest sample.
+func (g *Grid) MaxValue() float64 {
+	mx := 0.0
+	for _, row := range g.Values {
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+	}
+	return mx
+}
+
+// CoverageFraction returns the fraction of non-obstacle samples with field
+// value at least threshold.
+func (g *Grid) CoverageFraction(threshold float64) float64 {
+	total, covered := 0, 0
+	for _, row := range g.Values {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				continue // obstacle interior
+			}
+			total++
+			if v >= threshold {
+				covered++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(covered) / float64(total)
+}
+
+// Sample computes the probe-power field of a placement on an nx × ny grid,
+// parallelized over rows with workers goroutines (0 = one per row capped by
+// GOMAXPROCS via the pool). Cells inside obstacles are NaN. probeType
+// selects which device type's power constants calibrate the probe.
+func Sample(sc *model.Scenario, placed []model.Strategy, probeType, nx, ny, workers int) *Grid {
+	g := &Grid{Min: sc.Region.Min, Max: sc.Region.Max, NX: nx, NY: ny}
+	g.Values = make([][]float64, ny)
+	rows := schedule.RunPool(ny, workers, func(iy int) []float64 {
+		row := make([]float64, nx)
+		for ix := 0; ix < nx; ix++ {
+			p := g.At(ix, iy)
+			if !sc.FeasiblePosition(p) && insideAnyObstacle(sc, p) {
+				row[ix] = math.NaN()
+				continue
+			}
+			total := 0.0
+			for _, s := range placed {
+				total += ProbePower(sc, s, probeType, p)
+			}
+			row[ix] = total
+		}
+		return row
+	})
+	copy(g.Values, rows)
+	return g
+}
+
+func insideAnyObstacle(sc *model.Scenario, p geom.Vec) bool {
+	for _, o := range sc.Obstacles {
+		if o.Shape.ContainsInterior(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// RenderHeatmap writes the grid as an SVG heatmap: a linear blue→yellow→red
+// ramp normalized to the grid maximum, obstacles in gray, devices as dots.
+func RenderHeatmap(w io.Writer, sc *model.Scenario, g *Grid) error {
+	cell := 8.0
+	width := float64(g.NX) * cell
+	height := float64(g.NY) * cell
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pf(`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f">`+"\n", width, height)
+	mx := g.MaxValue()
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			v := g.Values[iy][ix]
+			var color string
+			if math.IsNaN(v) {
+				color = "#808080"
+			} else {
+				color = rampColor(v, mx)
+			}
+			// y flipped: row 0 is the bottom of the scenario.
+			pf(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				float64(ix)*cell, height-float64(iy+1)*cell, cell, cell, color)
+		}
+	}
+	// Devices on top.
+	sx := width / (g.Max.X - g.Min.X)
+	sy := height / (g.Max.Y - g.Min.Y)
+	for _, d := range sc.Devices {
+		pf(`<circle cx="%.1f" cy="%.1f" r="3" fill="black" stroke="white"/>`+"\n",
+			(d.Pos.X-g.Min.X)*sx, height-(d.Pos.Y-g.Min.Y)*sy)
+	}
+	pf("</svg>\n")
+	return err
+}
+
+// rampColor maps v/max through a blue→yellow→red ramp; zero is near-black
+// blue so uncovered space reads as dark.
+func rampColor(v, max float64) string {
+	if max <= 0 {
+		return "#000020"
+	}
+	t := math.Min(1, v/max)
+	var r, g, b int
+	switch {
+	case t < 0.5: // dark blue → yellow
+		u := t * 2
+		r = int(255 * u)
+		g = int(255 * u)
+		b = int(32 * (1 - u))
+	default: // yellow → red
+		u := (t - 0.5) * 2
+		r = 255
+		g = int(255 * (1 - u))
+		b = 0
+	}
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}

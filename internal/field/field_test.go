@@ -1,0 +1,138 @@
+package field
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"hipo/internal/geom"
+	"hipo/internal/model"
+)
+
+func fieldScenario() *model.Scenario {
+	return &model.Scenario{
+		Region: model.Region{Min: geom.V(0, 0), Max: geom.V(40, 40)},
+		ChargerTypes: []model.ChargerType{
+			{Name: "c", Alpha: math.Pi / 2, DMin: 2, DMax: 10, Count: 1},
+		},
+		DeviceTypes: []model.DeviceType{{Name: "d", Alpha: math.Pi, PTh: 0.05}},
+		Power:       [][]model.PowerParams{{{A: 100, B: 40}}},
+		Devices:     []model.Device{{Pos: geom.V(30, 20), Orient: math.Pi, Type: 0}},
+		Obstacles:   []model.Obstacle{{Shape: geom.Rect(24, 18, 26, 22)}},
+	}
+}
+
+func TestProbePowerGates(t *testing.T) {
+	sc := fieldScenario()
+	s := model.Strategy{Pos: geom.V(10, 20), Orient: 0, Type: 0}
+	// In the beam at distance 5.
+	if got := ProbePower(sc, s, 0, geom.V(15, 20)); got <= 0 {
+		t.Error("probe in beam should harvest")
+	}
+	// Too close / too far.
+	if ProbePower(sc, s, 0, geom.V(11, 20)) != 0 {
+		t.Error("inside DMin dead zone")
+	}
+	if ProbePower(sc, s, 0, geom.V(25, 20)) != 0 {
+		t.Error("beyond DMax")
+	}
+	// Behind the charger.
+	if ProbePower(sc, s, 0, geom.V(5, 20)) != 0 {
+		t.Error("behind charger")
+	}
+	// Blocked by obstacle: probe behind the wall at (27, 20), charger at
+	// (20, 20) firing right.
+	s2 := model.Strategy{Pos: geom.V(20, 20), Orient: 0, Type: 0}
+	if ProbePower(sc, s2, 0, geom.V(27, 20)) != 0 {
+		t.Error("power through obstacle")
+	}
+	// Omnidirectional charger ignores the angle gate.
+	sc.ChargerTypes[0].Alpha = 2 * math.Pi
+	if ProbePower(sc, s, 0, geom.V(5, 20)) <= 0 {
+		t.Error("omnidirectional probe behind charger should harvest")
+	}
+}
+
+func TestSampleGrid(t *testing.T) {
+	sc := fieldScenario()
+	placed := []model.Strategy{{Pos: geom.V(10, 20), Orient: 0, Type: 0}}
+	g := Sample(sc, placed, 0, 40, 40, 4)
+	if g.NX != 40 || g.NY != 40 || len(g.Values) != 40 {
+		t.Fatal("grid shape wrong")
+	}
+	if g.MaxValue() <= 0 {
+		t.Fatal("field is everywhere zero")
+	}
+	// Obstacle interior is NaN.
+	foundNaN := false
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			p := g.At(ix, iy)
+			if sc.Obstacles[0].Shape.ContainsInterior(p) && math.IsNaN(g.Values[iy][ix]) {
+				foundNaN = true
+			}
+		}
+	}
+	if !foundNaN {
+		t.Error("no NaN cells inside the obstacle")
+	}
+	// Coverage fraction is monotone in the threshold.
+	if g.CoverageFraction(0) < g.CoverageFraction(1e-3) {
+		t.Error("coverage fraction not monotone")
+	}
+	if g.CoverageFraction(math.Inf(1)) != 0 {
+		t.Error("infinite threshold should cover nothing")
+	}
+}
+
+func TestSampleDeterministicAcrossWorkers(t *testing.T) {
+	sc := fieldScenario()
+	placed := []model.Strategy{{Pos: geom.V(10, 20), Orient: 0, Type: 0}}
+	g1 := Sample(sc, placed, 0, 20, 20, 1)
+	g8 := Sample(sc, placed, 0, 20, 20, 8)
+	for iy := range g1.Values {
+		for ix := range g1.Values[iy] {
+			a, b := g1.Values[iy][ix], g8.Values[iy][ix]
+			if math.IsNaN(a) != math.IsNaN(b) || (!math.IsNaN(a) && a != b) {
+				t.Fatalf("worker count changed field at (%d,%d): %v vs %v", ix, iy, a, b)
+			}
+		}
+	}
+}
+
+func TestRenderHeatmap(t *testing.T) {
+	sc := fieldScenario()
+	placed := []model.Strategy{{Pos: geom.V(10, 20), Orient: 0, Type: 0}}
+	g := Sample(sc, placed, 0, 40, 40, 2) // fine enough to land inside the obstacle
+	var buf bytes.Buffer
+	if err := RenderHeatmap(&buf, sc, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Error("not an SVG")
+	}
+	if !strings.Contains(out, "#808080") {
+		t.Error("obstacle gray missing")
+	}
+	if !strings.Contains(out, "<circle") {
+		t.Error("device marker missing")
+	}
+}
+
+func TestRampColor(t *testing.T) {
+	if rampColor(0, 0) != "#000020" {
+		t.Error("degenerate max")
+	}
+	if got := rampColor(1, 1); got != "#ff0000" {
+		t.Errorf("hot end = %s", got)
+	}
+	if got := rampColor(0.5, 1); got != "#ffff00" {
+		t.Errorf("midpoint = %s", got)
+	}
+	low := rampColor(0, 1)
+	if low != "#000020" {
+		t.Errorf("cold end = %s", low)
+	}
+}

@@ -1,0 +1,135 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestArcEndpoints(t *testing.T) {
+	a := NewArc(V(0, 0), 2, 0, math.Pi/2)
+	if !a.Start().Eq(V(2, 0)) {
+		t.Errorf("start = %v", a.Start())
+	}
+	if a.End().Dist(V(0, 2)) > 1e-12 {
+		t.Errorf("end = %v", a.End())
+	}
+	if a.Mid().Dist(FromAngle(math.Pi/4).Scale(2)) > 1e-12 {
+		t.Errorf("mid = %v", a.Mid())
+	}
+	if math.Abs(a.Length()-math.Pi) > 1e-12 {
+		t.Errorf("length = %v", a.Length())
+	}
+}
+
+func TestArcContainsPoint(t *testing.T) {
+	a := NewArc(V(1, 1), 3, 0, math.Pi)
+	on := a.PointAt(0.3)
+	if !a.ContainsPoint(on, 1e-9) {
+		t.Error("sampled point not on arc")
+	}
+	// Right radius, wrong angle.
+	below := V(1, 1).Add(FromAngle(-math.Pi / 2).Scale(3))
+	if a.ContainsPoint(below, 1e-9) {
+		t.Error("point outside span contained")
+	}
+	// Wrong radius.
+	if a.ContainsPoint(V(1, 2), 1e-9) {
+		t.Error("interior point contained")
+	}
+}
+
+func TestArcIntersectSegment(t *testing.T) {
+	// Upper half circle of radius 5; vertical segment through x=0.
+	a := NewArc(V(0, 0), 5, 0, math.Pi)
+	pts := a.IntersectSegment(Seg(V(0, -10), V(0, 10)))
+	if len(pts) != 1 || pts[0].Dist(V(0, 5)) > 1e-9 {
+		t.Errorf("pts = %v", pts)
+	}
+	// Segment crossing only the lower half: no hits on the upper arc.
+	if pts := a.IntersectSegment(Seg(V(-10, -3), V(10, -3))); len(pts) != 0 {
+		t.Errorf("lower crossing hit upper arc: %v", pts)
+	}
+}
+
+func TestArcIntersectArc(t *testing.T) {
+	// Two radius-5 circles 8 apart intersect at (4, ±3).
+	a := NewArc(V(0, 0), 5, -math.Pi/2, math.Pi/2)  // right half
+	b := NewArc(V(8, 0), 5, math.Pi/2, 3*math.Pi/2) // left half
+	pts := a.IntersectArc(b)
+	if len(pts) != 2 {
+		t.Fatalf("pts = %v", pts)
+	}
+	for _, p := range pts {
+		if math.Abs(p.X-4) > 1e-9 || math.Abs(math.Abs(p.Y)-3) > 1e-9 {
+			t.Errorf("unexpected intersection %v", p)
+		}
+	}
+	// Restrict a to the upper-right quarter: only (4, 3) remains.
+	aq := NewArc(V(0, 0), 5, 0, math.Pi/2)
+	pts = aq.IntersectArc(b)
+	if len(pts) != 1 || pts[0].Dist(V(4, 3)) > 1e-9 {
+		t.Errorf("quarter-arc pts = %v", pts)
+	}
+}
+
+func TestArcSample(t *testing.T) {
+	a := NewArc(V(2, 3), 4, 1, 2.5)
+	pts := a.Sample(10)
+	if len(pts) != 11 {
+		t.Fatalf("samples = %d", len(pts))
+	}
+	for _, p := range pts {
+		if !a.ContainsPoint(p, 1e-9) {
+			t.Fatalf("sample %v off arc", p)
+		}
+	}
+	if !pts[0].Eq(a.Start()) || pts[10].Dist(a.End()) > 1e-12 {
+		t.Error("sample endpoints wrong")
+	}
+	if got := a.Sample(0); len(got) != 2 {
+		t.Errorf("n<1 clamps to 1: %d", len(got))
+	}
+}
+
+func TestArcChordDistance(t *testing.T) {
+	// Quarter arc of radius 1: sagitta = 1 − cos(π/4).
+	a := NewArc(V(0, 0), 1, 0, math.Pi/2)
+	want := 1 - math.Cos(math.Pi/4)
+	if math.Abs(a.ChordDistance()-want) > 1e-12 {
+		t.Errorf("chord distance = %v, want %v", a.ChordDistance(), want)
+	}
+	// Full circle: 2R.
+	full := Arc{C: V(0, 0), R: 3, Span: FullCircle()}
+	if full.ChordDistance() != 6 {
+		t.Errorf("full-circle chord distance = %v", full.ChordDistance())
+	}
+}
+
+// Property: all sampled points of random arcs are contained, and
+// arc/segment intersections lie on both shapes.
+func TestArcProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 300; trial++ {
+		a := NewArc(
+			V(rng.Float64()*10, rng.Float64()*10),
+			0.5+rng.Float64()*5,
+			rng.Float64()*2*math.Pi,
+			rng.Float64()*2*math.Pi,
+		)
+		for _, p := range a.Sample(8) {
+			if !a.ContainsPoint(p, 1e-9) {
+				t.Fatalf("trial %d: sample off arc", trial)
+			}
+		}
+		s := Seg(V(rng.Float64()*20-5, rng.Float64()*20-5), V(rng.Float64()*20-5, rng.Float64()*20-5))
+		for _, p := range a.IntersectSegment(s) {
+			if !a.ContainsPoint(p, 1e-6) {
+				t.Fatalf("trial %d: intersection off arc", trial)
+			}
+			if s.DistToPoint(p) > 1e-6 {
+				t.Fatalf("trial %d: intersection off segment", trial)
+			}
+		}
+	}
+}

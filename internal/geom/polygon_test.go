@@ -1,0 +1,233 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func unitSquare() Polygon { return Rect(0, 0, 1, 1) }
+
+func TestPolygonValidate(t *testing.T) {
+	if err := unitSquare().Validate(); err != nil {
+		t.Errorf("square should validate: %v", err)
+	}
+	if err := Poly(V(0, 0), V(1, 1)).Validate(); err == nil {
+		t.Error("two-vertex polygon should fail")
+	}
+	if err := Poly(V(0, 0), V(0, 0), V(1, 1)).Validate(); err == nil {
+		t.Error("repeated vertex should fail")
+	}
+}
+
+func TestPolygonAreaCentroid(t *testing.T) {
+	sq := Rect(0, 0, 2, 3)
+	if got := sq.Area(); !almostEq(got, 6, 1e-12) {
+		t.Errorf("Area = %v", got)
+	}
+	if got := sq.Centroid(); !got.Eq(V(1, 1.5)) {
+		t.Errorf("Centroid = %v", got)
+	}
+	// Winding does not affect unsigned area.
+	rev := Poly(V(0, 0), V(0, 3), V(2, 3), V(2, 0))
+	if got := rev.Area(); !almostEq(got, 6, 1e-12) {
+		t.Errorf("reverse Area = %v", got)
+	}
+	if rev.SignedArea() > 0 {
+		t.Error("clockwise polygon should have negative signed area")
+	}
+}
+
+func TestPolygonContainsPoint(t *testing.T) {
+	p := unitSquare()
+	inside := []Vec{V(0.5, 0.5), V(0.01, 0.01), V(0.99, 0.99)}
+	for _, q := range inside {
+		if !p.ContainsPoint(q) {
+			t.Errorf("should contain %v", q)
+		}
+		if !p.ContainsInterior(q) {
+			t.Errorf("interior should contain %v", q)
+		}
+	}
+	boundary := []Vec{V(0, 0), V(0.5, 0), V(1, 1), V(0, 0.5)}
+	for _, q := range boundary {
+		if !p.ContainsPoint(q) {
+			t.Errorf("boundary point %v should be contained", q)
+		}
+		if p.ContainsInterior(q) {
+			t.Errorf("boundary point %v should not be interior", q)
+		}
+	}
+	outside := []Vec{V(-0.1, 0.5), V(1.1, 0.5), V(0.5, -0.1), V(2, 2)}
+	for _, q := range outside {
+		if p.ContainsPoint(q) {
+			t.Errorf("should not contain %v", q)
+		}
+	}
+}
+
+func TestConcavePolygonContains(t *testing.T) {
+	// L-shape.
+	l := Poly(V(0, 0), V(4, 0), V(4, 1), V(1, 1), V(1, 4), V(0, 4))
+	if !l.ContainsPoint(V(0.5, 3)) {
+		t.Error("should contain vertical arm point")
+	}
+	if !l.ContainsPoint(V(3, 0.5)) {
+		t.Error("should contain horizontal arm point")
+	}
+	if l.ContainsPoint(V(3, 3)) {
+		t.Error("should not contain notch point")
+	}
+}
+
+func TestBlocksSegment(t *testing.T) {
+	sq := Rect(1, 1, 3, 3)
+	// Straight through.
+	if !sq.BlocksSegment(Seg(V(0, 2), V(4, 2))) {
+		t.Error("segment through square should be blocked")
+	}
+	// Misses entirely.
+	if sq.BlocksSegment(Seg(V(0, 5), V(4, 5))) {
+		t.Error("segment above square should not be blocked")
+	}
+	// Grazes an edge collinearly along the outside boundary: the segment
+	// runs along the boundary, which we count as blocked (power cannot skim
+	// a wall surface per the no-reflection assumption, and collinear overlap
+	// crosses the edge interior).
+	if !sq.BlocksSegment(Seg(V(0, 1), V(4, 1))) {
+		t.Error("segment along edge should be blocked")
+	}
+	// Touches exactly one corner point and continues outside.
+	if sq.BlocksSegment(Seg(V(0, 0), V(2, 0.999))) {
+		t.Error("segment outside near corner should not be blocked")
+	}
+	// Through a vertex diagonally, passing through the interior.
+	if !sq.BlocksSegment(Seg(V(0, 0), V(4, 4))) {
+		t.Error("diagonal through interior should be blocked")
+	}
+	// Corner graze: touches vertex (1,3) but does not enter.
+	if sq.BlocksSegment(Seg(V(0, 4), V(2, 2)) /* passes through (1,3) */) {
+		// This segment does pass through the interior after the vertex:
+		// from (1,3) to (2,2) is inside the square. So it SHOULD be blocked.
+		// (kept as documentation: verified below)
+	}
+	if !sq.BlocksSegment(Seg(V(0, 4), V(2, 2))) {
+		t.Error("segment entering at vertex should be blocked")
+	}
+	// True graze: clip exactly the corner from outside.
+	if sq.BlocksSegment(Seg(V(0, 2), V(2, 4))) {
+		// passes through vertex (1,3): outside except that single point
+		t.Error("segment grazing single vertex from outside should not be blocked")
+	}
+	// Entirely inside.
+	if !sq.BlocksSegment(Seg(V(1.5, 1.5), V(2.5, 2.5))) {
+		t.Error("segment inside should be blocked")
+	}
+	// Endpoint on boundary, rest outside.
+	if sq.BlocksSegment(Seg(V(1, 2), V(0, 2))) {
+		t.Error("segment leaving boundary outward should not be blocked")
+	}
+	// Endpoint on boundary, rest inside.
+	if !sq.BlocksSegment(Seg(V(1, 2), V(2, 2))) {
+		t.Error("segment entering from boundary should be blocked")
+	}
+}
+
+func TestIntersectsSegment(t *testing.T) {
+	sq := Rect(1, 1, 3, 3)
+	if !sq.IntersectsSegment(Seg(V(0, 2), V(2, 2))) {
+		t.Error("entering segment intersects")
+	}
+	if !sq.IntersectsSegment(Seg(V(1.5, 1.5), V(2, 2))) {
+		t.Error("inside segment intersects")
+	}
+	if sq.IntersectsSegment(Seg(V(0, 0), V(0.5, 0.5))) {
+		t.Error("outside segment does not intersect")
+	}
+	if !sq.IntersectsSegment(Seg(V(0, 1), V(2, 1))) {
+		t.Error("edge-touching segment intersects")
+	}
+}
+
+func TestPolygonBoundingBox(t *testing.T) {
+	p := Poly(V(2, 1), V(5, 4), V(3, 7), V(-1, 3))
+	lo, hi := p.BoundingBox()
+	if !lo.Eq(V(-1, 1)) || !hi.Eq(V(5, 7)) {
+		t.Errorf("bbox = %v %v", lo, hi)
+	}
+}
+
+func TestRegularPolygon(t *testing.T) {
+	hex := RegularPolygon(V(0, 0), 2, 6, 0)
+	if len(hex.Vertices) != 6 {
+		t.Fatalf("vertices = %d", len(hex.Vertices))
+	}
+	for _, v := range hex.Vertices {
+		if !almostEq(v.Len(), 2, 1e-9) {
+			t.Errorf("vertex %v not at circumradius", v)
+		}
+	}
+	// Area of regular hexagon with circumradius r: (3√3/2) r².
+	want := 3 * math.Sqrt(3) / 2 * 4
+	if got := hex.Area(); !almostEq(got, want, 1e-9) {
+		t.Errorf("hex area = %v, want %v", got, want)
+	}
+	if !hex.ContainsPoint(V(0, 0)) {
+		t.Error("hexagon should contain its center")
+	}
+}
+
+func TestPolygonTranslateScale(t *testing.T) {
+	sq := unitSquare()
+	moved := sq.Translate(V(10, 20))
+	if !moved.ContainsPoint(V(10.5, 20.5)) {
+		t.Error("translate broken")
+	}
+	big := sq.Scale(3)
+	if !almostEq(big.Area(), 9, 1e-12) {
+		t.Errorf("scaled area = %v", big.Area())
+	}
+}
+
+// Property: centroid of a convex polygon is inside it; points far outside
+// the bounding box are never contained.
+func TestPolygonContainmentProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		c := randVec(rng, 20)
+		r := 1 + rng.Float64()*5
+		n := 3 + rng.Intn(8)
+		p := RegularPolygon(c, r, n, rng.Float64())
+		if !p.ContainsPoint(p.Centroid()) {
+			t.Fatalf("centroid outside regular polygon (trial %d)", trial)
+		}
+		lo, hi := p.BoundingBox()
+		far := hi.Add(V(hi.X-lo.X+1, hi.Y-lo.Y+1))
+		if p.ContainsPoint(far) {
+			t.Fatalf("far point contained (trial %d)", trial)
+		}
+	}
+}
+
+// Property: a segment connecting two interior points of a convex polygon is
+// always blocked (it lies inside), and a segment between two points far
+// outside opposite corners of the bounding box either misses or is blocked
+// consistently with IntersectsSegment.
+func TestBlocksSegmentConvexInterior(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		c := randVec(rng, 10)
+		r := 1 + rng.Float64()*4
+		p := RegularPolygon(c, r, 3+rng.Intn(6), rng.Float64())
+		// Two random interior points (shrink toward centroid).
+		g := p.Centroid()
+		a := Lerp(g, p.Vertices[rng.Intn(len(p.Vertices))], rng.Float64()*0.8)
+		b := Lerp(g, p.Vertices[rng.Intn(len(p.Vertices))], rng.Float64()*0.8)
+		if a.Dist(b) < 1e-6 {
+			continue
+		}
+		if !p.BlocksSegment(Seg(a, b)) {
+			t.Fatalf("interior segment not blocked (trial %d): %v %v", trial, a, b)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package geom
+
+// Property-based tests with testing/quick on the core geometric data
+// structures: angular-interval algebra, vector algebra, and the polygon
+// predicates' internal consistency.
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genInterval produces a valid random interval from two raw floats.
+func genInterval(a, b float64) Interval {
+	lo := NormAngle(a)
+	w := math.Mod(math.Abs(b), 2*math.Pi)
+	return Interval{Lo: lo, Hi: lo + w}
+}
+
+func TestQuickIntervalAddIdempotent(t *testing.T) {
+	f := func(a, b float64) bool {
+		iv := genInterval(a, b)
+		var s1, s2 IntervalSet
+		s1.Add(iv)
+		s2.Add(iv)
+		s2.Add(iv)
+		return reflect.DeepEqual(s1.Intervals(), s2.Intervals())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntervalAddPreservesCoverage(t *testing.T) {
+	// Whatever was covered stays covered after adding more intervals.
+	f := func(a1, b1, a2, b2, probeRaw float64) bool {
+		iv1 := genInterval(a1, b1)
+		iv2 := genInterval(a2, b2)
+		probe := NormAngle(probeRaw)
+		var s IntervalSet
+		s.Add(iv1)
+		before := s.Covers(probe)
+		s.Add(iv2)
+		after := s.Covers(probe)
+		return !before || after
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntervalUnionCommutative(t *testing.T) {
+	f := func(a1, b1, a2, b2, probeRaw float64) bool {
+		iv1 := genInterval(a1, b1)
+		iv2 := genInterval(a2, b2)
+		probe := NormAngle(probeRaw)
+		var s12, s21 IntervalSet
+		s12.Add(iv1)
+		s12.Add(iv2)
+		s21.Add(iv2)
+		s21.Add(iv1)
+		// Covers may differ within Eps of interval boundaries; skip those.
+		for _, iv := range []Interval{iv1, iv2} {
+			if AbsAngleDiff(probe, iv.Lo) < 1e-6 || AbsAngleDiff(probe, iv.Hi) < 1e-6 {
+				return true
+			}
+		}
+		return s12.Covers(probe) == s21.Covers(probe)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVectorAlgebra(t *testing.T) {
+	bounded := func(x float64) float64 { return math.Mod(x, 1e6) }
+	// (u + v) − v == u (exactly representable only approximately).
+	f := func(ux, uy, vx, vy float64) bool {
+		u := V(bounded(ux), bounded(uy))
+		v := V(bounded(vx), bounded(vy))
+		w := u.Add(v).Sub(v)
+		tol := 1e-9 * math.Max(1, math.Max(u.Len(), v.Len()))
+		return w.Dist(u) <= tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Dot is symmetric, cross antisymmetric.
+	g := func(ux, uy, vx, vy float64) bool {
+		u := V(bounded(ux), bounded(uy))
+		v := V(bounded(vx), bounded(vy))
+		return u.Dot(v) == v.Dot(u) && u.Cross(v) == -v.Cross(u)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPolygonContainsConsistency(t *testing.T) {
+	// ContainsInterior ⊆ ContainsPoint, and OnBoundary points are contained
+	// but not interior.
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 300; trial++ {
+		p := RandomSimplePolygon(rng, V(rng.Float64()*10, rng.Float64()*10), 1, 4, 3+rng.Intn(7))
+		q := V(rng.Float64()*20-5, rng.Float64()*20-5)
+		if p.ContainsInterior(q) && !p.ContainsPoint(q) {
+			t.Fatalf("interior point not contained: %v", q)
+		}
+		if p.OnBoundary(q) && p.ContainsInterior(q) {
+			t.Fatalf("boundary point counted as interior: %v", q)
+		}
+		// Edge midpoints are boundary, contained, not interior.
+		for _, e := range p.Edges() {
+			m := e.Mid()
+			if !p.ContainsPoint(m) {
+				t.Fatalf("edge midpoint not contained: %v", m)
+			}
+			if p.ContainsInterior(m) {
+				t.Fatalf("edge midpoint counted interior: %v", m)
+			}
+		}
+	}
+}
+
+func TestQuickSectorContainsMatchesDotForm(t *testing.T) {
+	// SectorRing.Contains must agree with the paper's dot-product condition
+	// (o−s)·r_s ≥ |o−s| cos(α/2) away from numerical boundaries.
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 2000; trial++ {
+		s := SectorRing{
+			Apex:   V(rng.Float64()*10, rng.Float64()*10),
+			Orient: rng.Float64() * 2 * math.Pi,
+			Alpha:  0.2 + rng.Float64()*5.8,
+			RMin:   rng.Float64() * 2,
+			RMax:   2.5 + rng.Float64()*5,
+		}
+		p := V(rng.Float64()*20-5, rng.Float64()*20-5)
+		delta := p.Sub(s.Apex)
+		d := delta.Len()
+		if d < 1e-6 || math.Abs(d-s.RMin) < 1e-6 || math.Abs(d-s.RMax) < 1e-6 {
+			continue
+		}
+		dotOK := delta.Dot(FromAngle(s.Orient)) >= d*math.Cos(s.Alpha/2)
+		angOK := AbsAngleDiff(delta.Angle(), s.Orient) <= s.Alpha/2
+		if s.Alpha >= 2*math.Pi {
+			dotOK, angOK = true, true
+		}
+		if math.Abs(AbsAngleDiff(delta.Angle(), s.Orient)-s.Alpha/2) < 1e-6 {
+			continue // angular boundary
+		}
+		if dotOK != angOK {
+			continue // anti-symmetric rounding at exactly α/2 = π edge cases
+		}
+		want := dotOK && d >= s.RMin && d <= s.RMax
+		if got := s.Contains(p); got != want {
+			t.Fatalf("trial %d: Contains=%v want=%v (d=%v, s=%+v)", trial, got, want, d, s)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSectorRingContains(t *testing.T) {
+	s := SectorRing{Apex: V(0, 0), Orient: 0, Alpha: math.Pi / 2, RMin: 2, RMax: 5}
+	in := []Vec{V(3, 0), V(2, 0), V(5, 0), V(3, 1), V(3, -1)}
+	for _, p := range in {
+		if !s.Contains(p) {
+			t.Errorf("should contain %v", p)
+		}
+	}
+	out := []Vec{V(1, 0), V(6, 0), V(0, 3), V(0, -3), V(-3, 0), V(0, 0)}
+	for _, p := range out {
+		if s.Contains(p) {
+			t.Errorf("should not contain %v", p)
+		}
+	}
+	// Boundary of angular opening: 45° edge at distance 3.
+	edge := FromAngle(math.Pi / 4).Scale(3)
+	if !s.Contains(edge) {
+		t.Errorf("should contain angular boundary point %v", edge)
+	}
+}
+
+func TestSectorRingFullAnnulus(t *testing.T) {
+	s := SectorRing{Apex: V(0, 0), Orient: 1.3, Alpha: 2 * math.Pi, RMin: 1, RMax: 2}
+	for i := 0; i < 16; i++ {
+		theta := float64(i) / 16 * 2 * math.Pi
+		if !s.Contains(FromAngle(theta).Scale(1.5)) {
+			t.Errorf("annulus should contain angle %v", theta)
+		}
+	}
+	if s.Contains(V(0.5, 0)) || s.Contains(V(2.5, 0)) {
+		t.Error("annulus radial bounds broken")
+	}
+	if s.BoundaryRays() != nil {
+		t.Error("annulus has no straight edges")
+	}
+}
+
+func TestSectorRingBoundaryRays(t *testing.T) {
+	s := SectorRing{Apex: V(1, 1), Orient: math.Pi / 2, Alpha: math.Pi / 2, RMin: 1, RMax: 3}
+	rays := s.BoundaryRays()
+	if len(rays) != 2 {
+		t.Fatalf("rays = %d", len(rays))
+	}
+	for _, r := range rays {
+		if !almostEq(r.A.Dist(s.Apex), 1, 1e-9) {
+			t.Errorf("ray start radius = %v", r.A.Dist(s.Apex))
+		}
+		if !almostEq(r.B.Dist(s.Apex), 3, 1e-9) {
+			t.Errorf("ray end radius = %v", r.B.Dist(s.Apex))
+		}
+		if !s.Contains(r.Mid()) {
+			t.Errorf("ray midpoint %v should be inside sector", r.Mid())
+		}
+	}
+}
+
+func TestSectorRingArea(t *testing.T) {
+	s := SectorRing{Apex: V(0, 0), Orient: 0, Alpha: math.Pi, RMin: 1, RMax: 2}
+	want := math.Pi / 2 * (4 - 1)
+	if got := s.Area(); !almostEq(got, want, 1e-12) {
+		t.Errorf("Area = %v, want %v", got, want)
+	}
+}
+
+func TestSectorRingAngularInterval(t *testing.T) {
+	s := SectorRing{Orient: 0.1, Alpha: 0.4}
+	iv := s.AngularInterval()
+	if !iv.Contains(0.1) || !iv.Contains(0.29) || !iv.Contains(2*math.Pi-0.09) {
+		t.Error("interval bounds wrong")
+	}
+	if iv.Contains(1.0) {
+		t.Error("should not contain 1.0")
+	}
+}
+
+// Property: every sampled boundary point is contained (boundary inclusive).
+func TestSectorRingBoundarySamplesContained(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		s := SectorRing{
+			Apex:   randVec(rng, 10),
+			Orient: rng.Float64() * 2 * math.Pi,
+			Alpha:  0.2 + rng.Float64()*(2*math.Pi-0.4),
+			RMin:   0.5 + rng.Float64(),
+			RMax:   2 + rng.Float64()*3,
+		}
+		for _, p := range s.SampleBoundary(32) {
+			if !s.Contains(p) {
+				t.Fatalf("boundary sample %v not contained in %+v", p, s)
+			}
+		}
+	}
+}
+
+// Property: containment is invariant under rigid motion of the sector and
+// the point together.
+func TestSectorRingRigidInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		s := SectorRing{
+			Apex:   V(0, 0),
+			Orient: rng.Float64() * 2 * math.Pi,
+			Alpha:  0.2 + rng.Float64()*3,
+			RMin:   rng.Float64(),
+			RMax:   1.5 + rng.Float64()*3,
+		}
+		p := randVec(rng, 6).Sub(V(3, 3))
+		rot := rng.Float64() * 2 * math.Pi
+		shift := randVec(rng, 20)
+		s2 := SectorRing{
+			Apex:   s.Apex.Rotate(rot).Add(shift),
+			Orient: s.Orient + rot,
+			Alpha:  s.Alpha,
+			RMin:   s.RMin,
+			RMax:   s.RMax,
+		}
+		p2 := p.Rotate(rot).Add(shift)
+		// Skip points extremely close to a boundary, where Eps may flip.
+		d := p.Dist(s.Apex)
+		if math.Abs(d-s.RMin) < 1e-6 || math.Abs(d-s.RMax) < 1e-6 {
+			continue
+		}
+		if d > 1e-6 && math.Abs(AbsAngleDiff(p.Sub(s.Apex).Angle(), s.Orient)-s.Alpha/2) < 1e-6 {
+			continue
+		}
+		if s.Contains(p) != s2.Contains(p2) {
+			t.Fatalf("rigid motion changed containment (trial %d)", trial)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package geom provides the 2D computational-geometry substrate for the
+// HIPO placement algorithms: vectors, segments, rays, circles, polygons,
+// sector rings, and angular-interval arithmetic, together with the
+// intersection predicates the paper's area discretization (Section 4.1) and
+// PDCS extraction (Section 4.2) depend on.
+//
+// All predicates use the package tolerance Eps; "on the boundary" is treated
+// as inside unless documented otherwise, which keeps the feasible-region
+// tests conservative (a candidate strategy on a region boundary is accepted).
+package geom
+
+import "math"
+
+// Eps is the geometric tolerance used by all predicates in this package.
+// Coordinates in HIPO scenarios are meters in the tens, so 1e-9 gives about
+// nine significant digits of slack without admitting spurious intersections.
+const Eps = 1e-9
+
+// Vec is a point or vector in the plane.
+type Vec struct {
+	X, Y float64
+}
+
+// V is shorthand for Vec{x, y}.
+func V(x, y float64) Vec { return Vec{x, y} }
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v − w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec) Scale(s float64) Vec { return Vec{v.X * s, v.Y * s} }
+
+// Dot returns the dot product v·w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the z-component of the cross product v × w.
+func (v Vec) Cross(w Vec) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Len returns the Euclidean norm of v.
+func (v Vec) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// Len2 returns the squared Euclidean norm of v.
+func (v Vec) Len2() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Dist returns the distance between v and w.
+func (v Vec) Dist(w Vec) float64 { return v.Sub(w).Len() }
+
+// Dist2 returns the squared distance between v and w.
+func (v Vec) Dist2(w Vec) float64 { return v.Sub(w).Len2() }
+
+// Unit returns v normalized to length 1. The zero vector is returned
+// unchanged.
+func (v Vec) Unit() Vec {
+	l := v.Len()
+	if l < Eps {
+		return Vec{}
+	}
+	return Vec{v.X / l, v.Y / l}
+}
+
+// Angle returns the polar angle of v in [0, 2π).
+func (v Vec) Angle() float64 {
+	a := math.Atan2(v.Y, v.X)
+	if a < 0 {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// Rotate returns v rotated counterclockwise by theta radians.
+func (v Vec) Rotate(theta float64) Vec {
+	s, c := math.Sincos(theta)
+	return Vec{v.X*c - v.Y*s, v.X*s + v.Y*c}
+}
+
+// Perp returns v rotated counterclockwise by 90 degrees.
+func (v Vec) Perp() Vec { return Vec{-v.Y, v.X} }
+
+// Neg returns −v.
+func (v Vec) Neg() Vec { return Vec{-v.X, -v.Y} }
+
+// Eq reports whether v and w coincide within Eps.
+func (v Vec) Eq(w Vec) bool {
+	return math.Abs(v.X-w.X) <= Eps && math.Abs(v.Y-w.Y) <= Eps
+}
+
+// FromAngle returns the unit vector with polar angle theta.
+func FromAngle(theta float64) Vec {
+	s, c := math.Sincos(theta)
+	return Vec{c, s}
+}
+
+// Lerp returns the point a + t(b−a).
+func Lerp(a, b Vec, t float64) Vec {
+	return Vec{a.X + t*(b.X-a.X), a.Y + t*(b.Y-a.Y)}
+}

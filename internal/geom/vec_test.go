@@ -1,0 +1,142 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecBasicOps(t *testing.T) {
+	v := V(3, 4)
+	w := V(-1, 2)
+	if got := v.Add(w); !got.Eq(V(2, 6)) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); !got.Eq(V(4, 2)) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); !got.Eq(V(6, 8)) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(w); got != 5 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Cross(w); got != 10 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := v.Len(); got != 5 {
+		t.Errorf("Len = %v", got)
+	}
+	if got := v.Len2(); got != 25 {
+		t.Errorf("Len2 = %v", got)
+	}
+	if got := v.Dist(w); !almostEq(got, math.Hypot(4, 2), 1e-12) {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := v.Neg(); !got.Eq(V(-3, -4)) {
+		t.Errorf("Neg = %v", got)
+	}
+}
+
+func TestVecUnit(t *testing.T) {
+	if got := V(3, 4).Unit(); !almostEq(got.Len(), 1, 1e-12) {
+		t.Errorf("Unit length = %v", got.Len())
+	}
+	if got := V(0, 0).Unit(); !got.Eq(V(0, 0)) {
+		t.Errorf("zero Unit = %v", got)
+	}
+}
+
+func TestVecAngle(t *testing.T) {
+	cases := []struct {
+		v    Vec
+		want float64
+	}{
+		{V(1, 0), 0},
+		{V(0, 1), math.Pi / 2},
+		{V(-1, 0), math.Pi},
+		{V(0, -1), 3 * math.Pi / 2},
+		{V(1, 1), math.Pi / 4},
+	}
+	for _, c := range cases {
+		if got := c.v.Angle(); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Angle(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestVecRotate(t *testing.T) {
+	v := V(1, 0)
+	if got := v.Rotate(math.Pi / 2); !got.Eq(V(0, 1)) {
+		t.Errorf("Rotate 90 = %v", got)
+	}
+	if got := v.Rotate(math.Pi); got.Dist(V(-1, 0)) > 1e-12 {
+		t.Errorf("Rotate 180 = %v", got)
+	}
+	if got := v.Perp(); !got.Eq(V(0, 1)) {
+		t.Errorf("Perp = %v", got)
+	}
+}
+
+func TestFromAngleRoundTrip(t *testing.T) {
+	f := func(theta float64) bool {
+		theta = math.Mod(theta, 2*math.Pi)
+		v := FromAngle(theta)
+		return almostEq(NormAngle(v.Angle()), NormAngle(theta), 1e-9) &&
+			almostEq(v.Len(), 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := V(0, 0), V(10, 20)
+	if got := Lerp(a, b, 0); !got.Eq(a) {
+		t.Errorf("Lerp 0 = %v", got)
+	}
+	if got := Lerp(a, b, 1); !got.Eq(b) {
+		t.Errorf("Lerp 1 = %v", got)
+	}
+	if got := Lerp(a, b, 0.5); !got.Eq(V(5, 10)) {
+		t.Errorf("Lerp 0.5 = %v", got)
+	}
+}
+
+// Property: rotation preserves length and rotates angle by theta.
+func TestRotatePreservesLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		v := V(rng.NormFloat64()*10, rng.NormFloat64()*10)
+		theta := rng.Float64() * 2 * math.Pi
+		w := v.Rotate(theta)
+		if !almostEq(v.Len(), w.Len(), 1e-9*math.Max(1, v.Len())) {
+			t.Fatalf("rotation changed length: %v -> %v", v.Len(), w.Len())
+		}
+		if v.Len() > 1e-6 {
+			want := NormAngle(v.Angle() + theta)
+			if AbsAngleDiff(w.Angle(), want) > 1e-9 {
+				t.Fatalf("rotation angle wrong: got %v want %v", w.Angle(), want)
+			}
+		}
+	}
+}
+
+// Property: dot and cross satisfy |v||w| identities.
+func TestDotCrossIdentity(t *testing.T) {
+	f := func(vx, vy, wx, wy float64) bool {
+		if math.Abs(vx) > 1e6 || math.Abs(vy) > 1e6 || math.Abs(wx) > 1e6 || math.Abs(wy) > 1e6 {
+			return true
+		}
+		v, w := V(vx, vy), V(wx, wy)
+		lhs := v.Dot(w)*v.Dot(w) + v.Cross(w)*v.Cross(w)
+		rhs := v.Len2() * w.Len2()
+		return almostEq(lhs, rhs, 1e-6*math.Max(1, rhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,37 @@
+package matching_test
+
+import (
+	"fmt"
+
+	"hipo/internal/matching"
+)
+
+// ExampleHungarian assigns three chargers to three new positions at
+// minimum total relocation cost.
+func ExampleHungarian() {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total, err := matching.Hungarian(cost)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("assignment:", assign, "total:", total)
+	// Output: assignment: [1 0 2] total: 5
+}
+
+// ExampleBottleneck finds the matching minimizing the worst single move.
+func ExampleBottleneck() {
+	cost := [][]float64{
+		{10, 3},
+		{4, 9},
+	}
+	_, bottleneck, total, err := matching.Bottleneck(cost)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("bottleneck: %v total: %v\n", bottleneck, total)
+	// Output: bottleneck: 4 total: 7
+}

@@ -1,0 +1,169 @@
+package matching
+
+import (
+	"errors"
+	"sort"
+)
+
+// HopcroftKarp computes a maximum matching in a bipartite graph with nLeft
+// left vertices and nRight right vertices; adj[i] lists the right vertices
+// adjacent to left vertex i. It returns the matching size and the per-left
+// match (−1 if unmatched). Runs in O(E·√V).
+func HopcroftKarp(nLeft, nRight int, adj [][]int) (int, []int) {
+	const infDist = int(^uint(0) >> 1)
+	matchL := make([]int, nLeft)
+	matchR := make([]int, nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for j := range matchR {
+		matchR[j] = -1
+	}
+	dist := make([]int, nLeft)
+	queue := make([]int, 0, nLeft)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for i := 0; i < nLeft; i++ {
+			if matchL[i] == -1 {
+				dist[i] = 0
+				queue = append(queue, i)
+			} else {
+				dist[i] = infDist
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			i := queue[head]
+			for _, j := range adj[i] {
+				k := matchR[j]
+				if k == -1 {
+					found = true
+				} else if dist[k] == infDist {
+					dist[k] = dist[i] + 1
+					queue = append(queue, k)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(i int) bool
+	dfs = func(i int) bool {
+		for _, j := range adj[i] {
+			k := matchR[j]
+			if k == -1 || (dist[k] == dist[i]+1 && dfs(k)) {
+				matchL[i] = j
+				matchR[j] = i
+				return true
+			}
+		}
+		dist[i] = infDist
+		return false
+	}
+
+	size := 0
+	for bfs() {
+		for i := 0; i < nLeft; i++ {
+			if matchL[i] == -1 && dfs(i) {
+				size++
+			}
+		}
+	}
+	return size, matchL
+}
+
+// HasPerfectMatching reports whether a bipartite graph on n+n vertices has
+// a perfect matching — the Hall's-theorem feasibility check used in the
+// min-max redeployment search (Section 8.1.2).
+func HasPerfectMatching(n int, adj [][]int) bool {
+	size, _ := HopcroftKarp(n, n, adj)
+	return size == n
+}
+
+// Bottleneck solves the min-max (bottleneck) assignment problem: find a
+// perfect matching minimizing the maximum edge cost, then, among such
+// matchings, one minimizing total cost (via Hungarian on the thresholded
+// graph). Forbidden entries are excluded. Returns the assignment, the
+// bottleneck value, and the total cost.
+func Bottleneck(cost [][]float64) ([]int, float64, float64, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, 0, nil
+	}
+	// Collect and sort distinct finite weights for binary search.
+	var weights []float64
+	for i := range cost {
+		if len(cost[i]) != n {
+			return nil, 0, 0, errNotSquare
+		}
+		for j := range cost[i] {
+			if cost[i][j] != Forbidden {
+				weights = append(weights, cost[i][j])
+			}
+		}
+	}
+	if len(weights) == 0 {
+		return nil, 0, 0, ErrInfeasible
+	}
+	sort.Float64s(weights)
+	weights = dedupFloats(weights)
+
+	feasibleAt := func(w float64) bool {
+		adj := make([][]int, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if cost[i][j] != Forbidden && cost[i][j] <= w {
+					adj[i] = append(adj[i], j)
+				}
+			}
+		}
+		return HasPerfectMatching(n, adj)
+	}
+
+	// Binary search the smallest feasible bottleneck weight.
+	lo, hi := 0, len(weights)-1
+	if !feasibleAt(weights[hi]) {
+		return nil, 0, 0, ErrInfeasible
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if feasibleAt(weights[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	bottleneck := weights[lo]
+
+	// Hungarian on the thresholded cost matrix minimizes total cost subject
+	// to the bottleneck (Section 8.1.2's second step).
+	thr := make([][]float64, n)
+	for i := range thr {
+		thr[i] = make([]float64, n)
+		for j := range thr[i] {
+			if cost[i][j] != Forbidden && cost[i][j] <= bottleneck {
+				thr[i][j] = cost[i][j]
+			} else {
+				thr[i][j] = Forbidden
+			}
+		}
+	}
+	assign, total, err := Hungarian(thr)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return assign, bottleneck, total, nil
+}
+
+var errNotSquare = errors.New("matching: cost matrix not square")
+
+func dedupFloats(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

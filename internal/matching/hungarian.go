@@ -1,0 +1,116 @@
+// Package matching provides the bipartite-matching substrate for the
+// charger redeployment problems of Section 8.1: the Hungarian algorithm for
+// minimum-cost perfect assignment, Hopcroft–Karp maximum matching for the
+// Hall-feasibility checks, and the bottleneck (min-max) assignment solved by
+// binary search over edge weights.
+package matching
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInfeasible is returned when no perfect matching exists under the given
+// constraints.
+var ErrInfeasible = errors.New("matching: no feasible perfect matching")
+
+// Forbidden marks an edge that may not be used in an assignment.
+const Forbidden = math.MaxFloat64
+
+// Hungarian solves the n×n minimum-cost assignment problem in O(n³) using
+// the Jonker-style shortest augmenting path formulation of the Kuhn–Munkres
+// algorithm. cost[i][j] is the cost of assigning row i to column j; entries
+// equal to Forbidden are excluded. It returns the column assigned to each
+// row and the total cost.
+func Hungarian(cost [][]float64) ([]int, float64, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	for _, row := range cost {
+		if len(row) != n {
+			return nil, 0, errors.New("matching: cost matrix not square")
+		}
+	}
+	const inf = math.MaxFloat64
+
+	// 1-indexed potentials/links, standard JV implementation.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j]: row matched to column j (0 = none)
+	way := make([]int, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				c := cost[i0-1][j-1]
+				if c == Forbidden {
+					c = inf
+				}
+				var cur float64
+				if c == inf {
+					cur = inf
+				} else {
+					cur = c - u[i0] - v[j]
+				}
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if j1 < 0 || delta == inf {
+				return nil, 0, ErrInfeasible
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	total := 0.0
+	for j := 1; j <= n; j++ {
+		assign[p[j]-1] = j - 1
+		c := cost[p[j]-1][j-1]
+		if c == Forbidden {
+			return nil, 0, ErrInfeasible
+		}
+		total += c
+	}
+	return assign, total, nil
+}

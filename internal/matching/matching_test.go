@@ -1,0 +1,388 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHungarianSmall(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total, err := Hungarian(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: row0→col1 (1), row1→col0 (2), row2→col2 (2) = 5.
+	if total != 5 {
+		t.Errorf("total = %v, want 5", total)
+	}
+	seen := make(map[int]bool)
+	for _, j := range assign {
+		if seen[j] {
+			t.Fatal("column assigned twice")
+		}
+		seen[j] = true
+	}
+}
+
+func TestHungarianIdentity(t *testing.T) {
+	n := 6
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i == j {
+				cost[i][j] = 0
+			} else {
+				cost[i][j] = 10
+			}
+		}
+	}
+	assign, total, err := Hungarian(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 0 {
+		t.Errorf("total = %v", total)
+	}
+	for i, j := range assign {
+		if i != j {
+			t.Errorf("assign[%d] = %d", i, j)
+		}
+	}
+}
+
+func TestHungarianForbidden(t *testing.T) {
+	cost := [][]float64{
+		{Forbidden, 1},
+		{1, Forbidden},
+	}
+	assign, total, err := Hungarian(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 || assign[0] != 1 || assign[1] != 0 {
+		t.Errorf("assign=%v total=%v", assign, total)
+	}
+	// Fully forbidden row: infeasible.
+	bad := [][]float64{
+		{Forbidden, Forbidden},
+		{1, 1},
+	}
+	if _, _, err := Hungarian(bad); err == nil {
+		t.Error("expected infeasible")
+	}
+}
+
+func TestHungarianEmptyAndNonSquare(t *testing.T) {
+	if _, total, err := Hungarian(nil); err != nil || total != 0 {
+		t.Error("empty matrix should be trivially solvable")
+	}
+	if _, _, err := Hungarian([][]float64{{1, 2}}); err == nil {
+		t.Error("non-square matrix should error")
+	}
+}
+
+// bruteAssign finds the optimal assignment by permutation enumeration.
+func bruteAssign(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			tot := 0.0
+			for i, j := range perm {
+				if cost[i][j] == Forbidden {
+					return
+				}
+				tot += cost[i][j]
+			}
+			if tot < best {
+				best = tot
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+// Property: Hungarian matches brute force on random instances.
+func TestHungarianMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(5)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(rng.Float64() * 100)
+			}
+		}
+		_, got, err := Hungarian(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteAssign(cost)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: hungarian %v != brute %v", trial, got, want)
+		}
+	}
+}
+
+func TestHopcroftKarp(t *testing.T) {
+	// 3×3: 0-{0,1}, 1-{0}, 2-{1,2} has a perfect matching.
+	adj := [][]int{{0, 1}, {0}, {1, 2}}
+	size, matchL := HopcroftKarp(3, 3, adj)
+	if size != 3 {
+		t.Fatalf("size = %d", size)
+	}
+	seen := map[int]bool{}
+	for i, j := range matchL {
+		if j < 0 || seen[j] {
+			t.Fatalf("bad match for %d: %d", i, j)
+		}
+		seen[j] = true
+	}
+	// No perfect matching: two lefts forced to one right.
+	adj = [][]int{{0}, {0}, {1, 2}}
+	size, _ = HopcroftKarp(3, 3, adj)
+	if size != 2 {
+		t.Fatalf("size = %d, want 2", size)
+	}
+	if HasPerfectMatching(3, adj) {
+		t.Error("should not have a perfect matching")
+	}
+}
+
+// Property: Hopcroft–Karp matching size equals the brute-force maximum on
+// random bipartite graphs.
+func TestHopcroftKarpMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(5)
+		adj := make([][]int, n)
+		for i := range adj {
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					adj[i] = append(adj[i], j)
+				}
+			}
+		}
+		got, _ := HopcroftKarp(n, n, adj)
+		want := bruteMatching(n, adj)
+		if got != want {
+			t.Fatalf("trial %d: HK %d != brute %d", trial, got, want)
+		}
+	}
+}
+
+func bruteMatching(n int, adj [][]int) int {
+	usedR := make([]bool, n)
+	best := 0
+	var rec func(i, count int)
+	rec = func(i, count int) {
+		if count > best {
+			best = count
+		}
+		if i == n {
+			return
+		}
+		rec(i+1, count) // leave i unmatched
+		for _, j := range adj[i] {
+			if !usedR[j] {
+				usedR[j] = true
+				rec(i+1, count+1)
+				usedR[j] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestBottleneck(t *testing.T) {
+	cost := [][]float64{
+		{10, 3, 8},
+		{4, 9, 7},
+		{6, 5, 2},
+	}
+	assign, bn, total, err := Bottleneck(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Min-max: {3,4,2} with max 4 is achievable (0→1, 1→0, 2→2).
+	if bn != 4 {
+		t.Errorf("bottleneck = %v, want 4", bn)
+	}
+	if total != 9 {
+		t.Errorf("total = %v, want 9", total)
+	}
+	if assign[0] != 1 || assign[1] != 0 || assign[2] != 2 {
+		t.Errorf("assign = %v", assign)
+	}
+}
+
+// Property: the bottleneck value is the minimum over all permutations of
+// the maximum edge, verified by brute force.
+func TestBottleneckMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(4)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(rng.Float64() * 50)
+			}
+		}
+		_, bn, _, err := Bottleneck(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteBottleneck(cost)
+		if bn != want {
+			t.Fatalf("trial %d: bottleneck %v != brute %v", trial, bn, want)
+		}
+	}
+}
+
+func bruteBottleneck(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			mx := 0.0
+			for i, j := range perm {
+				if cost[i][j] > mx {
+					mx = cost[i][j]
+				}
+			}
+			if mx < best {
+				best = mx
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestBottleneckInfeasible(t *testing.T) {
+	cost := [][]float64{
+		{Forbidden, Forbidden},
+		{1, 1},
+	}
+	if _, _, _, err := Bottleneck(cost); err == nil {
+		t.Error("expected infeasible")
+	}
+	all := [][]float64{{Forbidden}}
+	if _, _, _, err := Bottleneck(all); err == nil {
+		t.Error("expected infeasible for all-forbidden")
+	}
+}
+
+func TestBottleneckSecondaryTotalOptimal(t *testing.T) {
+	// Both bottleneck-5 matchings exist: the identity (total 15) and the
+	// swap of rows 0/1 (total 7). The solver must pick the cheaper one.
+	cost := [][]float64{
+		{5, 1, 9},
+		{1, 5, 9},
+		{9, 9, 5},
+	}
+	_, bn, total, err := Bottleneck(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bn != 5 {
+		t.Errorf("bottleneck = %v, want 5", bn)
+	}
+	if total != 7 {
+		t.Errorf("total = %v, want 7", total)
+	}
+}
+
+// Property (testing/quick): the optimal assignment cost is invariant under
+// row permutation of the cost matrix.
+func TestQuickHungarianRowPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(5)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(rng.Float64() * 100)
+			}
+		}
+		_, total, err := Hungarian(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := rng.Perm(n)
+		shuffled := make([][]float64, n)
+		for i, pi := range perm {
+			shuffled[i] = cost[pi]
+		}
+		_, total2, err := Hungarian(shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(total-total2) > 1e-9 {
+			t.Fatalf("row permutation changed optimum: %v vs %v", total, total2)
+		}
+	}
+}
+
+// Property: adding a constant to every entry shifts the optimum by n·c.
+func TestQuickHungarianShiftInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(98))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(4)
+		c := math.Floor(rng.Float64() * 50)
+		cost := make([][]float64, n)
+		shifted := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			cost[i] = make([]float64, n)
+			shifted[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				cost[i][j] = math.Floor(rng.Float64() * 100)
+				shifted[i][j] = cost[i][j] + c
+			}
+		}
+		_, t1, err := Hungarian(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, t2, err := Hungarian(shifted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(t2-(t1+float64(n)*c)) > 1e-9 {
+			t.Fatalf("shift not linear: %v vs %v + %v·%d", t2, t1, c, n)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package pdcs
+
+import (
+	"math"
+	"time"
+
+	"hipo/internal/discretize"
+	"hipo/internal/geom"
+	"hipo/internal/model"
+	"hipo/internal/schedule"
+)
+
+// TaskOutput is the result of one distributed PDCS extraction task
+// (Algorithm 4): candidate strategies generated from one device's
+// neighbor-set workload across all charger types, plus the measured serial
+// duration used for LPT scheduling and makespan simulation.
+type TaskOutput struct {
+	Device     int
+	Candidates []Candidate
+	Duration   time.Duration
+}
+
+// RunTask executes the distributed-extraction task for device i: for every
+// charger type, generate device i's own critical positions plus the pair
+// constructions with larger-indexed neighbors, and sweep each position
+// (Algorithm 4 delegates to Algorithms 1 and 2). gens caches one Generator
+// per charger type.
+func RunTask(sc *model.Scenario, gens []*discretize.Generator, i int, cfg Config) TaskOutput {
+	start := time.Now()
+	var cands []Candidate
+	for q := range sc.ChargerTypes {
+		pts := discretize.Dedup(gens[q].TaskPositions(i))
+		pts = discretize.FilterUseful(sc, q, pts)
+		for _, p := range pts {
+			cands = append(cands, SweepPoint(sc, q, p, cfg.Eps1)...)
+		}
+	}
+	return TaskOutput{Device: i, Candidates: cands, Duration: time.Since(start)}
+}
+
+// DistStats reports the timing of a distributed extraction run.
+type DistStats struct {
+	// TaskSeconds[i] is the measured serial duration of task i.
+	TaskSeconds []float64
+	// SerialSeconds is Σ TaskSeconds: the non-distributed wall time of the
+	// parallel-processing part.
+	SerialSeconds float64
+	// MakespanSeconds[m] is the simulated LPT makespan with m machines, for
+	// each requested machine count.
+	MakespanSeconds map[int]float64
+}
+
+// ExtractDistributed implements Algorithm 5: it splits PDCS extraction into
+// per-device tasks, runs them on a worker pool of size workers (0 =
+// serial measurement only), measures each task's serial cost, and simulates
+// the LPT makespan for every machine count in machineCounts. When the
+// number of machines is at least the number of devices, each task gets its
+// own machine, as in Algorithm 5 line 1. Candidates are merged per charger
+// type and dominance-filtered.
+func ExtractDistributed(sc *model.Scenario, cfg Config, workers int, machineCounts []int) ([][]Candidate, DistStats) {
+	no := len(sc.Devices)
+	gens := make([]*discretize.Generator, len(sc.ChargerTypes))
+	dcfg := discretize.Config{Eps1: cfg.Eps1, SkipPairConstructions: cfg.SkipPairConstructions}
+	for q := range gens {
+		gens[q] = discretize.NewGenerator(sc, q, dcfg)
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	outs := schedule.RunPool(no, workers, func(i int) TaskOutput {
+		return RunTask(sc, gens, i, cfg)
+	})
+
+	stats := DistStats{
+		TaskSeconds:     make([]float64, no),
+		MakespanSeconds: make(map[int]float64),
+	}
+	tasks := make([]schedule.Task, no)
+	for i, o := range outs {
+		stats.TaskSeconds[i] = o.Duration.Seconds()
+		stats.SerialSeconds += stats.TaskSeconds[i]
+		tasks[i] = schedule.Task{ID: i, Duration: stats.TaskSeconds[i]}
+	}
+	for _, m := range machineCounts {
+		if m >= no {
+			// One task per machine: makespan is the longest task.
+			longest := 0.0
+			for _, t := range tasks {
+				if t.Duration > longest {
+					longest = t.Duration
+				}
+			}
+			stats.MakespanSeconds[m] = longest
+			continue
+		}
+		stats.MakespanSeconds[m] = schedule.LPT(tasks, m).Makespan()
+	}
+
+	// Merge per charger type, deduplicate positions produced by distinct
+	// tasks, and dominance-filter.
+	byType := make([][]Candidate, len(sc.ChargerTypes))
+	for _, o := range outs {
+		for _, c := range o.Candidates {
+			byType[c.S.Type] = append(byType[c.S.Type], c)
+		}
+	}
+	for q := range byType {
+		byType[q] = dedupCandidates(byType[q])
+		if !cfg.SkipDominanceFilter {
+			byType[q] = FilterDominated(byType[q], no)
+		}
+	}
+	return byType, stats
+}
+
+// dedupCandidates removes candidates with near-identical strategies using
+// quantized (position, orientation) keys.
+func dedupCandidates(cands []Candidate) []Candidate {
+	type key struct{ x, y, o int64 }
+	seen := make(map[key]bool, len(cands))
+	quant := func(v float64) int64 { return int64(math.Round(v / 1e-6)) }
+	out := cands[:0]
+	for i := range cands {
+		k := key{quant(cands[i].S.Pos.X), quant(cands[i].S.Pos.Y), quant(geom.NormAngle(cands[i].S.Orient))}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, cands[i])
+	}
+	return out
+}

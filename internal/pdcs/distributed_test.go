@@ -1,0 +1,115 @@
+package pdcs
+
+import (
+	"math"
+	"testing"
+
+	"hipo/internal/discretize"
+	"hipo/internal/geom"
+	"hipo/internal/model"
+)
+
+func TestRunTaskCoversOwnDevice(t *testing.T) {
+	sc := ringScenario()
+	cfg := Config{Eps1: 0.4}
+	gens := []*discretize.Generator{
+		discretize.NewGenerator(sc, 0, discretize.Config{Eps1: cfg.Eps1}),
+	}
+	out := RunTask(sc, gens, 0, cfg)
+	if out.Device != 0 {
+		t.Errorf("device = %d", out.Device)
+	}
+	if len(out.Candidates) == 0 {
+		t.Fatal("task produced no candidates")
+	}
+	found := false
+	for _, c := range out.Candidates {
+		for _, dp := range c.Covers {
+			if dp.Device == 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("task for device 0 never covers device 0")
+	}
+}
+
+func TestExtractDistributedMatchesSerialUnion(t *testing.T) {
+	sc := ringScenario()
+	cfg := Config{Eps1: 0.4}
+	serial := Extract(sc, 0, cfg)
+	dist, stats := ExtractDistributed(sc, cfg, 4, []int{1, 2, 4})
+	if len(dist) != 1 {
+		t.Fatalf("per-type buckets = %d", len(dist))
+	}
+	// The distributed extraction must reach the same best coverage quality:
+	// compare the maximum covered-set size and maximum total power.
+	maxCover := func(cs []Candidate) (int, float64) {
+		n, p := 0, 0.0
+		for _, c := range cs {
+			if len(c.Covers) > n {
+				n = len(c.Covers)
+			}
+			if tp := c.TotalPower(); tp > p {
+				p = tp
+			}
+		}
+		return n, p
+	}
+	sn, sp := maxCover(serial)
+	dn, dp := maxCover(dist[0])
+	if dn < sn {
+		t.Errorf("distributed best cover %d below serial %d", dn, sn)
+	}
+	if dp < sp-1e-12 {
+		t.Errorf("distributed best power %v below serial %v", dp, sp)
+	}
+	// Timing stats are self-consistent.
+	if len(stats.TaskSeconds) != len(sc.Devices) {
+		t.Errorf("task seconds = %d entries", len(stats.TaskSeconds))
+	}
+	sum := 0.0
+	for _, s := range stats.TaskSeconds {
+		if s < 0 {
+			t.Error("negative task time")
+		}
+		sum += s
+	}
+	if math.Abs(sum-stats.SerialSeconds) > 1e-9 {
+		t.Error("serial time != Σ task times")
+	}
+	// Makespan decreases (weakly) with machines and never beats the longest
+	// task.
+	if stats.MakespanSeconds[2] > stats.MakespanSeconds[1]+1e-12 {
+		t.Error("makespan grew with machines")
+	}
+	if stats.MakespanSeconds[4] > stats.MakespanSeconds[2]+1e-12 {
+		t.Error("makespan grew with machines")
+	}
+}
+
+func TestExtractDistributedManyMachines(t *testing.T) {
+	sc := ringScenario()
+	_, stats := ExtractDistributed(sc, Config{Eps1: 0.4}, 2, []int{100})
+	longest := 0.0
+	for _, s := range stats.TaskSeconds {
+		if s > longest {
+			longest = s
+		}
+	}
+	if math.Abs(stats.MakespanSeconds[100]-longest) > 1e-12 {
+		t.Errorf("m≥No makespan should equal longest task: %v vs %v",
+			stats.MakespanSeconds[100], longest)
+	}
+}
+
+func TestDedupCandidates(t *testing.T) {
+	a := Candidate{S: model.Strategy{Pos: geom.V(1, 2), Orient: 0.5, Type: 0}}
+	b := Candidate{S: model.Strategy{Pos: geom.V(1, 2), Orient: 0.5, Type: 0}}
+	c := Candidate{S: model.Strategy{Pos: geom.V(1, 2), Orient: 0.7, Type: 0}}
+	out := dedupCandidates([]Candidate{a, b, c})
+	if len(out) != 2 {
+		t.Errorf("dedup kept %d, want 2", len(out))
+	}
+}

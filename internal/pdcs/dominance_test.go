@@ -1,0 +1,132 @@
+package pdcs
+
+// Theorem 4.1 states that for ANY strategy there exists an extracted
+// candidate whose covered device set dominates (is a superset of) the
+// strategy's. These tests probe that guarantee empirically with large
+// numbers of random strategies on scenarios with and without obstacles.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hipo/internal/geom"
+	"hipo/internal/model"
+	"hipo/internal/power"
+)
+
+// coveredSet returns the devices a strategy charges with positive exact
+// power.
+func coveredSet(sc *model.Scenario, s model.Strategy) []int {
+	var out []int
+	for j := range sc.Devices {
+		if power.Exact(sc, s, j) > 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func isSubset(a, b []int) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+	}
+	return true
+}
+
+func dominanceScenario(rng *rand.Rand, withObstacle bool) *model.Scenario {
+	sc := &model.Scenario{
+		Region: model.Region{Min: geom.V(0, 0), Max: geom.V(30, 30)},
+		ChargerTypes: []model.ChargerType{
+			{Name: "c", Alpha: math.Pi / 2, DMin: 2, DMax: 8, Count: 2},
+		},
+		DeviceTypes: []model.DeviceType{
+			{Name: "d", Alpha: math.Pi, PTh: 0.05},
+		},
+		Power: [][]model.PowerParams{{{A: 100, B: 40}}},
+	}
+	if withObstacle {
+		sc.Obstacles = []model.Obstacle{{Shape: geom.Rect(13, 13, 17, 17)}}
+	}
+	for len(sc.Devices) < 6 {
+		p := geom.V(5+rng.Float64()*20, 5+rng.Float64()*20)
+		if !sc.FeasiblePosition(p) {
+			continue
+		}
+		sc.Devices = append(sc.Devices, model.Device{
+			Pos: p, Orient: rng.Float64() * 2 * math.Pi, Type: 0,
+		})
+	}
+	return sc
+}
+
+// testDominance checks, for nProbes random strategies, that some extracted
+// candidate's covered set is a superset. It returns the number of
+// violations so callers can assert exact-zero or near-zero depending on the
+// numerical hardness of the configuration.
+func testDominance(t *testing.T, sc *model.Scenario, nProbes int, rng *rand.Rand) int {
+	t.Helper()
+	cands := Extract(sc, 0, Config{Eps1: 0.4})
+	sets := make([][]int, len(cands))
+	for i, c := range cands {
+		for _, dp := range c.Covers {
+			sets[i] = append(sets[i], dp.Device)
+		}
+	}
+	violations := 0
+	for probe := 0; probe < nProbes; probe++ {
+		s := model.Strategy{
+			Pos:    geom.V(rng.Float64()*30, rng.Float64()*30),
+			Orient: rng.Float64() * 2 * math.Pi,
+			Type:   0,
+		}
+		if !sc.FeasiblePosition(s.Pos) {
+			continue
+		}
+		cov := coveredSet(sc, s)
+		if len(cov) == 0 {
+			continue
+		}
+		dominated := false
+		for _, set := range sets {
+			if isSubset(cov, set) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			violations++
+		}
+	}
+	return violations
+}
+
+// TestTheorem41NoObstacles: without obstacles the critical-point
+// enumeration is complete and every random strategy must be dominated.
+func TestTheorem41NoObstacles(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 4; trial++ {
+		sc := dominanceScenario(rng, false)
+		if v := testDominance(t, sc, 3000, rng); v > 0 {
+			t.Errorf("trial %d: %d random strategies not dominated by any candidate", trial, v)
+		}
+	}
+}
+
+// TestTheorem41WithObstacles: with obstacles, hole boundaries join the
+// arrangement; the enumeration must still dominate random strategies.
+func TestTheorem41WithObstacles(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 4; trial++ {
+		sc := dominanceScenario(rng, true)
+		if v := testDominance(t, sc, 3000, rng); v > 0 {
+			t.Errorf("trial %d: %d random strategies not dominated by any candidate", trial, v)
+		}
+	}
+}

@@ -1,0 +1,374 @@
+// Package pdcs implements Practical Dominating Coverage Set extraction
+// (Section 4.2): Algorithm 1 (the rotating sweep at a fixed point),
+// Algorithm 2 (area case, realized over the critical candidate positions
+// from internal/discretize), and the dominance filtering that discards
+// strategies whose coverage is subsumed by another strategy of the same
+// charger type.
+package pdcs
+
+import (
+	"math"
+	"runtime"
+	"sort"
+
+	"hipo/internal/discretize"
+	"hipo/internal/geom"
+	"hipo/internal/model"
+	"hipo/internal/power"
+	"hipo/internal/schedule"
+)
+
+// DevPower records the approximated charging power a candidate strategy
+// delivers to one device.
+type DevPower struct {
+	Device int
+	Power  float64
+}
+
+// Candidate is a candidate strategy together with the devices it covers and
+// the piecewise-approximated power each receives.
+type Candidate struct {
+	S      model.Strategy
+	Covers []DevPower // sorted by device index
+}
+
+// TotalPower returns the sum of approximated powers the candidate delivers.
+func (c *Candidate) TotalPower() float64 {
+	t := 0.0
+	for _, dp := range c.Covers {
+		t += dp.Power
+	}
+	return t
+}
+
+// eligible describes a device chargeable from a position, once the charger
+// orientation allows it: its direction from the position and its
+// approximated power.
+type eligible struct {
+	device int
+	theta  float64 // direction from the charger position to the device
+	pw     float64 // approximated charging power
+}
+
+// EligibleAt returns the devices that a charger of type q at position p
+// could charge under some orientation: distance within [DMin, DMax], p
+// inside the device's receiving sector, and clear line of sight. The
+// returned powers use the piecewise approximation with parameter eps1.
+func EligibleAt(sc *model.Scenario, q int, p geom.Vec, eps1 float64) []eligible {
+	return newEligibleCache(sc, q, eps1).at(p)
+}
+
+// eligibleCache precomputes, per device type, the piecewise power levels
+// for one charger type so that eligibility checks at thousands of candidate
+// positions avoid re-deriving them. Safe for concurrent reads.
+type eligibleCache struct {
+	sc     *model.Scenario
+	q      int
+	ct     model.ChargerType
+	levels []power.Levels // per device type
+}
+
+func newEligibleCache(sc *model.Scenario, q int, eps1 float64) *eligibleCache {
+	ct := sc.ChargerTypes[q]
+	c := &eligibleCache{sc: sc, q: q, ct: ct}
+	for t := range sc.DeviceTypes {
+		pp := sc.Power[q][t]
+		c.levels = append(c.levels, power.NewLevels(pp.A, pp.B, ct.DMin, ct.DMax, eps1))
+	}
+	return c
+}
+
+func (c *eligibleCache) at(p geom.Vec) []eligible {
+	sc, ct := c.sc, c.ct
+	dmin2 := (ct.DMin - geom.Eps) * (ct.DMin - geom.Eps)
+	if ct.DMin < geom.Eps {
+		dmin2 = 0
+	}
+	dmax2 := (ct.DMax + geom.Eps) * (ct.DMax + geom.Eps)
+	var out []eligible
+	for j := range sc.Devices {
+		dev := &sc.Devices[j]
+		delta := dev.Pos.Sub(p)
+		d2 := delta.Len2()
+		if d2 < dmin2 || d2 > dmax2 {
+			continue
+		}
+		d := math.Sqrt(d2)
+		// Charger within the device's receiving sector (dot-product form;
+		// the radial gate is already checked above).
+		dt := &sc.DeviceTypes[dev.Type]
+		if dt.Alpha < 2*math.Pi-geom.Eps {
+			if d <= geom.Eps {
+				continue
+			}
+			back := delta.Neg() // device → charger
+			if back.Dot(geom.FromAngle(dev.Orient)) < d*math.Cos(dt.Alpha/2)-geom.Eps*math.Max(1, d) {
+				continue
+			}
+		}
+		if !sc.LineOfSight(p, dev.Pos) {
+			continue
+		}
+		pw := c.levels[dev.Type].Approx(d)
+		if pw <= 0 {
+			continue
+		}
+		out = append(out, eligible{device: j, theta: delta.Angle(), pw: pw})
+	}
+	return out
+}
+
+// SweepPoint implements Algorithm 1: it rotates a charger of type q at
+// point p through 360° and returns one candidate per practical dominating
+// coverage set. Orientations are chosen at the critical positions where a
+// device is about to fall out of the charging sector.
+func SweepPoint(sc *model.Scenario, q int, p geom.Vec, eps1 float64) []Candidate {
+	return sweepPointCached(sc, q, p, newEligibleCache(sc, q, eps1))
+}
+
+func sweepPointCached(sc *model.Scenario, q int, p geom.Vec, cache *eligibleCache) []Candidate {
+	el := cache.at(p)
+	if len(el) == 0 {
+		return nil
+	}
+	ct := sc.ChargerTypes[q]
+	if ct.Alpha >= 2*math.Pi-geom.Eps {
+		// Omnidirectional charger: a single strategy covers everything.
+		return []Candidate{makeCandidate(p, 0, q, el, allIdx(len(el)))}
+	}
+	half := ct.Alpha / 2
+
+	// Device k is covered at orientation φ iff φ ∈ [θ_k − half, θ_k + half].
+	// Maximal coverage sets occur just before a device falls out, i.e. at
+	// φ = θ_k + half for some k (Algorithm 1 line 4).
+	var cands []Candidate
+	seen := make(map[string]bool)
+	for _, e := range el {
+		phi := geom.NormAngle(e.theta + half)
+		var idx []int
+		for i, f := range el {
+			if geom.AbsAngleDiff(phi, f.theta) <= half+geom.Eps {
+				idx = append(idx, i)
+			}
+		}
+		sig := idxSignature(el, idx)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		cands = append(cands, makeCandidate(p, phi, q, el, idx))
+	}
+	return filterLocalDominated(cands)
+}
+
+func allIdx(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func idxSignature(el []eligible, idx []int) string {
+	buf := make([]byte, 0, len(idx)*4)
+	for _, i := range idx {
+		d := el[i].device
+		buf = append(buf, byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+	}
+	return string(buf)
+}
+
+func makeCandidate(p geom.Vec, phi float64, q int, el []eligible, idx []int) Candidate {
+	c := Candidate{S: model.Strategy{Pos: p, Orient: phi, Type: q}}
+	c.Covers = make([]DevPower, 0, len(idx))
+	for _, i := range idx {
+		c.Covers = append(c.Covers, DevPower{Device: el[i].device, Power: el[i].pw})
+	}
+	sort.Slice(c.Covers, func(a, b int) bool { return c.Covers[a].Device < c.Covers[b].Device })
+	return c
+}
+
+// filterLocalDominated removes candidates at a single position whose device
+// sets are strict subsets of another candidate's (powers at one position are
+// identical per device, so set inclusion is the whole story here).
+func filterLocalDominated(cands []Candidate) []Candidate {
+	out := cands[:0]
+	for i := range cands {
+		dominated := false
+		for j := range cands {
+			if i == j {
+				continue
+			}
+			// Signature dedup upstream guarantees distinct sets, so a
+			// subset with strictly smaller cardinality is a strict subset.
+			if len(cands[i].Covers) < len(cands[j].Covers) &&
+				coversSubset(cands[i].Covers, cands[j].Covers) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, cands[i])
+		}
+	}
+	return out
+}
+
+// coversSubset reports whether a's device set is a subset of b's (both
+// sorted by device).
+func coversSubset(a, b []DevPower) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i].Device < x.Device {
+			i++
+		}
+		if i >= len(b) || b[i].Device != x.Device {
+			return false
+		}
+	}
+	return true
+}
+
+// Extract runs the full PDCS extraction for charger type q: candidate
+// positions from internal/discretize, Algorithm 1 at each (parallelized
+// over positions with cfg.Workers goroutines), then global dominance
+// filtering (Algorithm 2 step 9) unless cfg.SkipDominanceFilter. Results
+// are deterministic regardless of worker count: per-position outputs are
+// concatenated in position order.
+func Extract(sc *model.Scenario, q int, cfg Config) []Candidate {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	positions := discretize.CandidatePositions(sc, q, discretize.Config{
+		Eps1:                  cfg.Eps1,
+		Workers:               workers,
+		SkipPairConstructions: cfg.SkipPairConstructions,
+	})
+	cache := newEligibleCache(sc, q, cfg.Eps1)
+	perPos := schedule.RunPool(len(positions), workers, func(i int) []Candidate {
+		return sweepPointCached(sc, q, positions[i], cache)
+	})
+	var cands []Candidate
+	for _, cs := range perPos {
+		cands = append(cands, cs...)
+	}
+	if cfg.SkipDominanceFilter {
+		return cands
+	}
+	return FilterDominated(cands, len(sc.Devices))
+}
+
+// Config tunes PDCS extraction.
+type Config struct {
+	// Eps1 is the approximation parameter ε₁ (Lemma 4.1).
+	Eps1 float64
+	// Workers bounds the goroutines sweeping candidate positions
+	// (0 = GOMAXPROCS).
+	Workers int
+	// SkipDominanceFilter keeps dominated candidates (ablation).
+	SkipDominanceFilter bool
+	// SkipPairConstructions is forwarded to internal/discretize (ablation).
+	SkipPairConstructions bool
+}
+
+// FilterDominated removes candidates that are dominated by another
+// candidate of the same charger type: B dominates A when B covers every
+// device A covers with at least A's power, and the two are not identical
+// (ties keep the earlier candidate). Device bitsets accelerate the subset
+// tests. no is the number of devices in the scenario.
+func FilterDominated(cands []Candidate, no int) []Candidate {
+	n := len(cands)
+	if n <= 1 {
+		return cands
+	}
+	words := (no + 63) / 64
+	bits := make([][]uint64, n)
+	total := make([]float64, n)
+	for i := range cands {
+		bits[i] = make([]uint64, words)
+		for _, dp := range cands[i].Covers {
+			bits[i][dp.Device/64] |= 1 << (uint(dp.Device) % 64)
+		}
+		total[i] = cands[i].TotalPower()
+	}
+	// Sort candidate order by decreasing total power so likely dominators
+	// come first; dominance can only come from candidates with ≥ total
+	// power (since powers are componentwise ≥).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return total[order[a]] > total[order[b]] })
+
+	keep := make([]bool, n)
+	var kept []int
+	for _, i := range order {
+		dominated := false
+		for _, k := range kept {
+			if total[k] < total[i]-1e-15 {
+				break // sorted: no later kept candidate can dominate
+			}
+			if i == k || !bitsSubset(bits[i], bits[k]) {
+				continue
+			}
+			if powersDominated(cands[i].Covers, cands[k].Covers, cands[i].S.Type == cands[k].S.Type) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			keep[i] = true
+			kept = append(kept, i)
+		}
+	}
+	out := cands[:0]
+	for i := range cands {
+		if keep[i] {
+			out = append(out, cands[i])
+		}
+	}
+	return out
+}
+
+func bitsSubset(a, b []uint64) bool {
+	for w := range a {
+		if a[w]&^b[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// powersDominated reports whether every covered power in a is ≤ the
+// corresponding power in b. sameType guards against comparing strategies of
+// different charger types, which occupy different matroid partitions and
+// must never dominate one another.
+func powersDominated(a, b []DevPower, sameType bool) bool {
+	if !sameType {
+		return false
+	}
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i].Device < x.Device {
+			i++
+		}
+		if i >= len(b) || b[i].Device != x.Device || b[i].Power < x.Power-1e-15 {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtractAll runs Extract for every charger type and returns the per-type
+// candidate sets, the ground set of the partition matroid of Section 4.3.
+func ExtractAll(sc *model.Scenario, cfg Config) [][]Candidate {
+	out := make([][]Candidate, len(sc.ChargerTypes))
+	for q := range sc.ChargerTypes {
+		out[q] = Extract(sc, q, cfg)
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+// Package power implements the practical directional charging model of
+// Section 3 — Equations (1)–(3) — and the piecewise-constant approximation
+// of Section 4.1.1 (Lemma 4.1) that turns the nonlinear charging power into
+// finitely many distance levels.
+package power
+
+import (
+	"math"
+
+	"hipo/internal/geom"
+	"hipo/internal/model"
+)
+
+// Exact returns the exact charging power from a charger placed with the
+// given strategy to device j of scenario sc, per Equation (1). The result is
+// zero unless all four gates hold: distance within [DMin, DMax], device
+// inside the charger's charging sector, charger inside the device's
+// receiving sector, and unobstructed line of sight.
+func Exact(sc *model.Scenario, s model.Strategy, j int) float64 {
+	dev := sc.Devices[j]
+	ct := sc.ChargerTypes[s.Type]
+	dt := sc.DeviceTypes[dev.Type]
+
+	delta := dev.Pos.Sub(s.Pos)
+	d := delta.Len()
+	if d < ct.DMin-geom.Eps || d > ct.DMax+geom.Eps {
+		return 0
+	}
+	// Device within the charger's sector: (o−s)·r_s ≥ d·cos(α_s/2).
+	if !inSector(delta, d, s.Orient, ct.Alpha) {
+		return 0
+	}
+	// Charger within the device's receiving sector.
+	if !inSector(delta.Neg(), d, dev.Orient, dt.Alpha) {
+		return 0
+	}
+	if !sc.LineOfSight(s.Pos, dev.Pos) {
+		return 0
+	}
+	p := sc.Power[s.Type][dev.Type]
+	return p.A / ((d + p.B) * (d + p.B))
+}
+
+// inSector reports whether a vector delta of length d from the apex falls
+// within the sector of half-angle alpha/2 around orientation orient,
+// matching the dot-product form of Eq. (1) with an Eps slack so that
+// boundary placements count as covered.
+func inSector(delta geom.Vec, d float64, orient, alpha float64) bool {
+	if alpha >= 2*math.Pi-geom.Eps {
+		return true
+	}
+	if d <= geom.Eps {
+		return false
+	}
+	r := geom.FromAngle(orient)
+	return delta.Dot(r) >= d*math.Cos(alpha/2)-geom.Eps*math.Max(1, d)
+}
+
+// Received returns the total exact power received by device j from all the
+// given strategies (Equation (2): power is additive).
+func Received(sc *model.Scenario, placed []model.Strategy, j int) float64 {
+	total := 0.0
+	for _, s := range placed {
+		total += Exact(sc, s, j)
+	}
+	return total
+}
+
+// Utility returns the charging utility of Equation (3): min(x/Pth, 1).
+func Utility(x, pth float64) float64 {
+	if x >= pth {
+		return 1
+	}
+	if x <= 0 {
+		return 0
+	}
+	return x / pth
+}
+
+// TotalUtility returns the normalized objective of problem P1: the mean
+// device utility under the given placement, using exact (not approximated)
+// power.
+func TotalUtility(sc *model.Scenario, placed []model.Strategy) float64 {
+	if len(sc.Devices) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for j := range sc.Devices {
+		x := Received(sc, placed, j)
+		sum += Utility(x, sc.DeviceTypes[sc.Devices[j].Type].PTh)
+	}
+	return sum / float64(len(sc.Devices))
+}
+
+// DeviceUtilities returns the per-device utility vector for a placement.
+func DeviceUtilities(sc *model.Scenario, placed []model.Strategy) []float64 {
+	out := make([]float64, len(sc.Devices))
+	for j := range sc.Devices {
+		x := Received(sc, placed, j)
+		out[j] = Utility(x, sc.DeviceTypes[sc.Devices[j].Type].PTh)
+	}
+	return out
+}
+
+// DevicePowers returns the per-device exact received power for a placement.
+func DevicePowers(sc *model.Scenario, placed []model.Strategy) []float64 {
+	out := make([]float64, len(sc.Devices))
+	for j := range sc.Devices {
+		out[j] = Received(sc, placed, j)
+	}
+	return out
+}
+
+// Levels holds the distance breakpoints of the piecewise-constant power
+// approximation for one (charger type, device type) pair, per Lemma 4.1:
+//
+//	l(k) = b((1+ε₁)^{k/2} − 1),  k = k₀ … K−1,   l(K) = d_max,
+//
+// with P̃(d) = P(l(k)) for l(k−1) < d ≤ l(k). The guarantee is
+// 1 ≤ P(d)/P̃(d) ≤ 1+ε₁ on [d_min, d_max].
+type Levels struct {
+	A, B       float64
+	DMin, DMax float64
+	Eps1       float64
+	// Break[i] are the increasing distance breakpoints; the approximation
+	// bands are (Break[i-1], Break[i]] with Break[len-1] = DMax. Break[0] is
+	// the first level ≥ DMin, i.e. l(k₀).
+	Break []float64
+}
+
+// NewLevels computes the distance levels of Lemma 4.1 for constants a, b,
+// distance range [dmin, dmax], and approximation parameter eps1 > 0.
+func NewLevels(a, b, dmin, dmax, eps1 float64) Levels {
+	lv := Levels{A: a, B: b, DMin: dmin, DMax: dmax, Eps1: eps1}
+	logBase := math.Log1p(eps1)
+	// k₀ = ⌈2 ln(dmin/b + 1)/ln(1+ε₁)⌉, K = ⌈2 ln(dmax/b + 1)/ln(1+ε₁)⌉.
+	k0 := int(math.Ceil(2 * math.Log(dmin/b+1) / logBase))
+	kMax := int(math.Ceil(2 * math.Log(dmax/b+1) / logBase))
+	if k0 < 0 {
+		k0 = 0
+	}
+	for k := k0; k < kMax; k++ {
+		l := b * (math.Pow(1+eps1, float64(k)/2) - 1)
+		if l >= dmax-geom.Eps {
+			break
+		}
+		if l < dmin-geom.Eps {
+			// Can happen for k = k₀ when dmin sits exactly on a level
+			// boundary; skip levels strictly below dmin.
+			continue
+		}
+		lv.Break = append(lv.Break, l)
+	}
+	lv.Break = append(lv.Break, dmax)
+	return lv
+}
+
+// PowerAt returns the exact power at distance d (no gating).
+func (lv Levels) PowerAt(d float64) float64 {
+	return lv.A / ((d + lv.B) * (d + lv.B))
+}
+
+// Approx returns the piecewise-constant approximation P̃(d): the exact power
+// at the upper breakpoint of d's band, or 0 outside [DMin, DMax].
+func (lv Levels) Approx(d float64) float64 {
+	if d < lv.DMin-geom.Eps || d > lv.DMax+geom.Eps {
+		return 0
+	}
+	i := lv.BandIndex(d)
+	return lv.PowerAt(lv.Break[i])
+}
+
+// BandIndex returns the index i of the band (Break[i-1], Break[i]]
+// containing d, clamping into range. d must be within [DMin, DMax].
+func (lv Levels) BandIndex(d float64) int {
+	// Binary search for the first breakpoint ≥ d.
+	lo, hi := 0, len(lv.Break)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if lv.Break[mid] >= d-geom.Eps {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// NumBands returns the number of approximation bands (O(1/ε₁)).
+func (lv Levels) NumBands() int { return len(lv.Break) }
+
+// Eps1ForEps converts the overall approximation target ε of Theorem 4.2 to
+// the level parameter ε₁ = 2ε/(1−2ε). ε must be in (0, 1/2).
+func Eps1ForEps(eps float64) float64 {
+	return 2 * eps / (1 - 2*eps)
+}

@@ -1,0 +1,231 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hipo/internal/geom"
+	"hipo/internal/model"
+)
+
+func testScenario() *model.Scenario {
+	return &model.Scenario{
+		Region: model.Region{Min: geom.V(0, 0), Max: geom.V(40, 40)},
+		ChargerTypes: []model.ChargerType{
+			{Name: "c1", Alpha: math.Pi / 2, DMin: 2, DMax: 10, Count: 3},
+		},
+		DeviceTypes: []model.DeviceType{
+			{Name: "d1", Alpha: math.Pi, PTh: 0.05},
+		},
+		Power: [][]model.PowerParams{{{A: 100, B: 40}}},
+		Devices: []model.Device{
+			// Device at (20,20) facing left (towards smaller x).
+			{Pos: geom.V(20, 20), Orient: math.Pi, Type: 0},
+		},
+	}
+}
+
+func TestExactBasicGates(t *testing.T) {
+	sc := testScenario()
+	// Charger 5m left of the device, facing right: in range, both sectors OK.
+	s := model.Strategy{Pos: geom.V(15, 20), Orient: 0, Type: 0}
+	want := 100.0 / ((5 + 40) * (5 + 40))
+	if got := Exact(sc, s, 0); !almostEq(got, want, 1e-12) {
+		t.Errorf("Exact = %v, want %v", got, want)
+	}
+	// Too close (d=1 < DMin=2).
+	if got := Exact(sc, model.Strategy{Pos: geom.V(19, 20), Orient: 0, Type: 0}, 0); got != 0 {
+		t.Errorf("too-close charger gives %v", got)
+	}
+	// Too far (d=15 > DMax=10).
+	if got := Exact(sc, model.Strategy{Pos: geom.V(5, 20), Orient: 0, Type: 0}, 0); got != 0 {
+		t.Errorf("too-far charger gives %v", got)
+	}
+	// Charger facing away from the device.
+	if got := Exact(sc, model.Strategy{Pos: geom.V(15, 20), Orient: math.Pi, Type: 0}, 0); got != 0 {
+		t.Errorf("away-facing charger gives %v", got)
+	}
+	// Charger behind the device (device faces π, charger to its right).
+	if got := Exact(sc, model.Strategy{Pos: geom.V(25, 20), Orient: math.Pi, Type: 0}, 0); got != 0 {
+		t.Errorf("charger outside receiving sector gives %v", got)
+	}
+}
+
+func TestExactObstacleBlocks(t *testing.T) {
+	sc := testScenario()
+	s := model.Strategy{Pos: geom.V(15, 20), Orient: 0, Type: 0}
+	if Exact(sc, s, 0) == 0 {
+		t.Fatal("precondition: charger should reach device")
+	}
+	sc.Obstacles = append(sc.Obstacles, model.Obstacle{Shape: geom.Rect(16, 19, 18, 21)})
+	if got := Exact(sc, s, 0); got != 0 {
+		t.Errorf("obstacle-blocked power = %v, want 0", got)
+	}
+	// Obstacle off the line of sight: power restored.
+	sc.Obstacles[0].Shape = geom.Rect(16, 25, 18, 27)
+	if got := Exact(sc, s, 0); got == 0 {
+		t.Error("off-path obstacle should not block")
+	}
+}
+
+func TestExactSectorBoundaryInclusive(t *testing.T) {
+	sc := testScenario()
+	// Place the device exactly on the charger's sector edge (45° off axis).
+	d := 5.0
+	pos := geom.V(20, 20).Sub(geom.FromAngle(math.Pi / 4).Scale(d))
+	s := model.Strategy{Pos: pos, Orient: 0, Type: 0}
+	// Device at exactly α/2 = 45° from orientation 0: boundary counts.
+	sc.Devices[0].Orient = geom.NormAngle(math.Pi + math.Pi/4) // face the charger
+	if got := Exact(sc, s, 0); got == 0 {
+		t.Error("device on sector boundary should be charged")
+	}
+}
+
+func TestReceivedAdditive(t *testing.T) {
+	sc := testScenario()
+	s1 := model.Strategy{Pos: geom.V(15, 20), Orient: 0, Type: 0}
+	s2 := model.Strategy{Pos: geom.V(17, 20), Orient: 0, Type: 0}
+	p1 := Exact(sc, s1, 0)
+	p2 := Exact(sc, s2, 0)
+	if p1 == 0 || p2 == 0 {
+		t.Fatal("precondition: both chargers reach device")
+	}
+	got := Received(sc, []model.Strategy{s1, s2}, 0)
+	if !almostEq(got, p1+p2, 1e-12) {
+		t.Errorf("Received = %v, want %v", got, p1+p2)
+	}
+}
+
+func TestUtility(t *testing.T) {
+	if got := Utility(0.025, 0.05); !almostEq(got, 0.5, 1e-12) {
+		t.Errorf("Utility = %v", got)
+	}
+	if got := Utility(0.1, 0.05); got != 1 {
+		t.Errorf("saturated Utility = %v", got)
+	}
+	if got := Utility(0, 0.05); got != 0 {
+		t.Errorf("zero Utility = %v", got)
+	}
+	if got := Utility(-1, 0.05); got != 0 {
+		t.Errorf("negative Utility = %v", got)
+	}
+	if got := Utility(0.05, 0.05); got != 1 {
+		t.Errorf("exact-threshold Utility = %v", got)
+	}
+}
+
+func TestTotalUtilityAndVectors(t *testing.T) {
+	sc := testScenario()
+	sc.Devices = append(sc.Devices, model.Device{Pos: geom.V(35, 35), Orient: 0, Type: 0})
+	s := model.Strategy{Pos: geom.V(15, 20), Orient: 0, Type: 0}
+	placed := []model.Strategy{s}
+	us := DeviceUtilities(sc, placed)
+	if len(us) != 2 {
+		t.Fatalf("utilities len = %d", len(us))
+	}
+	if us[0] <= 0 || us[1] != 0 {
+		t.Errorf("utilities = %v", us)
+	}
+	tot := TotalUtility(sc, placed)
+	if !almostEq(tot, (us[0]+us[1])/2, 1e-12) {
+		t.Errorf("TotalUtility = %v", tot)
+	}
+	ps := DevicePowers(sc, placed)
+	if ps[0] <= 0 || ps[1] != 0 {
+		t.Errorf("powers = %v", ps)
+	}
+}
+
+func TestLevelsBounds(t *testing.T) {
+	lv := NewLevels(100, 40, 2, 10, 0.3)
+	if lv.NumBands() < 1 {
+		t.Fatal("no bands")
+	}
+	// Last breakpoint must be dmax.
+	if !almostEq(lv.Break[lv.NumBands()-1], 10, 1e-12) {
+		t.Errorf("last break = %v", lv.Break[lv.NumBands()-1])
+	}
+	// Breakpoints strictly increasing and within (dmin-band, dmax].
+	for i := 1; i < len(lv.Break); i++ {
+		if lv.Break[i] <= lv.Break[i-1] {
+			t.Errorf("breaks not increasing: %v", lv.Break)
+		}
+	}
+}
+
+// Property (Lemma 4.1): 1 ≤ P(d)/P̃(d) ≤ 1+ε₁ for all d in [dmin, dmax].
+func TestLevelsApproximationGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		a := 50 + rng.Float64()*200
+		b := 20 + rng.Float64()*80
+		dmin := rng.Float64() * 5
+		dmax := dmin + 1 + rng.Float64()*10
+		eps1 := 0.05 + rng.Float64()*0.5
+		lv := NewLevels(a, b, dmin, dmax, eps1)
+		for probe := 0; probe < 200; probe++ {
+			d := dmin + rng.Float64()*(dmax-dmin)
+			exact := lv.PowerAt(d)
+			approx := lv.Approx(d)
+			if approx <= 0 {
+				t.Fatalf("approx power non-positive at d=%v", d)
+			}
+			ratio := exact / approx
+			if ratio < 1-1e-9 || ratio > 1+eps1+1e-9 {
+				t.Fatalf("ratio %v outside [1, 1+ε₁=%v] at d=%v (trial %d)",
+					ratio, 1+eps1, d, trial)
+			}
+		}
+		// Outside the range the approximation is zero.
+		if lv.Approx(dmin-0.1) != 0 || lv.Approx(dmax+0.1) != 0 {
+			t.Fatal("approx should vanish outside [dmin, dmax]")
+		}
+	}
+}
+
+// Property: the number of bands grows like O(1/ε₁).
+func TestLevelsBandCountScaling(t *testing.T) {
+	n1 := NewLevels(100, 40, 1, 10, 0.4).NumBands()
+	n2 := NewLevels(100, 40, 1, 10, 0.1).NumBands()
+	if n2 <= n1 {
+		t.Errorf("finer eps should yield more bands: %d vs %d", n1, n2)
+	}
+}
+
+func TestEps1ForEps(t *testing.T) {
+	// ε = 0.15 → ε₁ = 0.3/0.7.
+	if got := Eps1ForEps(0.15); !almostEq(got, 0.3/0.7, 1e-12) {
+		t.Errorf("Eps1ForEps = %v", got)
+	}
+	// Theorem 4.2 relation: 1/(2(1+ε₁)) = 1/2 − ε.
+	f := func(raw float64) bool {
+		eps := math.Mod(math.Abs(raw), 0.49)
+		if eps < 1e-6 {
+			return true
+		}
+		eps1 := Eps1ForEps(eps)
+		return almostEq(1/(2*(1+eps1)), 0.5-eps, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandIndexMonotone(t *testing.T) {
+	lv := NewLevels(100, 40, 2, 10, 0.2)
+	prev := -1
+	for d := 2.0; d <= 10; d += 0.05 {
+		i := lv.BandIndex(d)
+		if i < prev {
+			t.Fatalf("band index decreased at d=%v", d)
+		}
+		if d > lv.Break[i]+1e-9 {
+			t.Fatalf("d=%v above its band's upper break %v", d, lv.Break[i])
+		}
+		prev = i
+	}
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

@@ -1,0 +1,176 @@
+package radial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hipo/internal/geom"
+	"hipo/internal/model"
+)
+
+func obstacleScenario(obs ...model.Obstacle) *model.Scenario {
+	return &model.Scenario{
+		Region: model.Region{Min: geom.V(-50, -50), Max: geom.V(50, 50)},
+		ChargerTypes: []model.ChargerType{
+			{Name: "c", Alpha: math.Pi / 2, DMin: 2, DMax: 10, Count: 1},
+		},
+		DeviceTypes: []model.DeviceType{{Name: "d", Alpha: math.Pi, PTh: 0.05}},
+		Power:       [][]model.PowerParams{{{A: 100, B: 40}}},
+		Obstacles:   obs,
+	}
+}
+
+func TestRhoBasic(t *testing.T) {
+	sc := obstacleScenario(model.Obstacle{Shape: geom.Rect(5, -2, 7, 2)})
+	p := NewProfile(sc, geom.V(0, 0))
+	// Straight at the wall: first hit at x = 5.
+	if got := p.Rho(0); math.Abs(got-5) > 1e-9 {
+		t.Errorf("Rho(0) = %v, want 5", got)
+	}
+	// Away from the wall: infinite.
+	if got := p.Rho(math.Pi); !math.IsInf(got, 1) {
+		t.Errorf("Rho(π) = %v, want +Inf", got)
+	}
+	// Above the wall corner: misses.
+	theta := math.Atan2(2.5, 5)
+	if got := p.Rho(theta); !math.IsInf(got, 1) {
+		t.Errorf("Rho over corner = %v, want +Inf", got)
+	}
+}
+
+func TestVisible(t *testing.T) {
+	sc := obstacleScenario(model.Obstacle{Shape: geom.Rect(5, -2, 7, 2)})
+	p := NewProfile(sc, geom.V(0, 0))
+	if !p.Visible(0, 4) {
+		t.Error("point before wall should be visible")
+	}
+	if p.Visible(0, 6) {
+		t.Error("point inside/behind wall should be hidden")
+	}
+	if !p.Visible(math.Pi/2, 100) {
+		t.Error("open direction should be visible at any range")
+	}
+}
+
+func TestFeasibleAreaNoObstacles(t *testing.T) {
+	sc := obstacleScenario()
+	p := NewProfile(sc, geom.V(0, 0))
+	// Full annulus area: π(R²−r²).
+	got := p.FeasibleArea(0, 2*math.Pi, 2, 10)
+	want := math.Pi * (100 - 4)
+	if math.Abs(got-want) > 1e-6*want {
+		t.Errorf("annulus area = %v, want %v", got, want)
+	}
+	// Half annulus.
+	got = p.FeasibleArea(0, math.Pi, 2, 10)
+	if math.Abs(got-want/2) > 1e-6*want {
+		t.Errorf("half annulus area = %v, want %v", got, want/2)
+	}
+}
+
+func TestFeasibleAreaWithWall(t *testing.T) {
+	// A huge wall across the +x half-plane at x = 5 blocks everything
+	// beyond it: within the sector [-π/4, π/4], the feasible radius is
+	// min(10, 5/cos θ).
+	sc := obstacleScenario(model.Obstacle{Shape: geom.Rect(5, -100, 6, 100)})
+	p := NewProfile(sc, geom.V(0, 0))
+	got := p.FeasibleArea(-math.Pi/4, math.Pi/4, 2, 10)
+	// Analytic: ∫_{-π/4}^{π/4} ½((5/cosθ)² − 4) dθ
+	//         = ½·25·[tanθ] − 2θ over the range = 25·1 − π = 25 − π... let's
+	// compute: ∫ sec²θ dθ = tanθ → ½·25·(1−(−1)) = 25; ½·4·(π/2) = π.
+	want := 25 - math.Pi
+	if math.Abs(got-want) > 1e-3 {
+		t.Errorf("wall-limited area = %v, want %v", got, want)
+	}
+}
+
+// Property: FeasibleArea agrees with Monte Carlo integration on random
+// obstacle fields.
+func TestFeasibleAreaMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		var obs []model.Obstacle
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			c := geom.V(3+rng.Float64()*8, rng.Float64()*16-8)
+			obs = append(obs, model.Obstacle{
+				Shape: geom.RandomSimplePolygon(rng, c, 0.5, 2, 3+rng.Intn(5)),
+			})
+		}
+		sc := obstacleScenario(obs...)
+		origin := geom.V(0, 0)
+		inside := false
+		for _, o := range obs {
+			if o.Shape.ContainsPoint(origin) {
+				inside = true
+			}
+		}
+		if inside {
+			continue
+		}
+		p := NewProfile(sc, origin)
+		lo, hi := -math.Pi/2, math.Pi/2
+		dmin, dmax := 1.0, 9.0
+		exact := p.FeasibleArea(lo, hi, dmin, dmax)
+
+		// Monte Carlo over the sector ring.
+		const samples = 40000
+		hits := 0
+		for s := 0; s < samples; s++ {
+			theta := lo + rng.Float64()*(hi-lo)
+			// Area-uniform radius in [dmin, dmax].
+			u := rng.Float64()
+			r := math.Sqrt(dmin*dmin + u*(dmax*dmax-dmin*dmin))
+			if p.Visible(theta, r) {
+				hits++
+			}
+		}
+		sectorArea := (hi - lo) / 2 * (dmax*dmax - dmin*dmin)
+		mc := sectorArea * float64(hits) / samples
+		tol := 0.05*sectorArea + 1e-9
+		if math.Abs(exact-mc) > tol {
+			t.Fatalf("trial %d: exact %v vs MC %v (tol %v)", trial, exact, mc, tol)
+		}
+	}
+}
+
+func TestFeasibleAreaForDevice(t *testing.T) {
+	sc := obstacleScenario()
+	sc.Devices = []model.Device{{Pos: geom.V(0, 0), Orient: 0, Type: 0}}
+	got := FeasibleAreaForDevice(sc, 0, 0)
+	// Receiving α = π, ring [2,10]: half annulus.
+	want := math.Pi * (100 - 4) / 2
+	if math.Abs(got-want) > 1e-6*want {
+		t.Errorf("device feasible area = %v, want %v", got, want)
+	}
+	// An obstacle strictly inside the receiving half shrinks it.
+	sc.Obstacles = append(sc.Obstacles, model.Obstacle{Shape: geom.Rect(4, -1, 6, 1)})
+	smaller := FeasibleAreaForDevice(sc, 0, 0)
+	if smaller >= got {
+		t.Errorf("obstacle did not shrink feasible area: %v vs %v", smaller, got)
+	}
+	// Omnidirectional receiving covers the full circle.
+	sc.Obstacles = nil
+	sc.DeviceTypes[0].Alpha = 2 * math.Pi
+	full := FeasibleAreaForDevice(sc, 0, 0)
+	if math.Abs(full-math.Pi*(100-4)) > 1e-6*full {
+		t.Errorf("omnidirectional area = %v", full)
+	}
+}
+
+func TestEventsSorted(t *testing.T) {
+	sc := obstacleScenario(
+		model.Obstacle{Shape: geom.Rect(5, -2, 7, 2)},
+		model.Obstacle{Shape: geom.Rect(-7, 3, -5, 5)},
+	)
+	p := NewProfile(sc, geom.V(0, 0))
+	ev := p.Events()
+	if len(ev) != 8 {
+		t.Fatalf("events = %d, want 8", len(ev))
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i] < ev[i-1] {
+			t.Fatal("events not sorted")
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package redeploy implements the charger redeployment problems of Section
+// 8.1: when the device topology changes and HIPO produces a new placement,
+// match old charger positions to new ones per charger type so as to
+// minimize either the overall switching overhead (weighted bipartite perfect
+// matching, solved by the Hungarian algorithm) or the maximum per-charger
+// overhead followed by total overhead (bottleneck matching via binary
+// search with Hall-feasibility checks, then Hungarian on the thresholded
+// graph).
+package redeploy
+
+import (
+	"fmt"
+
+	"hipo/internal/geom"
+	"hipo/internal/matching"
+	"hipo/internal/model"
+)
+
+// CostModel weighs the two components of switching overhead: moving a
+// charger and rotating it.
+type CostModel struct {
+	// PerMeter is the cost per unit travel distance.
+	PerMeter float64
+	// PerRadian is the cost per radian of rotation (smallest rotation).
+	PerRadian float64
+}
+
+// DefaultCostModel weighs a meter of travel like a radian of rotation.
+func DefaultCostModel() CostModel { return CostModel{PerMeter: 1, PerRadian: 1} }
+
+// Cost returns the switching overhead of transforming strategy a into b.
+func (cm CostModel) Cost(a, b model.Strategy) float64 {
+	return cm.PerMeter*a.Pos.Dist(b.Pos) + cm.PerRadian*geom.AbsAngleDiff(a.Orient, b.Orient)
+}
+
+// Move describes one charger's transition from an old strategy to a new
+// one.
+type Move struct {
+	From, To model.Strategy
+	Cost     float64
+}
+
+// Plan is a complete redeployment: one move per charger.
+type Plan struct {
+	Moves []Move
+	// Total is the summed switching overhead.
+	Total float64
+	// Max is the largest single-charger overhead.
+	Max float64
+}
+
+// groupByType partitions strategies by charger type, preserving order.
+func groupByType(ss []model.Strategy, nTypes int) [][]model.Strategy {
+	out := make([][]model.Strategy, nTypes)
+	for _, s := range ss {
+		out[s.Type] = append(out[s.Type], s)
+	}
+	return out
+}
+
+// MinTotal computes the redeployment plan minimizing the overall switching
+// overhead (Section 8.1.1): per charger type, a minimum-cost perfect
+// matching between old and new strategies. Old and new must contain the
+// same number of strategies of every type.
+func MinTotal(old, new_ []model.Strategy, nTypes int, cm CostModel) (*Plan, error) {
+	return solve(old, new_, nTypes, cm, false)
+}
+
+// MinMax computes the plan minimizing the maximum per-charger overhead and,
+// among those, the total overhead (Section 8.1.2).
+func MinMax(old, new_ []model.Strategy, nTypes int, cm CostModel) (*Plan, error) {
+	return solve(old, new_, nTypes, cm, true)
+}
+
+func solve(old, new_ []model.Strategy, nTypes int, cm CostModel, bottleneck bool) (*Plan, error) {
+	og := groupByType(old, nTypes)
+	ng := groupByType(new_, nTypes)
+	plan := &Plan{}
+	for q := 0; q < nTypes; q++ {
+		if len(og[q]) != len(ng[q]) {
+			return nil, fmt.Errorf("redeploy: type %d has %d old but %d new strategies",
+				q, len(og[q]), len(ng[q]))
+		}
+		n := len(og[q])
+		if n == 0 {
+			continue
+		}
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = cm.Cost(og[q][i], ng[q][j])
+			}
+		}
+		var assign []int
+		var err error
+		if bottleneck {
+			assign, _, _, err = matching.Bottleneck(cost)
+		} else {
+			assign, _, err = matching.Hungarian(cost)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("redeploy: type %d: %w", q, err)
+		}
+		for i, j := range assign {
+			mv := Move{From: og[q][i], To: ng[q][j], Cost: cost[i][j]}
+			plan.Moves = append(plan.Moves, mv)
+			plan.Total += mv.Cost
+			if mv.Cost > plan.Max {
+				plan.Max = mv.Cost
+			}
+		}
+	}
+	return plan, nil
+}

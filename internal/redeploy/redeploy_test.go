@@ -1,0 +1,173 @@
+package redeploy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hipo/internal/geom"
+	"hipo/internal/model"
+)
+
+func strat(x, y, o float64, q int) model.Strategy {
+	return model.Strategy{Pos: geom.V(x, y), Orient: o, Type: q}
+}
+
+func TestCostModel(t *testing.T) {
+	cm := CostModel{PerMeter: 2, PerRadian: 3}
+	a := strat(0, 0, 0, 0)
+	b := strat(3, 4, math.Pi/2, 0)
+	want := 2*5.0 + 3*math.Pi/2
+	if got := cm.Cost(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("cost = %v, want %v", got, want)
+	}
+	// Rotation uses the smallest angle.
+	c := strat(0, 0, 2*math.Pi-0.1, 0)
+	if got := cm.Cost(a, c); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("wrap rotation cost = %v, want 0.3", got)
+	}
+}
+
+func TestMinTotalIdentity(t *testing.T) {
+	old := []model.Strategy{strat(0, 0, 0, 0), strat(10, 0, 1, 0)}
+	plan, err := MinTotal(old, old, 1, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Total != 0 || plan.Max != 0 {
+		t.Errorf("identity redeployment cost = %v/%v", plan.Total, plan.Max)
+	}
+}
+
+func TestMinTotalCrossAssignment(t *testing.T) {
+	// Old at x=0 and x=10; new at x=1 and x=11. Matching straight across
+	// costs 1+1=2; crossing costs 11+9=20.
+	old := []model.Strategy{strat(0, 0, 0, 0), strat(10, 0, 0, 0)}
+	new_ := []model.Strategy{strat(11, 0, 0, 0), strat(1, 0, 0, 0)}
+	plan, err := MinTotal(old, new_, 1, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Total-2) > 1e-12 {
+		t.Errorf("total = %v, want 2", plan.Total)
+	}
+}
+
+func TestTypesMatchedSeparately(t *testing.T) {
+	// A type-0 charger may not be matched to a type-1 slot even if closer.
+	old := []model.Strategy{strat(0, 0, 0, 0), strat(10, 0, 0, 1)}
+	new_ := []model.Strategy{strat(9, 0, 0, 0), strat(1, 0, 0, 1)}
+	plan, err := MinTotal(old, new_, 2, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mv := range plan.Moves {
+		if mv.From.Type != mv.To.Type {
+			t.Fatalf("cross-type move %v -> %v", mv.From, mv.To)
+		}
+	}
+	if math.Abs(plan.Total-18) > 1e-12 {
+		t.Errorf("total = %v, want 18", plan.Total)
+	}
+}
+
+func TestMismatchedCounts(t *testing.T) {
+	old := []model.Strategy{strat(0, 0, 0, 0)}
+	new_ := []model.Strategy{strat(0, 0, 0, 0), strat(1, 1, 0, 0)}
+	if _, err := MinTotal(old, new_, 1, DefaultCostModel()); err == nil {
+		t.Error("expected error for mismatched counts")
+	}
+}
+
+func TestMinMaxPrefersBalanced(t *testing.T) {
+	// Two old chargers at 0 and 2; new at 1 and 3.
+	// Straight: costs {1, 1}, max 1, total 2.
+	// Crossed: costs {3, 1}, max 3.
+	old := []model.Strategy{strat(0, 0, 0, 0), strat(2, 0, 0, 0)}
+	new_ := []model.Strategy{strat(1, 0, 0, 0), strat(3, 0, 0, 0)}
+	plan, err := MinMax(old, new_, 1, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Max-1) > 1e-12 {
+		t.Errorf("max = %v, want 1", plan.Max)
+	}
+	if math.Abs(plan.Total-2) > 1e-12 {
+		t.Errorf("total = %v, want 2", plan.Total)
+	}
+}
+
+func TestMinMaxCanSacrificeTotal(t *testing.T) {
+	// MinTotal may pick {0, 10} (total 10, max 10); MinMax must prefer
+	// {6, 6} (total 12, max 6).
+	old := []model.Strategy{strat(0, 0, 0, 0), strat(10, 0, 0, 0)}
+	new_ := []model.Strategy{strat(0, 0, 0, 0), strat(4, 0, 0, 0)}
+	// Costs: old0->new0: 0, old0->new1: 4, old1->new0: 10, old1->new1: 6.
+	// MinTotal: 0 + 6 = 6 (max 6). MinMax: bottleneck 6 same matching.
+	// Adjust to make them differ:
+	new_ = []model.Strategy{strat(1, 0, 0, 0), strat(9.5, 0, 0, 0)}
+	// Costs: o0->n0 1, o0->n1 9.5, o1->n0 9, o1->n1 0.5.
+	// Both objectives pick straight: total 1.5, max 1. Need a real conflict:
+	old = []model.Strategy{strat(0, 0, 0, 0), strat(1, 0, 0, 0)}
+	new_ = []model.Strategy{strat(0, 0, 0, 0), strat(7, 0, 0, 0)}
+	// o0->n0 0, o0->n1 7, o1->n0 1, o1->n1 6.
+	// Matching A: (o0->n0, o1->n1): total 6, max 6.
+	// Matching B: (o0->n1, o1->n0): total 8, max 7.
+	// MinTotal = A (6); MinMax = A too (max 6 < 7). For a genuine trade-off:
+	old = []model.Strategy{strat(0, 0, 0, 0), strat(4, 0, 0, 0)}
+	new_ = []model.Strategy{strat(3, 0, 0, 0), strat(5, 0, 0, 0)}
+	// o0->n0 3, o0->n1 5, o1->n0 1, o1->n1 1.
+	// A: (n0,n1) = 3+1 = 4, max 3. B: (n1,n0) = 5+1 = 6, max 5.
+	mt, err := MinTotal(old, new_, 1, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := MinMax(old, new_, 1, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.Max > mt.Max+1e-12 {
+		t.Errorf("MinMax.Max %v exceeds MinTotal.Max %v", mm.Max, mt.Max)
+	}
+	if mm.Max != 3 || mm.Total != 4 {
+		t.Errorf("minmax plan = max %v total %v, want 3/4", mm.Max, mm.Total)
+	}
+}
+
+// Property: MinMax's bottleneck never exceeds MinTotal's bottleneck, and
+// MinTotal's total never exceeds MinMax's total.
+func TestObjectiveDominanceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(5)
+		var old, new_ []model.Strategy
+		for i := 0; i < n; i++ {
+			old = append(old, strat(rng.Float64()*20, rng.Float64()*20, rng.Float64()*6.28, 0))
+			new_ = append(new_, strat(rng.Float64()*20, rng.Float64()*20, rng.Float64()*6.28, 0))
+		}
+		mt, err := MinTotal(old, new_, 1, DefaultCostModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm, err := MinMax(old, new_, 1, DefaultCostModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mm.Max > mt.Max+1e-9 {
+			t.Fatalf("trial %d: MinMax.Max %v > MinTotal.Max %v", trial, mm.Max, mt.Max)
+		}
+		if mt.Total > mm.Total+1e-9 {
+			t.Fatalf("trial %d: MinTotal.Total %v > MinMax.Total %v", trial, mt.Total, mm.Total)
+		}
+	}
+}
+
+func TestEmptyPlan(t *testing.T) {
+	plan, err := MinTotal(nil, nil, 3, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 0 || plan.Total != 0 {
+		t.Error("empty inputs should yield an empty plan")
+	}
+}

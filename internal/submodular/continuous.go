@@ -1,0 +1,214 @@
+package submodular
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// This file implements the continuous greedy of Calinescu–Chekuri–Pál–
+// Vondrák (the paper's reference [39]): maximizing the multilinear
+// extension F(x) over the partition-matroid polytope by gradient ascent,
+// followed by rounding. It achieves 1 − 1/e − ε versus the greedy's 1/2,
+// at a much higher cost — exactly the trade-off the paper notes when it
+// writes the algorithm is "too computationally demanding to use in
+// practice". It is provided as an optional solver variant and for the
+// ablation benchmarks.
+
+// ContinuousOptions tunes the continuous greedy.
+type ContinuousOptions struct {
+	// Steps is the number of gradient steps (the discretization 1/δ of the
+	// continuous time horizon). Default 40.
+	Steps int
+	// Samples is the number of random subsets used per gradient estimate.
+	// Default 32.
+	Samples int
+	// Rounds is the number of independent roundings; the best is kept.
+	// Default 8.
+	Rounds int
+	Seed   int64
+}
+
+// DefaultContinuousOptions returns parameters adequate for the instance
+// sizes in the paper's simulations.
+func DefaultContinuousOptions() ContinuousOptions {
+	return ContinuousOptions{Steps: 40, Samples: 32, Rounds: 8, Seed: 1}
+}
+
+// ContinuousGreedy maximizes the multilinear extension over the partition
+// matroid polytope {x ∈ [0,1]^n : Σ_{e∈part q} x_e ≤ Budget[q]} and rounds
+// the fractional solution part by part. Instances with AllowRepeat are not
+// supported (the polytope model needs distinct elements); it is ignored.
+func ContinuousGreedy(inst *Instance, opt ContinuousOptions) Result {
+	n := len(inst.Elements)
+	if n == 0 {
+		return Result{}
+	}
+	if opt.Steps <= 0 {
+		opt = DefaultContinuousOptions()
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	x := make([]float64, n)
+	delta := 1.0 / float64(opt.Steps)
+	grad := make([]float64, n)
+	scratch := newState(inst)
+
+	for step := 0; step < opt.Steps; step++ {
+		estimateGradient(inst, x, grad, opt.Samples, rng, scratch)
+		// Direction: the maximum-weight independent set of the partition
+		// matroid under weights grad = per part, the Budget[q] elements
+		// with the largest positive gradients.
+		dir := maxWeightIndependent(inst, grad)
+		for _, e := range dir {
+			x[e] = math.Min(1, x[e]+delta)
+		}
+	}
+
+	// Rounding: within each part, select Budget[q] elements. We use
+	// repeated randomized rounding (sampling without replacement
+	// proportional to x) and keep the best realized set — simple, and for a
+	// partition matroid it preserves feasibility exactly.
+	best := Result{}
+	for r := 0; r < max(1, opt.Rounds); r++ {
+		sel := roundPartition(inst, x, rng)
+		if v := Evaluate(inst, sel); v > best.Value || best.Selected == nil {
+			best = Result{Selected: sel, Value: v}
+		}
+	}
+	// Pipage-style safety net: the deterministic top-x set per part.
+	det := topXPerPart(inst, x)
+	if v := Evaluate(inst, det); v > best.Value {
+		best = Result{Selected: det, Value: v}
+	}
+	return best
+}
+
+// estimateGradient fills grad[e] with an unbiased estimate of ∂F/∂x_e =
+// E[f(R ∪ {e}) − f(R)] where R includes each element e' independently with
+// probability x_{e'}. A common random subset per sample is shared across
+// all coordinates (common random numbers reduce variance and let one state
+// serve all marginals).
+func estimateGradient(inst *Instance, x []float64, grad []float64, samples int, rng *rand.Rand, st *state) {
+	n := len(inst.Elements)
+	for e := range grad {
+		grad[e] = 0
+	}
+	for s := 0; s < samples; s++ {
+		// Draw R and accumulate its per-device power into st.
+		for j := range st.cur {
+			st.cur[j] = 0
+		}
+		st.val = 0
+		inR := make([]bool, n)
+		for e := 0; e < n; e++ {
+			if x[e] > 0 && rng.Float64() < x[e] {
+				inR[e] = true
+				for _, en := range inst.Elements[e].Covers {
+					st.cur[en.Device] += en.Power
+				}
+			}
+		}
+		for e := 0; e < n; e++ {
+			if inR[e] {
+				// Marginal of an element already in R: remove then re-add.
+				for _, en := range inst.Elements[e].Covers {
+					st.cur[en.Device] -= en.Power
+				}
+				grad[e] += st.gain(e)
+				for _, en := range inst.Elements[e].Covers {
+					st.cur[en.Device] += en.Power
+				}
+			} else {
+				grad[e] += st.gain(e)
+			}
+		}
+	}
+	for e := range grad {
+		grad[e] /= float64(samples)
+	}
+}
+
+// maxWeightIndependent returns, per part, the Budget[q] elements with the
+// largest positive weights.
+func maxWeightIndependent(inst *Instance, w []float64) []int {
+	byPart := make(map[int][]int)
+	for e, el := range inst.Elements {
+		if w[e] > 0 {
+			byPart[el.Part] = append(byPart[el.Part], e)
+		}
+	}
+	var out []int
+	for q, elems := range byPart {
+		sort.Slice(elems, func(a, b int) bool { return w[elems[a]] > w[elems[b]] })
+		k := inst.Budget[q]
+		if k > len(elems) {
+			k = len(elems)
+		}
+		out = append(out, elems[:k]...)
+	}
+	return out
+}
+
+// roundPartition draws, for each part, Budget[q] distinct elements with
+// probabilities proportional to the fractional solution (sequential
+// sampling without replacement). Elements with x = 0 are never selected.
+func roundPartition(inst *Instance, x []float64, rng *rand.Rand) []int {
+	byPart := make(map[int][]int)
+	for e, el := range inst.Elements {
+		if x[e] > 1e-12 {
+			byPart[el.Part] = append(byPart[el.Part], e)
+		}
+	}
+	var out []int
+	for q, elems := range byPart {
+		k := inst.Budget[q]
+		weights := make([]float64, len(elems))
+		for i, e := range elems {
+			weights[i] = x[e]
+		}
+		for pick := 0; pick < k && len(elems) > 0; pick++ {
+			total := 0.0
+			for _, w := range weights {
+				total += w
+			}
+			if total <= 0 {
+				break
+			}
+			r := rng.Float64() * total
+			idx := len(elems) - 1
+			for i, w := range weights {
+				r -= w
+				if r <= 0 {
+					idx = i
+					break
+				}
+			}
+			out = append(out, elems[idx])
+			elems = append(elems[:idx], elems[idx+1:]...)
+			weights = append(weights[:idx], weights[idx+1:]...)
+		}
+	}
+	return out
+}
+
+// topXPerPart deterministically keeps the Budget[q] highest-x elements of
+// each part.
+func topXPerPart(inst *Instance, x []float64) []int {
+	byPart := make(map[int][]int)
+	for e, el := range inst.Elements {
+		if x[e] > 1e-12 {
+			byPart[el.Part] = append(byPart[el.Part], e)
+		}
+	}
+	var out []int
+	for q, elems := range byPart {
+		sort.Slice(elems, func(a, b int) bool { return x[elems[a]] > x[elems[b]] })
+		k := inst.Budget[q]
+		if k > len(elems) {
+			k = len(elems)
+		}
+		out = append(out, elems[:k]...)
+	}
+	return out
+}

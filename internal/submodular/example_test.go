@@ -1,0 +1,44 @@
+package submodular_test
+
+import (
+	"fmt"
+
+	"hipo/internal/submodular"
+)
+
+// ExampleGreedyLazy maximizes charging utility of two devices under a
+// partition matroid with one charger of each of two types.
+func ExampleGreedyLazy() {
+	phi := submodular.UtilityPhi(1.0) // saturate at power 1
+	inst := &submodular.Instance{
+		Phi:    []submodular.Scalar{phi, phi},
+		Weight: []float64{0.5, 0.5},
+		Elements: []submodular.Element{
+			{Part: 0, Covers: []submodular.Entry{{Device: 0, Power: 1.0}}},
+			{Part: 0, Covers: []submodular.Entry{{Device: 0, Power: 0.4}, {Device: 1, Power: 0.4}}},
+			{Part: 1, Covers: []submodular.Entry{{Device: 1, Power: 1.0}}},
+		},
+		Budget: []int{1, 1},
+	}
+	res := submodular.GreedyLazy(inst)
+	fmt.Printf("selected %d elements, value %.2f\n", len(res.Selected), res.Value)
+	// Output: selected 2 elements, value 1.00
+}
+
+// ExampleBudgetedGreedy places under a deployment budget instead of a
+// cardinality budget.
+func ExampleBudgetedGreedy() {
+	phi := submodular.UtilityPhi(1.0)
+	inst := &submodular.Instance{
+		Phi:    []submodular.Scalar{phi},
+		Weight: []float64{1},
+		Elements: []submodular.Element{
+			{Part: 0, Covers: []submodular.Entry{{Device: 0, Power: 0.9}}}, // cheap
+			{Part: 0, Covers: []submodular.Entry{{Device: 0, Power: 1.0}}}, // expensive
+		},
+		Budget: []int{2},
+	}
+	res := submodular.BudgetedGreedy(inst, []float64{1, 10}, 5)
+	fmt.Printf("value %.1f\n", res.Value)
+	// Output: value 0.9
+}

@@ -1,0 +1,114 @@
+package svg
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"hipo/internal/cells"
+	"hipo/internal/geom"
+	"hipo/internal/model"
+	"hipo/internal/power"
+)
+
+// RenderCells writes an SVG visualizing the feasible geometric areas
+// (Section 4.1.2) of every device for charger type q: full cells as filled
+// annular-sector paths colored by approximated power (darker = stronger),
+// partial (occlusion-clipped) cells hatched lighter, over the obstacles and
+// devices. A visual companion to internal/cells for debugging
+// discretization.
+func RenderCells(w io.Writer, sc *model.Scenario, q int, eps float64, opt Options) error {
+	if opt.Scale <= 0 {
+		opt.Scale = 12
+	}
+	s := opt.Scale
+	width := sc.Region.Width()*s + 20
+	height := sc.Region.Height()*s + 40
+	tx := func(p geom.Vec) (float64, float64) {
+		return 10 + (p.X-sc.Region.Min.X)*s,
+			height - 10 - (p.Y-sc.Region.Min.Y)*s
+	}
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pf(`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f">`+"\n", width, height)
+	pf(`<rect width="100%%" height="100%%" fill="white"/>` + "\n")
+	if opt.Title != "" {
+		pf(`<text x="12" y="18" font-family="sans-serif" font-size="13">%s</text>`+"\n", opt.Title)
+	}
+
+	eps1 := power.Eps1ForEps(eps)
+	// Normalize colors by the strongest cell power.
+	maxPw := 1e-12
+	perDevice := make([][]cells.Cell, len(sc.Devices))
+	for j := range sc.Devices {
+		perDevice[j] = cells.DeviceCells(sc, q, j, eps1)
+		for _, c := range perDevice[j] {
+			if c.Power > maxPw {
+				maxPw = c.Power
+			}
+		}
+	}
+	for j, cs := range perDevice {
+		dev := sc.Devices[j].Pos
+		for _, c := range cs {
+			opacity := 0.15 + 0.45*c.Power/maxPw
+			fill := "#1f77b4"
+			if c.Partial {
+				fill = "#9467bd"
+				opacity *= 0.6
+			}
+			drawAnnularSector(pf, tx, dev, c.R0, c.R1, c.Arc, s, fill, opacity)
+		}
+	}
+
+	for _, o := range sc.Obstacles {
+		pf(`<polygon points="`)
+		for _, v := range o.Shape.Vertices {
+			px, py := tx(v)
+			pf("%.1f,%.1f ", px, py)
+		}
+		pf(`" fill="#999" stroke="#444"/>` + "\n")
+	}
+	for _, d := range sc.Devices {
+		px, py := tx(d.Pos)
+		pf(`<circle cx="%.1f" cy="%.1f" r="3" fill="black"/>`+"\n", px, py)
+	}
+	pf("</svg>\n")
+	return err
+}
+
+// drawAnnularSector emits the path for {(θ, r): θ ∈ arc, R0 ≤ r ≤ R1}.
+func drawAnnularSector(pf func(string, ...any), tx func(geom.Vec) (float64, float64),
+	apex geom.Vec, r0, r1 float64, arc geom.Interval, scale float64, fill string, opacity float64) {
+	w := arc.Width()
+	if w <= 0 {
+		return
+	}
+	if w >= 2*math.Pi-1e-9 {
+		// Full annulus.
+		cx, cy := tx(apex)
+		pf(`<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="%s" stroke-opacity="%.2f" stroke-width="%.1f"/>`+"\n",
+			cx, cy, (r0+r1)/2*scale, fill, opacity, (r1-r0)*scale)
+		return
+	}
+	p1 := apex.Add(geom.FromAngle(arc.Lo).Scale(r0))
+	p2 := apex.Add(geom.FromAngle(arc.Lo).Scale(r1))
+	p3 := apex.Add(geom.FromAngle(arc.Hi).Scale(r1))
+	p4 := apex.Add(geom.FromAngle(arc.Hi).Scale(r0))
+	x1, y1 := tx(p1)
+	x2, y2 := tx(p2)
+	x3, y3 := tx(p3)
+	x4, y4 := tx(p4)
+	large := 0
+	if w > math.Pi {
+		large = 1
+	}
+	pf(`<path d="M %.1f %.1f L %.1f %.1f A %.1f %.1f 0 %d 0 %.1f %.1f L %.1f %.1f A %.1f %.1f 0 %d 1 %.1f %.1f Z" `+
+		`fill="%s" fill-opacity="%.2f" stroke="%s" stroke-opacity="0.5" stroke-width="0.5"/>`+"\n",
+		x1, y1, x2, y2, r1*scale, r1*scale, large, x3, y3, x4, y4,
+		r0*scale, r0*scale, large, x1, y1, fill, opacity, fill)
+}

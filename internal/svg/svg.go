@@ -1,0 +1,134 @@
+// Package svg renders HIPO scenarios and placements as standalone SVG
+// documents, reproducing the instance illustrations of Figure 10: devices
+// as oriented wedges, chargers as colored sector rings, obstacles as gray
+// polygons.
+package svg
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"hipo/internal/geom"
+	"hipo/internal/model"
+)
+
+// Options tunes rendering.
+type Options struct {
+	// Scale is pixels per scenario unit (default 12).
+	Scale float64
+	// Title is an optional caption drawn at the top.
+	Title string
+}
+
+// typeColors cycles per charger type.
+var typeColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e"}
+
+// Render writes an SVG of the scenario and placement to w.
+func Render(w io.Writer, sc *model.Scenario, placed []model.Strategy, opt Options) error {
+	if opt.Scale <= 0 {
+		opt.Scale = 12
+	}
+	s := opt.Scale
+	width := sc.Region.Width()*s + 20
+	height := sc.Region.Height()*s + 40
+
+	// y-flip: SVG y grows downward.
+	tx := func(p geom.Vec) (float64, float64) {
+		return 10 + (p.X-sc.Region.Min.X)*s,
+			height - 10 - (p.Y-sc.Region.Min.Y)*s
+	}
+
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	pf(`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	pf(`<rect width="100%%" height="100%%" fill="white"/>` + "\n")
+	if opt.Title != "" {
+		pf(`<text x="%0.f" y="18" font-family="sans-serif" font-size="14">%s</text>`+"\n",
+			width/2-float64(len(opt.Title))*3.5, opt.Title)
+	}
+	// Region border.
+	x0, y0 := tx(sc.Region.Min)
+	x1, y1 := tx(sc.Region.Max)
+	pf(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="black"/>`+"\n",
+		math.Min(x0, x1), math.Min(y0, y1), math.Abs(x1-x0), math.Abs(y1-y0))
+
+	// Obstacles.
+	for _, o := range sc.Obstacles {
+		pf(`<polygon points="`)
+		for _, v := range o.Shape.Vertices {
+			px, py := tx(v)
+			pf("%.1f,%.1f ", px, py)
+		}
+		pf(`" fill="#999" stroke="#444"/>` + "\n")
+	}
+
+	// Charger sectors (under the device glyphs).
+	for _, st := range placed {
+		ct := sc.ChargerTypes[st.Type]
+		color := typeColors[st.Type%len(typeColors)]
+		renderSectorRing(pf, tx, st.Pos, st.Orient, ct.Alpha, ct.DMin, ct.DMax, s, color)
+	}
+
+	// Devices: a dot plus an orientation tick.
+	for _, d := range sc.Devices {
+		px, py := tx(d.Pos)
+		pf(`<circle cx="%.1f" cy="%.1f" r="3.5" fill="black"/>`+"\n", px, py)
+		tip := d.Pos.Add(geom.FromAngle(d.Orient).Scale(1.2))
+		tx2, ty2 := tx(tip)
+		pf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black" stroke-width="1.5"/>`+"\n",
+			px, py, tx2, ty2)
+	}
+
+	// Charger apexes on top.
+	for _, st := range placed {
+		px, py := tx(st.Pos)
+		color := typeColors[st.Type%len(typeColors)]
+		pf(`<rect x="%.1f" y="%.1f" width="7" height="7" fill="%s" stroke="black"/>`+"\n",
+			px-3.5, py-3.5, color)
+	}
+	pf("</svg>\n")
+	return err
+}
+
+// renderSectorRing draws a translucent sector-ring path.
+func renderSectorRing(pf func(string, ...any), tx func(geom.Vec) (float64, float64),
+	apex geom.Vec, orient, alpha, rmin, rmax, scale float64, color string) {
+	if alpha >= 2*math.Pi-1e-9 {
+		// Full annulus: two circles with even-odd fill.
+		cx, cy := tx(apex)
+		pf(`<path d="M %.1f %.1f m -%.1f 0 a %.1f %.1f 0 1 0 %.1f 0 a %.1f %.1f 0 1 0 -%.1f 0 `+
+			`M %.1f %.1f m -%.1f 0 a %.1f %.1f 0 1 0 %.1f 0 a %.1f %.1f 0 1 0 -%.1f 0" `+
+			`fill="%s" fill-opacity="0.25" fill-rule="evenodd" stroke="%s" stroke-opacity="0.6"/>`+"\n",
+			cx, cy, rmax*scale, rmax*scale, rmax*scale, 2*rmax*scale, rmax*scale, rmax*scale, 2*rmax*scale,
+			cx, cy, rmin*scale, rmin*scale, rmin*scale, 2*rmin*scale, rmin*scale, rmin*scale, 2*rmin*scale,
+			color, color)
+		return
+	}
+	a0 := orient - alpha/2
+	a1 := orient + alpha/2
+	p1 := apex.Add(geom.FromAngle(a0).Scale(rmin))
+	p2 := apex.Add(geom.FromAngle(a0).Scale(rmax))
+	p3 := apex.Add(geom.FromAngle(a1).Scale(rmax))
+	p4 := apex.Add(geom.FromAngle(a1).Scale(rmin))
+	x1, y1 := tx(p1)
+	x2, y2 := tx(p2)
+	x3, y3 := tx(p3)
+	x4, y4 := tx(p4)
+	large := 0
+	if alpha > math.Pi {
+		large = 1
+	}
+	// Sweep flags are inverted by the y-flip: counterclockwise in scenario
+	// space is clockwise (sweep=0) in SVG space.
+	pf(`<path d="M %.1f %.1f L %.1f %.1f A %.1f %.1f 0 %d 0 %.1f %.1f L %.1f %.1f A %.1f %.1f 0 %d 1 %.1f %.1f Z" `+
+		`fill="%s" fill-opacity="0.25" stroke="%s" stroke-opacity="0.6"/>`+"\n",
+		x1, y1, x2, y2, rmax*scale, rmax*scale, large, x3, y3, x4, y4,
+		rmin*scale, rmin*scale, large, x1, y1, color, color)
+}

@@ -1,0 +1,87 @@
+package svg
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"hipo/internal/geom"
+	"hipo/internal/model"
+)
+
+func svgScenario() *model.Scenario {
+	return &model.Scenario{
+		Region: model.Region{Min: geom.V(0, 0), Max: geom.V(40, 40)},
+		ChargerTypes: []model.ChargerType{
+			{Name: "c1", Alpha: math.Pi / 2, DMin: 2, DMax: 8, Count: 1},
+			{Name: "c2", Alpha: 2 * math.Pi, DMin: 1, DMax: 5, Count: 1},
+		},
+		DeviceTypes: []model.DeviceType{{Name: "d", Alpha: math.Pi, PTh: 0.05}},
+		Power: [][]model.PowerParams{
+			{{A: 100, B: 40}}, {{A: 100, B: 40}},
+		},
+		Devices: []model.Device{
+			{Pos: geom.V(10, 10), Orient: 0, Type: 0},
+			{Pos: geom.V(30, 30), Orient: math.Pi, Type: 0},
+		},
+		Obstacles: []model.Obstacle{{Shape: geom.Rect(18, 18, 22, 22)}},
+	}
+}
+
+func TestRenderProducesValidSVG(t *testing.T) {
+	sc := svgScenario()
+	placed := []model.Strategy{
+		{Pos: geom.V(15, 10), Orient: math.Pi, Type: 0},
+		{Pos: geom.V(28, 28), Orient: 0, Type: 1}, // full annulus path
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, sc, placed, Options{Title: "test"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<polygon", "<circle", "<path", "test"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Two devices → two dots; two chargers → two squares.
+	if got := strings.Count(out, "<circle"); got != 2 {
+		t.Errorf("circles = %d, want 2", got)
+	}
+	if got := strings.Count(out, "<rect"); got != 4 { // background + border + 2 chargers
+		t.Errorf("rects = %d, want 4", got)
+	}
+}
+
+func TestRenderEmptyPlacement(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, svgScenario(), nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "</svg>") {
+		t.Error("truncated SVG")
+	}
+}
+
+func TestRenderCells(t *testing.T) {
+	sc := svgScenario()
+	var buf bytes.Buffer
+	if err := RenderCells(&buf, sc, 0, 0.15, Options{Title: "cells"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<path", "cells", "<polygon"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// The omnidirectional charger type renders annulus circles.
+	var buf2 bytes.Buffer
+	if err := RenderCells(&buf2, sc, 1, 0.15, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "<circle") {
+		t.Error("annulus rendering missing")
+	}
+}

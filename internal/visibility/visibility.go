@@ -1,0 +1,116 @@
+// Package visibility computes obstacle occlusion as seen from a device: the
+// "holes" of Figure 2 — regions where a charger, although inside the
+// device's power receiving area, cannot charge it because an obstacle blocks
+// the line of sight. Holes are represented as angular shadow intervals plus
+// the bounding rays through obstacle vertices; both feed candidate-position
+// generation in internal/discretize.
+package visibility
+
+import (
+	"math"
+
+	"hipo/internal/geom"
+	"hipo/internal/model"
+)
+
+// ShadowIntervals returns the union of angular intervals, as seen from p,
+// that are occluded by the polygon. A direction θ is occluded if the ray
+// from p in direction θ hits the polygon. If p is inside or on the polygon
+// the full circle is returned.
+func ShadowIntervals(p geom.Vec, poly geom.Polygon) *geom.IntervalSet {
+	var s geom.IntervalSet
+	if poly.ContainsPoint(p) {
+		s.Add(geom.FullCircle())
+		return &s
+	}
+	for _, e := range poly.Edges() {
+		ta := e.A.Sub(p).Angle()
+		tb := e.B.Sub(p).Angle()
+		// A segment viewed from an external point subtends < π; take the
+		// short way around.
+		d := geom.AngleDiff(ta, tb)
+		if math.Abs(d) <= geom.Eps {
+			continue // edge is radially aligned with p: zero angular width
+		}
+		if d > 0 {
+			s.Add(geom.NewInterval(ta, ta+d))
+		} else {
+			s.Add(geom.NewInterval(tb, tb-d))
+		}
+	}
+	return &s
+}
+
+// Shadow returns the combined occluded angular set from p over all
+// obstacles in the scenario.
+func Shadow(sc *model.Scenario, p geom.Vec) *geom.IntervalSet {
+	var s geom.IntervalSet
+	for _, o := range sc.Obstacles {
+		for _, iv := range ShadowIntervals(p, o.Shape).Intervals() {
+			s.Add(iv)
+		}
+	}
+	return &s
+}
+
+// HoleRays returns, for each obstacle vertex visible from p, the ray from p
+// through that vertex truncated at radius rmax: the straight boundaries of
+// the holes of Figure 2. Vertices farther than rmax are skipped. Each ray
+// starts at the vertex (the near end of the hole boundary) and ends at
+// radius rmax from p.
+func HoleRays(sc *model.Scenario, p geom.Vec, rmax float64) []geom.Segment {
+	var out []geom.Segment
+	for _, o := range sc.Obstacles {
+		for _, v := range o.Shape.Vertices {
+			d := v.Dist(p)
+			if d <= geom.Eps || d > rmax+geom.Eps {
+				continue
+			}
+			if !sc.LineOfSight(p, v) {
+				// The vertex itself is hidden behind something (possibly
+				// this same polygon): it cannot bound a visible hole edge.
+				continue
+			}
+			dir := v.Sub(p).Unit()
+			end := p.Add(dir.Scale(rmax))
+			if end.Dist(v) <= geom.Eps {
+				continue
+			}
+			out = append(out, geom.Seg(v, end))
+		}
+	}
+	return out
+}
+
+// EventAngles returns the sorted angular positions, as seen from p, at
+// which the occlusion status can change: the boundary angles of all shadow
+// intervals. These are event angles for the rotating sweep and for boundary
+// sampling of feasible geometric areas.
+func EventAngles(sc *model.Scenario, p geom.Vec) []float64 {
+	var out []float64
+	for _, o := range sc.Obstacles {
+		for _, iv := range ShadowIntervals(p, o.Shape).Intervals() {
+			out = append(out, geom.NormAngle(iv.Lo), geom.NormAngle(iv.Hi))
+		}
+	}
+	sortAngles(out)
+	return out
+}
+
+func sortAngles(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+// Occluded reports whether the direction from p to q is blocked by any
+// obstacle before reaching q (i.e. no line of sight).
+func Occluded(sc *model.Scenario, p, q geom.Vec) bool {
+	return !sc.LineOfSight(p, q)
+}

@@ -1,0 +1,268 @@
+package hipo
+
+import (
+	"context"
+
+	"hipo/internal/core"
+	"hipo/internal/deploycost"
+	"hipo/internal/fairness"
+	"hipo/internal/power"
+	"hipo/internal/redeploy"
+)
+
+// Option tunes the solver.
+type Option func(*options)
+
+type options struct {
+	eps     float64
+	variant core.GreedyVariant
+	workers int
+	ctx     context.Context
+}
+
+func buildOptions(opts []Option) options {
+	o := options{eps: 0.15}
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+func (o options) core() core.Options {
+	return core.Options{Eps: o.eps, Variant: o.variant, Workers: o.workers, Ctx: o.ctx}
+}
+
+// WithEps sets the approximation parameter ε ∈ (0, 1/2) of the 1/2 − ε
+// guarantee (default 0.15). Smaller ε means finer power approximation, more
+// candidate strategies, and longer runtimes.
+func WithEps(eps float64) Option { return func(o *options) { o.eps = eps } }
+
+// WithPerTypeGreedy selects the paper's Algorithm 3 (partitions processed
+// in charger-type order) instead of the default lazy global greedy. Both
+// carry the 1/2 − ε guarantee.
+func WithPerTypeGreedy() Option {
+	return func(o *options) { o.variant = core.GreedyPerType }
+}
+
+// WithWorkers bounds the goroutines used during candidate extraction and
+// selection (0, the default, uses GOMAXPROCS).
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithContext attaches a context so long solves can be canceled between
+// pipeline stages; the solve returns the context's error once observed.
+func WithContext(ctx context.Context) Option {
+	return func(o *options) { o.ctx = ctx }
+}
+
+// WithContinuousGreedy selects the continuous greedy of the paper's
+// reference [39], which improves the guarantee from 1/2 − ε to 1 − 1/e − ε
+// at a substantially higher runtime (the paper considers it impractical;
+// it is exposed for experimentation on small scenarios).
+func WithContinuousGreedy() Option {
+	return func(o *options) { o.variant = core.GreedyContinuous }
+}
+
+// Solve places the scenario's chargers to maximize total charging utility
+// using the full HIPO pipeline (area discretization → PDCS extraction →
+// greedy submodular maximization), achieving a 1/2 − ε approximation.
+func (s *Scenario) Solve(opts ...Option) (*Placement, error) {
+	sc, err := s.internalScenario()
+	if err != nil {
+		return nil, err
+	}
+	o := buildOptions(opts)
+	sol, err := core.Solve(sc, o.core())
+	if err != nil {
+		return nil, err
+	}
+	return &Placement{
+		Chargers:        strategiesToPlaced(sol.Placed),
+		Utility:         sol.Utility,
+		CandidateCounts: sol.Candidates,
+	}, nil
+}
+
+// Metrics reports the per-device outcome of a placement.
+type Metrics struct {
+	// Utility is the total charging utility (mean of DeviceUtilities).
+	Utility float64 `json:"utility"`
+	// DeviceUtilities[j] is device j's utility in [0, 1].
+	DeviceUtilities []float64 `json:"device_utilities"`
+	// DevicePowers[j] is device j's received power.
+	DevicePowers []float64 `json:"device_powers"`
+	// MinUtility is the worst device's utility (the max-min objective).
+	MinUtility float64 `json:"min_utility"`
+}
+
+// Evaluate computes the exact charging metrics of an arbitrary placement on
+// this scenario — use it to score hand-crafted or third-party placements.
+func (s *Scenario) Evaluate(p *Placement) (*Metrics, error) {
+	sc, err := s.internalScenario()
+	if err != nil {
+		return nil, err
+	}
+	placed := placedToStrategies(p.Chargers)
+	m := &Metrics{
+		Utility:         power.TotalUtility(sc, placed),
+		DeviceUtilities: power.DeviceUtilities(sc, placed),
+		DevicePowers:    power.DevicePowers(sc, placed),
+	}
+	m.MinUtility = 1
+	if len(m.DeviceUtilities) == 0 {
+		m.MinUtility = 0
+	}
+	for _, u := range m.DeviceUtilities {
+		if u < m.MinUtility {
+			m.MinUtility = u
+		}
+	}
+	return m, nil
+}
+
+// RedeployPlan describes how to migrate chargers from an old placement to a
+// new one.
+type RedeployPlan struct {
+	// Moves pairs each old charger with its new strategy.
+	Moves []RedeployMove `json:"moves"`
+	// TotalCost and MaxCost summarize the switching overhead.
+	TotalCost float64 `json:"total_cost"`
+	MaxCost   float64 `json:"max_cost"`
+}
+
+// RedeployMove is one charger's transition.
+type RedeployMove struct {
+	From PlacedCharger `json:"from"`
+	To   PlacedCharger `json:"to"`
+	Cost float64       `json:"cost"`
+}
+
+// RedeployCost weighs movement and rotation in the switching overhead.
+type RedeployCost struct {
+	PerMeter  float64 `json:"per_meter"`
+	PerRadian float64 `json:"per_radian"`
+}
+
+func (s *Scenario) redeploy(old, new_ *Placement, cost RedeployCost, minmax bool) (*RedeployPlan, error) {
+	sc, err := s.internalScenario()
+	if err != nil {
+		return nil, err
+	}
+	cm := redeploy.CostModel{PerMeter: cost.PerMeter, PerRadian: cost.PerRadian}
+	var plan *redeploy.Plan
+	if minmax {
+		plan, err = redeploy.MinMax(placedToStrategies(old.Chargers),
+			placedToStrategies(new_.Chargers), len(sc.ChargerTypes), cm)
+	} else {
+		plan, err = redeploy.MinTotal(placedToStrategies(old.Chargers),
+			placedToStrategies(new_.Chargers), len(sc.ChargerTypes), cm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &RedeployPlan{TotalCost: plan.Total, MaxCost: plan.Max}
+	for _, mv := range plan.Moves {
+		out.Moves = append(out.Moves, RedeployMove{
+			From: PlacedCharger{Pos: fromVec(mv.From.Pos), Orient: mv.From.Orient, Type: mv.From.Type},
+			To:   PlacedCharger{Pos: fromVec(mv.To.Pos), Orient: mv.To.Orient, Type: mv.To.Type},
+			Cost: mv.Cost,
+		})
+	}
+	return out, nil
+}
+
+// RedeployMinTotal plans the migration from old to new minimizing the total
+// switching overhead (per charger type, a minimum-cost perfect matching —
+// Section 8.1.1 of the paper). Old and new must place the same number of
+// chargers of every type.
+func (s *Scenario) RedeployMinTotal(old, new_ *Placement, cost RedeployCost) (*RedeployPlan, error) {
+	return s.redeploy(old, new_, cost, false)
+}
+
+// RedeployMinMax plans the migration minimizing the maximum per-charger
+// overhead, then the total overhead among such plans (Section 8.1.2).
+func (s *Scenario) RedeployMinMax(old, new_ *Placement, cost RedeployCost) (*RedeployPlan, error) {
+	return s.redeploy(old, new_, cost, true)
+}
+
+// DeploymentBudget configures budget-constrained placement (Section 8.2):
+// cost per charger = PerMeter·dist(Depot, position) + PerRadian·|rotation| +
+// PerWatt·TypePower[type], capped by Budget.
+type DeploymentBudget struct {
+	Depot     Point     `json:"depot"`
+	PerMeter  float64   `json:"per_meter"`
+	PerRadian float64   `json:"per_radian"`
+	PerWatt   float64   `json:"per_watt"`
+	TypePower []float64 `json:"type_power,omitempty"`
+	Budget    float64   `json:"budget"`
+}
+
+// SolveBudgeted places chargers maximizing utility subject to the
+// deployment-cost budget, via the cost-benefit greedy over the PDCS
+// candidate set. Per-type cardinalities are advisory under the budget.
+func (s *Scenario) SolveBudgeted(b DeploymentBudget, opts ...Option) (*Placement, error) {
+	sc, err := s.internalScenario()
+	if err != nil {
+		return nil, err
+	}
+	o := buildOptions(opts)
+	cm := deploycost.LinearCostModel(b.Depot.vec(), b.PerMeter, b.PerRadian, b.PerWatt, b.TypePower)
+	res, err := deploycost.SolveBudgeted(sc, cm, b.Budget, o.core())
+	if err != nil {
+		return nil, err
+	}
+	return &Placement{
+		Chargers: strategiesToPlaced(res.Placed),
+		Utility:  power.TotalUtility(sc, res.Placed),
+	}, nil
+}
+
+// SolveMaxMin maximizes the minimum device utility (max-min fairness,
+// Section 8.3) by simulated annealing over the PDCS candidate set, seeded
+// with the greedy HIPO solution. iterations ≤ 0 uses a sensible default.
+func (s *Scenario) SolveMaxMin(iterations int, seed int64, opts ...Option) (*Placement, error) {
+	sc, err := s.internalScenario()
+	if err != nil {
+		return nil, err
+	}
+	o := buildOptions(opts)
+	sa := fairness.DefaultSAOptions()
+	if iterations > 0 {
+		sa.Iterations = iterations
+	}
+	sa.Seed = seed
+	placed, _, err := fairness.MaxMinSA(sc, o.core(), sa)
+	if err != nil {
+		return nil, err
+	}
+	return &Placement{
+		Chargers: strategiesToPlaced(placed),
+		Utility:  power.TotalUtility(sc, placed),
+	}, nil
+}
+
+// SolveProportionalFair maximizes Σ log(1 + U_j), the proportional-fairness
+// objective of Section 8.3 — still monotone submodular, so the greedy keeps
+// its 1/2 − ε guarantee.
+func (s *Scenario) SolveProportionalFair(opts ...Option) (*Placement, error) {
+	sc, err := s.internalScenario()
+	if err != nil {
+		return nil, err
+	}
+	o := buildOptions(opts)
+	sol, err := fairness.ProportionalFair(sc, o.core())
+	if err != nil {
+		return nil, err
+	}
+	return &Placement{
+		Chargers:        strategiesToPlaced(sol.Placed),
+		Utility:         sol.Utility,
+		CandidateCounts: sol.Candidates,
+	}, nil
+}
+
+// ApproximationRatio returns the theoretical guarantee 1/2 − ε for the
+// given options.
+func ApproximationRatio(opts ...Option) float64 {
+	o := buildOptions(opts)
+	return core.Options{Eps: o.eps}.TheoreticalRatio()
+}
