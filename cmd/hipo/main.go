@@ -48,6 +48,18 @@ func main() {
 
 func run(inPath, outPath string, eps float64, perType bool, workers int,
 	objective string, budget, depotX, depotY float64, saIters int, seed int64) error {
+	// Validate flags up front so bad values never reach the solver.
+	if eps <= 0 || eps >= 0.5 {
+		return fmt.Errorf("-eps must be in (0, 0.5), got %v", eps)
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", workers)
+	}
+	switch objective {
+	case "utility", "maxmin", "propfair":
+	default:
+		return fmt.Errorf("unknown objective %q (want utility, maxmin, or propfair)", objective)
+	}
 	var in io.Reader = os.Stdin
 	if inPath != "" {
 		f, err := os.Open(inPath)

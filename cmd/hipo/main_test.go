@@ -5,6 +5,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"hipo"
@@ -107,5 +108,23 @@ func TestRunErrors(t *testing.T) {
 	os.WriteFile(bad, []byte("{nope"), 0o644)
 	if err := run(bad, "", 0.15, false, 0, "utility", 0, 0, 0, 100, 1); err == nil {
 		t.Error("corrupt input should fail")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	in := writeScenario(t)
+	for _, eps := range []float64{0, -0.1, 0.5, 1} {
+		if err := run(in, "", eps, false, 0, "utility", 0, 0, 0, 100, 1); err == nil {
+			t.Errorf("eps %v should be rejected", eps)
+		}
+	}
+	if err := run(in, "", 0.15, false, -2, "utility", 0, 0, 0, 100, 1); err == nil {
+		t.Error("negative workers should be rejected")
+	}
+	// Bad values must fail before the input is even read: no such file, yet
+	// the flag error is what surfaces.
+	err := run(filepath.Join(t.TempDir(), "missing.json"), "", 0.7, false, 0, "utility", 0, 0, 0, 100, 1)
+	if err == nil || !strings.Contains(err.Error(), "-eps") {
+		t.Errorf("flag validation should precede input reading, got %v", err)
 	}
 }

@@ -1,0 +1,79 @@
+package main
+
+// Serving-layer benchmarks: the solve-cache hit path (the steady state of
+// a redeployment service receiving repeated scenarios) and end-to-end
+// repeated-solve throughput through the full HTTP handler stack, so
+// BENCH_*.json trajectories capture serving performance alongside the
+// solver figures.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func benchRequestBody(b *testing.B) []byte {
+	b.Helper()
+	body, err := json.Marshal(SolveRequest{Scenario: testScenario()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+func serveOnce(s *server, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest("POST", "/v1/solve", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// BenchmarkSolveCacheHit measures the pure cache-hit path: request
+// decoding, scenario hashing, LRU lookup, and response write — no solver
+// work.
+func BenchmarkSolveCacheHit(b *testing.B) {
+	s := newServer(Config{Logger: quietLogger()})
+	body := benchRequestBody(b)
+	if rec := serveOnce(s, body); rec.Code != 200 { // warm the cache
+		b.Fatalf("warm-up solve: %d %s", rec.Code, rec.Body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := serveOnce(s, body)
+		if rec.Code != 200 || rec.Header().Get("X-Cache") != "hit" {
+			b.Fatalf("iteration %d: %d, X-Cache %q", i, rec.Code, rec.Header().Get("X-Cache"))
+		}
+	}
+	b.StopTimer()
+	hits, _, _ := s.cache.Stats()
+	b.ReportMetric(float64(hits), "cache-hits")
+}
+
+// BenchmarkRepeatedSolveThroughput measures steady-state request
+// throughput for identical re-submissions — the first request pays for the
+// solve, the rest ride the cache, as in the online redeployment workload.
+func BenchmarkRepeatedSolveThroughput(b *testing.B) {
+	s := newServer(Config{Logger: quietLogger()})
+	body := benchRequestBody(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec := serveOnce(s, body); rec.Code != 200 {
+			b.Fatalf("iteration %d: %d", i, rec.Code)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkScenarioHash isolates the content-hash cost that every request
+// pays even on a hit.
+func BenchmarkScenarioHash(b *testing.B) {
+	sc := testScenario()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.ScenarioHash(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

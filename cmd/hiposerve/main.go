@@ -1,0 +1,97 @@
+// Command hiposerve is a long-running HTTP JSON service exposing the hipo
+// library: charger (re)deployment is an online, repeated activity, so
+// scenarios arrive continuously and often differ only slightly — the
+// server caches solves by content hash and manages concurrent jobs instead
+// of rebuilding the pipeline per process like the one-shot hipo CLI.
+//
+// Endpoints:
+//
+//	POST   /v1/solve           total-utility placement (1/2 − ε greedy)
+//	POST   /v1/solve/budgeted  deployment-cost budgeted placement (§8.2)
+//	POST   /v1/solve/maxmin    max-min fair placement (§8.3, SA)
+//	POST   /v1/solve/propfair  proportional-fair placement (§8.3)
+//	POST   /v1/evaluate        score an existing placement
+//	POST   /v1/redeploy        migration plan between placements (§8.1)
+//	POST   /v1/diagnostics     reachability / feasible-area diagnostics
+//	GET    /v1/jobs/{id}       poll an async job
+//	DELETE /v1/jobs/{id}       cancel an async job
+//	GET    /metrics            Prometheus text metrics
+//	GET    /healthz            liveness probe
+//
+// Solve requests run synchronously under a request deadline when small
+// (or "mode": "sync"), and are queued onto a bounded worker pool when
+// large (or "mode": "async"), answering 202 with a job URL. Identical
+// re-submissions (same scenario content hash + options) are answered from
+// an LRU cache with byte-identical bodies.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 2, "async solve worker-pool size")
+		queueDepth  = flag.Int("queue-depth", 64, "max jobs waiting for a worker")
+		cacheSize   = flag.Int("cache-size", 256, "solve-cache capacity (entries)")
+		syncTimeout = flag.Duration("sync-timeout", 30*time.Second, "deadline for synchronous solves")
+		jobTimeout  = flag.Duration("job-timeout", 0, "per-job deadline for async solves (0 = none)")
+		syncLimit   = flag.Int("sync-device-limit", 64, "auto mode: max devices solved inline")
+		drain       = flag.Duration("drain-timeout", 60*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	if *workers < 1 || *queueDepth < 1 || *cacheSize < 1 {
+		fmt.Fprintln(os.Stderr, "hiposerve: -workers, -queue-depth, and -cache-size must be >= 1")
+		os.Exit(2)
+	}
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	srv := newServer(Config{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheSize:       *cacheSize,
+		SyncTimeout:     *syncTimeout,
+		JobTimeout:      *jobTimeout,
+		SyncDeviceLimit: *syncLimit,
+		Logger:          logger,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Info("listening", "addr", *addr, "workers", *workers, "queue_depth", *queueDepth)
+
+	select {
+	case err := <-errc:
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections, then drain the jobs
+	// still queued or running.
+	logger.Info("shutting down", "drain_timeout", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		logger.Error("http shutdown", "err", err)
+	}
+	if err := srv.shutdown(drainCtx); err != nil {
+		logger.Error("job drain", "err", err)
+	}
+	logger.Info("stopped")
+}

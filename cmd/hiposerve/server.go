@@ -1,0 +1,561 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"hipo"
+	"hipo/internal/jobs"
+	"hipo/internal/servemetrics"
+	"hipo/internal/solvecache"
+)
+
+// Config tunes the serving layer.
+type Config struct {
+	// Workers is the async worker-pool size; QueueDepth bounds the number
+	// of jobs waiting for a worker.
+	Workers    int
+	QueueDepth int
+	// CacheSize is the solve-cache capacity in entries.
+	CacheSize int
+	// SyncTimeout is the request deadline for synchronous solves;
+	// JobTimeout (0 = none) bounds each async job.
+	SyncTimeout time.Duration
+	JobTimeout  time.Duration
+	// SyncDeviceLimit is the auto-mode threshold: scenarios with at most
+	// this many devices solve inline, larger ones are queued.
+	SyncDeviceLimit int
+	Logger          *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.SyncTimeout <= 0 {
+		c.SyncTimeout = 30 * time.Second
+	}
+	if c.SyncDeviceLimit <= 0 {
+		c.SyncDeviceLimit = 64
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// server wires the job manager, solve cache, and metrics registry behind
+// the HTTP mux.
+type server struct {
+	cfg   Config
+	jobs  *jobs.Manager
+	cache *solvecache.Cache
+	reg   *servemetrics.Registry
+	log   *slog.Logger
+	mux   *http.ServeMux
+
+	cacheHits   *servemetrics.Counter
+	cacheMisses *servemetrics.Counter
+	jobsQueued  *servemetrics.Counter
+}
+
+func newServer(cfg Config) *server {
+	cfg = cfg.withDefaults()
+	s := &server{
+		cfg:   cfg,
+		jobs:  jobs.NewManager(cfg.Workers, cfg.QueueDepth, cfg.JobTimeout),
+		cache: solvecache.New(cfg.CacheSize),
+		reg:   servemetrics.NewRegistry(),
+		log:   cfg.Logger,
+		mux:   http.NewServeMux(),
+	}
+	s.cacheHits = s.reg.Counter("hiposerve_cache_hits_total",
+		"Solve-cache hits across all solve endpoints.")
+	s.cacheMisses = s.reg.Counter("hiposerve_cache_misses_total",
+		"Solve-cache misses across all solve endpoints.")
+	s.jobsQueued = s.reg.Counter("hiposerve_jobs_submitted_total",
+		"Async jobs accepted into the queue.")
+	s.reg.Gauge("hiposerve_jobs_tracked",
+		"Jobs currently tracked by the manager (all states).",
+		func() float64 { return float64(s.jobs.Len()) })
+	s.reg.Gauge("hiposerve_cache_entries",
+		"Entries currently held by the solve cache.",
+		func() float64 { _, _, n := s.cache.Stats(); return float64(n) })
+	s.routes()
+	return s
+}
+
+func (s *server) routes() {
+	s.mux.HandleFunc("POST /v1/solve", s.instrument("/v1/solve",
+		s.solveHandler("/v1/solve", runSolve)))
+	s.mux.HandleFunc("POST /v1/solve/budgeted", s.instrument("/v1/solve/budgeted",
+		s.solveHandler("/v1/solve/budgeted", runBudgeted)))
+	s.mux.HandleFunc("POST /v1/solve/maxmin", s.instrument("/v1/solve/maxmin",
+		s.solveHandler("/v1/solve/maxmin", runMaxMin)))
+	s.mux.HandleFunc("POST /v1/solve/propfair", s.instrument("/v1/solve/propfair",
+		s.solveHandler("/v1/solve/propfair", runPropFair)))
+	s.mux.HandleFunc("POST /v1/evaluate", s.instrument("/v1/evaluate", s.handleEvaluate))
+	s.mux.HandleFunc("POST /v1/redeploy", s.instrument("/v1/redeploy", s.handleRedeploy))
+	s.mux.HandleFunc("POST /v1/diagnostics", s.instrument("/v1/diagnostics", s.handleDiagnostics))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJobGet))
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJobCancel))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+func (s *server) handler() http.Handler { return s.mux }
+
+// statusWriter captures the response code for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting, latency observation,
+// and structured logging.
+func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := s.reg.Counter("hiposerve_requests_total",
+		"HTTP requests by endpoint.", "endpoint", endpoint)
+	errs := s.reg.Counter("hiposerve_request_errors_total",
+		"HTTP responses with status >= 400, by endpoint.", "endpoint", endpoint)
+	lat := s.reg.Histogram("hiposerve_request_seconds",
+		"Request latency in seconds, by endpoint.", nil, "endpoint", endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		elapsed := time.Since(start)
+		reqs.Inc()
+		lat.Observe(elapsed.Seconds())
+		if sw.status >= 400 {
+			errs.Inc()
+		}
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration_ms", float64(elapsed.Microseconds())/1000,
+			"cache", sw.Header().Get("X-Cache"),
+			"remote", r.RemoteAddr,
+		)
+	}
+}
+
+// SolveOptions is the JSON options envelope shared by the solve endpoints;
+// it mirrors the library's functional options.
+type SolveOptions struct {
+	// Eps is the approximation parameter ε ∈ (0, 0.5); 0 means the
+	// library default.
+	Eps float64 `json:"eps,omitempty"`
+	// PerType selects the paper's Algorithm 3 greedy.
+	PerType bool `json:"per_type,omitempty"`
+	// Continuous selects the continuous greedy (1 − 1/e − ε, slow).
+	Continuous bool `json:"continuous,omitempty"`
+	// Workers bounds solver goroutines (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+}
+
+func (o SolveOptions) validate() error {
+	if o.Eps != 0 && (o.Eps <= 0 || o.Eps >= 0.5) {
+		return fmt.Errorf("options.eps must be in (0, 0.5), got %v", o.Eps)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("options.workers must be >= 0, got %d", o.Workers)
+	}
+	if o.PerType && o.Continuous {
+		return errors.New("options.per_type and options.continuous are mutually exclusive")
+	}
+	return nil
+}
+
+func (o SolveOptions) libOptions(ctx context.Context) []hipo.Option {
+	opts := []hipo.Option{hipo.WithWorkers(o.Workers), hipo.WithContext(ctx)}
+	if o.Eps != 0 {
+		opts = append(opts, hipo.WithEps(o.Eps))
+	}
+	if o.PerType {
+		opts = append(opts, hipo.WithPerTypeGreedy())
+	}
+	if o.Continuous {
+		opts = append(opts, hipo.WithContinuousGreedy())
+	}
+	return opts
+}
+
+// SolveRequest is the request envelope of the four solve endpoints. Mode
+// selects sync (inline, request deadline), async (queued job), or auto
+// (the default: sync for scenarios at most SyncDeviceLimit devices).
+type SolveRequest struct {
+	Scenario *hipo.Scenario `json:"scenario"`
+	Options  SolveOptions   `json:"options"`
+	Mode     string         `json:"mode,omitempty"`
+	// Budget configures /v1/solve/budgeted.
+	Budget *hipo.DeploymentBudget `json:"budget,omitempty"`
+	// Iterations and Seed configure /v1/solve/maxmin.
+	Iterations int   `json:"iterations,omitempty"`
+	Seed       int64 `json:"seed,omitempty"`
+}
+
+// solveFn executes one solve variant under the given context.
+type solveFn func(ctx context.Context, req *SolveRequest) (*hipo.Placement, error)
+
+func runSolve(ctx context.Context, req *SolveRequest) (*hipo.Placement, error) {
+	return req.Scenario.Solve(req.Options.libOptions(ctx)...)
+}
+
+func runBudgeted(ctx context.Context, req *SolveRequest) (*hipo.Placement, error) {
+	if req.Budget == nil {
+		return nil, errBadRequest{errors.New("budget is required for /v1/solve/budgeted")}
+	}
+	return req.Scenario.SolveBudgeted(*req.Budget, req.Options.libOptions(ctx)...)
+}
+
+func runMaxMin(ctx context.Context, req *SolveRequest) (*hipo.Placement, error) {
+	return req.Scenario.SolveMaxMin(req.Iterations, req.Seed, req.Options.libOptions(ctx)...)
+}
+
+func runPropFair(ctx context.Context, req *SolveRequest) (*hipo.Placement, error) {
+	return req.Scenario.SolveProportionalFair(req.Options.libOptions(ctx)...)
+}
+
+// errBadRequest marks errors that should map to 400 rather than 500.
+type errBadRequest struct{ error }
+
+func (e errBadRequest) Unwrap() error { return e.error }
+
+const maxRequestBytes = 32 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(b)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// cacheKey derives the canonical key: endpoint + scenario content hash +
+// the solver-relevant request fields (mode excluded — it changes where the
+// solve runs, not its result).
+func (s *server) cacheKey(endpoint string, req *SolveRequest) (string, error) {
+	sh, err := req.Scenario.ScenarioHash()
+	if err != nil {
+		return "", err
+	}
+	extra, err := json.Marshal(struct {
+		Options    SolveOptions           `json:"options"`
+		Budget     *hipo.DeploymentBudget `json:"budget,omitempty"`
+		Iterations int                    `json:"iterations,omitempty"`
+		Seed       int64                  `json:"seed,omitempty"`
+	}{req.Options, req.Budget, req.Iterations, req.Seed})
+	if err != nil {
+		return "", err
+	}
+	return solvecache.Key(endpoint, sh, string(extra)), nil
+}
+
+// solveHandler serves one solve variant with cache-first lookup and
+// sync/async dispatch.
+func (s *server) solveHandler(endpoint string, run solveFn) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req SolveRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		if req.Scenario == nil {
+			writeError(w, http.StatusBadRequest, errors.New("scenario is required"))
+			return
+		}
+		if err := req.Options.validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		switch req.Mode {
+		case "", "auto", "sync", "async":
+		default:
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("mode must be sync, async, or auto; got %q", req.Mode))
+			return
+		}
+		if err := req.Scenario.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+
+		key, err := s.cacheKey(endpoint, &req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if body, ok := s.cache.Get(key); ok {
+			s.cacheHits.Inc()
+			w.Header().Set("X-Cache", "hit")
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(body)
+			return
+		}
+		s.cacheMisses.Inc()
+
+		async := req.Mode == "async" ||
+			(req.Mode == "" || req.Mode == "auto") &&
+				len(req.Scenario.Devices) > s.cfg.SyncDeviceLimit
+		if async {
+			s.enqueueSolve(w, key, &req, run)
+			return
+		}
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SyncTimeout)
+		defer cancel()
+		body, err := s.execSolve(ctx, key, &req, run)
+		if err != nil {
+			writeSolveError(w, err)
+			return
+		}
+		w.Header().Set("X-Cache", "miss")
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	}
+}
+
+func writeSolveError(w http.ResponseWriter, err error) {
+	var bad errBadRequest
+	switch {
+	case errors.As(err, &bad):
+		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// execSolve runs the solve, serializes the placement, and fills the cache
+// so identical re-submissions return byte-identical bodies.
+func (s *server) execSolve(ctx context.Context, key string, req *SolveRequest, run solveFn) ([]byte, error) {
+	placement, err := run(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(placement)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.Put(key, body)
+	return body, nil
+}
+
+// enqueueSolve submits the solve as an async job and answers 202 with the
+// job's polling URL.
+func (s *server) enqueueSolve(w http.ResponseWriter, key string, req *SolveRequest, run solveFn) {
+	id, err := s.jobs.Submit(func(ctx context.Context) (any, error) {
+		body, err := s.execSolve(ctx, key, req, run)
+		if err != nil {
+			return nil, err
+		}
+		return json.RawMessage(body), nil
+	})
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, jobs.ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.jobsQueued.Inc()
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"job_id":     id,
+		"status_url": "/v1/jobs/" + id,
+	})
+}
+
+func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// EvaluateRequest scores an existing placement on a scenario.
+type EvaluateRequest struct {
+	Scenario  *hipo.Scenario  `json:"scenario"`
+	Placement *hipo.Placement `json:"placement"`
+}
+
+func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Scenario == nil || req.Placement == nil {
+		writeError(w, http.StatusBadRequest, errors.New("scenario and placement are required"))
+		return
+	}
+	m, err := req.Scenario.Evaluate(req.Placement)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// RedeployRequest plans a migration between two placements.
+type RedeployRequest struct {
+	Scenario *hipo.Scenario    `json:"scenario"`
+	Old      *hipo.Placement   `json:"old"`
+	New      *hipo.Placement   `json:"new"`
+	Cost     hipo.RedeployCost `json:"cost"`
+	// MinMax selects the bottleneck objective of Section 8.1.2 instead of
+	// minimum total cost.
+	MinMax bool `json:"minmax,omitempty"`
+}
+
+func (s *server) handleRedeploy(w http.ResponseWriter, r *http.Request) {
+	var req RedeployRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Scenario == nil || req.Old == nil || req.New == nil {
+		writeError(w, http.StatusBadRequest, errors.New("scenario, old, and new are required"))
+		return
+	}
+	var plan *hipo.RedeployPlan
+	var err error
+	if req.MinMax {
+		plan, err = req.Scenario.RedeployMinMax(req.Old, req.New, req.Cost)
+	} else {
+		plan, err = req.Scenario.RedeployMinTotal(req.Old, req.New, req.Cost)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, plan)
+}
+
+// DiagnosticsRequest asks for reachability diagnostics; Eps, when
+// positive, additionally reports per-pair feasible cell counts.
+type DiagnosticsRequest struct {
+	Scenario *hipo.Scenario `json:"scenario"`
+	Eps      float64        `json:"eps,omitempty"`
+}
+
+// DiagnosticsResponse reports which devices are reachable and how much
+// placement area each (charger type, device) pair admits.
+type DiagnosticsResponse struct {
+	UnreachableDevices []int `json:"unreachable_devices"`
+	// FeasibleArea[q][j] is the area where charger type q can be placed to
+	// charge device j with non-zero power.
+	FeasibleArea [][]float64 `json:"feasible_area"`
+	// CellCounts[q][j] is the number of feasible geometric areas at the
+	// requested eps; present only when eps was given.
+	CellCounts [][]int `json:"cell_counts,omitempty"`
+}
+
+func (s *server) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
+	var req DiagnosticsRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Scenario == nil {
+		writeError(w, http.StatusBadRequest, errors.New("scenario is required"))
+		return
+	}
+	sc := req.Scenario
+	un, err := sc.UnreachableDevices()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := DiagnosticsResponse{UnreachableDevices: un}
+	if resp.UnreachableDevices == nil {
+		resp.UnreachableDevices = []int{}
+	}
+	for q := range sc.ChargerTypes {
+		row := make([]float64, len(sc.Devices))
+		for j := range sc.Devices {
+			if row[j], err = sc.FeasibleArea(q, j); err != nil {
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+		}
+		resp.FeasibleArea = append(resp.FeasibleArea, row)
+	}
+	if req.Eps != 0 {
+		for q := range sc.ChargerTypes {
+			row := make([]int, len(sc.Devices))
+			for j := range sc.Devices {
+				if row[j], err = sc.FeasibleCellCount(q, j, req.Eps); err != nil {
+					writeError(w, http.StatusBadRequest, err)
+					return
+				}
+			}
+			resp.CellCounts = append(resp.CellCounts, row)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// shutdown drains the job queue after the HTTP listener has stopped.
+func (s *server) shutdown(ctx context.Context) error {
+	return s.jobs.Shutdown(ctx)
+}

@@ -45,7 +45,7 @@ func (s *Scenario) FeasibleCellCount(chargerType, deviceIdx int, eps float64) (i
 		return 0, fmt.Errorf("hipo: device index %d out of range", deviceIdx)
 	}
 	if eps <= 0 || eps >= 0.5 {
-		eps = 0.15
+		return 0, fmt.Errorf("hipo: eps %v out of range (0, 0.5)", eps)
 	}
 	return len(cells.DeviceCells(sc, chargerType, deviceIdx, power.Eps1ForEps(eps))), nil
 }

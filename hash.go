@@ -1,0 +1,27 @@
+package hipo
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// ScenarioHash returns a canonical SHA-256 hex digest of the scenario. Two
+// scenarios that marshal to the same JSON — same region, hardware tables,
+// devices, and obstacles, in the same order — hash identically, so the
+// digest serves as a content-addressed cache key for solve services (the
+// hiposerve solve cache keys on this hash plus the solver options).
+//
+// The encoding is the package's stable JSON schema: struct fields marshal
+// in declaration order and no maps are involved, so the bytes are
+// deterministic for a given scenario value. Note that device ordering is
+// significant: permuting Devices yields a different hash even though the
+// placement problem is the same.
+func (s *Scenario) ScenarioHash() (string, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,45 @@
+package hipo
+
+import (
+	"encoding/json"
+	"regexp"
+	"testing"
+)
+
+func TestScenarioHash(t *testing.T) {
+	a := cancelScenario()
+	h1, err := a.ScenarioHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(h1) {
+		t.Fatalf("hash %q is not 64 hex chars", h1)
+	}
+
+	// Deterministic across calls and across JSON round-trips — the
+	// property the solve cache relies on.
+	h2, _ := a.ScenarioHash()
+	if h1 != h2 {
+		t.Error("hash not deterministic")
+	}
+	b, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt Scenario
+	if err := json.Unmarshal(b, &rt); err != nil {
+		t.Fatal(err)
+	}
+	h3, _ := rt.ScenarioHash()
+	if h1 != h3 {
+		t.Error("hash changed across JSON round-trip")
+	}
+
+	// Any content change must change the hash.
+	mod := cancelScenario()
+	mod.Devices[0].Orient += 0.001
+	h4, _ := mod.ScenarioHash()
+	if h4 == h1 {
+		t.Error("modified scenario hashes identically")
+	}
+}

@@ -315,6 +315,11 @@ func TestDiagnosticsAPI(t *testing.T) {
 	if _, err := s.FeasibleCellCount(0, 99, 0.15); err == nil {
 		t.Error("bad device index should fail")
 	}
+	for _, eps := range []float64{0, -0.1, 0.5, 0.9} {
+		if _, err := s.FeasibleCellCount(0, 0, eps); err == nil {
+			t.Errorf("eps %v should fail", eps)
+		}
+	}
 }
 
 func TestUnreachableDevices(t *testing.T) {

@@ -1,0 +1,275 @@
+// Package jobs is a bounded async job queue with a fixed worker pool, used
+// by cmd/hiposerve to run large placement solves off the request path. Each
+// job is a context-aware function; the manager tracks its lifecycle
+// (pending → running → done/failed/canceled), enforces an optional per-job
+// deadline, supports cancellation of both queued and running jobs, and
+// drains running work on graceful shutdown.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job states. Pending jobs sit in the queue; Running jobs occupy a worker;
+// the remaining states are terminal.
+const (
+	StatePending  State = "pending"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Fn is the unit of work: it must honor ctx and return either a result or
+// an error. The result is stored as-is in the job snapshot.
+type Fn func(ctx context.Context) (any, error)
+
+// Errors returned by Submit and lookup operations.
+var (
+	ErrQueueFull    = errors.New("jobs: queue full")
+	ErrShuttingDown = errors.New("jobs: manager shutting down")
+	ErrNotFound     = errors.New("jobs: no such job")
+)
+
+// Snapshot is a point-in-time copy of a job's externally visible state.
+type Snapshot struct {
+	ID       string    `json:"id"`
+	State    State     `json:"state"`
+	Result   any       `json:"result,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+}
+
+type job struct {
+	id       string
+	fn       Fn
+	state    State
+	result   any
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	// cancel is non-nil while the job runs; calling it interrupts the fn
+	// through its context.
+	cancel context.CancelFunc
+}
+
+// Manager owns the queue, the worker pool, and the job table.
+type Manager struct {
+	queue   chan *job
+	timeout time.Duration
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	closed  bool
+	stop    chan struct{}
+	workers sync.WaitGroup
+}
+
+// NewManager starts workers goroutines consuming a queue of the given
+// depth. jobTimeout, when positive, bounds each job's execution time.
+func NewManager(workers, depth int, jobTimeout time.Duration) *Manager {
+	if workers <= 0 {
+		workers = 1
+	}
+	if depth <= 0 {
+		depth = 1
+	}
+	m := &Manager{
+		queue:   make(chan *job, depth),
+		timeout: jobTimeout,
+		jobs:    make(map[string]*job),
+		stop:    make(chan struct{}),
+	}
+	m.workers.Add(workers)
+	for i := 0; i < workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable for ID uniqueness.
+		panic(fmt.Sprintf("jobs: id generation: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit enqueues fn and returns the new job's ID. It fails fast with
+// ErrQueueFull when the queue is at capacity and ErrShuttingDown after
+// Shutdown has begun.
+func (m *Manager) Submit(fn Fn) (string, error) {
+	j := &job{id: newID(), fn: fn, state: StatePending, created: time.Now()}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return "", ErrShuttingDown
+	}
+	m.jobs[j.id] = j
+	m.mu.Unlock()
+	select {
+	case m.queue <- j:
+		return j.id, nil
+	default:
+		m.mu.Lock()
+		delete(m.jobs, j.id)
+		m.mu.Unlock()
+		return "", ErrQueueFull
+	}
+}
+
+// Get returns a snapshot of the job.
+func (m *Manager) Get(id string) (Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	return j.snapshot(), nil
+}
+
+// Cancel requests cancellation: a pending job is marked canceled and will
+// be skipped by the workers; a running job has its context canceled and
+// reaches the canceled state once its fn observes the context. Canceling a
+// job already in a terminal state is a no-op; the returned snapshot shows
+// the state after the request.
+func (m *Manager) Cancel(id string) (Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	switch j.state {
+	case StatePending:
+		j.state = StateCanceled
+		j.finished = time.Now()
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return j.snapshot(), nil
+}
+
+// Len returns the number of tracked jobs (all states).
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.jobs)
+}
+
+// Shutdown stops accepting new jobs and waits for the workers to finish
+// the jobs already queued or running, or for ctx to expire — whichever
+// comes first. On ctx expiry the workers are told to stop after their
+// current job and Shutdown returns ctx's error without waiting further.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.queue)
+
+	done := make(chan struct{})
+	go func() {
+		m.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		close(m.stop)
+		return ctx.Err()
+	}
+}
+
+func (m *Manager) worker() {
+	defer m.workers.Done()
+	for j := range m.queue {
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+		m.run(j)
+	}
+}
+
+func (m *Manager) run(j *job) {
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if m.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, m.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	m.mu.Lock()
+	if j.state != StatePending { // canceled while queued
+		m.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	m.mu.Unlock()
+
+	res, err := j.fn(ctx)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.finished = time.Now()
+	j.cancel = nil
+	switch {
+	case err != nil && errors.Is(err, context.Canceled):
+		j.state = StateCanceled
+		j.err = err
+	case err != nil:
+		j.state = StateFailed
+		j.err = err
+	default:
+		j.state = StateDone
+		j.result = res
+	}
+}
+
+func (j *job) snapshot() Snapshot {
+	s := Snapshot{
+		ID:       j.id,
+		State:    j.state,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+	if j.state == StateDone {
+		s.Result = j.result
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}

@@ -1,0 +1,192 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitState polls until the job reaches a terminal state or times out.
+func waitState(t *testing.T, m *Manager, id string, want State) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		snap, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.State == want {
+			return snap
+		}
+		if snap.State.Terminal() {
+			t.Fatalf("job %s reached %s, want %s (err %q)", id, snap.State, want, snap.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return Snapshot{}
+}
+
+func TestJobLifecycleDone(t *testing.T) {
+	m := NewManager(2, 4, 0)
+	defer m.Shutdown(context.Background())
+	id, err := m.Submit(func(context.Context) (any, error) { return 42, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitState(t, m, id, StateDone)
+	if snap.Result != 42 {
+		t.Errorf("result = %v, want 42", snap.Result)
+	}
+	if snap.Created.IsZero() || snap.Started.IsZero() || snap.Finished.IsZero() {
+		t.Errorf("timestamps not all set: %+v", snap)
+	}
+}
+
+func TestJobFailed(t *testing.T) {
+	m := NewManager(1, 4, 0)
+	defer m.Shutdown(context.Background())
+	id, _ := m.Submit(func(context.Context) (any, error) {
+		return nil, errors.New("boom")
+	})
+	snap := waitState(t, m, id, StateFailed)
+	if snap.Error != "boom" {
+		t.Errorf("error = %q", snap.Error)
+	}
+	if snap.Result != nil {
+		t.Errorf("failed job leaked result %v", snap.Result)
+	}
+}
+
+func TestCancelRunning(t *testing.T) {
+	m := NewManager(1, 4, 0)
+	defer m.Shutdown(context.Background())
+	started := make(chan struct{})
+	id, _ := m.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-started
+	if _, err := m.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, id, StateCanceled)
+}
+
+func TestCancelPending(t *testing.T) {
+	m := NewManager(1, 4, 0)
+	defer m.Shutdown(context.Background())
+	block := make(chan struct{})
+	started := make(chan struct{})
+	m.Submit(func(context.Context) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	})
+	<-started // the single worker is now occupied
+	id, _ := m.Submit(func(context.Context) (any, error) { return "ran", nil })
+	snap, err := m.Cancel(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateCanceled {
+		t.Fatalf("pending cancel state = %s", snap.State)
+	}
+	close(block)
+	// The worker must skip the canceled job, not run it.
+	time.Sleep(50 * time.Millisecond)
+	if snap, _ := m.Get(id); snap.State != StateCanceled || snap.Result != nil {
+		t.Errorf("canceled job ran anyway: %+v", snap)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	m := NewManager(1, 1, 0)
+	defer m.Shutdown(context.Background())
+	block := make(chan struct{})
+	defer close(block)
+	started := make(chan struct{})
+	m.Submit(func(context.Context) (any, error) { close(started); <-block; return nil, nil })
+	<-started
+	m.Submit(func(context.Context) (any, error) { return nil, nil }) // fills the queue
+	_, err := m.Submit(func(context.Context) (any, error) { return nil, nil })
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if n := m.Len(); n != 2 {
+		t.Errorf("rejected job still tracked: len = %d", n)
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	m := NewManager(1, 2, 20*time.Millisecond)
+	defer m.Shutdown(context.Background())
+	id, _ := m.Submit(func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	snap := waitState(t, m, id, StateFailed)
+	if snap.Error == "" {
+		t.Error("timeout left no error")
+	}
+}
+
+func TestShutdownDrains(t *testing.T) {
+	m := NewManager(2, 8, 0)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		id, err := m.Submit(func(context.Context) (any, error) {
+			time.Sleep(10 * time.Millisecond)
+			return "ok", nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		snap, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.State != StateDone {
+			t.Errorf("job %s = %s after drain, want done", id, snap.State)
+		}
+	}
+	if _, err := m.Submit(func(context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrShuttingDown) {
+		t.Errorf("post-shutdown submit err = %v", err)
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Errorf("second shutdown: %v", err)
+	}
+}
+
+func TestShutdownDeadline(t *testing.T) {
+	m := NewManager(1, 2, 0)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	m.Submit(func(context.Context) (any, error) { close(started); <-release; return nil, nil })
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := m.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	m := NewManager(1, 1, 0)
+	defer m.Shutdown(context.Background())
+	if _, err := m.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get err = %v", err)
+	}
+	if _, err := m.Cancel("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Cancel err = %v", err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package servemetrics is a dependency-free metrics registry for
+// cmd/hiposerve: atomic counters, gauges backed by callbacks, and
+// fixed-bucket latency histograms, rendered in the Prometheus text
+// exposition format at /metrics. It implements just the subset of the
+// format the server needs — counter, gauge, and histogram families with
+// optional constant labels — so the repo stays stdlib-only.
+package servemetrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// DefBuckets are the default latency buckets in seconds, spanning the
+// sub-millisecond cache-hit path through multi-minute async solves.
+var DefBuckets = []float64{.001, .005, .01, .05, .1, .5, 1, 5, 10, 30, 60, 120}
+
+// Histogram is a fixed-bucket cumulative histogram with atomic updates.
+type Histogram struct {
+	bounds []float64       // upper bounds, sorted ascending
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bs := append([]float64(nil), buckets...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one observation (e.g. a request latency in seconds).
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+type metric struct {
+	labels  string // rendered label block, "" or `{k="v",...}`
+	counter *Counter
+	hist    *Histogram
+	gauge   func() float64
+}
+
+type family struct {
+	name    string
+	help    string
+	typ     string
+	order   []string
+	metrics map[string]*metric
+}
+
+// Registry holds metric families and renders them.
+type Registry struct {
+	mu       sync.Mutex
+	order    []string
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelBlock renders alternating key/value pairs deterministically.
+func labelBlock(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("servemetrics: labels must be key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) family(name, help, typ string) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, metrics: make(map[string]*metric)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	return f
+}
+
+// Counter returns (creating on first use) the counter of the family with
+// the given constant labels, supplied as alternating key/value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "counter")
+	lb := labelBlock(labels)
+	m, ok := f.metrics[lb]
+	if !ok {
+		m = &metric{labels: lb, counter: &Counter{}}
+		f.metrics[lb] = m
+		f.order = append(f.order, lb)
+	}
+	return m.counter
+}
+
+// Histogram returns (creating on first use) the histogram of the family
+// with the given constant labels. nil buckets means DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "histogram")
+	lb := labelBlock(labels)
+	m, ok := f.metrics[lb]
+	if !ok {
+		m = &metric{labels: lb, hist: newHistogram(buckets)}
+		f.metrics[lb] = m
+		f.order = append(f.order, lb)
+	}
+	return m.hist
+}
+
+// Gauge registers a callback sampled at render time (e.g. queue depth).
+func (r *Registry) Gauge(name, help string, fn func() float64, labels ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "gauge")
+	lb := labelBlock(labels)
+	if _, ok := f.metrics[lb]; !ok {
+		f.metrics[lb] = &metric{labels: lb, gauge: fn}
+		f.order = append(f.order, lb)
+	}
+}
+
+// fmtFloat renders a float the way Prometheus expects.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// histLabels merges the le label into an existing label block.
+func histLabels(lb, le string) string {
+	if lb == "" {
+		return fmt.Sprintf("{le=%q}", le)
+	}
+	return fmt.Sprintf("%s,le=%q}", strings.TrimSuffix(lb, "}"), le)
+}
+
+// WritePrometheus renders every family in the text exposition format, in
+// registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, lb := range f.order {
+			m := f.metrics[lb]
+			switch {
+			case m.counter != nil:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, lb, m.counter.Value())
+			case m.gauge != nil:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, lb, fmtFloat(m.gauge()))
+			case m.hist != nil:
+				var cum uint64
+				for i, bound := range m.hist.bounds {
+					cum += m.hist.counts[i].Load()
+					fmt.Fprintf(w, "%s_bucket%s %d\n",
+						f.name, histLabels(lb, fmtFloat(bound)), cum)
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n",
+					f.name, histLabels(lb, "+Inf"), m.hist.Count())
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, lb, fmtFloat(m.hist.Sum()))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, lb, m.hist.Count())
+			}
+		}
+	}
+}

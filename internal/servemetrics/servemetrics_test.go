@@ -1,0 +1,116 @@
+package servemetrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Total requests.", "endpoint", "/v1/solve")
+	c.Inc()
+	c.Add(2)
+	if r.Counter("requests_total", "Total requests.", "endpoint", "/v1/solve") != c {
+		t.Fatal("same name+labels should return the same counter")
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP requests_total Total requests.",
+		"# TYPE requests_total counter",
+		`requests_total{endpoint="/v1/solve"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_sum 56.05",
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundaryValueIsInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "h.", []float64{1})
+	h.Observe(1) // le="1" is an inclusive upper bound in Prometheus
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `h_bucket{le="1"} 1`) {
+		t.Errorf("boundary observation not counted in its bucket:\n%s", b.String())
+	}
+}
+
+func TestGaugeAndLabelMerging(t *testing.T) {
+	r := NewRegistry()
+	v := 7.5
+	r.Gauge("queue_depth", "Jobs queued.", func() float64 { return v })
+	r.Histogram("lab_seconds", "Labeled.", []float64{1}, "endpoint", "/x").Observe(0.5)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE queue_depth gauge",
+		"queue_depth 7.5",
+		`lab_seconds_bucket{endpoint="/x",le="1"} 1`,
+		`lab_seconds_sum{endpoint="/x"} 0.5`,
+		`lab_seconds_count{endpoint="/x"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c.")
+	h := r.Histogram("h_seconds", "h.", nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if h.Count() != 8000 || math.Abs(h.Sum()-80) > 1e-6 {
+		t.Errorf("hist count/sum = %d/%v", h.Count(), h.Sum())
+	}
+}

@@ -1,0 +1,98 @@
+// Package solvecache is a small concurrency-safe LRU cache mapping
+// canonical request keys to serialized solve responses, so that identical
+// scenario re-submissions to cmd/hiposerve return byte-identical results
+// without re-running the placement pipeline. Keys are SHA-256 digests over
+// length-prefixed request components (endpoint, scenario hash, options),
+// which makes collisions between structurally different requests
+// impossible in practice and keeps the key independent of JSON field
+// ordering concerns at the call site.
+package solvecache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+)
+
+// Key derives the canonical cache key from request components. Each part
+// is length-prefixed before hashing so that ("ab","c") and ("a","bc")
+// cannot collide.
+func Key(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+type entry struct {
+	key string
+	val []byte
+}
+
+// Cache is a fixed-capacity LRU with hit/miss accounting.
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List
+	items  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+// New returns a cache holding at most capacity entries (minimum 1).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached value and marks the entry most recently used.
+// The returned slice is shared — callers must not mutate it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put inserts or refreshes the entry, evicting the least recently used one
+// when over capacity.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+	}
+}
+
+// Stats reports cumulative hits and misses and the current entry count.
+func (c *Cache) Stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

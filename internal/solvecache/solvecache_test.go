@@ -1,0 +1,87 @@
+package solvecache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestKeyLengthPrefixing(t *testing.T) {
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Error("length prefixing failed: shifted parts collide")
+	}
+	if Key("x") != Key("x") {
+		t.Error("Key not deterministic")
+	}
+	if Key("x") == Key("x", "") {
+		t.Error("trailing empty part should change the key")
+	}
+}
+
+func TestGetPutAndStats(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("k", []byte("v"))
+	got, ok := c.Get("k")
+	if !ok || string(got) != "v" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	hits, misses, size := c.Stats()
+	if hits != 1 || misses != 1 || size != 1 {
+		t.Errorf("stats = %d/%d/%d, want 1/1/1", hits, misses, size)
+	}
+	// Refresh replaces the value without growing.
+	c.Put("k", []byte("v2"))
+	if got, _ := c.Get("k"); string(got) != "v2" {
+		t.Errorf("refresh: got %q", got)
+	}
+	if _, _, size := c.Stats(); size != 1 {
+		t.Errorf("size after refresh = %d", size)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Get("a") // a is now most recently used
+	c.Put("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted unexpectedly", k)
+		}
+	}
+}
+
+func TestCapacityFloor(t *testing.T) {
+	c := New(0)
+	c.Put("a", nil)
+	c.Put("b", nil)
+	if _, _, size := c.Stats(); size != 1 {
+		t.Errorf("size = %d, want 1", size)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%32)
+				c.Put(k, []byte(k))
+				if v, ok := c.Get(k); ok && string(v) != k {
+					t.Errorf("got %q for key %q", v, k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
