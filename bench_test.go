@@ -10,6 +10,7 @@ package hipo
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"hipo/internal/baselines"
 	"hipo/internal/cells"
@@ -289,7 +290,7 @@ func BenchmarkAblationParallelGen(b *testing.B) {
 // measured distributed-extraction task durations.
 func BenchmarkAblationLPT(b *testing.B) {
 	sc := expt.BuildScenario(expt.Params{Seed: 1})
-	cfg := pdcs.Config{Eps1: power.Eps1ForEps(0.15)}
+	cfg := pdcs.Config{Eps1: power.Eps1ForEps(0.15), Clock: time.Now}
 	_, stats := pdcs.ExtractDistributed(sc, cfg, 4, nil)
 	tasks := make([]schedule.Task, len(stats.TaskSeconds))
 	for i, s := range stats.TaskSeconds {

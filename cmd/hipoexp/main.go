@@ -53,7 +53,9 @@ func run(figArg string, rc expt.RunConfig, csvDir, svgDir string) error {
 	var sweeps []expt.Figure
 
 	emit := func(fig expt.Figure) error {
-		expt.WriteTable(os.Stdout, fig)
+		if err := expt.WriteTable(os.Stdout, fig); err != nil {
+			return err
+		}
 		fmt.Println()
 		if csvDir != "" {
 			if err := os.MkdirAll(csvDir, 0o755); err != nil {
@@ -95,7 +97,9 @@ func run(figArg string, rc expt.RunConfig, csvDir, svgDir string) error {
 					return err
 				}
 				err = svg.Render(f, res.Scenario, placed, svg.Options{Title: name})
-				f.Close()
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
 				if err != nil {
 					return err
 				}
@@ -207,7 +211,9 @@ func run(figArg string, rc expt.RunConfig, csvDir, svgDir string) error {
 	}
 	if all || want["summary"] {
 		summary := expt.Summary(sweeps)
-		expt.WriteSummary(os.Stdout, summary)
+		if err := expt.WriteSummary(os.Stdout, summary); err != nil {
+			return err
+		}
 		// Headline: minimum improvement across baselines.
 		minImp, minName := 1e18, ""
 		for n, v := range summary {

@@ -1,0 +1,118 @@
+// Command hipolint runs the repository's domain-aware static-analysis
+// suite (internal/lint): floatcmp, detrand, wallclock, ctxflow, errdrop,
+// and anglesafe. It has two modes:
+//
+// Standalone, over the whole module (or a subset of packages):
+//
+//	go run ./cmd/hipolint ./...
+//	go run ./cmd/hipolint -only floatcmp,errdrop ./internal/geom
+//
+// As a vet tool, speaking the go vet unit-checker protocol:
+//
+//	go build -o /tmp/hipolint ./cmd/hipolint
+//	go vet -vettool=/tmp/hipolint ./...
+//
+// Exit status: 0 when no diagnostics, 1 (standalone) or 2 (vet mode) when
+// findings are reported, 2 on operational errors. Suppress individual
+// findings with `//lint:ignore <analyzer> <reason>` on or directly above
+// the flagged line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"hipo/internal/lint"
+)
+
+// printf writes CLI output with an explicit error discard: a failed write
+// to the user's terminal is not actionable beyond the exit code.
+func printf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+func main() {
+	// The go vet protocol probes the tool identity with -V=full and then
+	// invokes it with a single *.cfg argument per package.
+	if len(os.Args) == 2 && os.Args[1] == "-V=full" {
+		printVersion(os.Stdout)
+		return
+	}
+	// The go command also probes `-flags` for tool-specific flags it should
+	// forward; this suite defines none.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		printf(os.Stdout, "[]\n")
+		return
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(runVet(os.Args[1], os.Stderr))
+	}
+	os.Exit(runStandalone(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// runStandalone loads the module around the working directory and applies
+// the suite to every listed package.
+func runStandalone(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("hipolint", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		only = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list = fs.Bool("list", false, "list analyzers and exit")
+	)
+	fs.Usage = func() {
+		printf(errw, "usage: hipolint [-only name,...] [-list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			printf(out, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		printf(errw, "hipolint: %v\n", err)
+		return 2
+	}
+	pkgs, err := lint.LoadModule(".", fs.Args())
+	if err != nil {
+		printf(errw, "hipolint: %v\n", err)
+		return 2
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			printf(errw, "hipolint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			printf(out, "%s\n", d)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// selectAnalyzers resolves the -only flag to a subset of the suite.
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	if only == "" {
+		return lint.Analyzers(), nil
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a := lint.ByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot locates the repository root so the test is independent of the
+// package directory it runs from.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		t.Fatal("not inside a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+// TestSuiteCleanOnRepository is the acceptance gate: the full analyzer
+// suite must produce zero diagnostics on the repository's own tree.
+func TestSuiteCleanOnRepository(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module; skipped in -short mode")
+	}
+	root := moduleRoot(t)
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	var out, errw bytes.Buffer
+	code := runStandalone([]string{"./..."}, &out, &errw)
+	if code != 0 {
+		t.Errorf("hipolint ./... exited %d; diagnostics:\n%s%s", code, out.String(), errw.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := runStandalone([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errw.String())
+	}
+	for _, name := range []string{"floatcmp", "detrand", "wallclock", "ctxflow", "errdrop", "anglesafe"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	as, err := selectAnalyzers("floatcmp, errdrop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "floatcmp" || as[1].Name != "errdrop" {
+		t.Errorf("selectAnalyzers = %v, want [floatcmp errdrop]", as)
+	}
+	if _, err := selectAnalyzers("nosuch"); err == nil {
+		t.Error("selectAnalyzers(nosuch) succeeded, want error")
+	}
+}
+
+func TestUnknownAnalyzerFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := runStandalone([]string{"-only", "bogus", "./..."}, &out, &errw); code != 2 {
+		t.Errorf("unknown analyzer exited %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "unknown analyzer") {
+		t.Errorf("stderr = %q, want unknown-analyzer message", errw.String())
+	}
+}

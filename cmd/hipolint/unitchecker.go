@@ -1,0 +1,140 @@
+// go vet unit-checker protocol support, mirroring the subset of
+// golang.org/x/tools/go/analysis/unitchecker this suite needs. The go
+// command probes `hipolint -V=full` for a cache key, then executes
+// `hipolint <unit>.cfg` once per package with a JSON work unit describing
+// the sources and the export data of every dependency. The suite declares
+// no cross-package facts, so the .vetx fact file written back is empty.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hipo/internal/lint"
+)
+
+// vetConfig is the work-unit description the go command writes for vet
+// tools (see cmd/go/internal/work: vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// printVersion reports the tool identity for -V=full. The build ID is a
+// digest of the executable so that editing hipolint invalidates go vet's
+// result cache.
+func printVersion(w io.Writer) {
+	name := "hipolint"
+	if exe, err := os.Executable(); err == nil {
+		name = filepath.Base(exe)
+	}
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			_ = f.Close()
+		}
+	}
+	printf(w, "%s version devel comments-go-here buildID=%02x\n", name, h.Sum(nil))
+}
+
+// runVet executes one vet work unit.
+func runVet(cfgPath string, errw io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		printf(errw, "hipolint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		printf(errw, "hipolint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// Fact-only visits for dependencies: nothing to compute, but the fact
+	// file must exist for the go command to cache the unit.
+	if cfg.VetxOnly {
+		if writeVetx(cfg.VetxOutput, errw) != nil {
+			return 2
+		}
+		return 0
+	}
+	diags, err := checkUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			_ = writeVetx(cfg.VetxOutput, errw)
+			return 0
+		}
+		printf(errw, "hipolint: %v\n", err)
+		return 1
+	}
+	if err := writeVetx(cfg.VetxOutput, errw); err != nil {
+		return 2
+	}
+	for _, d := range diags {
+		printf(errw, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// checkUnit type-checks the unit's sources against dependency export data
+// and applies the full suite.
+func checkUnit(cfg *vetConfig) ([]lint.Diagnostic, error) {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	pkg, err := lint.CheckFiles(fset, imp, cfg.ImportPath, cfg.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	// go vet units include _test.go files; the suite's contract covers
+	// non-test code only (tests legitimately compare exact floats, read the
+	// clock, and discard errors), so drop them after type-checking.
+	nonTest := pkg.Files[:0]
+	for _, f := range pkg.Files {
+		if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			nonTest = append(nonTest, f)
+		}
+	}
+	pkg.Files = nonTest
+	return lint.RunAnalyzers(pkg, lint.Analyzers())
+}
+
+func writeVetx(path string, errw io.Writer) error {
+	if path == "" {
+		return nil
+	}
+	if err := os.WriteFile(path, nil, 0o666); err != nil {
+		printf(errw, "hipolint: %v\n", err)
+		return err
+	}
+	return nil
+}

@@ -74,7 +74,7 @@ func newServer(cfg Config) *server {
 	cfg = cfg.withDefaults()
 	s := &server{
 		cfg:   cfg,
-		jobs:  jobs.NewManager(cfg.Workers, cfg.QueueDepth, cfg.JobTimeout),
+		jobs:  jobs.NewManager(context.Background(), cfg.Workers, cfg.QueueDepth, cfg.JobTimeout),
 		cache: solvecache.New(cfg.CacheSize),
 		reg:   servemetrics.NewRegistry(),
 		log:   cfg.Logger,
@@ -265,7 +265,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func writeError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	// The status line is already on the wire; an encode failure here means
+	// the client went away.
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
 // cacheKey derives the canonical key: endpoint + scenario content hash +
@@ -548,7 +550,8 @@ func (s *server) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.reg.WritePrometheus(w)
+	// A scrape whose client vanished mid-response is not actionable.
+	_ = s.reg.WritePrometheus(w)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

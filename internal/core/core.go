@@ -233,7 +233,7 @@ func Complexity(sc *model.Scenario, eps float64) float64 {
 	for _, o := range sc.Obstacles {
 		c = math.Max(c, float64(len(o.Shape.Vertices)))
 	}
-	if nh == 0 {
+	if len(sc.Obstacles) == 0 {
 		nh, c = 1, 1 // the bound's obstacle factor degenerates
 	}
 	return ns * math.Pow(no, 4) / (eps * eps) * nh * nh * c * c

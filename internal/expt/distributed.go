@@ -2,6 +2,7 @@ package expt
 
 import (
 	"fmt"
+	"time"
 
 	"hipo/internal/pdcs"
 	"hipo/internal/power"
@@ -24,7 +25,7 @@ func RunDistributedTiming(rc RunConfig) Figure {
 	for i, l := range labels {
 		series[i] = Series{Label: l, X: xs, Y: make([]float64, len(xs))}
 	}
-	cfg := pdcs.Config{Eps1: power.Eps1ForEps(rc.Eps)}
+	cfg := pdcs.Config{Eps1: power.Eps1ForEps(rc.Eps), Clock: time.Now}
 
 	var norm float64 // non-distributed time at 1× devices, first run
 	for xi, x := range xs {

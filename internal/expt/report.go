@@ -35,14 +35,30 @@ func WriteCSV(w io.Writer, fig Figure) error {
 	return cw.Error()
 }
 
+// stickyWriter wraps an io.Writer with first-error capture so multi-line
+// report writers can print unconditionally and surface one error at the
+// end instead of silently dropping write failures.
+type stickyWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (sw *stickyWriter) printf(format string, args ...any) {
+	if sw.err == nil {
+		_, sw.err = fmt.Fprintf(sw.w, format, args...)
+	}
+}
+
 // WriteTable prints a figure as an aligned console table: the X column
 // followed by one column per series. Series must share X values (true for
-// all sweep figures; CDF figures are printed series-by-series).
-func WriteTable(w io.Writer, fig Figure) {
-	fmt.Fprintf(w, "# %s — %s\n", fig.ID, fig.Title)
+// all sweep figures; CDF figures are printed series-by-series). The first
+// write error, if any, is returned.
+func WriteTable(w io.Writer, fig Figure) error {
+	sw := &stickyWriter{w: w}
+	sw.printf("# %s — %s\n", fig.ID, fig.Title)
 	if len(fig.Series) == 0 {
-		fmt.Fprintln(w, "(empty)")
-		return
+		sw.printf("(empty)\n")
+		return sw.err
 	}
 	if sharedX(fig.Series) {
 		// Column width adapts to the longest series label.
@@ -52,26 +68,27 @@ func WriteTable(w io.Writer, fig Figure) {
 				width = len(s.Label) + 2
 			}
 		}
-		fmt.Fprintf(w, "%-28s", fig.XLabel)
+		sw.printf("%-28s", fig.XLabel)
 		for _, s := range fig.Series {
-			fmt.Fprintf(w, "%*s", width, s.Label)
+			sw.printf("%*s", width, s.Label)
 		}
-		fmt.Fprintln(w)
+		sw.printf("\n")
 		for i := range fig.Series[0].X {
-			fmt.Fprintf(w, "%-28.4g", fig.Series[0].X[i])
+			sw.printf("%-28.4g", fig.Series[0].X[i])
 			for _, s := range fig.Series {
-				fmt.Fprintf(w, "%*.4f", width, s.Y[i])
+				sw.printf("%*.4f", width, s.Y[i])
 			}
-			fmt.Fprintln(w)
+			sw.printf("\n")
 		}
-		return
+		return sw.err
 	}
 	for _, s := range fig.Series {
-		fmt.Fprintf(w, "%s (%s → %s):\n", s.Label, fig.XLabel, fig.YLabel)
+		sw.printf("%s (%s → %s):\n", s.Label, fig.XLabel, fig.YLabel)
 		for i := range s.X {
-			fmt.Fprintf(w, "  %10.4f %10.4f\n", s.X[i], s.Y[i])
+			sw.printf("  %10.4f %10.4f\n", s.X[i], s.Y[i])
 		}
 	}
+	return sw.err
 }
 
 func sharedX(series []Series) bool {
@@ -89,15 +106,17 @@ func sharedX(series []Series) bool {
 }
 
 // WriteSummary prints the HIPO-vs-baseline improvement summary sorted by
-// baseline name.
-func WriteSummary(w io.Writer, summary map[string]float64) {
+// baseline name. The first write error, if any, is returned.
+func WriteSummary(w io.Writer, summary map[string]float64) error {
 	names := make([]string, 0, len(summary))
 	for n := range summary {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fmt.Fprintln(w, "# Average improvement of HIPO over baselines")
+	sw := &stickyWriter{w: w}
+	sw.printf("# Average improvement of HIPO over baselines\n")
 	for _, n := range names {
-		fmt.Fprintf(w, "%-18s %+8.2f%%\n", n, summary[n])
+		sw.printf("%-18s %+8.2f%%\n", n, summary[n])
 	}
+	return sw.err
 }

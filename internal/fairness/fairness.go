@@ -290,7 +290,7 @@ func JainIndex(us []float64) float64 {
 		sum += u
 		sq += u * u
 	}
-	if sq == 0 {
+	if sq <= 0 {
 		return 1
 	}
 	return sum * sum / (float64(len(us)) * sq)

@@ -36,6 +36,7 @@ func AngleInArc(theta, lo, hi float64) bool {
 	}
 	t := NormAngle(theta - lo)
 	span := NormAngle(hi - lo)
+	//lint:ignore floatcmp exact zero from math.Mod distinguishes the hi=lo+2π full-circle encoding from a zero-width arc; a tolerance would misread tiny arcs as full circles
 	if span == 0 && hi != lo {
 		span = 2 * math.Pi
 	}

@@ -48,6 +48,44 @@ func FuzzSegmentsIntersect(f *testing.F) {
 	})
 }
 
+// FuzzSegmentIntersect targets the unique-point constructor
+// SegmentIntersection: the ok flag must be symmetric in the operands, the
+// reported points of both orders must coincide, and reversing a segment's
+// endpoints must not change the answer.
+func FuzzSegmentIntersect(f *testing.F) {
+	f.Add(0.0, 0.0, 2.0, 2.0, 0.0, 2.0, 2.0, 0.0) // proper crossing
+	f.Add(0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 2.0, 0.0) // shared endpoint
+	f.Add(0.0, 0.0, 2.0, 0.0, 1.0, 0.0, 3.0, 0.0) // collinear overlap
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 1.0) // degenerate first operand
+	f.Add(1e-12, 0.0, 0.0, 1e-12, -1.0, -1.0, 1.0, 1.0)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, cx, cy, dx, dy float64) {
+		s := Seg(V(boundedCoord(ax), boundedCoord(ay)), V(boundedCoord(bx), boundedCoord(by)))
+		u := Seg(V(boundedCoord(cx), boundedCoord(cy)), V(boundedCoord(dx), boundedCoord(dy)))
+		p1, ok1 := SegmentIntersection(s, u)
+		p2, ok2 := SegmentIntersection(u, s)
+		if ok1 != ok2 {
+			t.Fatalf("asymmetric ok: (%v,%v) -> %v, swapped -> %v", s, u, ok1, ok2)
+		}
+		scale := math.Max(1, math.Max(s.Len(), u.Len()))
+		if ok1 && p1.Dist(p2) > 1e-6*scale {
+			t.Fatalf("operand order moved the point: %v vs %v", p1, p2)
+		}
+		// Reversing a segment's direction describes the same point set.
+		rev := Seg(s.B, s.A)
+		p3, ok3 := SegmentIntersection(rev, u)
+		if ok1 != ok3 {
+			t.Fatalf("reversing endpoints changed ok: %v -> %v", ok1, ok3)
+		}
+		if ok1 && p1.Dist(p3) > 1e-6*scale {
+			t.Fatalf("reversing endpoints moved the point: %v vs %v", p1, p3)
+		}
+		// The constructor must stay consistent with the boolean predicate.
+		if ok1 && !SegmentsIntersect(s, u) {
+			t.Fatalf("point %v reported for non-intersecting %v, %v", p1, s, u)
+		}
+	})
+}
+
 // FuzzPolygonContains checks that the three containment predicates stay
 // mutually consistent on arbitrary triangles.
 func FuzzPolygonContains(f *testing.F) {

@@ -16,6 +16,7 @@ func ConvexHull(pts []Vec) []Vec {
 	}
 	ps := append([]Vec(nil), pts...)
 	sort.Slice(ps, func(i, j int) bool {
+		//lint:ignore floatcmp sort comparators need an exact total order; an ε-tolerant tie-break would violate transitivity
 		if ps[i].X != ps[j].X {
 			return ps[i].X < ps[j].X
 		}

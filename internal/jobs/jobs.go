@@ -72,6 +72,7 @@ type job struct {
 
 // Manager owns the queue, the worker pool, and the job table.
 type Manager struct {
+	base    context.Context
 	queue   chan *job
 	timeout time.Duration
 
@@ -83,8 +84,10 @@ type Manager struct {
 }
 
 // NewManager starts workers goroutines consuming a queue of the given
-// depth. jobTimeout, when positive, bounds each job's execution time.
-func NewManager(workers, depth int, jobTimeout time.Duration) *Manager {
+// depth. base is the root of every job context: canceling it (e.g. on
+// process shutdown) interrupts all running jobs. jobTimeout, when
+// positive, bounds each job's execution time.
+func NewManager(base context.Context, workers, depth int, jobTimeout time.Duration) *Manager {
 	if workers <= 0 {
 		workers = 1
 	}
@@ -92,6 +95,7 @@ func NewManager(workers, depth int, jobTimeout time.Duration) *Manager {
 		depth = 1
 	}
 	m := &Manager{
+		base:    base,
 		queue:   make(chan *job, depth),
 		timeout: jobTimeout,
 		jobs:    make(map[string]*job),
@@ -219,7 +223,7 @@ func (m *Manager) worker() {
 }
 
 func (m *Manager) run(j *job) {
-	ctx := context.Background()
+	ctx := m.base
 	var cancel context.CancelFunc
 	if m.timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, m.timeout)

@@ -29,7 +29,7 @@ func waitState(t *testing.T, m *Manager, id string, want State) Snapshot {
 }
 
 func TestJobLifecycleDone(t *testing.T) {
-	m := NewManager(2, 4, 0)
+	m := NewManager(context.Background(), 2, 4, 0)
 	defer m.Shutdown(context.Background())
 	id, err := m.Submit(func(context.Context) (any, error) { return 42, nil })
 	if err != nil {
@@ -45,7 +45,7 @@ func TestJobLifecycleDone(t *testing.T) {
 }
 
 func TestJobFailed(t *testing.T) {
-	m := NewManager(1, 4, 0)
+	m := NewManager(context.Background(), 1, 4, 0)
 	defer m.Shutdown(context.Background())
 	id, _ := m.Submit(func(context.Context) (any, error) {
 		return nil, errors.New("boom")
@@ -60,7 +60,7 @@ func TestJobFailed(t *testing.T) {
 }
 
 func TestCancelRunning(t *testing.T) {
-	m := NewManager(1, 4, 0)
+	m := NewManager(context.Background(), 1, 4, 0)
 	defer m.Shutdown(context.Background())
 	started := make(chan struct{})
 	id, _ := m.Submit(func(ctx context.Context) (any, error) {
@@ -76,7 +76,7 @@ func TestCancelRunning(t *testing.T) {
 }
 
 func TestCancelPending(t *testing.T) {
-	m := NewManager(1, 4, 0)
+	m := NewManager(context.Background(), 1, 4, 0)
 	defer m.Shutdown(context.Background())
 	block := make(chan struct{})
 	started := make(chan struct{})
@@ -103,7 +103,7 @@ func TestCancelPending(t *testing.T) {
 }
 
 func TestQueueFull(t *testing.T) {
-	m := NewManager(1, 1, 0)
+	m := NewManager(context.Background(), 1, 1, 0)
 	defer m.Shutdown(context.Background())
 	block := make(chan struct{})
 	defer close(block)
@@ -121,7 +121,7 @@ func TestQueueFull(t *testing.T) {
 }
 
 func TestJobTimeout(t *testing.T) {
-	m := NewManager(1, 2, 20*time.Millisecond)
+	m := NewManager(context.Background(), 1, 2, 20*time.Millisecond)
 	defer m.Shutdown(context.Background())
 	id, _ := m.Submit(func(ctx context.Context) (any, error) {
 		<-ctx.Done()
@@ -134,7 +134,7 @@ func TestJobTimeout(t *testing.T) {
 }
 
 func TestShutdownDrains(t *testing.T) {
-	m := NewManager(2, 8, 0)
+	m := NewManager(context.Background(), 2, 8, 0)
 	var ids []string
 	for i := 0; i < 5; i++ {
 		id, err := m.Submit(func(context.Context) (any, error) {
@@ -167,7 +167,7 @@ func TestShutdownDrains(t *testing.T) {
 }
 
 func TestShutdownDeadline(t *testing.T) {
-	m := NewManager(1, 2, 0)
+	m := NewManager(context.Background(), 1, 2, 0)
 	started := make(chan struct{})
 	release := make(chan struct{})
 	defer close(release)
@@ -181,7 +181,7 @@ func TestShutdownDeadline(t *testing.T) {
 }
 
 func TestGetUnknown(t *testing.T) {
-	m := NewManager(1, 1, 0)
+	m := NewManager(context.Background(), 1, 1, 0)
 	defer m.Shutdown(context.Background())
 	if _, err := m.Get("nope"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Get err = %v", err)

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreKey identifies one (file, line, analyzer) suppression.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type ignoreSet map[ignoreKey]bool
+
+// collectIgnores scans all comments for //lint:ignore directives. A
+// directive suppresses the named analyzer (or every analyzer, for name
+// "*") on the directive's own line and on the line immediately below it,
+// so both trailing and leading comment placement work:
+//
+//	x := a == b //lint:ignore floatcmp exact sentinel comparison
+//
+//	//lint:ignore floatcmp exact sentinel comparison
+//	x := a == b
+//
+// Directives missing the analyzer name or the reason are returned as
+// diagnostics so that a suppression can never silently rot.
+func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic) {
+	ign := make(ignoreSet)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Analyzer: "lintdirective",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore directive: need `//lint:ignore <analyzer> <reason>`",
+					})
+					continue
+				}
+				name := fields[0]
+				if name != "*" && ByName(name) == nil {
+					bad = append(bad, Diagnostic{
+						Analyzer: "lintdirective",
+						Pos:      pos,
+						Message:  "//lint:ignore names unknown analyzer " + name,
+					})
+					continue
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					ign[ignoreKey{pos.Filename, line, name}] = true
+				}
+			}
+		}
+	}
+	return ign, bad
+}
+
+func (s ignoreSet) suppressed(d Diagnostic) bool {
+	return s[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+		s[ignoreKey{d.Pos.Filename, d.Pos.Line, "*"}]
+}

@@ -1,0 +1,132 @@
+package lint_test
+
+import (
+	"go/importer"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hipo/internal/lint"
+	"hipo/internal/lint/linttest"
+)
+
+func TestFloatCmp(t *testing.T) {
+	linttest.Run(t, lint.FloatCmpAnalyzer, "testdata/floatcmp", "hipo/internal/geom")
+}
+
+func TestFloatCmpExemptPackage(t *testing.T) {
+	// The SVG renderer is not a geometry/solver package; the same sources
+	// must produce no findings there.
+	linttest.RunExpectClean(t, lint.FloatCmpAnalyzer, "testdata/floatcmp", "hipo/internal/svg")
+}
+
+func TestDetRand(t *testing.T) {
+	linttest.Run(t, lint.DetRandAnalyzer, "testdata/detrand", "hipo/internal/submodular")
+}
+
+func TestWallClock(t *testing.T) {
+	linttest.Run(t, lint.WallClockAnalyzer, "testdata/wallclock", "hipo/internal/power")
+}
+
+func TestWallClockExemptPackages(t *testing.T) {
+	for _, path := range []string{
+		"hipo/internal/jobs",
+		"hipo/internal/servemetrics",
+		"hipo/internal/expt",
+		"hipo/cmd/hiposerve",
+	} {
+		linttest.RunExpectClean(t, lint.WallClockAnalyzer, "testdata/wallclock", path)
+	}
+}
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, lint.CtxFlowAnalyzer, "testdata/ctxflow", "hipo/internal/core")
+}
+
+func TestCtxFlowExemptInCommands(t *testing.T) {
+	linttest.RunExpectClean(t, lint.CtxFlowAnalyzer, "testdata/ctxflow", "hipo/cmd/hiposerve")
+}
+
+func TestErrDrop(t *testing.T) {
+	linttest.Run(t, lint.ErrDropAnalyzer, "testdata/errdrop", "hipo/internal/redeploy")
+}
+
+func TestAngleSafe(t *testing.T) {
+	linttest.Run(t, lint.AngleSafeAnalyzer, "testdata/anglesafe", "hipo/internal/visibility")
+}
+
+// TestMalformedIgnoreDirectives checks that a directive missing its reason
+// (or naming an unknown analyzer) suppresses nothing and is itself
+// reported as a lintdirective diagnostic.
+func TestMalformedIgnoreDirectives(t *testing.T) {
+	pkg := loadTestdata(t, "testdata/ignorebad", "hipo/internal/geom")
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{lint.FloatCmpAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var directive, floatcmp int
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lintdirective":
+			directive++
+		case "floatcmp":
+			floatcmp++
+		default:
+			t.Errorf("unexpected analyzer %q in %s", d.Analyzer, d)
+		}
+	}
+	if directive != 2 {
+		t.Errorf("got %d lintdirective diagnostics, want 2: %v", directive, diags)
+	}
+	if floatcmp != 2 {
+		t.Errorf("got %d floatcmp diagnostics (malformed directives must not suppress), want 2: %v", floatcmp, diags)
+	}
+}
+
+func TestAnalyzerRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range lint.Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+		if lint.ByName(a.Name) != a {
+			t.Errorf("ByName(%q) does not round-trip", a.Name)
+		}
+	}
+	for _, want := range []string{"floatcmp", "detrand", "wallclock", "ctxflow", "errdrop", "anglesafe"} {
+		if !names[want] {
+			t.Errorf("suite is missing analyzer %q", want)
+		}
+	}
+	if lint.ByName("nosuchcheck") != nil {
+		t.Error("ByName on unknown name should be nil")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := lint.Diagnostic{Analyzer: "floatcmp", Message: "msg"}
+	d.Pos.Filename, d.Pos.Line, d.Pos.Column = "f.go", 3, 7
+	if got := d.String(); !strings.Contains(got, "f.go:3:7: floatcmp: msg") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func loadTestdata(t *testing.T, dir, importPath string) *lint.Package {
+	t.Helper()
+	exp, err := lint.LoadExportData(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("loading export data: %v", err)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exp.Lookup)
+	pkg, err := lint.CheckDir(fset, imp, importPath, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}

@@ -1,0 +1,173 @@
+// Package linttest runs lint analyzers over testdata packages and checks
+// reported diagnostics against expectations written inline, in the style
+// of golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := a == b // want `raw == on floating-point operands`
+//
+// Each `// want` comment holds one regular expression (backquoted or
+// double-quoted) that must match the message of a diagnostic reported on
+// that line; every diagnostic must in turn be claimed by a want comment.
+package linttest
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"hipo/internal/lint"
+)
+
+var (
+	loadOnce sync.Once
+	exported *lint.ExportData
+	loadErr  error
+)
+
+// moduleRoot locates the enclosing module's root via go env GOMOD.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// exportData builds (once) the export-data closure of the whole module,
+// so testdata may import anything the module already depends on.
+func exportData(t *testing.T) *lint.ExportData {
+	t.Helper()
+	loadOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			loadErr = err
+			return
+		}
+		exported, loadErr = lint.LoadExportData(root)
+	})
+	if loadErr != nil {
+		t.Fatalf("loading export data: %v", loadErr)
+	}
+	return exported
+}
+
+// want is one expectation parsed from a `// want` comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+(`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\")")
+
+// parseWants scans a source file for `// want` expectations.
+func parseWants(path string) ([]*want, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*want
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		pat := m[2]
+		if m[3] != "" {
+			pat = m[3]
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", path, i+1, pat, err)
+		}
+		wants = append(wants, &want{file: path, line: i + 1, re: re})
+	}
+	return wants, nil
+}
+
+// Run type-checks the testdata directory dir as a package with the given
+// import path (which decides Applies gating) and verifies the analyzer's
+// diagnostics against the `// want` comments.
+func Run(t *testing.T, a *lint.Analyzer, dir, importPath string) {
+	t.Helper()
+	exp := exportData(t)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exp.Lookup)
+	pkg, err := lint.CheckDir(fset, imp, importPath, dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	var wants []*want
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		ws, err := parseWants(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// RunExpectClean asserts the analyzer reports nothing on dir when loaded
+// under importPath — used to exercise Applies gating and suppressions.
+func RunExpectClean(t *testing.T, a *lint.Analyzer, dir, importPath string) {
+	t.Helper()
+	exp := exportData(t)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exp.Lookup)
+	pkg, err := lint.CheckDir(fset, imp, importPath, dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	for _, d := range diags {
+		t.Errorf("expected no diagnostics under %s, got: %s", importPath, d)
+	}
+}

@@ -1,0 +1,39 @@
+// Testdata for the anglesafe analyzer: degree-named values reaching trig
+// calls without a radian conversion.
+package a
+
+import "math"
+
+func flagged(angleDeg float64) float64 {
+	return math.Sin(angleDeg) // want `degree-named identifier with no radian conversion`
+}
+
+func flaggedPlain(degrees float64) float64 {
+	return math.Cos(degrees) // want `degree-named identifier with no radian conversion`
+}
+
+func flaggedSnake(heading_deg float64) float64 {
+	return math.Tan(heading_deg) // want `degree-named identifier with no radian conversion`
+}
+
+func convertedInline(angleDeg float64) float64 {
+	return math.Sin(angleDeg * math.Pi / 180) // ok: visible conversion
+}
+
+func convertedHelper(angleDeg float64) float64 {
+	return math.Sin(toRadians(angleDeg)) // ok: rad-named helper
+}
+
+func toRadians(deg float64) float64 { return deg * math.Pi / 180 }
+
+func radians(theta float64) float64 {
+	return math.Tan(theta) // ok: no degree-named identifier involved
+}
+
+func degenerate(degenerateT float64) float64 {
+	return math.Cos(degenerateT) // ok: "degen" is not a degree name
+}
+
+func inverse(yDeg float64) float64 {
+	return math.Atan2(yDeg, 1) // ok: inverse trig takes lengths, returns the angle
+}

@@ -1,0 +1,29 @@
+// Testdata for the ctxflow analyzer: root contexts in library code and
+// accepted-but-ignored context parameters.
+package a
+
+import "context"
+
+func background() context.Context {
+	return context.Background() // want `context\.Background in library code`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context\.TODO in library code`
+}
+
+func ignoredParam(ctx context.Context, n int) int { // want `context parameter ctx is never used`
+	return n * 2
+}
+
+func propagated(ctx context.Context) error {
+	return ctx.Err() // ok: context is consulted
+}
+
+func forwarded(ctx context.Context, f func(context.Context) error) error {
+	return f(ctx) // ok: context is passed along
+}
+
+func optedOut(_ context.Context) int {
+	return 1 // ok: blank name is the explicit opt-out
+}

@@ -1,0 +1,21 @@
+// Testdata for the detrand analyzer: global math/rand source usage.
+package a
+
+import "math/rand"
+
+func flagged() int {
+	rand.Seed(1)          // want `rand\.Seed draws from the global source`
+	_ = rand.Float64()    // want `rand\.Float64 draws from the global source`
+	rand.Shuffle(3, swap) // want `rand\.Shuffle draws from the global source`
+	return rand.Intn(10)  // want `rand\.Intn draws from the global source`
+}
+
+func swap(i, j int) {}
+
+func injected(rng *rand.Rand) int {
+	return rng.Intn(10) // ok: method on an injected *rand.Rand
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // ok: explicit seeding is the blessed pattern
+}

@@ -1,0 +1,58 @@
+// Testdata for the errdrop analyzer: silently discarded error returns.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func noError() int { return 1 }
+
+func flagged(f *os.File) {
+	mayFail() // want `call discards its error result`
+	pair()    // want `call discards its error result`
+	f.Close() // want `call discards its error result`
+}
+
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail() // ok: explicit, greppable discard
+	noError()     // ok: returns no error
+	return nil
+}
+
+func exemptByContract() {
+	fmt.Println("progress") // ok: fmt.Print* writes to stdout
+	var sb strings.Builder
+	sb.WriteString("x") // ok: strings.Builder documents err == nil
+}
+
+func deferredClose(f *os.File) {
+	defer f.Close() // ok: deferred cleanup calls are not flagged
+}
+
+func cliDiagnostics() {
+	fmt.Fprintln(os.Stderr, "fatal") // ok: stderr diagnostics; the exit code carries the failure
+	fmt.Fprintln(os.Stdout, "done")  // ok: stdout
+}
+
+func genericWriter(w io.Writer) {
+	fmt.Fprintf(w, "x") // want `call discards its error result`
+}
+
+func deadClient(w http.ResponseWriter, h hash.Hash) {
+	w.Write(nil)        // ok: nothing to do once the client is gone
+	fmt.Fprintf(w, "x") // ok: same dead-client contract
+	h.Write(nil)        // ok: hash.Hash documents err == nil
+}

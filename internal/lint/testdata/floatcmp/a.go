@@ -1,0 +1,50 @@
+// Testdata for the floatcmp analyzer: raw float equality in geometry code.
+package a
+
+const eps = 1e-9
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func flagged(a, b float64) {
+	if a == b { // want `raw == on floating-point operands`
+		_ = a
+	}
+	if a != b { // want `raw != on floating-point operands`
+		_ = a
+	}
+	var x, y float32
+	if x == y { // want `raw == on floating-point operands`
+		_ = x
+	}
+}
+
+func tolerated(a, b float64) bool {
+	return abs(a-b) <= eps // ok: ε-tolerance comparison
+}
+
+const cA = 1.5
+const cB = 2.5
+
+var _ = cA == cB // ok: both operands are compile-time constants
+
+func nanProbe(v float64) bool {
+	return v != v // ok: the portable NaN check
+}
+
+func integers(i, j int) bool {
+	return i == j // ok: not floating point
+}
+
+func suppressedLeading(a, b float64) bool {
+	//lint:ignore floatcmp comparing against an exact propagated sentinel
+	return a == b
+}
+
+func suppressedTrailing(a, b float64) bool {
+	return a != b //lint:ignore floatcmp exact sentinel comparison
+}

@@ -1,0 +1,14 @@
+// Testdata for malformed //lint:ignore directives: a directive without a
+// reason (or naming an unknown analyzer) must not suppress anything and is
+// itself reported.
+package a
+
+func missingReason(a, b float64) bool {
+	//lint:ignore floatcmp
+	return a == b
+}
+
+func unknownAnalyzer(a, b float64) bool {
+	//lint:ignore nosuchcheck the analyzer name is wrong
+	return a != b
+}

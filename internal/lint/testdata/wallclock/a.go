@@ -1,0 +1,25 @@
+// Testdata for the wallclock analyzer: wall-clock reads in deterministic
+// pipeline packages.
+package a
+
+import "time"
+
+func flagged() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func flaggedSince(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func flaggedUntil(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `time\.Until reads the wall clock`
+}
+
+func durationMath(d time.Duration) time.Duration {
+	return 2*d + time.Second // ok: duration arithmetic reads no clock
+}
+
+func timers(d time.Duration) *time.Timer {
+	return time.NewTimer(d) // ok: timer construction is not a clock read
+}

@@ -1,0 +1,58 @@
+package lint
+
+import "go/ast"
+
+// wallClockExempt lists the packages allowed to read the wall clock: the
+// job manager (timestamps job lifecycle), serving metrics (latency
+// accounting), the experiment harness (measures runtime as an output), and
+// all cmd/examples layers. Everything else is the deterministic pipeline,
+// where identical inputs must yield identical outputs.
+var wallClockExempt = []string{
+	"hipo/internal/expt",
+	"hipo/internal/jobs",
+	"hipo/internal/servemetrics",
+}
+
+// wallClockFuncs are the time package functions that observe the wall
+// clock. Duration arithmetic and timer construction are untouched.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+// WallClockAnalyzer flags wall-clock reads inside deterministic pipeline
+// packages.
+var WallClockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc: "flags time.Now/time.Since/time.Until inside deterministic pipeline " +
+		"packages; wall-clock reads there break run-to-run reproducibility — " +
+		"only internal/jobs, internal/servemetrics, internal/expt and cmd layers " +
+		"may observe time",
+	Applies: func(path string) bool {
+		if isCommandPackage(path) {
+			return false
+		}
+		for _, p := range wallClockExempt {
+			if pathHasPrefix(path, p) {
+				return false
+			}
+		}
+		return true
+	},
+	Run: runWallClock,
+}
+
+func runWallClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if selectorPackage(pass, sel) == "time" && wallClockFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock inside a deterministic pipeline package; inject timing from the caller or move it to an exempt layer", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

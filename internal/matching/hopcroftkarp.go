@@ -98,7 +98,7 @@ func Bottleneck(cost [][]float64) ([]int, float64, float64, error) {
 			return nil, 0, 0, errNotSquare
 		}
 		for j := range cost[i] {
-			if cost[i][j] != Forbidden {
+			if !forbidden(cost[i][j]) {
 				weights = append(weights, cost[i][j])
 			}
 		}
@@ -113,7 +113,7 @@ func Bottleneck(cost [][]float64) ([]int, float64, float64, error) {
 		adj := make([][]int, n)
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
-				if cost[i][j] != Forbidden && cost[i][j] <= w {
+				if !forbidden(cost[i][j]) && cost[i][j] <= w {
 					adj[i] = append(adj[i], j)
 				}
 			}
@@ -142,7 +142,7 @@ func Bottleneck(cost [][]float64) ([]int, float64, float64, error) {
 	for i := range thr {
 		thr[i] = make([]float64, n)
 		for j := range thr[i] {
-			if cost[i][j] != Forbidden && cost[i][j] <= bottleneck {
+			if !forbidden(cost[i][j]) && cost[i][j] <= bottleneck {
 				thr[i][j] = cost[i][j]
 			} else {
 				thr[i][j] = Forbidden
@@ -161,6 +161,7 @@ var errNotSquare = errors.New("matching: cost matrix not square")
 func dedupFloats(xs []float64) []float64 {
 	out := xs[:0]
 	for i, x := range xs {
+		//lint:ignore floatcmp exact dedup of sorted threshold weights; merging near-equal thresholds would change the binary search lattice
 		if i == 0 || x != xs[i-1] {
 			out = append(out, x)
 		}

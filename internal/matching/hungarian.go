@@ -17,6 +17,14 @@ var ErrInfeasible = errors.New("matching: no feasible perfect matching")
 // Forbidden marks an edge that may not be used in an assignment.
 const Forbidden = math.MaxFloat64
 
+// forbidden reports whether c is the Forbidden sentinel. The equality is
+// exact on purpose: the sentinel only ever arises by assignment of the
+// constant, never from arithmetic, so no tolerance is involved.
+func forbidden(c float64) bool {
+	//lint:ignore floatcmp exact comparison against an assigned sentinel constant
+	return c == Forbidden
+}
+
 // Hungarian solves the n×n minimum-cost assignment problem in O(n³) using
 // the Jonker-style shortest augmenting path formulation of the Kuhn–Munkres
 // algorithm. cost[i][j] is the cost of assigning row i to column j; entries
@@ -58,11 +66,11 @@ func Hungarian(cost [][]float64) ([]int, float64, error) {
 					continue
 				}
 				c := cost[i0-1][j-1]
-				if c == Forbidden {
+				if forbidden(c) {
 					c = inf
 				}
 				var cur float64
-				if c == inf {
+				if forbidden(c) {
 					cur = inf
 				} else {
 					cur = c - u[i0] - v[j]
@@ -76,7 +84,7 @@ func Hungarian(cost [][]float64) ([]int, float64, error) {
 					j1 = j
 				}
 			}
-			if j1 < 0 || delta == inf {
+			if j1 < 0 || forbidden(delta) {
 				return nil, 0, ErrInfeasible
 			}
 			for j := 0; j <= n; j++ {
@@ -107,7 +115,7 @@ func Hungarian(cost [][]float64) ([]int, float64, error) {
 	for j := 1; j <= n; j++ {
 		assign[p[j]-1] = j - 1
 		c := cost[p[j]-1][j-1]
-		if c == Forbidden {
+		if forbidden(c) {
 			return nil, 0, ErrInfeasible
 		}
 		total += c

@@ -26,7 +26,10 @@ type TaskOutput struct {
 // (Algorithm 4 delegates to Algorithms 1 and 2). gens caches one Generator
 // per charger type.
 func RunTask(sc *model.Scenario, gens []*discretize.Generator, i int, cfg Config) TaskOutput {
-	start := time.Now()
+	var start time.Time
+	if cfg.Clock != nil {
+		start = cfg.Clock()
+	}
 	var cands []Candidate
 	for q := range sc.ChargerTypes {
 		pts := discretize.Dedup(gens[q].TaskPositions(i))
@@ -35,7 +38,11 @@ func RunTask(sc *model.Scenario, gens []*discretize.Generator, i int, cfg Config
 			cands = append(cands, SweepPoint(sc, q, p, cfg.Eps1)...)
 		}
 	}
-	return TaskOutput{Device: i, Candidates: cands, Duration: time.Since(start)}
+	var dur time.Duration
+	if cfg.Clock != nil {
+		dur = cfg.Clock().Sub(start)
+	}
+	return TaskOutput{Device: i, Candidates: cands, Duration: dur}
 }
 
 // DistStats reports the timing of a distributed extraction run.

@@ -3,6 +3,7 @@ package pdcs
 import (
 	"math"
 	"testing"
+	"time"
 
 	"hipo/internal/discretize"
 	"hipo/internal/geom"
@@ -37,7 +38,7 @@ func TestRunTaskCoversOwnDevice(t *testing.T) {
 
 func TestExtractDistributedMatchesSerialUnion(t *testing.T) {
 	sc := ringScenario()
-	cfg := Config{Eps1: 0.4}
+	cfg := Config{Eps1: 0.4, Clock: time.Now}
 	serial := Extract(sc, 0, cfg)
 	dist, stats := ExtractDistributed(sc, cfg, 4, []int{1, 2, 4})
 	if len(dist) != 1 {
@@ -91,7 +92,7 @@ func TestExtractDistributedMatchesSerialUnion(t *testing.T) {
 
 func TestExtractDistributedManyMachines(t *testing.T) {
 	sc := ringScenario()
-	_, stats := ExtractDistributed(sc, Config{Eps1: 0.4}, 2, []int{100})
+	_, stats := ExtractDistributed(sc, Config{Eps1: 0.4, Clock: time.Now}, 2, []int{100})
 	longest := 0.0
 	for _, s := range stats.TaskSeconds {
 		if s > longest {

@@ -10,6 +10,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"time"
 
 	"hipo/internal/discretize"
 	"hipo/internal/geom"
@@ -273,6 +274,12 @@ type Config struct {
 	SkipDominanceFilter bool
 	// SkipPairConstructions is forwarded to internal/discretize (ablation).
 	SkipPairConstructions bool
+	// Clock, when non-nil, supplies the timestamps behind the per-task
+	// durations of DistStats (Algorithm 5's LPT simulation input). It is
+	// injected by measurement harnesses (internal/expt) so the extraction
+	// pipeline itself never reads the wall clock and stays deterministic;
+	// with a nil Clock all reported durations are zero.
+	Clock func() time.Time
 }
 
 // FilterDominated removes candidates that are dominated by another

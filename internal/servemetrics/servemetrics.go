@@ -189,32 +189,46 @@ func histLabels(lb, le string) string {
 }
 
 // WritePrometheus renders every family in the text exposition format, in
-// registration order.
-func (r *Registry) WritePrometheus(w io.Writer) {
+// registration order. The first write error, if any, is returned (scrape
+// handlers typically cannot act on it beyond dropping the response).
+func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	pf := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
 	for _, name := range r.order {
 		f := r.families[name]
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		if err := pf("# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
 		for _, lb := range f.order {
 			m := f.metrics[lb]
+			var err error
 			switch {
 			case m.counter != nil:
-				fmt.Fprintf(w, "%s%s %d\n", f.name, lb, m.counter.Value())
+				err = pf("%s%s %d\n", f.name, lb, m.counter.Value())
 			case m.gauge != nil:
-				fmt.Fprintf(w, "%s%s %s\n", f.name, lb, fmtFloat(m.gauge()))
+				err = pf("%s%s %s\n", f.name, lb, fmtFloat(m.gauge()))
 			case m.hist != nil:
 				var cum uint64
 				for i, bound := range m.hist.bounds {
 					cum += m.hist.counts[i].Load()
-					fmt.Fprintf(w, "%s_bucket%s %d\n",
-						f.name, histLabels(lb, fmtFloat(bound)), cum)
+					if err = pf("%s_bucket%s %d\n",
+						f.name, histLabels(lb, fmtFloat(bound)), cum); err != nil {
+						return err
+					}
 				}
-				fmt.Fprintf(w, "%s_bucket%s %d\n",
-					f.name, histLabels(lb, "+Inf"), m.hist.Count())
-				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, lb, fmtFloat(m.hist.Sum()))
-				fmt.Fprintf(w, "%s_count%s %d\n", f.name, lb, m.hist.Count())
+				err = pf("%s_bucket%s %d\n%s_sum%s %s\n%s_count%s %d\n",
+					f.name, histLabels(lb, "+Inf"), m.hist.Count(),
+					f.name, lb, fmtFloat(m.hist.Sum()),
+					f.name, lb, m.hist.Count())
+			}
+			if err != nil {
+				return err
 			}
 		}
 	}
+	return nil
 }

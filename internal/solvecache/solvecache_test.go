@@ -67,6 +67,51 @@ func TestCapacityFloor(t *testing.T) {
 	}
 }
 
+// TestEvictionOrderAtCapacityBoundary pins down the exact eviction
+// sequence when the cache sits at capacity: filling to cap evicts nothing,
+// each subsequent insert evicts exactly the least recently *used* entry,
+// and a Put-refresh of an existing key counts as a use rather than an
+// insert.
+func TestEvictionOrderAtCapacityBoundary(t *testing.T) {
+	c := New(3)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Put("c", []byte("3"))
+	if _, _, size := c.Stats(); size != 3 {
+		t.Fatalf("size at capacity = %d, want 3", size)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%q evicted while filling to capacity", k)
+		}
+	}
+
+	// Recency is now a < b < c. A refresh of "a" must promote it without
+	// evicting anything.
+	c.Put("a", []byte("1'"))
+	if _, _, size := c.Stats(); size != 3 {
+		t.Fatalf("size after refresh at capacity = %d, want 3", size)
+	}
+
+	// Recency is b < c < a, so the next two inserts must evict b then c.
+	c.Put("d", nil)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should be the first eviction victim")
+	}
+	c.Put("e", nil)
+	if _, ok := c.Get("c"); ok {
+		t.Error("c should be the second eviction victim")
+	}
+	for _, k := range []string{"a", "d", "e"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%q evicted out of order", k)
+		}
+	}
+	if got, _ := c.Get("a"); string(got) != "1'" {
+		t.Errorf("refreshed value lost: got %q", got)
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	c := New(16)
 	var wg sync.WaitGroup
@@ -84,4 +129,49 @@ func TestConcurrentAccess(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestConcurrentEvictionChurn hammers a cache whose capacity is far below
+// the live key set, so every Put races MoveToFront/Remove/delete against
+// concurrent Gets and Stats. Run under -race this exercises the full
+// mutation surface of the LRU list; the final invariant is that size never
+// exceeds capacity and every hit returns the value written for its key.
+func TestConcurrentEvictionChurn(t *testing.T) {
+	const (
+		capacity   = 8
+		keySpace   = 64
+		goroutines = 16
+		iters      = 500
+	)
+	c := New(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i*7)%keySpace)
+				switch i % 3 {
+				case 0:
+					c.Put(k, []byte(k))
+				case 1:
+					if v, ok := c.Get(k); ok && string(v) != k {
+						t.Errorf("got %q for key %q", v, k)
+					}
+				default:
+					if _, _, size := c.Stats(); size > capacity {
+						t.Errorf("size %d exceeds capacity %d", size, capacity)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses, size := c.Stats()
+	if size > capacity {
+		t.Errorf("final size %d exceeds capacity %d", size, capacity)
+	}
+	if hits+misses == 0 {
+		t.Error("no lookups recorded")
+	}
 }
