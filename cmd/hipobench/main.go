@@ -1,0 +1,358 @@
+// Command hipobench is the deterministic benchmark harness for the spatial
+// visibility index: it sweeps obstacle count, device population, and ε over
+// seeded scenarios, times line-of-sight queries and full solves with the
+// index against the brute-force reference, verifies both arms produce
+// bit-for-bit identical placements, and writes a machine-readable JSON
+// report (schema hipo-bench/v1).
+//
+// Usage:
+//
+//	hipobench [-out BENCH_pr3.json] [-seed 1] [-quick]
+//
+// The scenario at every sweep point is fully determined by the seed, so two
+// runs on the same toolchain produce the same scenario hashes and the same
+// placements; timings are hardware-dependent, speedups mostly are not.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"hipo"
+	"hipo/internal/core"
+	"hipo/internal/expt"
+	"hipo/internal/geom"
+	"hipo/internal/model"
+	"hipo/internal/visindex"
+)
+
+// Schema identifies the report format for downstream tooling.
+const Schema = "hipo-bench/v1"
+
+// LOSResult reports the line-of-sight micro-benchmark at one sweep point.
+type LOSResult struct {
+	Queries         int     `json:"queries"`
+	BruteNsOp       float64 `json:"brute_ns_op"`
+	IndexedNsOp     float64 `json:"indexed_ns_op"`
+	Speedup         float64 `json:"speedup"`
+	BruteAllocsOp   float64 `json:"brute_allocs_op"`
+	IndexedAllocsOp float64 `json:"indexed_allocs_op"`
+	// Agree is the differential check: every query answered identically.
+	Agree bool `json:"agree"`
+}
+
+// SolveResult reports the end-to-end solver comparison at one sweep point.
+type SolveResult struct {
+	BruteMs   float64 `json:"brute_ms"`
+	IndexedMs float64 `json:"indexed_ms"`
+	Speedup   float64 `json:"speedup"`
+	// IdenticalPlacement is true when both arms placed the same strategies
+	// in the same order, bit for bit.
+	IdenticalPlacement bool    `json:"identical_placement"`
+	Utility            float64 `json:"utility"`
+	Chargers           int     `json:"chargers"`
+}
+
+// Point is one sweep point of the trajectory.
+type Point struct {
+	Name         string       `json:"name"`
+	Obstacles    int          `json:"obstacles"`
+	DeviceMult   int          `json:"device_mult"`
+	Devices      int          `json:"devices"`
+	Eps          float64      `json:"eps"`
+	ScenarioHash string       `json:"scenario_hash"`
+	LOS          LOSResult    `json:"los"`
+	Solve        *SolveResult `json:"solve,omitempty"`
+}
+
+// Report is the full benchmark artifact.
+type Report struct {
+	Schema    string  `json:"schema"`
+	Seed      int64   `json:"seed"`
+	Quick     bool    `json:"quick"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	NumCPU    int     `json:"num_cpu"`
+	Points    []Point `json:"points"`
+}
+
+type sweepPoint struct {
+	name       string
+	obstacles  int
+	deviceMult int
+	eps        float64
+	solve      bool
+}
+
+func sweep(quick bool) []sweepPoint {
+	if quick {
+		return []sweepPoint{
+			{"obs-2", 2, 4, 0.3, true},
+			{"obs-10", 10, 4, 0.3, true},
+		}
+	}
+	return []sweepPoint{
+		// Obstacle-count axis: the index's reason to exist.
+		{"obs-2", 2, 4, 0.3, true},
+		{"obs-10", 10, 4, 0.3, true},
+		{"obs-25", 25, 4, 0.3, true},
+		{"obs-50", 50, 4, 0.3, true},
+		// Device-count axis at a fixed obstacle field.
+		{"dev-2", 10, 2, 0.3, true},
+		{"dev-6", 10, 6, 0.3, true},
+		// Finer ε: more candidates, more visibility queries per solve.
+		{"eps-0.15", 10, 4, 0.15, true},
+	}
+}
+
+func main() {
+	var (
+		outPath = flag.String("out", "BENCH_pr3.json", "output JSON path")
+		seed    = flag.Int64("seed", 1, "scenario seed")
+		quick   = flag.Bool("quick", false, "small sweep for CI smoke runs")
+	)
+	flag.Parse()
+
+	rep := Report{
+		Schema:    Schema,
+		Seed:      *seed,
+		Quick:     *quick,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	minDur := 200 * time.Millisecond
+	if *quick {
+		minDur = 20 * time.Millisecond
+	}
+
+	for _, sp := range sweep(*quick) {
+		pt, err := runPoint(sp, *seed, minDur)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hipobench: %s: %v\n", sp.name, err)
+			os.Exit(1)
+		}
+		rep.Points = append(rep.Points, pt)
+		fmt.Fprintf(os.Stderr, "%-9s obstacles=%-3d devices=%-3d eps=%.2f  los %7.0f→%6.0f ns/op (%.1fx)",
+			sp.name, pt.Obstacles, pt.Devices, pt.Eps, pt.LOS.BruteNsOp, pt.LOS.IndexedNsOp, pt.LOS.Speedup)
+		if pt.Solve != nil {
+			fmt.Fprintf(os.Stderr, "  solve %8.1f→%8.1f ms (%.2fx) identical=%v",
+				pt.Solve.BruteMs, pt.Solve.IndexedMs, pt.Solve.Speedup, pt.Solve.IdenticalPlacement)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
+	f, err := os.Create(*outPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hipobench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		fmt.Fprintln(os.Stderr, "hipobench:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "hipobench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d points)\n", *outPath, len(rep.Points))
+}
+
+func runPoint(sp sweepPoint, seed int64, minDur time.Duration) (Point, error) {
+	sc := expt.BenchScenario(seed, sp.obstacles, sp.deviceMult)
+	hash, err := toPublic(sc).ScenarioHash()
+	if err != nil {
+		return Point{}, err
+	}
+	pt := Point{
+		Name:         sp.name,
+		Obstacles:    sp.obstacles,
+		DeviceMult:   sp.deviceMult,
+		Devices:      len(sc.Devices),
+		Eps:          sp.eps,
+		ScenarioHash: hash,
+		LOS:          benchLOS(sc, seed, minDur),
+	}
+	if sp.solve {
+		sr, err := benchSolve(sc, sp.eps)
+		if err != nil {
+			return Point{}, err
+		}
+		pt.Solve = sr
+	}
+	return pt, nil
+}
+
+// benchLOS times the raw line-of-sight predicate, brute force versus
+// indexed, over a deterministic query workload, and differentially checks
+// every answer.
+func benchLOS(sc *model.Scenario, seed int64, minDur time.Duration) LOSResult {
+	ix := visindex.New(sc)
+	rng := rand.New(rand.NewSource(seed + 7919))
+	qs := make([]geom.Segment, 512)
+	for i := range qs {
+		qs[i] = geom.Seg(randomPoint(sc, rng), randomPoint(sc, rng))
+	}
+
+	agree := true
+	for _, q := range qs {
+		if ix.LineOfSight(q.A, q.B) != sc.BruteForceLineOfSight(q.A, q.B) {
+			agree = false
+		}
+	}
+
+	res := LOSResult{
+		Queries: len(qs),
+		Agree:   agree,
+		BruteNsOp: timeLOS(func(a, b geom.Vec) bool {
+			return sc.BruteForceLineOfSight(a, b)
+		}, qs, minDur),
+		IndexedNsOp: timeLOS(ix.LineOfSight, qs, minDur),
+		BruteAllocsOp: testing.AllocsPerRun(10, func() {
+			for _, q := range qs {
+				sc.BruteForceLineOfSight(q.A, q.B)
+			}
+		}) / float64(len(qs)),
+		IndexedAllocsOp: testing.AllocsPerRun(10, func() {
+			for _, q := range qs {
+				ix.LineOfSight(q.A, q.B)
+			}
+		}) / float64(len(qs)),
+	}
+	if res.IndexedNsOp > 0 {
+		res.Speedup = res.BruteNsOp / res.IndexedNsOp
+	}
+	return res
+}
+
+// timeLOS measures ns/op of one predicate over the query set, growing the
+// iteration count until the measured window exceeds minDur (the classic
+// testing.B loop, inlined because this is a command, not a test binary).
+func timeLOS(f func(a, b geom.Vec) bool, qs []geom.Segment, minDur time.Duration) float64 {
+	// Warm up (fills the index's internal buffers, loads caches).
+	for _, q := range qs {
+		f(q.A, q.B)
+	}
+	for iters := 1; ; iters *= 2 {
+		start := time.Now()
+		for it := 0; it < iters; it++ {
+			for _, q := range qs {
+				f(q.A, q.B)
+			}
+		}
+		elapsed := time.Since(start)
+		if elapsed >= minDur || iters > 1<<20 {
+			return float64(elapsed.Nanoseconds()) / float64(iters*len(qs))
+		}
+	}
+}
+
+// benchSolve times one full pipeline run per arm and verifies the arms
+// agree bit for bit.
+func benchSolve(sc *model.Scenario, eps float64) (*SolveResult, error) {
+	opt := core.DefaultOptions()
+	opt.Eps = eps
+
+	opt.BruteForceVisibility = true
+	start := time.Now()
+	brute, err := core.Solve(sc, opt)
+	if err != nil {
+		return nil, fmt.Errorf("brute-force solve: %w", err)
+	}
+	bruteDur := time.Since(start)
+
+	opt.BruteForceVisibility = false
+	start = time.Now()
+	indexed, err := core.Solve(sc, opt)
+	if err != nil {
+		return nil, fmt.Errorf("indexed solve: %w", err)
+	}
+	indexedDur := time.Since(start)
+
+	res := &SolveResult{
+		BruteMs:            float64(bruteDur.Nanoseconds()) / 1e6,
+		IndexedMs:          float64(indexedDur.Nanoseconds()) / 1e6,
+		IdenticalPlacement: samePlacement(brute.Placed, indexed.Placed),
+		Utility:            indexed.Utility,
+		Chargers:           len(indexed.Placed),
+	}
+	if indexedDur > 0 {
+		res.Speedup = float64(bruteDur) / float64(indexedDur)
+	}
+	if !res.IdenticalPlacement {
+		return res, fmt.Errorf("placements differ between brute-force and indexed visibility")
+	}
+	return res, nil
+}
+
+func samePlacement(a, b []model.Strategy) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i].Pos.X) != math.Float64bits(b[i].Pos.X) ||
+			math.Float64bits(a[i].Pos.Y) != math.Float64bits(b[i].Pos.Y) ||
+			math.Float64bits(a[i].Orient) != math.Float64bits(b[i].Orient) ||
+			a[i].Type != b[i].Type {
+			return false
+		}
+	}
+	return true
+}
+
+func randomPoint(sc *model.Scenario, rng *rand.Rand) geom.Vec {
+	return geom.V(
+		sc.Region.Min.X+rng.Float64()*sc.Region.Width(),
+		sc.Region.Min.Y+rng.Float64()*sc.Region.Height(),
+	)
+}
+
+// toPublic converts an internal scenario to the public schema so the
+// report's scenario hashes match what hipogen/hiposerve would compute.
+func toPublic(sc *model.Scenario) *hipo.Scenario {
+	out := &hipo.Scenario{
+		Min: hipo.Point{X: sc.Region.Min.X, Y: sc.Region.Min.Y},
+		Max: hipo.Point{X: sc.Region.Max.X, Y: sc.Region.Max.Y},
+	}
+	for _, c := range sc.ChargerTypes {
+		out.ChargerTypes = append(out.ChargerTypes, hipo.ChargerSpec{
+			Name: c.Name, Alpha: c.Alpha, DMin: c.DMin, DMax: c.DMax, Count: c.Count,
+		})
+	}
+	for _, d := range sc.DeviceTypes {
+		out.DeviceTypes = append(out.DeviceTypes, hipo.DeviceSpec{
+			Name: d.Name, Alpha: d.Alpha, PTh: d.PTh,
+		})
+	}
+	for _, row := range sc.Power {
+		var r []hipo.PowerParams
+		for _, p := range row {
+			r = append(r, hipo.PowerParams{A: p.A, B: p.B})
+		}
+		out.Power = append(out.Power, r)
+	}
+	for _, d := range sc.Devices {
+		out.Devices = append(out.Devices, hipo.Device{
+			Pos: hipo.Point{X: d.Pos.X, Y: d.Pos.Y}, Orient: d.Orient, Type: d.Type,
+		})
+	}
+	for _, o := range sc.Obstacles {
+		var vs []hipo.Point
+		for _, v := range o.Shape.Vertices {
+			vs = append(vs, hipo.Point{X: v.X, Y: v.Y})
+		}
+		out.Obstacles = append(out.Obstacles, hipo.Obstacle{Vertices: vs})
+	}
+	return out
+}

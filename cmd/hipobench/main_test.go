@@ -1,0 +1,89 @@
+package main
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hipo/internal/geom"
+	"hipo/internal/model"
+)
+
+func TestSweepShapes(t *testing.T) {
+	full := sweep(false)
+	quick := sweep(true)
+	if len(quick) >= len(full) {
+		t.Fatalf("quick sweep (%d points) should be smaller than full (%d)", len(quick), len(full))
+	}
+	names := map[string]bool{}
+	maxObs := 0
+	for _, sp := range full {
+		if names[sp.name] {
+			t.Fatalf("duplicate sweep point %q", sp.name)
+		}
+		names[sp.name] = true
+		if sp.obstacles > maxObs {
+			maxObs = sp.obstacles
+		}
+	}
+	if maxObs < 50 {
+		t.Fatalf("largest sweep point has %d obstacles, want ≥ 50", maxObs)
+	}
+	for _, sp := range quick {
+		if !names[sp.name] {
+			t.Fatalf("quick point %q is not part of the full sweep", sp.name)
+		}
+	}
+}
+
+// TestRunPointInvariants runs one real sweep point with a minimal timing
+// window and checks the structural guarantees of the report: differential
+// agreement, identical placements, sane speedups, a pinned scenario hash.
+func TestRunPointInvariants(t *testing.T) {
+	pt, err := runPoint(sweepPoint{"obs-2", 2, 4, 0.3, true}, 1, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.LOS.Agree {
+		t.Fatal("line-of-sight differential check failed")
+	}
+	if pt.LOS.BruteNsOp <= 0 || pt.LOS.IndexedNsOp <= 0 || pt.LOS.Speedup <= 0 {
+		t.Fatalf("degenerate LOS timings: %+v", pt.LOS)
+	}
+	if pt.Solve == nil || !pt.Solve.IdenticalPlacement {
+		t.Fatalf("solve arms disagree: %+v", pt.Solve)
+	}
+	if pt.Solve.Utility <= 0 || pt.Solve.Chargers == 0 {
+		t.Fatalf("degenerate solve result: %+v", pt.Solve)
+	}
+	if len(pt.ScenarioHash) != 64 {
+		t.Fatalf("scenario hash %q is not a sha256 hex digest", pt.ScenarioHash)
+	}
+	if pt.Devices != 40 {
+		t.Fatalf("device mult 4 should yield 40 devices, got %d", pt.Devices)
+	}
+
+	// Same seed, same point: the hash must reproduce.
+	again, err := runPoint(sweepPoint{"obs-2", 2, 4, 0.3, false}, 1, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ScenarioHash != pt.ScenarioHash {
+		t.Fatal("scenario hash not reproducible for a fixed seed")
+	}
+}
+
+func TestSamePlacement(t *testing.T) {
+	a := []model.Strategy{{Pos: geom.V(1, 2), Orient: 0.5, Type: 1}}
+	b := []model.Strategy{{Pos: geom.V(1, 2), Orient: 0.5, Type: 1}}
+	if !samePlacement(a, b) {
+		t.Fatal("identical placements reported different")
+	}
+	b[0].Orient = math.Nextafter(0.5, 1)
+	if samePlacement(a, b) {
+		t.Fatal("one-ulp orientation change must be detected")
+	}
+	if samePlacement(a, nil) {
+		t.Fatal("length mismatch must be detected")
+	}
+}

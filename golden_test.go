@@ -1,0 +1,168 @@
+package hipo
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden regression tests freeze the solver's output on three fixture
+// scenarios. Any change to discretization, PDCS extraction, greedy
+// tie-breaking, or the power model that moves a placement or a metric by
+// more than 1e-9 fails here and must be acknowledged by regenerating the
+// fixtures with
+//
+//	go test -run TestGolden -update .
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures under testdata/golden")
+
+// goldenRecord is the frozen artifact: the scenario (hash-pinned), the
+// solved placement, and its exact evaluation.
+type goldenRecord struct {
+	ScenarioHash string     `json:"scenario_hash"`
+	Scenario     *Scenario  `json:"scenario"`
+	Placement    *Placement `json:"placement"`
+	Metrics      *Metrics   `json:"metrics"`
+}
+
+func goldenFixtures() map[string]*Scenario {
+	// Fixture 1: the demo scenario (heterogeneous hardware, one obstacle).
+	demo := demoScenario()
+
+	// Fixture 2: an obstacle-heavy scene where occlusion decides placements.
+	occluded := demoScenario()
+	occluded.Obstacles = []Obstacle{
+		{Vertices: []Point{{18, 16}, {22, 16}, {22, 20}, {18, 20}}},
+		{Vertices: []Point{{8, 14}, {16, 14}, {16, 15}, {8, 15}}},
+		{Vertices: []Point{{24, 20}, {25, 20}, {25, 30}, {24, 30}}},
+		{Vertices: []Point{{12, 4}, {14, 6}, {12, 8}, {10, 6}}},
+	}
+
+	// Fixture 3: a single omnidirectional charger type, no obstacles — the
+	// simplest end of the solver's range.
+	simple := &Scenario{
+		Min: Point{0, 0}, Max: Point{20, 20},
+		ChargerTypes: []ChargerSpec{
+			{Name: "omni", Alpha: 2 * math.Pi, DMin: 0.5, DMax: 7, Count: 2},
+		},
+		DeviceTypes: []DeviceSpec{{Name: "node", Alpha: 2 * math.Pi, PTh: 0.05}},
+		Power:       [][]PowerParams{{{A: 100, B: 40}}},
+		Devices: []Device{
+			{Pos: Point{4, 4}, Orient: 0, Type: 0},
+			{Pos: Point{16, 5}, Orient: 0, Type: 0},
+			{Pos: Point{10, 15}, Orient: 0, Type: 0},
+		},
+	}
+	return map[string]*Scenario{
+		"demo":     demo,
+		"occluded": occluded,
+		"simple":   simple,
+	}
+}
+
+func goldenSolve(s *Scenario) (*Placement, *Metrics, error) {
+	p, err := s.Solve(WithEps(0.3), WithWorkers(1))
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := s.Evaluate(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, m, nil
+}
+
+func TestGolden(t *testing.T) {
+	for name, sc := range goldenFixtures() {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join("testdata", "golden", name+".json")
+			hash, err := sc.ScenarioHash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			placement, metrics, err := goldenSolve(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if *updateGolden {
+				rec := goldenRecord{ScenarioHash: hash, Scenario: sc, Placement: placement, Metrics: metrics}
+				b, err := json.MarshalIndent(rec, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s", path)
+				return
+			}
+
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture (run with -update to create): %v", err)
+			}
+			var want goldenRecord
+			if err := json.Unmarshal(b, &want); err != nil {
+				t.Fatal(err)
+			}
+			if want.ScenarioHash != hash {
+				t.Fatalf("fixture scenario drifted: hash %s, golden %s — the test scenario changed; regenerate with -update", hash, want.ScenarioHash)
+			}
+			comparePlacement(t, placement, want.Placement)
+			compareMetrics(t, metrics, want.Metrics)
+		})
+	}
+}
+
+const goldenTol = 1e-9
+
+func comparePlacement(t *testing.T, got, want *Placement) {
+	t.Helper()
+	if len(got.Chargers) != len(want.Chargers) {
+		t.Fatalf("placed %d chargers, golden has %d", len(got.Chargers), len(want.Chargers))
+	}
+	for i := range got.Chargers {
+		g, w := got.Chargers[i], want.Chargers[i]
+		if g.Type != w.Type ||
+			math.Abs(g.Pos.X-w.Pos.X) > goldenTol ||
+			math.Abs(g.Pos.Y-w.Pos.Y) > goldenTol ||
+			math.Abs(g.Orient-w.Orient) > goldenTol {
+			t.Fatalf("charger %d = %+v, golden %+v", i, g, w)
+		}
+	}
+	if math.Abs(got.Utility-want.Utility) > goldenTol {
+		t.Fatalf("utility %v, golden %v", got.Utility, want.Utility)
+	}
+	if len(got.CandidateCounts) != len(want.CandidateCounts) {
+		t.Fatalf("candidate counts %v, golden %v", got.CandidateCounts, want.CandidateCounts)
+	}
+	for q := range got.CandidateCounts {
+		if got.CandidateCounts[q] != want.CandidateCounts[q] {
+			t.Fatalf("candidate counts %v, golden %v", got.CandidateCounts, want.CandidateCounts)
+		}
+	}
+}
+
+func compareMetrics(t *testing.T, got, want *Metrics) {
+	t.Helper()
+	if math.Abs(got.Utility-want.Utility) > goldenTol ||
+		math.Abs(got.MinUtility-want.MinUtility) > goldenTol {
+		t.Fatalf("metrics utility %v/%v, golden %v/%v", got.Utility, got.MinUtility, want.Utility, want.MinUtility)
+	}
+	if len(got.DeviceUtilities) != len(want.DeviceUtilities) {
+		t.Fatalf("device count %d, golden %d", len(got.DeviceUtilities), len(want.DeviceUtilities))
+	}
+	for j := range got.DeviceUtilities {
+		if math.Abs(got.DeviceUtilities[j]-want.DeviceUtilities[j]) > goldenTol ||
+			math.Abs(got.DevicePowers[j]-want.DevicePowers[j]) > goldenTol {
+			t.Fatalf("device %d: utility %v power %v, golden %v / %v",
+				j, got.DeviceUtilities[j], got.DevicePowers[j], want.DeviceUtilities[j], want.DevicePowers[j])
+		}
+	}
+}

@@ -11,12 +11,14 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"os"
 	"runtime"
 
 	"hipo/internal/model"
 	"hipo/internal/pdcs"
 	"hipo/internal/power"
 	"hipo/internal/submodular"
+	"hipo/internal/visindex"
 )
 
 // GreedyVariant selects the strategy-selection algorithm.
@@ -53,6 +55,13 @@ type Options struct {
 	// forwarded to PDCS extraction.
 	SkipDominanceFilter   bool
 	SkipPairConstructions bool
+	// BruteForceVisibility disables the spatial visibility index
+	// (internal/visindex) and answers every occlusion query by exhaustive
+	// obstacle scan. The two paths produce identical placements; the brute
+	// path is kept as the differential reference and benchmark baseline.
+	// The HIPO_BRUTE_FORCE_VISIBILITY environment variable (any non-empty
+	// value) forces it globally.
+	BruteForceVisibility bool
 	// Objective overrides the per-device utility curves; nil uses the
 	// charging utility of Eq. (3). Used by the proportional-fairness
 	// variant of Section 8.3.
@@ -68,6 +77,22 @@ func (o Options) canceled() error {
 		return nil
 	}
 	return o.Ctx.Err()
+}
+
+// useBruteVisibility reports whether occlusion queries should bypass the
+// spatial index (option or environment override).
+func (o Options) useBruteVisibility() bool {
+	return o.BruteForceVisibility || os.Getenv("HIPO_BRUTE_FORCE_VISIBILITY") != ""
+}
+
+// withVisibility attaches the spatial visibility index for this solve
+// unless brute force was requested. Ensure clones, so the caller's scenario
+// is never mutated.
+func withVisibility(sc *model.Scenario, opt Options) *model.Scenario {
+	if opt.useBruteVisibility() {
+		return sc
+	}
+	return visindex.Ensure(sc)
 }
 
 // DefaultOptions returns the paper's default parameters (ε = 0.15).
@@ -97,11 +122,14 @@ type Solution struct {
 	Candidates []int
 }
 
-// Solve runs the full HIPO pipeline on the scenario.
+// Solve runs the full HIPO pipeline on the scenario. The spatial
+// visibility index is built once here (unless opted out) and shared by
+// every downstream occlusion query of the solve.
 func Solve(sc *model.Scenario, opt Options) (*Solution, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid scenario: %w", err)
 	}
+	sc = withVisibility(sc, opt)
 	cands, err := extractCandidates(sc, opt)
 	if err != nil {
 		return nil, err
@@ -118,6 +146,7 @@ func ExtractCandidates(sc *model.Scenario, opt Options) [][]pdcs.Candidate {
 
 // extractCandidates is ExtractCandidates with cancellation between types.
 func extractCandidates(sc *model.Scenario, opt Options) ([][]pdcs.Candidate, error) {
+	sc = withVisibility(sc, opt)
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -127,6 +156,7 @@ func extractCandidates(sc *model.Scenario, opt Options) ([][]pdcs.Candidate, err
 		Workers:               workers,
 		SkipDominanceFilter:   opt.SkipDominanceFilter,
 		SkipPairConstructions: opt.SkipPairConstructions,
+		BruteForceVisibility:  opt.useBruteVisibility(),
 	}
 	// Types run sequentially; the position sweep inside each Extract is
 	// already parallel, which balances better than one goroutine per type

@@ -22,12 +22,14 @@ package discretize
 import (
 	"math"
 	"runtime"
+	"sort"
 
 	"hipo/internal/geom"
 	"hipo/internal/model"
 	"hipo/internal/power"
 	"hipo/internal/schedule"
 	"hipo/internal/visibility"
+	"hipo/internal/visindex"
 )
 
 // Config tunes candidate generation.
@@ -41,6 +43,9 @@ type Config struct {
 	// (Algorithm 2 steps 1–7), leaving only per-device ring events. Used by
 	// ablation benchmarks.
 	SkipPairConstructions bool
+	// BruteForceVisibility answers occlusion queries by exhaustive obstacle
+	// scan instead of the spatial index (differential reference arm).
+	BruteForceVisibility bool
 }
 
 // DefaultEps1 corresponds to the paper's default ε = 0.15 via
@@ -263,6 +268,9 @@ func (g *Generator) TaskPositions(i int) []geom.Vec {
 // in parallel on cfg.Workers goroutines (0 = GOMAXPROCS); deduplication is
 // order-stable, so results are deterministic regardless of worker count.
 func CandidatePositions(sc *model.Scenario, q int, cfg Config) []geom.Vec {
+	if !cfg.BruteForceVisibility {
+		sc = visindex.Ensure(sc)
+	}
 	g := NewGenerator(sc, q, cfg)
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -335,7 +343,7 @@ func (g *Generator) eventAngleSamples(j int) []geom.Vec {
 			angles = append(angles, sc.Devices[i].Pos.Sub(dev.Pos).Angle())
 		}
 	}
-	sortAngles(angles)
+	sort.Float64s(angles)
 
 	var out []geom.Vec
 	emit := func(theta float64) {
@@ -360,18 +368,6 @@ func (g *Generator) eventAngleSamples(j int) []geom.Vec {
 		emit(dev.Orient)
 	}
 	return out
-}
-
-func sortAngles(xs []float64) {
-	for i := 1; i < len(xs); i++ {
-		v := xs[i]
-		k := i - 1
-		for k >= 0 && xs[k] > v {
-			xs[k+1] = xs[k]
-			k--
-		}
-		xs[k+1] = v
-	}
 }
 
 // deduper removes near-duplicate points using a hash grid with cell size

@@ -1,10 +1,7 @@
 package expt
 
 import (
-	"math/rand"
-
 	"hipo/internal/core"
-	"hipo/internal/geom"
 	"hipo/internal/model"
 )
 
@@ -70,27 +67,8 @@ func RunObstacleSweep(rc RunConfig) Figure {
 
 // scenarioWithRandomObstacles builds the Tables 2–4 scenario but replaces
 // the fixed two obstacles by n random star-shaped polygons, then places the
-// default device population feasibly around them.
+// default device population feasibly around them. It is BenchScenario with
+// the paper-default device population.
 func scenarioWithRandomObstacles(seed int64, n int) *model.Scenario {
-	sc := BaseScenario()
-	sc.Obstacles = nil
-	rng := rand.New(rand.NewSource(seed))
-	for q := range sc.ChargerTypes {
-		sc.ChargerTypes[q].Count = initialChargerCounts[q] * DefaultChargerMult
-	}
-	for len(sc.Obstacles) < n {
-		c := geom.V(5+rng.Float64()*30, 5+rng.Float64()*30)
-		poly := geom.RandomSimplePolygon(rng, c, 1, 3, 3+rng.Intn(6))
-		lo, hi := poly.BoundingBox()
-		if lo.X < 0 || lo.Y < 0 || hi.X > AreaSide || hi.Y > AreaSide {
-			continue
-		}
-		sc.Obstacles = append(sc.Obstacles, model.Obstacle{Shape: poly})
-	}
-	counts := make([]int, len(sc.DeviceTypes))
-	for t := range counts {
-		counts[t] = initialDeviceCounts[t] * DefaultDeviceMult
-	}
-	PlaceRandomDevices(sc, rng, counts)
-	return sc
+	return BenchScenario(seed, n, DefaultDeviceMult)
 }

@@ -24,6 +24,7 @@ var floatCmpPackages = []string{
 	"hipo/internal/geom",
 	"hipo/internal/matching",
 	"hipo/internal/model",
+	"hipo/internal/oracle",
 	"hipo/internal/pdcs",
 	"hipo/internal/power",
 	"hipo/internal/radial",
@@ -31,6 +32,7 @@ var floatCmpPackages = []string{
 	"hipo/internal/schedule",
 	"hipo/internal/submodular",
 	"hipo/internal/visibility",
+	"hipo/internal/visindex",
 }
 
 // FloatCmpAnalyzer flags == and != between floating-point operands in the

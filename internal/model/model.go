@@ -139,7 +139,33 @@ type Scenario struct {
 	Power     [][]PowerParams
 	Devices   []Device
 	Obstacles []Obstacle
+
+	// vis, when non-nil, accelerates the occlusion predicates below. It is
+	// attached by the solver pipeline (internal/visindex) and must answer
+	// exactly as the brute-force scans would.
+	vis VisibilityIndex
 }
+
+// VisibilityIndex accelerates a scenario's occlusion predicates. An
+// implementation must be safe for concurrent readers and must return
+// bit-for-bit the same answers as the brute-force obstacle scans in
+// LineOfSight and FeasiblePosition: the index is a pure accelerator, never
+// an approximation (differential tests in internal/visindex enforce this).
+type VisibilityIndex interface {
+	// LineOfSight reports whether the open segment a–b is free of obstacles.
+	LineOfSight(a, b geom.Vec) bool
+	// PointInObstacle reports whether p lies strictly inside any obstacle.
+	PointInObstacle(p geom.Vec) bool
+}
+
+// AttachVisibilityIndex installs an occlusion accelerator. Attach before
+// sharing the scenario between goroutines, and never mutate Obstacles
+// afterwards — the index holds derived geometry. Clone does not carry the
+// index, so clones fall back to brute force until re-indexed.
+func (sc *Scenario) AttachVisibilityIndex(ix VisibilityIndex) { sc.vis = ix }
+
+// AttachedVisibilityIndex returns the installed accelerator, or nil.
+func (sc *Scenario) AttachedVisibilityIndex() VisibilityIndex { return sc.vis }
 
 // Validate checks structural consistency of the scenario.
 func (sc *Scenario) Validate() error {
@@ -226,6 +252,9 @@ func (sc *Scenario) FeasiblePosition(p geom.Vec) bool {
 	if !sc.Region.Contains(p) {
 		return false
 	}
+	if sc.vis != nil {
+		return !sc.vis.PointInObstacle(p)
+	}
 	for _, o := range sc.Obstacles {
 		if o.Shape.ContainsInterior(p) {
 			return false
@@ -235,8 +264,20 @@ func (sc *Scenario) FeasiblePosition(p geom.Vec) bool {
 }
 
 // LineOfSight reports whether the open segment between a and b is free of
-// obstacles (the s_i o_j ∩ h_k = ∅ condition of Eq. (1)).
+// obstacles (the s_i o_j ∩ h_k = ∅ condition of Eq. (1)). With an attached
+// VisibilityIndex the query is answered through the index; the answer is
+// identical either way.
 func (sc *Scenario) LineOfSight(a, b geom.Vec) bool {
+	if sc.vis != nil {
+		return sc.vis.LineOfSight(a, b)
+	}
+	return sc.BruteForceLineOfSight(a, b)
+}
+
+// BruteForceLineOfSight is LineOfSight by exhaustive obstacle scan,
+// bypassing any attached index. It is the differential reference for the
+// spatial index and the baseline arm of the visibility benchmarks.
+func (sc *Scenario) BruteForceLineOfSight(a, b geom.Vec) bool {
 	s := geom.Seg(a, b)
 	for _, o := range sc.Obstacles {
 		if o.Shape.BlocksSegment(s) {
@@ -247,7 +288,9 @@ func (sc *Scenario) LineOfSight(a, b geom.Vec) bool {
 }
 
 // Clone returns a deep copy of the scenario. Sweeping experiments mutate
-// clones rather than shared instances.
+// clones rather than shared instances. Any attached VisibilityIndex is
+// deliberately dropped: a clone is free to mutate its obstacles, which
+// would silently desynchronize an inherited index.
 func (sc *Scenario) Clone() *Scenario {
 	out := &Scenario{
 		Region:       sc.Region,

@@ -65,6 +65,7 @@ type DistStats struct {
 // own machine, as in Algorithm 5 line 1. Candidates are merged per charger
 // type and dominance-filtered.
 func ExtractDistributed(sc *model.Scenario, cfg Config, workers int, machineCounts []int) ([][]Candidate, DistStats) {
+	sc = cfg.ensureVisibility(sc)
 	no := len(sc.Devices)
 	gens := make([]*discretize.Generator, len(sc.ChargerTypes))
 	dcfg := discretize.Config{Eps1: cfg.Eps1, SkipPairConstructions: cfg.SkipPairConstructions}

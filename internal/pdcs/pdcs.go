@@ -17,6 +17,7 @@ import (
 	"hipo/internal/model"
 	"hipo/internal/power"
 	"hipo/internal/schedule"
+	"hipo/internal/visindex"
 )
 
 // DevPower records the approximated charging power a candidate strategy
@@ -240,6 +241,7 @@ func coversSubset(a, b []DevPower) bool {
 // are deterministic regardless of worker count: per-position outputs are
 // concatenated in position order.
 func Extract(sc *model.Scenario, q int, cfg Config) []Candidate {
+	sc = cfg.ensureVisibility(sc)
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -248,6 +250,7 @@ func Extract(sc *model.Scenario, q int, cfg Config) []Candidate {
 		Eps1:                  cfg.Eps1,
 		Workers:               workers,
 		SkipPairConstructions: cfg.SkipPairConstructions,
+		BruteForceVisibility:  cfg.BruteForceVisibility,
 	})
 	cache := newEligibleCache(sc, q, cfg.Eps1)
 	perPos := schedule.RunPool(len(positions), workers, func(i int) []Candidate {
@@ -274,12 +277,24 @@ type Config struct {
 	SkipDominanceFilter bool
 	// SkipPairConstructions is forwarded to internal/discretize (ablation).
 	SkipPairConstructions bool
+	// BruteForceVisibility answers occlusion queries by exhaustive obstacle
+	// scan instead of the spatial index (differential reference arm).
+	BruteForceVisibility bool
 	// Clock, when non-nil, supplies the timestamps behind the per-task
 	// durations of DistStats (Algorithm 5's LPT simulation input). It is
 	// injected by measurement harnesses (internal/expt) so the extraction
 	// pipeline itself never reads the wall clock and stays deterministic;
 	// with a nil Clock all reported durations are zero.
 	Clock func() time.Time
+}
+
+// ensureVisibility attaches the spatial visibility index for this
+// extraction unless brute force was requested or one is already present.
+func (cfg Config) ensureVisibility(sc *model.Scenario) *model.Scenario {
+	if cfg.BruteForceVisibility {
+		return sc
+	}
+	return visindex.Ensure(sc)
 }
 
 // FilterDominated removes candidates that are dominated by another

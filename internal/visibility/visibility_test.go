@@ -140,6 +140,58 @@ func TestEventAnglesSorted(t *testing.T) {
 	}
 }
 
+func TestEventAnglesDedupCoincidentVertices(t *testing.T) {
+	// Two triangles whose apexes lie on the same ray from the viewpoint:
+	// (2,2) and (4,4) are both at angle π/4 from the origin. The sorted
+	// event-angle list must carry that angle exactly once.
+	sc := scenarioWith(
+		model.Obstacle{Shape: geom.Poly(geom.V(2, 2), geom.V(3, 2), geom.V(3, 3))},
+		model.Obstacle{Shape: geom.Poly(geom.V(4, 4), geom.V(5, 4), geom.V(5, 5))},
+	)
+	angles := EventAngles(sc, geom.V(0, 0))
+	hits := 0
+	for i, a := range angles {
+		if math.Abs(a-math.Pi/4) < geom.Eps {
+			hits++
+		}
+		if i > 0 && angles[i]-angles[i-1] < geom.Eps {
+			t.Fatalf("angles %d and %d are within Eps: %v, %v", i-1, i, angles[i-1], angles[i])
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("coincident vertex angle π/4 appears %d times, want 1", hits)
+	}
+}
+
+func TestDedupSortedAngles(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want []float64
+	}{
+		{"empty", nil, nil},
+		{"single", []float64{1}, []float64{1}},
+		{"exact duplicates", []float64{0, 0, 1, 1, 1, 2}, []float64{0, 1, 2}},
+		{"near duplicates", []float64{1, 1 + geom.Eps/2, 2}, []float64{1, 2}},
+		{"kept when apart", []float64{1, 1 + 2*geom.Eps, 2}, []float64{1, 1 + 2*geom.Eps, 2}},
+		{"wraparound 0 vs 2π", []float64{0, 1, 2*math.Pi - geom.Eps/2}, []float64{0, 1}},
+		{"no wraparound when apart", []float64{0, 1, 2*math.Pi - 2*geom.Eps},
+			[]float64{0, 1, 2*math.Pi - 2*geom.Eps}},
+	}
+	for _, c := range cases {
+		got := dedupSortedAngles(append([]float64(nil), c.in...))
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: got %v, want %v", c.name, got, c.want)
+		}
+		for i := range got {
+			// Dedup keeps first occurrences verbatim, so bit equality holds.
+			if math.Float64bits(got[i]) != math.Float64bits(c.want[i]) {
+				t.Fatalf("%s: got %v, want %v", c.name, got, c.want)
+			}
+		}
+	}
+}
+
 func TestOccluded(t *testing.T) {
 	sc := scenarioWith(model.Obstacle{Shape: geom.Rect(4, -1, 6, 1)})
 	if !Occluded(sc, geom.V(0, 0), geom.V(10, 0)) {

@@ -1,0 +1,19 @@
+package visindex
+
+import "hipo/internal/model"
+
+// Ensure returns a scenario with a visibility index attached: sc itself
+// when one is already present, otherwise a deep clone carrying a fresh
+// index. Cloning keeps the caller's scenario untouched — attaching in place
+// would race when the same scenario value is solved concurrently — and the
+// clone's obstacle geometry is owned by the index from then on. Pipeline
+// entry points (internal/core, internal/pdcs) call Ensure once per solve so
+// every downstream occlusion query is served by the same index.
+func Ensure(sc *model.Scenario) *model.Scenario {
+	if sc.AttachedVisibilityIndex() != nil {
+		return sc
+	}
+	out := sc.Clone()
+	out.AttachVisibilityIndex(New(out))
+	return out
+}

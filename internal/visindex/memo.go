@@ -1,0 +1,70 @@
+package visindex
+
+import (
+	"math"
+	"sync"
+
+	"hipo/internal/geom"
+	"hipo/internal/visibility"
+)
+
+// memoStore caches the per-viewpoint angular structure that candidate
+// generation recomputes once per charger type at the same device positions:
+// shadow interval sets, event angles, and hole rays. Keys quantize the
+// viewpoint by its exact float64 bit pattern — the finest quantization
+// there is — because any coarser bucketing could alias two distinct
+// viewpoints and break the bit-for-bit agreement with the brute-force path
+// that the differential tests assert. Values are shared: callers receive
+// the same slice/set on every hit and must not mutate them.
+type memoStore struct {
+	shadows sync.Map // posKey -> *geom.IntervalSet
+	events  sync.Map // posKey -> []float64
+	holes   sync.Map // rayKey -> []geom.Segment
+}
+
+// posKey is a viewpoint quantized to its exact bit pattern.
+type posKey struct{ x, y uint64 }
+
+// rayKey additionally carries the truncation radius of a HoleRays query.
+type rayKey struct{ x, y, r uint64 }
+
+func keyOf(p geom.Vec) posKey {
+	return posKey{math.Float64bits(p.X), math.Float64bits(p.Y)}
+}
+
+// Shadow returns the combined occluded angular set from p over all
+// obstacles, memoized per viewpoint. The returned set is shared: read-only.
+func (ix *Index) Shadow(p geom.Vec) *geom.IntervalSet {
+	k := keyOf(p)
+	if v, ok := ix.memo.shadows.Load(k); ok {
+		return v.(*geom.IntervalSet)
+	}
+	s := visibility.ShadowOf(p, ix.obs)
+	v, _ := ix.memo.shadows.LoadOrStore(k, s)
+	return v.(*geom.IntervalSet)
+}
+
+// EventAngles returns the sorted, deduplicated shadow-boundary angles seen
+// from p, memoized per viewpoint. The returned slice is shared: read-only.
+func (ix *Index) EventAngles(p geom.Vec) []float64 {
+	k := keyOf(p)
+	if v, ok := ix.memo.events.Load(k); ok {
+		return v.([]float64)
+	}
+	ea := visibility.EventAnglesOf(p, ix.obs)
+	v, _ := ix.memo.events.LoadOrStore(k, ea)
+	return v.([]float64)
+}
+
+// HoleRays returns the visible hole-boundary rays from p truncated at rmax,
+// memoized per (viewpoint, radius); line-of-sight checks inside go through
+// the index. The returned slice is shared: read-only.
+func (ix *Index) HoleRays(p geom.Vec, rmax float64) []geom.Segment {
+	k := rayKey{math.Float64bits(p.X), math.Float64bits(p.Y), math.Float64bits(rmax)}
+	if v, ok := ix.memo.holes.Load(k); ok {
+		return v.([]geom.Segment)
+	}
+	hr := visibility.HoleRaysOf(p, rmax, ix.obs, ix.LineOfSight)
+	v, _ := ix.memo.holes.LoadOrStore(k, hr)
+	return v.([]geom.Segment)
+}

@@ -1,0 +1,260 @@
+package hipo
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// Metamorphic properties of Evaluate: charging physics depends only on
+// relative geometry, so rigid motions of the whole scene (devices,
+// obstacles, placement, region) must leave every metric unchanged, device
+// reordering must permute — not change — the per-device utilities, and
+// inserting an obstacle can only remove line-of-sight power, never add it.
+
+const metamorphicTol = 1e-9
+
+// metaPlacement solves the demo scenario once and shares the placement
+// across the metamorphic tests.
+var metaPlacement = sync.OnceValue(func() *Placement {
+	p, err := demoScenario().Solve(WithEps(0.3))
+	if err != nil {
+		panic(err)
+	}
+	return p
+})
+
+func translateScenario(s *Scenario, dx, dy float64) *Scenario {
+	out := *s
+	out.Min = Point{s.Min.X + dx, s.Min.Y + dy}
+	out.Max = Point{s.Max.X + dx, s.Max.Y + dy}
+	out.Devices = append([]Device(nil), s.Devices...)
+	for i := range out.Devices {
+		out.Devices[i].Pos.X += dx
+		out.Devices[i].Pos.Y += dy
+	}
+	out.Obstacles = make([]Obstacle, len(s.Obstacles))
+	for i, o := range s.Obstacles {
+		vs := append([]Point(nil), o.Vertices...)
+		for j := range vs {
+			vs[j].X += dx
+			vs[j].Y += dy
+		}
+		out.Obstacles[i] = Obstacle{Vertices: vs}
+	}
+	return &out
+}
+
+func translatePlacement(p *Placement, dx, dy float64) *Placement {
+	out := *p
+	out.Chargers = append([]PlacedCharger(nil), p.Chargers...)
+	for i := range out.Chargers {
+		out.Chargers[i].Pos.X += dx
+		out.Chargers[i].Pos.Y += dy
+	}
+	return &out
+}
+
+// rot90 rotates p by 90° counterclockwise about c.
+func rot90(p, c Point) Point {
+	return Point{c.X - (p.Y - c.Y), c.Y + (p.X - c.X)}
+}
+
+func rotateScenario(s *Scenario) *Scenario {
+	c := Point{(s.Min.X + s.Max.X) / 2, (s.Min.Y + s.Max.Y) / 2}
+	w, h := s.Max.X-s.Min.X, s.Max.Y-s.Min.Y
+	out := *s
+	// A 90°-rotated axis-aligned rectangle swaps its extents.
+	out.Min = Point{c.X - h/2, c.Y - w/2}
+	out.Max = Point{c.X + h/2, c.Y + w/2}
+	out.Devices = append([]Device(nil), s.Devices...)
+	for i := range out.Devices {
+		out.Devices[i].Pos = rot90(out.Devices[i].Pos, c)
+		out.Devices[i].Orient += math.Pi / 2
+	}
+	out.Obstacles = make([]Obstacle, len(s.Obstacles))
+	for i, o := range s.Obstacles {
+		vs := append([]Point(nil), o.Vertices...)
+		for j := range vs {
+			vs[j] = rot90(vs[j], c)
+		}
+		out.Obstacles[i] = Obstacle{Vertices: vs}
+	}
+	return &out
+}
+
+func rotatePlacement(p *Placement, s *Scenario) *Placement {
+	c := Point{(s.Min.X + s.Max.X) / 2, (s.Min.Y + s.Max.Y) / 2}
+	out := *p
+	out.Chargers = append([]PlacedCharger(nil), p.Chargers...)
+	for i := range out.Chargers {
+		out.Chargers[i].Pos = rot90(out.Chargers[i].Pos, c)
+		out.Chargers[i].Orient += math.Pi / 2
+	}
+	return &out
+}
+
+func metricsMatch(t *testing.T, label string, a, b *Metrics) {
+	t.Helper()
+	if math.Abs(a.Utility-b.Utility) > metamorphicTol {
+		t.Fatalf("%s: utility %v vs %v", label, a.Utility, b.Utility)
+	}
+	if math.Abs(a.MinUtility-b.MinUtility) > metamorphicTol {
+		t.Fatalf("%s: min utility %v vs %v", label, a.MinUtility, b.MinUtility)
+	}
+	if len(a.DeviceUtilities) != len(b.DeviceUtilities) {
+		t.Fatalf("%s: device count %d vs %d", label, len(a.DeviceUtilities), len(b.DeviceUtilities))
+	}
+	for j := range a.DeviceUtilities {
+		if math.Abs(a.DeviceUtilities[j]-b.DeviceUtilities[j]) > metamorphicTol {
+			t.Fatalf("%s: device %d utility %v vs %v", label, j, a.DeviceUtilities[j], b.DeviceUtilities[j])
+		}
+		if math.Abs(a.DevicePowers[j]-b.DevicePowers[j]) > metamorphicTol {
+			t.Fatalf("%s: device %d power %v vs %v", label, j, a.DevicePowers[j], b.DevicePowers[j])
+		}
+	}
+}
+
+func TestEvaluateTranslationInvariance(t *testing.T) {
+	s := demoScenario()
+	p := metaPlacement()
+	base, err := s.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Utility <= 0 {
+		t.Fatal("degenerate base placement: zero utility proves nothing")
+	}
+	for _, d := range []struct{ dx, dy float64 }{{17, 0}, {0, -230}, {3.25, 101.5}} {
+		ts := translateScenario(s, d.dx, d.dy)
+		if err := ts.Validate(); err != nil {
+			t.Fatalf("translated scenario invalid: %v", err)
+		}
+		tm, err := ts.Evaluate(translatePlacement(p, d.dx, d.dy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		metricsMatch(t, "translate", base, tm)
+	}
+}
+
+func TestEvaluateRotationInvariance(t *testing.T) {
+	s := demoScenario()
+	p := metaPlacement()
+	base, err := s.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply the quarter turn four times; each intermediate scene must score
+	// identically, and the fourth returns to the start.
+	rs, rp := s, p
+	for k := 1; k <= 4; k++ {
+		rp = rotatePlacement(rp, rs)
+		rs = rotateScenario(rs)
+		if err := rs.Validate(); err != nil {
+			t.Fatalf("rotation %d: invalid scenario: %v", k, err)
+		}
+		rm, err := rs.Evaluate(rp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		metricsMatch(t, "rotate", base, rm)
+	}
+}
+
+// TestEvaluateDevicePermutationEquivariance: reordering devices permutes
+// the per-device metrics and preserves the mean. The scenario hash is
+// order-sensitive by contract, so the two scenes cache under different
+// keys — both keyed sets must carry the same utilities up to the
+// permutation.
+func TestEvaluateDevicePermutationEquivariance(t *testing.T) {
+	s := demoScenario()
+	p := metaPlacement()
+	perm := []int{2, 0, 3, 1} // permuted[i] = original[perm[i]]
+
+	ps := *s
+	ps.Devices = make([]Device, len(s.Devices))
+	for i, from := range perm {
+		ps.Devices[i] = s.Devices[from]
+	}
+
+	baseHash, err := s.ScenarioHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	permHash, err := ps.ScenarioHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseHash == permHash {
+		t.Fatal("ScenarioHash must be device-order sensitive")
+	}
+
+	byHash := map[string]*Metrics{}
+	for _, sc := range []*Scenario{s, &ps} {
+		h, err := sc.ScenarioHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sc.Evaluate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byHash[h] = m
+	}
+	base, permuted := byHash[baseHash], byHash[permHash]
+	if math.Abs(base.Utility-permuted.Utility) > metamorphicTol {
+		t.Fatalf("mean utility changed under permutation: %v vs %v", base.Utility, permuted.Utility)
+	}
+	for i, from := range perm {
+		if math.Abs(permuted.DeviceUtilities[i]-base.DeviceUtilities[from]) > metamorphicTol {
+			t.Fatalf("device %d (originally %d): utility %v vs %v",
+				i, from, permuted.DeviceUtilities[i], base.DeviceUtilities[from])
+		}
+	}
+}
+
+// TestObstacleInsertionMonotonic: adding an obstacle to a fixed placement
+// can only block power. No device's utility may increase, and an obstacle
+// far outside every charging sector must change nothing.
+func TestObstacleInsertionMonotonic(t *testing.T) {
+	s := demoScenario()
+	p := metaPlacement()
+	base, err := s.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	walls := []Obstacle{
+		// A wall right of the lower-left device cluster.
+		{Vertices: []Point{{12, 8}, {12.5, 8}, {12.5, 14}, {12, 14}}},
+		// A wall through the upper-right cluster.
+		{Vertices: []Point{{26, 22}, {31, 22}, {31, 22.5}, {26, 22.5}}},
+		// A box far from everything (top-left corner).
+		{Vertices: []Point{{1, 36}, {3, 36}, {3, 38}, {1, 38}}},
+	}
+	for wi, wall := range walls {
+		ws := *s
+		ws.Obstacles = append(append([]Obstacle(nil), s.Obstacles...), wall)
+		if err := ws.Validate(); err != nil {
+			t.Fatalf("wall %d: invalid scenario: %v", wi, err)
+		}
+		wm, err := ws.Evaluate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range base.DeviceUtilities {
+			if wm.DeviceUtilities[j] > base.DeviceUtilities[j]+1e-12 {
+				t.Fatalf("wall %d: device %d utility rose from %v to %v",
+					wi, j, base.DeviceUtilities[j], wm.DeviceUtilities[j])
+			}
+			if wm.DevicePowers[j] > base.DevicePowers[j]+1e-12 {
+				t.Fatalf("wall %d: device %d power rose from %v to %v",
+					wi, j, base.DevicePowers[j], wm.DevicePowers[j])
+			}
+		}
+		if wi == 2 && math.Abs(wm.Utility-base.Utility) > 1e-12 {
+			t.Fatalf("distant obstacle changed utility: %v vs %v", base.Utility, wm.Utility)
+		}
+	}
+}

@@ -14,10 +14,11 @@ import (
 type Option func(*options)
 
 type options struct {
-	eps     float64
-	variant core.GreedyVariant
-	workers int
-	ctx     context.Context
+	eps        float64
+	variant    core.GreedyVariant
+	workers    int
+	ctx        context.Context
+	bruteForce bool
 }
 
 func buildOptions(opts []Option) options {
@@ -29,7 +30,10 @@ func buildOptions(opts []Option) options {
 }
 
 func (o options) core() core.Options {
-	return core.Options{Eps: o.eps, Variant: o.variant, Workers: o.workers, Ctx: o.ctx}
+	return core.Options{
+		Eps: o.eps, Variant: o.variant, Workers: o.workers, Ctx: o.ctx,
+		BruteForceVisibility: o.bruteForce,
+	}
 }
 
 // WithEps sets the approximation parameter ε ∈ (0, 1/2) of the 1/2 − ε
@@ -52,6 +56,16 @@ func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
 // pipeline stages; the solve returns the context's error once observed.
 func WithContext(ctx context.Context) Option {
 	return func(o *options) { o.ctx = ctx }
+}
+
+// WithBruteForceVisibility disables the spatial visibility index and
+// answers every line-of-sight / obstacle-containment query by exhaustive
+// obstacle scan. Placements are identical with or without the index — the
+// option exists as the differential reference for testing and as the
+// baseline arm of cmd/hipobench. Setting the HIPO_BRUTE_FORCE_VISIBILITY
+// environment variable (any non-empty value) has the same effect globally.
+func WithBruteForceVisibility() Option {
+	return func(o *options) { o.bruteForce = true }
 }
 
 // WithContinuousGreedy selects the continuous greedy of the paper's
