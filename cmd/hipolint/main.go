@@ -1,11 +1,15 @@
 // Command hipolint runs the repository's domain-aware static-analysis
 // suite (internal/lint): floatcmp, detrand, wallclock, ctxflow, errdrop,
-// and anglesafe. It has two modes:
+// anglesafe, mutexguard, nanflow, and goroleak. It has two modes:
 //
 // Standalone, over the whole module (or a subset of packages):
 //
 //	go run ./cmd/hipolint ./...
 //	go run ./cmd/hipolint -only floatcmp,errdrop ./internal/geom
+//	go run ./cmd/hipolint -fix ./...                 # apply suggested fixes
+//	go run ./cmd/hipolint -format=sarif ./... > out.sarif
+//	go run ./cmd/hipolint -baseline .hipolint-baseline.json ./...
+//	go run ./cmd/hipolint -write-baseline .hipolint-baseline.json ./...
 //
 // As a vet tool, speaking the go vet unit-checker protocol:
 //
@@ -15,7 +19,8 @@
 // Exit status: 0 when no diagnostics, 1 (standalone) or 2 (vet mode) when
 // findings are reported, 2 on operational errors. Suppress individual
 // findings with `//lint:ignore <analyzer> <reason>` on or directly above
-// the flagged line.
+// the flagged line; accept a batch of historical findings with a baseline
+// file (new findings still fail, and the baseline may only shrink).
 package main
 
 import (
@@ -59,11 +64,15 @@ func runStandalone(args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("hipolint", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		only = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
-		list = fs.Bool("list", false, "list analyzers and exit")
+		only          = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list          = fs.Bool("list", false, "list analyzers and exit")
+		fix           = fs.Bool("fix", false, "apply machine-suggested fixes to the source files")
+		formatName    = fs.String("format", "text", "output format: text or sarif")
+		baselinePath  = fs.String("baseline", "", "baseline file: only findings absent from it fail")
+		writeBaseline = fs.String("write-baseline", "", "snapshot current findings to this baseline file and exit")
 	)
 	fs.Usage = func() {
-		printf(errw, "usage: hipolint [-only name,...] [-list] [packages]\n")
+		printf(errw, "usage: hipolint [-only name,...] [-list] [-fix] [-format text|sarif] [-baseline file] [-write-baseline file] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -75,7 +84,16 @@ func runStandalone(args []string, out, errw io.Writer) int {
 		}
 		return 0
 	}
+	if *formatName != "text" && *formatName != "sarif" {
+		printf(errw, "hipolint: unknown -format %q (want text or sarif)\n", *formatName)
+		return 2
+	}
 	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		printf(errw, "hipolint: %v\n", err)
+		return 2
+	}
+	root, err := os.Getwd()
 	if err != nil {
 		printf(errw, "hipolint: %v\n", err)
 		return 2
@@ -85,19 +103,92 @@ func runStandalone(args []string, out, errw io.Writer) int {
 		printf(errw, "hipolint: %v\n", err)
 		return 2
 	}
-	exit := 0
+	var diags []lint.Diagnostic
 	for _, pkg := range pkgs {
-		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		ds, err := lint.RunAnalyzers(pkg, analyzers)
 		if err != nil {
 			printf(errw, "hipolint: %v\n", err)
 			return 2
 		}
-		for _, d := range diags {
-			printf(out, "%s\n", d)
-			exit = 1
+		diags = append(diags, ds...)
+	}
+
+	if *fix {
+		updated, dropped, err := lint.ApplyFixes(diags)
+		if err != nil {
+			printf(errw, "hipolint: %v\n", err)
+			return 2
+		}
+		for file, src := range updated {
+			if err := os.WriteFile(file, src, 0o644); err != nil {
+				printf(errw, "hipolint: %v\n", err)
+				return 2
+			}
+		}
+		if len(updated) > 0 {
+			printf(errw, "hipolint: fixed %d file(s)\n", len(updated))
+		}
+		// Diagnostics whose fix landed are resolved; the rest — no fix
+		// attached, or the fix conflicted with another edit — still count.
+		diags = unfixedDiagnostics(diags, dropped)
+	}
+
+	if *writeBaseline != "" {
+		b := lint.NewBaseline(diags, root)
+		if err := lint.WriteBaselineFile(*writeBaseline, b); err != nil {
+			printf(errw, "hipolint: %v\n", err)
+			return 2
+		}
+		printf(errw, "hipolint: wrote %d finding(s) to %s\n", len(b.Findings), *writeBaseline)
+		return 0
+	}
+
+	if *baselinePath != "" {
+		b, err := lint.ReadBaselineFile(*baselinePath)
+		if err != nil {
+			printf(errw, "hipolint: %v\n", err)
+			return 2
+		}
+		var stale int
+		diags, stale = b.Filter(diags, root)
+		if stale > 0 {
+			printf(errw, "hipolint: %d baseline entr(y/ies) no longer produced; regenerate %s to ratchet down\n", stale, *baselinePath)
 		}
 	}
+
+	if *formatName == "sarif" {
+		if err := lint.WriteSARIF(out, analyzers, diags, root); err != nil {
+			printf(errw, "hipolint: %v\n", err)
+			return 2
+		}
+		if len(diags) > 0 {
+			return 1
+		}
+		return 0
+	}
+	exit := 0
+	for _, d := range diags {
+		printf(out, "%s\n", d)
+		exit = 1
+	}
 	return exit
+}
+
+// unfixedDiagnostics keeps the diagnostics -fix could not resolve: those
+// with no suggested fix, plus those whose fix was dropped for overlapping
+// another edit.
+func unfixedDiagnostics(diags, dropped []lint.Diagnostic) []lint.Diagnostic {
+	droppedSet := make(map[string]bool, len(dropped))
+	for _, d := range dropped {
+		droppedSet[d.String()] = true
+	}
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		if len(d.Fixes) == 0 || droppedSet[d.String()] {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // selectAnalyzers resolves the -only flag to a subset of the suite.

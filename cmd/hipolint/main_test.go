@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hipo/internal/lint"
 )
 
 // moduleRoot locates the repository root so the test is independent of the
@@ -24,12 +27,10 @@ func moduleRoot(t *testing.T) string {
 	return filepath.Dir(gomod)
 }
 
-// TestSuiteCleanOnRepository is the acceptance gate: the full analyzer
-// suite must produce zero diagnostics on the repository's own tree.
-func TestSuiteCleanOnRepository(t *testing.T) {
-	if testing.Short() {
-		t.Skip("compiles the whole module; skipped in -short mode")
-	}
+// chdirModuleRoot moves the test into the repository root for the duration
+// of the test, so package patterns like ./... resolve the whole module.
+func chdirModuleRoot(t *testing.T) {
+	t.Helper()
 	root := moduleRoot(t)
 	wd, err := os.Getwd()
 	if err != nil {
@@ -38,15 +39,108 @@ func TestSuiteCleanOnRepository(t *testing.T) {
 	if err := os.Chdir(root); err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
+	t.Cleanup(func() {
 		if err := os.Chdir(wd); err != nil {
 			t.Fatal(err)
 		}
-	}()
+	})
+}
+
+// TestSuiteCleanOnRepository is the acceptance gate: the full analyzer
+// suite must produce zero diagnostics on the repository's own tree.
+func TestSuiteCleanOnRepository(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module; skipped in -short mode")
+	}
+	chdirModuleRoot(t)
 	var out, errw bytes.Buffer
 	code := runStandalone([]string{"./..."}, &out, &errw)
 	if code != 0 {
 		t.Errorf("hipolint ./... exited %d; diagnostics:\n%s%s", code, out.String(), errw.String())
+	}
+}
+
+// TestSARIFOutput runs the suite on a small package with -format=sarif and
+// checks the log parses and carries a rule descriptor per analyzer.
+func TestSARIFOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads module export data; skipped in -short mode")
+	}
+	chdirModuleRoot(t)
+	var out, errw bytes.Buffer
+	if code := runStandalone([]string{"-format=sarif", "./internal/model"}, &out, &errw); code != 0 {
+		t.Fatalf("-format=sarif exited %d: %s", code, errw.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d, want 2.1.0 with one run", log.Version, len(log.Runs))
+	}
+	rules := map[string]bool{}
+	for _, r := range log.Runs[0].Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	for _, a := range lint.Analyzers() {
+		if !rules[a.Name] {
+			t.Errorf("SARIF log missing rule descriptor for %q", a.Name)
+		}
+	}
+}
+
+// TestBaselineGate: the committed baseline must verify cleanly against the
+// tree (exit 0), and an unknown-schema file must be rejected.
+func TestBaselineGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads module export data; skipped in -short mode")
+	}
+	chdirModuleRoot(t)
+	var out, errw bytes.Buffer
+	if code := runStandalone([]string{"-baseline", ".hipolint-baseline.json", "./internal/model"}, &out, &errw); code != 0 {
+		t.Errorf("-baseline gate exited %d:\n%s%s", code, out.String(), errw.String())
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errw.Reset()
+	if code := runStandalone([]string{"-baseline", bad, "./internal/model"}, &out, &errw); code != 2 {
+		t.Errorf("bad baseline schema exited %d, want 2", code)
+	}
+}
+
+// TestWriteBaselineSnapshot: -write-baseline on a clean package produces a
+// schema-tagged empty snapshot and exits 0.
+func TestWriteBaselineSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads module export data; skipped in -short mode")
+	}
+	chdirModuleRoot(t)
+	path := filepath.Join(t.TempDir(), "base.json")
+	var out, errw bytes.Buffer
+	if code := runStandalone([]string{"-write-baseline", path, "./internal/model"}, &out, &errw); code != 0 {
+		t.Fatalf("-write-baseline exited %d: %s", code, errw.String())
+	}
+	b, err := lint.ReadBaselineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 0 {
+		t.Errorf("snapshot has %d findings on a clean package, want 0", len(b.Findings))
 	}
 }
 
@@ -55,7 +149,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code := runStandalone([]string{"-list"}, &out, &errw); code != 0 {
 		t.Fatalf("-list exited %d: %s", code, errw.String())
 	}
-	for _, name := range []string{"floatcmp", "detrand", "wallclock", "ctxflow", "errdrop", "anglesafe"} {
+	for _, name := range []string{"floatcmp", "detrand", "wallclock", "ctxflow", "errdrop", "anglesafe", "mutexguard", "nanflow", "goroleak"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
 		}

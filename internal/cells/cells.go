@@ -257,6 +257,10 @@ func Lemma44Bound(sc *model.Scenario, eps1 float64) float64 {
 	for _, o := range sc.Obstacles {
 		c = math.Max(c, float64(len(o.Shape.Vertices)))
 	}
+	if eps1 <= 0 {
+		// The bound diverges as ε₁ → 0; an invalid parameter means "no bound".
+		return math.Inf(1)
+	}
 	return no * no / (eps1 * eps1) * nh * nh * c * c
 }
 

@@ -76,6 +76,7 @@ func RandomSimplePolygon(rng *rand.Rand, c Vec, rMin, rMax float64, n int) Polyg
 	vs := make([]Vec, n)
 	theta := rng.Float64() * 2 * math.Pi
 	for i := 0; i < n; i++ {
+		//lint:ignore nanflow total is a sum of n >= 3 gaps each at least 0.6, so it is strictly positive
 		theta += gaps[i] / total * 2 * math.Pi
 		r := rMin + rng.Float64()*(rMax-rMin)
 		vs[i] = c.Add(FromAngle(theta).Scale(r))

@@ -176,6 +176,12 @@ func (p Polygon) interiorSampleBlocked(s Segment) bool {
 	ts := []float64{0, 1}
 	d := s.Dir()
 	l2 := d.Len2()
+	if l2 <= 0 {
+		// Degenerate zero-length probe: a single point, blocked iff it sits
+		// strictly inside. Dividing by l2 below would poison every parameter
+		// with NaN.
+		return p.containsInterior(s.A)
+	}
 	for _, e := range p.Edges() {
 		if q, ok := SegmentIntersection(s, e); ok {
 			t := q.Sub(s.A).Dot(d) / l2

@@ -76,8 +76,10 @@ type Manager struct {
 	queue   chan *job
 	timeout time.Duration
 
-	mu      sync.Mutex
-	jobs    map[string]*job
+	mu sync.Mutex
+	// guarded by mu
+	jobs map[string]*job
+	// guarded by mu
 	closed  bool
 	stop    chan struct{}
 	workers sync.WaitGroup

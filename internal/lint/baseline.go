@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineSchema identifies the on-disk baseline format. Bump it when the
+// matching semantics below change incompatibly.
+const BaselineSchema = "hipolint-baseline/v1"
+
+// A Baseline is a snapshot of accepted findings. CI verifies that the
+// current tree produces no findings outside the baseline, which lets a
+// large suite land before every historical finding is cleaned up while
+// still failing the build on anything new. Entries match on analyzer,
+// repo-relative file, and message — deliberately not line numbers, so
+// unrelated edits to a file do not churn the baseline.
+type Baseline struct {
+	Schema   string            `json:"schema"`
+	Findings []BaselineFinding `json:"findings"`
+}
+
+// A BaselineFinding is one accepted diagnostic.
+type BaselineFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// NewBaseline snapshots diags into a baseline with deterministic ordering.
+// File paths are made relative to root, matching WriteSARIF.
+func NewBaseline(diags []Diagnostic, root string) *Baseline {
+	b := &Baseline{Schema: BaselineSchema, Findings: []BaselineFinding{}}
+	for _, d := range diags {
+		b.Findings = append(b.Findings, BaselineFinding{
+			Analyzer: d.Analyzer,
+			File:     relSlashPath(root, d.Pos.Filename),
+			Message:  d.Message,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteBaselineFile writes b to path as indented JSON.
+func WriteBaselineFile(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaselineFile loads and validates a baseline.
+func ReadBaselineFile(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if b.Schema != BaselineSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, b.Schema, BaselineSchema)
+	}
+	return &b, nil
+}
+
+// Filter splits diags into findings not covered by the baseline (fresh)
+// and counts baseline entries the tree no longer produces (stale).
+// Matching is a multiset: two identical findings in the tree need two
+// baseline entries. Stale entries are not an error — the baseline is a
+// ratchet and may only shrink — but callers can surface the count so
+// someone eventually deletes the dead weight.
+func (b *Baseline) Filter(diags []Diagnostic, root string) (fresh []Diagnostic, stale int) {
+	budget := make(map[BaselineFinding]int)
+	for _, f := range b.Findings {
+		budget[f]++
+	}
+	for _, d := range diags {
+		key := BaselineFinding{
+			Analyzer: d.Analyzer,
+			File:     relSlashPath(root, d.Pos.Filename),
+			Message:  d.Message,
+		}
+		if budget[key] > 0 {
+			budget[key]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, n := range budget {
+		stale += n
+	}
+	return fresh, stale
+}

@@ -1,0 +1,75 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hipo/internal/lint"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := sampleDiags()
+	b := lint.NewBaseline(diags, "/repo")
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := lint.WriteBaselineFile(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lint.ReadBaselineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != lint.BaselineSchema {
+		t.Errorf("schema = %q, want %q", got.Schema, lint.BaselineSchema)
+	}
+	fresh, stale := got.Filter(diags, "/repo")
+	if len(fresh) != 0 || stale != 0 {
+		t.Errorf("baselined diags: fresh=%d stale=%d, want 0/0", len(fresh), stale)
+	}
+}
+
+func TestBaselineFlagsNewFindings(t *testing.T) {
+	diags := sampleDiags()
+	b := lint.NewBaseline(diags[:1], "/repo")
+	fresh, stale := b.Filter(diags, "/repo")
+	if len(fresh) != 1 || fresh[0].Analyzer != "mutexguard" {
+		t.Errorf("fresh = %v, want the one mutexguard finding", fresh)
+	}
+	if stale != 0 {
+		t.Errorf("stale = %d, want 0", stale)
+	}
+}
+
+func TestBaselineCountsStale(t *testing.T) {
+	diags := sampleDiags()
+	b := lint.NewBaseline(diags, "/repo")
+	fresh, stale := b.Filter(diags[:1], "/repo")
+	if len(fresh) != 0 {
+		t.Errorf("fresh = %v, want none", fresh)
+	}
+	if stale != 1 {
+		t.Errorf("stale = %d, want 1", stale)
+	}
+}
+
+// TestBaselineMultiset: two identical findings need two baseline entries.
+func TestBaselineMultiset(t *testing.T) {
+	diags := sampleDiags()
+	dup := append([]lint.Diagnostic{diags[0]}, diags[0])
+	b := lint.NewBaseline(dup[:1], "/repo")
+	fresh, _ := b.Filter(dup, "/repo")
+	if len(fresh) != 1 {
+		t.Errorf("fresh = %d, want 1: one entry must not absorb two findings", len(fresh))
+	}
+}
+
+func TestBaselineRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"hipolint-baseline/v0","findings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lint.ReadBaselineFile(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("ReadBaselineFile = %v, want schema error", err)
+	}
+}

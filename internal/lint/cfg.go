@@ -1,0 +1,476 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file implements the intra-procedural control-flow graph the deep
+// analyzers (mutexguard, nanflow, goroleak) and the dataflow solver in
+// dataflow.go are built on. The shape follows golang.org/x/tools/go/cfg in
+// spirit — basic blocks of ast.Nodes joined by successor edges — but adds
+// two things that suite needs and the upstream package does not provide:
+// short-circuit boolean operators are decomposed into separate condition
+// blocks (so branch-sensitive facts like "y was compared against zero" can
+// be attached to the exact edge they hold on), and deferred calls are
+// collected per function so lock-state analyses can treat
+// `defer mu.Unlock()` as an exit-time effect rather than an immediate one.
+
+// Block is one basic block: a maximal straight-line sequence of nodes with
+// a single entry at the top.
+type Block struct {
+	// Index is the block's position in CFG.Blocks, stable across builds of
+	// the same function.
+	Index int
+	// Nodes are executed in order. Entries are statements (minus their
+	// nested control flow) or decomposed condition expressions.
+	Nodes []ast.Node
+	// Cond, when non-nil, is the boolean expression evaluated last in this
+	// block; Succs[0] is taken when it is true and Succs[1] when false.
+	// Cond is always the last entry of Nodes.
+	Cond ast.Expr
+	// Succs are the successor blocks. Blocks with Cond have exactly two;
+	// multi-way heads (switch, select, range) may have more; a block from
+	// which control cannot proceed (return, panic, bare select{}) has none.
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body. Entry is Blocks[0];
+// Exit is a synthetic empty block every returning path feeds into.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+	// Defers collects every defer statement in the function, in source
+	// order. Deferred effects run between the last real node and Exit.
+	Defers []*ast.DeferStmt
+}
+
+// loopFrame records the jump targets a break/continue inside a loop (or
+// the break target of a switch/select) resolves to.
+type loopFrame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block
+	frames []loopFrame
+	// label of the immediately pending labeled statement, consumed by the
+	// loop/switch that follows it.
+	pendingLabel string
+	// labeled blocks for goto: label name -> target block.
+	labelBlocks map[string]*Block
+}
+
+// NewCFG builds the control-flow graph of body. A nil body (declared-only
+// function) yields a graph with just Entry wired to Exit.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:         &CFG{},
+		labelBlocks: make(map[string]*Block),
+	}
+	entry := b.newBlock()
+	exit := b.newBlock()
+	b.cfg.Entry = entry
+	b.cfg.Exit = exit
+	b.cur = entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(b.cur, exit)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// jump adds an edge from from to to, unless from is already terminated
+// (it ends in a return/branch that set explicit successors).
+func (b *cfgBuilder) jump(from, to *Block) {
+	if from == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// terminate ends the current block with no fallthrough successor; code
+// after a return/goto/break lands in a fresh unreachable block.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// isPanicCall reports whether the statement is a call to the builtin
+// panic, which never returns.
+func isPanicCall(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		thenB := b.newBlock()
+		elseB := b.newBlock()
+		join := b.newBlock()
+		b.cond(s.Cond, thenB, elseB)
+		b.cur = thenB
+		b.stmt(s.Body)
+		b.jump(b.cur, join)
+		b.cur = elseB
+		if s.Else != nil {
+			b.stmt(s.Else)
+		}
+		b.jump(b.cur, join)
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		post := b.newBlock()
+		exit := b.newBlock()
+		b.jump(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.cond(s.Cond, body, exit)
+		} else {
+			b.jump(b.cur, body)
+		}
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: exit, continueTo: post})
+		b.cur = body
+		b.stmt(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.jump(b.cur, post)
+		b.cur = post
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		b.jump(b.cur, head)
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.jump(b.cur, head)
+		// A range head always has an exit edge: slices/maps finish, channels
+		// exit on close. The RangeStmt node — standing for the per-iteration
+		// definition of the key/value variables — leads the body block, not
+		// the head, because an empty range assigns nothing.
+		b.jump(head, body)
+		b.jump(head, exit)
+		body.Nodes = append(body.Nodes, s)
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: exit, continueTo: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.jump(b.cur, head)
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+		}
+		b.switchClauses(s.Body.List, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+		b.switchClauses(s.Body.List, label, nil)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.selectClauses(s.Body.List, label)
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.jump(b.cur, b.cfg.Exit)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.LabeledStmt:
+		// A label is both a goto target and (for loops/switches) the name
+		// break/continue statements resolve against.
+		target, ok := b.labelBlocks[s.Label.Name]
+		if !ok {
+			target = b.newBlock()
+			b.labelBlocks[s.Label.Name] = target
+		}
+		b.jump(b.cur, target)
+		b.cur = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		b.cur.Nodes = append(b.cur.Nodes, s)
+
+	default:
+		// Straight-line statement: assignments, declarations, expression
+		// statements, sends, inc/dec, go, empty.
+		if s != nil {
+			if _, ok := s.(*ast.EmptyStmt); ok {
+				return
+			}
+			b.cur.Nodes = append(b.cur.Nodes, s)
+			if isPanicCall(s) {
+				b.jump(b.cur, b.cfg.Exit)
+				b.terminate()
+			}
+		}
+	}
+}
+
+// branch wires break/continue/goto/fallthrough. Fallthrough is handled by
+// switchClauses; reaching it here (malformed input) terminates the block.
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if name == "" || f.label == name {
+				b.jump(b.cur, f.breakTo)
+				break
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.continueTo != nil && (name == "" || f.label == name) {
+				b.jump(b.cur, f.continueTo)
+				break
+			}
+		}
+	case token.GOTO:
+		target, ok := b.labelBlocks[name]
+		if !ok {
+			target = b.newBlock()
+			b.labelBlocks[name] = target
+		}
+		b.jump(b.cur, target)
+	}
+	b.terminate()
+}
+
+// takeLabel consumes the label of an enclosing LabeledStmt, so that
+// `L: for { ... break L ... }` resolves.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// switchClauses builds the clause bodies of a (type) switch. Every clause
+// is a successor of the head block; fallthrough chains clause bodies.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, label string, _ *Block) {
+	head := b.cur
+	join := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: join})
+
+	var bodies []*Block
+	hasDefault := false
+	for range clauses {
+		bodies = append(bodies, b.newBlock())
+	}
+	for i, cl := range clauses {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.jump(head, bodies[i])
+		b.cur = bodies[i]
+		for _, e := range cc.List {
+			b.cur.Nodes = append(b.cur.Nodes, e)
+		}
+		fallsThrough := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				continue
+			}
+			b.stmt(st)
+		}
+		if fallsThrough && i+1 < len(bodies) {
+			b.jump(b.cur, bodies[i+1])
+			b.terminate()
+		} else {
+			b.jump(b.cur, join)
+		}
+	}
+	if !hasDefault {
+		// No default: the switch may fall straight through to the join.
+		b.jump(head, join)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+// selectClauses builds a select statement. With no default the statement
+// blocks until some case is ready, so the head's only successors are the
+// clause bodies; `select {}` therefore has none and never reaches Exit.
+func (b *cfgBuilder) selectClauses(clauses []ast.Stmt, label string) {
+	head := b.cur
+	join := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: join})
+	for _, cl := range clauses {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		body := b.newBlock()
+		b.jump(head, body)
+		b.cur = body
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.jump(b.cur, join)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+// cond decomposes a boolean expression into condition blocks so that
+// short-circuit operands occupy distinct blocks with true/false edges.
+func (b *cfgBuilder) cond(e ast.Expr, t, f *Block) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		b.cond(e.X, t, f)
+		return
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			b.cond(e.X, f, t)
+			return
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			mid := b.newBlock()
+			b.cond(e.X, mid, f)
+			b.cur = mid
+			b.cond(e.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock()
+			b.cond(e.X, t, mid)
+			b.cur = mid
+			b.cond(e.Y, t, f)
+			return
+		}
+	}
+	b.cur.Nodes = append(b.cur.Nodes, e)
+	b.cur.Cond = e
+	b.cur.Succs = append(b.cur.Succs, t, f)
+}
+
+// InspectNode walks the parts of a CFG block node that execute at that
+// point in the graph. A *ast.RangeStmt node stands only for the
+// per-iteration key/value assignment and the range expression — its body
+// statements live in their own blocks — so only those parts are visited.
+// Everything else walks normally; skipping nested *ast.FuncLit bodies
+// (which execute elsewhere, if ever) remains the callback's job.
+func InspectNode(n ast.Node, f func(ast.Node) bool) {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		if r.Key != nil {
+			ast.Inspect(r.Key, f)
+		}
+		if r.Value != nil {
+			ast.Inspect(r.Value, f)
+		}
+		ast.Inspect(r.X, f)
+		return
+	}
+	ast.Inspect(n, f)
+}
+
+// Reachable returns the set of blocks reachable from Entry.
+func (g *CFG) Reachable() map[*Block]bool {
+	seen := make(map[*Block]bool)
+	var walk func(*Block)
+	walk = func(blk *Block) {
+		if blk == nil || seen[blk] {
+			return
+		}
+		seen[blk] = true
+		for _, s := range blk.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// CanReachExit returns the set of blocks from which Exit is reachable.
+func (g *CFG) CanReachExit() map[*Block]bool {
+	preds := make(map[*Block][]*Block)
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			preds[s] = append(preds[s], blk)
+		}
+	}
+	seen := make(map[*Block]bool)
+	var walk func(*Block)
+	walk = func(blk *Block) {
+		if blk == nil || seen[blk] {
+			return
+		}
+		seen[blk] = true
+		for _, p := range preds[blk] {
+			walk(p)
+		}
+	}
+	walk(g.Exit)
+	return seen
+}

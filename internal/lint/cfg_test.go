@@ -1,0 +1,311 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFunc parses src (a complete file body without package clause) and
+// returns the named function's declaration and fileset.
+func parseFunc(t *testing.T, src, name string) (*token.FileSet, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fset, fd
+		}
+	}
+	t.Fatalf("fixture has no function %q", name)
+	return nil, nil
+}
+
+// render produces a canonical, deterministic dump of the reachable part of
+// the graph for golden comparisons: one line per block in index order.
+func render(fset *token.FileSet, g *CFG) string {
+	reach := g.Reachable()
+	var b strings.Builder
+	for _, blk := range g.Blocks {
+		if !reach[blk] {
+			continue
+		}
+		fmt.Fprintf(&b, "b%d", blk.Index)
+		if blk == g.Entry {
+			b.WriteString("(entry)")
+		}
+		if blk == g.Exit {
+			b.WriteString("(exit)")
+		}
+		b.WriteString(": [")
+		for i, n := range blk.Nodes {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			b.WriteString(nodeString(fset, n))
+		}
+		b.WriteString("]")
+		if blk.Cond != nil {
+			fmt.Fprintf(&b, " T->b%d F->b%d", blk.Succs[0].Index, blk.Succs[1].Index)
+		} else {
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&b, " ->b%d", s.Index)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func nodeString(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	s := buf.String()
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) > 40 {
+		s = s[:40] + "…"
+	}
+	return s
+}
+
+func TestCFGStructure(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "IfElse",
+			src: `func IfElse(a, b int) int {
+	x := 0
+	if a < b {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`,
+			want: `b0(entry): [x := 0; a < b] T->b2 F->b3
+b1(exit): []
+b2: [x = 1] ->b4
+b3: [x = 2] ->b4
+b4: [return x] ->b1
+`,
+		},
+		{
+			name: "ShortCircuit",
+			src: `func ShortCircuit(a, b bool) int {
+	if a && !b {
+		return 1
+	}
+	return 0
+}`,
+			want: `b0(entry): [a] T->b5 F->b3
+b1(exit): []
+b2: [return 1] ->b1
+b3: [] ->b4
+b4: [return 0] ->b1
+b5: [b] T->b3 F->b2
+`,
+		},
+		{
+			name: "ForLoop",
+			src: `func ForLoop(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`,
+			want: `b0(entry): [s := 0; i := 0] ->b2
+b1(exit): []
+b2: [i < n] T->b3 F->b5
+b3: [s += i] ->b4
+b4: [i++] ->b2
+b5: [return s] ->b1
+`,
+		},
+		{
+			name: "RangeLoop",
+			src: `func RangeLoop(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}`,
+			want: `b0(entry): [s := 0] ->b2
+b1(exit): []
+b2: [] ->b3 ->b4
+b3: [for _, v := range xs { s += v }; s += v] ->b2
+b4: [return s] ->b1
+`,
+		},
+		{
+			name: "InfiniteFor",
+			src: `func InfiniteFor() {
+	for {
+	}
+}`,
+			// The loop body cycles with no edge to the exit block: exit is
+			// unreachable and absent from the reachable rendering.
+			want: `b0(entry): [] ->b2
+b2: [] ->b3
+b3: [] ->b4
+b4: [] ->b2
+`,
+		},
+		{
+			name: "SwitchFallthrough",
+			src: `func SwitchFallthrough(x int) int {
+	r := 0
+	switch x {
+	case 1:
+		r = 1
+		fallthrough
+	case 2:
+		r = 2
+	default:
+		r = 3
+	}
+	return r
+}`,
+			want: `b0(entry): [r := 0; x] ->b3 ->b4 ->b5
+b1(exit): []
+b2: [return r] ->b1
+b3: [1; r = 1] ->b4
+b4: [2; r = 2] ->b2
+b5: [r = 3] ->b2
+`,
+		},
+		{
+			name: "SelectNoDefault",
+			src: `func SelectNoDefault(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case <-b:
+	}
+	return 0
+}`,
+			want: `b0(entry): [] ->b3 ->b5
+b1(exit): []
+b2: [return 0] ->b1
+b3: [v := <-a; return v] ->b1
+b5: [<-b] ->b2
+`,
+		},
+		{
+			name: "GotoLabel",
+			src: `func GotoLabel(n int) int {
+	i := 0
+loop:
+	i++
+	if i < n {
+		goto loop
+	}
+	return i
+}`,
+			want: `b0(entry): [i := 0] ->b2
+b1(exit): []
+b2: [i++; i < n] T->b3 F->b4
+b3: [] ->b2
+b4: [] ->b5
+b5: [return i] ->b1
+`,
+		},
+		{
+			name: "LabeledBreak",
+			src: `func LabeledBreak(n int) int {
+outer:
+	for i := 0; i < n; i++ {
+		for {
+			break outer
+		}
+	}
+	return n
+}`,
+			want: `b0(entry): [] ->b2
+b1(exit): []
+b2: [i := 0] ->b3
+b3: [i < n] T->b4 F->b6
+b4: [] ->b7
+b6: [return n] ->b1
+b7: [] ->b8
+b8: [] ->b6
+`,
+		},
+		{
+			name: "DeferAndPanic",
+			src: `func DeferAndPanic(x int) {
+	defer done()
+	if x < 0 {
+		panic("negative")
+	}
+}`,
+			want: `b0(entry): [defer done(); x < 0] T->b2 F->b3
+b1(exit): []
+b2: [panic("negative")] ->b1
+b3: [] ->b4
+b4: [] ->b1
+`,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			fset, fd := parseFunc(t, tt.src, tt.name)
+			g := NewCFG(fd.Body)
+			got := render(fset, g)
+			if got != tt.want {
+				t.Errorf("CFG mismatch\n got:\n%s\nwant:\n%s", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCFGDefersCollected(t *testing.T) {
+	_, fd := parseFunc(t, `func DeferAndPanic(x int) {
+	defer a()
+	defer b()
+}`, "DeferAndPanic")
+	g := NewCFG(fd.Body)
+	if len(g.Defers) != 2 {
+		t.Fatalf("collected %d defers, want 2", len(g.Defers))
+	}
+}
+
+func TestCFGReachability(t *testing.T) {
+	_, fd := parseFunc(t, `func Spin(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		}
+	}
+}`, "Spin")
+	g := NewCFG(fd.Body)
+	reach := g.Reachable()
+	exitReach := g.CanReachExit()
+	for blk := range reach {
+		if !exitReach[blk] {
+			t.Errorf("block b%d is reachable but cannot reach exit; the return in the select case should provide an exit path", blk.Index)
+		}
+	}
+}
+
+func TestCFGNilBody(t *testing.T) {
+	g := NewCFG(nil)
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("nil body: entry should go straight to exit, got %v", g.Entry.Succs)
+	}
+}

@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file provides the forward dataflow machinery the deep analyzers
+// share: a worklist solver parameterized by a FlowProblem, and a concrete
+// reaching-definitions analysis over the CFG of cfg.go. States are opaque
+// to the solver; problems must treat them as immutable and return fresh
+// values from Transfer/Branch/Join.
+
+// FlowState is an opaque analysis state. nil is the bottom element: it
+// joins as the identity and no block starts from it except unvisited ones.
+type FlowState any
+
+// FlowProblem defines one forward, intra-procedural dataflow analysis.
+type FlowProblem interface {
+	// Entry is the state at function entry.
+	Entry() FlowState
+	// Transfer applies the effect of one block node (a statement or a
+	// decomposed condition expression) to the state.
+	Transfer(st FlowState, n ast.Node) FlowState
+	// Branch refines the state along a conditional edge: cond evaluated to
+	// taken. Implementations with no branch sensitivity return st.
+	Branch(st FlowState, cond ast.Expr, taken bool) FlowState
+	// Join merges the states of two incoming edges.
+	Join(a, b FlowState) FlowState
+	// Equal reports whether two states are equivalent (fixpoint check).
+	Equal(a, b FlowState) bool
+}
+
+// Solve runs the worklist algorithm and returns the state at entry of each
+// reachable block. Unreachable blocks map to nil.
+func Solve(g *CFG, p FlowProblem) map[*Block]FlowState {
+	in := make(map[*Block]FlowState, len(g.Blocks))
+	in[g.Entry] = p.Entry()
+	work := []*Block{g.Entry}
+	inWork := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inWork[blk] = false
+
+		out := in[blk]
+		for _, n := range blk.Nodes {
+			out = p.Transfer(out, n)
+		}
+		for i, succ := range blk.Succs {
+			edge := out
+			if blk.Cond != nil && i < 2 {
+				edge = p.Branch(out, blk.Cond, i == 0)
+			}
+			var next FlowState
+			if cur, ok := in[succ]; ok {
+				next = p.Join(cur, edge)
+				if p.Equal(cur, next) {
+					continue
+				}
+			} else {
+				next = edge
+			}
+			in[succ] = next
+			if !inWork[succ] {
+				work = append(work, succ)
+				inWork[succ] = true
+			}
+		}
+	}
+	return in
+}
+
+// ---------------------------------------------------------------------------
+// Reaching definitions.
+
+// DefSite is one definition of a variable: the node that assigned it. For
+// parameters and receivers the site is the declaring *ast.Field; for
+// assignments it is the whole statement; for range variables the
+// *ast.RangeStmt.
+type DefSite struct {
+	Node ast.Node
+	// RHS is the defining expression when one exists (the aligned
+	// right-hand side of an assignment), nil otherwise (parameters,
+	// multi-value assignments, range variables, ++/--).
+	RHS ast.Expr
+}
+
+// Defs maps a variable to the set of definitions that may reach a program
+// point.
+type Defs map[types.Object][]DefSite
+
+func (d Defs) clone() Defs {
+	out := make(Defs, len(d))
+	for k, v := range d {
+		out[k] = v
+	}
+	return out
+}
+
+// reachingProblem implements FlowProblem for reaching definitions.
+type reachingProblem struct {
+	info  *types.Info
+	entry Defs
+}
+
+func (r *reachingProblem) Entry() FlowState { return r.entry }
+
+func (r *reachingProblem) Branch(st FlowState, cond ast.Expr, taken bool) FlowState { return st }
+
+func (r *reachingProblem) Transfer(st FlowState, n ast.Node) FlowState {
+	gens := defsOf(r.info, n)
+	if len(gens) == 0 {
+		return st
+	}
+	var d Defs
+	if st == nil {
+		d = make(Defs)
+	} else {
+		d = st.(Defs).clone()
+	}
+	for obj, site := range gens {
+		d[obj] = []DefSite{site} // strong update: kill prior defs
+	}
+	return d
+}
+
+func (r *reachingProblem) Join(a, b FlowState) FlowState {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	da, db := a.(Defs), b.(Defs)
+	out := da.clone()
+	for obj, sites := range db {
+		merged := out[obj]
+		for _, s := range sites {
+			if !containsSite(merged, s) {
+				merged = append(merged, s)
+			}
+		}
+		out[obj] = merged
+	}
+	return out
+}
+
+func (r *reachingProblem) Equal(a, b FlowState) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	da, db := a.(Defs), b.(Defs)
+	if len(da) != len(db) {
+		return false
+	}
+	for obj, sa := range da {
+		sb, ok := db[obj]
+		if !ok || len(sa) != len(sb) {
+			return false
+		}
+		for _, s := range sa {
+			if !containsSite(sb, s) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func containsSite(sites []DefSite, s DefSite) bool {
+	for _, have := range sites {
+		if have.Node == s.Node {
+			return true
+		}
+	}
+	return false
+}
+
+// defsOf extracts the variable definitions a single CFG node generates.
+func defsOf(info *types.Info, n ast.Node) map[types.Object]DefSite {
+	out := make(map[types.Object]DefSite)
+	add := func(id *ast.Ident, rhs ast.Expr) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if _, ok := obj.(*types.Var); !ok {
+			return
+		}
+		out[obj] = DefSite{Node: n, RHS: rhs}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		aligned := len(n.Lhs) == len(n.Rhs)
+		for i, lhs := range n.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var rhs ast.Expr
+			if aligned && (n.Tok == token.ASSIGN || n.Tok == token.DEFINE) {
+				rhs = n.Rhs[i]
+			}
+			add(id, rhs)
+		}
+	case *ast.IncDecStmt:
+		if id, ok := n.X.(*ast.Ident); ok {
+			add(id, nil)
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return out
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			aligned := len(vs.Names) == len(vs.Values)
+			for i, id := range vs.Names {
+				var rhs ast.Expr
+				if aligned {
+					rhs = vs.Values[i]
+				}
+				add(id, rhs)
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := n.Key.(*ast.Ident); ok {
+			add(id, nil)
+		}
+		if id, ok := n.Value.(*ast.Ident); ok {
+			add(id, nil)
+		}
+	}
+	return out
+}
+
+// entryDefs seeds the entry state with parameter and receiver definitions.
+func entryDefs(info *types.Info, recv *ast.FieldList, params *ast.FieldList) Defs {
+	d := make(Defs)
+	addList := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, id := range f.Names {
+				if id.Name == "_" {
+					continue
+				}
+				if obj := info.Defs[id]; obj != nil {
+					d[obj] = []DefSite{{Node: f}}
+				}
+			}
+		}
+	}
+	addList(recv)
+	addList(params)
+	return d
+}
+
+// ReachingDefs computes, for every reachable block, the definitions that
+// reach its entry. recv/params seed the entry state (pass nil for function
+// literals with no receiver).
+func ReachingDefs(info *types.Info, g *CFG, recv, params *ast.FieldList) map[*Block]Defs {
+	prob := &reachingProblem{info: info, entry: entryDefs(info, recv, params)}
+	sol := Solve(g, prob)
+	out := make(map[*Block]Defs, len(sol))
+	for blk, st := range sol {
+		if st != nil {
+			out[blk] = st.(Defs)
+		}
+	}
+	return out
+}
+
+// StepDefs advances a Defs state across one block node, for analyzers that
+// walk a block's nodes in order starting from the block-entry state.
+func StepDefs(info *types.Info, st Defs, n ast.Node) Defs {
+	prob := &reachingProblem{info: info}
+	next := prob.Transfer(st, n)
+	if next == nil {
+		return nil
+	}
+	return next.(Defs)
+}

@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// checkFunc parses and type-checks import-free source, returning the named
+// function with full type info.
+func checkFunc(t *testing.T, src, name string) (*token.FileSet, *types.Info, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fset, info, fd
+		}
+	}
+	t.Fatalf("fixture has no function %q", name)
+	return nil, nil, nil
+}
+
+// defsReaching runs reaching definitions and returns, for the entry of the
+// block containing the function's return statement, the rendered defining
+// expressions of the named variable, sorted.
+func defsReaching(t *testing.T, src, fn, variable string) []string {
+	t.Helper()
+	fset, info, fd := checkFunc(t, src, fn)
+	g := NewCFG(fd.Body)
+	sol := ReachingDefs(info, g, fd.Recv, fd.Type.Params)
+
+	var retBlock *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				retBlock = blk
+			}
+		}
+	}
+	if retBlock == nil {
+		t.Fatal("fixture has no return statement")
+	}
+	st := sol[retBlock]
+	// Advance through the block up to (not including) the return.
+	for _, n := range retBlock.Nodes {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			break
+		}
+		st = StepDefs(info, st, n)
+	}
+
+	var got []string
+	for obj, sites := range st {
+		if obj.Name() != variable {
+			continue
+		}
+		for _, site := range sites {
+			switch {
+			case site.RHS != nil:
+				got = append(got, nodeString(fset, site.RHS))
+			case site.Node != nil:
+				if _, ok := site.Node.(*ast.Field); ok {
+					got = append(got, "<param>")
+				} else {
+					got = append(got, "<"+nodeString(fset, site.Node)+">")
+				}
+			}
+		}
+	}
+	sort.Strings(got)
+	return got
+}
+
+func TestReachingDefs(t *testing.T) {
+	tests := []struct {
+		name     string
+		src      string
+		variable string
+		want     []string
+	}{
+		{
+			name: "Branches",
+			src: `func Branches(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	return x
+}`,
+			variable: "x",
+			want:     []string{"1", "2"},
+		},
+		{
+			name: "StrongUpdate",
+			src: `func StrongUpdate() int {
+	x := 1
+	x = 2
+	x = 3
+	return x
+}`,
+			variable: "x",
+			want:     []string{"3"},
+		},
+		{
+			name: "LoopCarried",
+			src: `func LoopCarried(n int) int {
+	x := 0
+	for i := 0; i < n; i++ {
+		x = i
+	}
+	return x
+}`,
+			variable: "x",
+			want:     []string{"0", "i"},
+		},
+		{
+			name: "Param",
+			src: `func Param(x int) int {
+	return x
+}`,
+			variable: "x",
+			want:     []string{"<param>"},
+		},
+		{
+			name: "ParamOverwrittenOnOnePath",
+			src: `func ParamOverwrittenOnOnePath(x int, c bool) int {
+	if c {
+		x = 9
+	}
+	return x
+}`,
+			variable: "x",
+			want:     []string{"9", "<param>"},
+		},
+		{
+			name: "RangeVar",
+			src: `func RangeVar(xs []int) int {
+	v := 0
+	for _, v = range xs {
+	}
+	return v
+}`,
+			variable: "v",
+			want:     []string{"0", "<for _, v = range xs { }>"},
+		},
+		{
+			name: "SwitchCases",
+			src: `func SwitchCases(k int) int {
+	x := 0
+	switch k {
+	case 1:
+		x = 10
+	case 2:
+		x = 20
+	}
+	return x
+}`,
+			variable: "x",
+			want:     []string{"0", "10", "20"},
+		},
+		{
+			name: "DeclStmt",
+			src: `func DeclStmt() int {
+	var x = 7
+	return x
+}`,
+			variable: "x",
+			want:     []string{"7"},
+		},
+		{
+			name: "ShortCircuitGuard",
+			src: `func ShortCircuitGuard(a bool, y int) int {
+	x := 1
+	if a && y > 0 {
+		x = y
+	}
+	return x
+}`,
+			variable: "x",
+			want:     []string{"1", "y"},
+		},
+		{
+			name: "GotoLoop",
+			src: `func GotoLoop(n int) int {
+	x := 0
+top:
+	x++
+	if x < n {
+		goto top
+	}
+	return x
+}`,
+			variable: "x",
+			// x++ kills the incoming defs on every path through top.
+			want: []string{"<x++>"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := defsReaching(t, tt.src, tt.name, tt.variable)
+			if strings.Join(got, "|") != strings.Join(tt.want, "|") {
+				t.Errorf("reaching defs of %s = %v, want %v", tt.variable, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSolveBranchRefinement(t *testing.T) {
+	// A FlowProblem that records which conditions were taken: checks the
+	// Branch hook fires with the right polarity on both edges.
+	_, fd := parseFunc(t, `func F(a bool) int {
+	if a {
+		return 1
+	}
+	return 0
+}`, "F")
+	g := NewCFG(fd.Body)
+	prob := &polarityProblem{}
+	sol := Solve(g, prob)
+	// Collect the refined state at each return statement's block: the then
+	// branch must see a=true, the fallthrough a=false.
+	var states []string
+	for _, blk := range g.Blocks {
+		st, ok := sol[blk]
+		if !ok || st == nil {
+			continue
+		}
+		isReturn := false
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				isReturn = true
+			}
+		}
+		if s := st.(string); isReturn && s != "" {
+			states = append(states, s)
+		}
+	}
+	sort.Strings(states)
+	if want := []string{"a=false", "a=true"}; strings.Join(states, "|") != strings.Join(want, "|") {
+		t.Errorf("branch states = %v, want %v", states, want)
+	}
+}
+
+// polarityProblem labels each branch edge with the condition outcome.
+type polarityProblem struct{}
+
+func (*polarityProblem) Entry() FlowState                            { return "" }
+func (*polarityProblem) Transfer(st FlowState, n ast.Node) FlowState { return st }
+func (*polarityProblem) Branch(st FlowState, cond ast.Expr, taken bool) FlowState {
+	id, ok := cond.(*ast.Ident)
+	if !ok {
+		return st
+	}
+	if taken {
+		return id.Name + "=true"
+	}
+	return id.Name + "=false"
+}
+func (*polarityProblem) Join(a, b FlowState) FlowState {
+	if a == nil || a == "" {
+		return b
+	}
+	return a
+}
+func (*polarityProblem) Equal(a, b FlowState) bool { return a == b }

@@ -60,11 +60,13 @@ type Pass struct {
 }
 
 // Diagnostic is one finding, located by Position for stable sorting and
-// printing.
+// printing. Fixes, when present, are machine-applicable resolutions
+// applied by `hipolint -fix`.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Fixes    []SuggestedFix
 }
 
 func (d Diagnostic) String() string {
@@ -105,6 +107,9 @@ func Analyzers() []*Analyzer {
 		CtxFlowAnalyzer,
 		ErrDropAnalyzer,
 		AngleSafeAnalyzer,
+		MutexGuardAnalyzer,
+		NaNFlowAnalyzer,
+		GoroLeakAnalyzer,
 	}
 }
 

@@ -56,6 +56,31 @@ func TestAngleSafe(t *testing.T) {
 	linttest.Run(t, lint.AngleSafeAnalyzer, "testdata/anglesafe", "hipo/internal/visibility")
 }
 
+func TestMutexGuard(t *testing.T) {
+	linttest.Run(t, lint.MutexGuardAnalyzer, "testdata/mutexguard", "hipo/internal/jobs")
+}
+
+func TestNaNFlow(t *testing.T) {
+	linttest.Run(t, lint.NaNFlowAnalyzer, "testdata/nanflow", "hipo/internal/geom")
+}
+
+func TestNaNFlowExemptPackage(t *testing.T) {
+	// The SVG renderer produces pictures, not placements; NaN there is
+	// cosmetic and the analyzer does not apply.
+	linttest.RunExpectClean(t, lint.NaNFlowAnalyzer, "testdata/nanflow", "hipo/internal/svg")
+}
+
+func TestGoroLeak(t *testing.T) {
+	linttest.Run(t, lint.GoroLeakAnalyzer, "testdata/goroleak", "hipo/internal/jobs")
+}
+
+// TestIgnoreStatementExtent checks that a //lint:ignore directive above a
+// multi-line statement suppresses diagnostics on its continuation lines,
+// while a directive above a compound statement stops at the opening brace.
+func TestIgnoreStatementExtent(t *testing.T) {
+	linttest.Run(t, lint.FloatCmpAnalyzer, "testdata/ignoreextent", "hipo/internal/geom")
+}
+
 // TestMalformedIgnoreDirectives checks that a directive missing its reason
 // (or naming an unknown analyzer) suppresses nothing and is itself
 // reported as a lintdirective diagnostic.
@@ -98,7 +123,7 @@ func TestAnalyzerRegistry(t *testing.T) {
 			t.Errorf("ByName(%q) does not round-trip", a.Name)
 		}
 	}
-	for _, want := range []string{"floatcmp", "detrand", "wallclock", "ctxflow", "errdrop", "anglesafe"} {
+	for _, want := range []string{"floatcmp", "detrand", "wallclock", "ctxflow", "errdrop", "anglesafe", "mutexguard", "nanflow", "goroleak"} {
 		if !names[want] {
 			t.Errorf("suite is missing analyzer %q", want)
 		}

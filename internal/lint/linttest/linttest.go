@@ -1,12 +1,28 @@
 // Package linttest runs lint analyzers over testdata packages and checks
 // reported diagnostics against expectations written inline, in the style
-// of golang.org/x/tools/go/analysis/analysistest:
+// of golang.org/x/tools/go/analysis/analysistest.
+//
+// # Expectation grammar
+//
+// A `// want` comment carries one or more patterns, each quoted with
+// backquotes or double quotes and separated by spaces:
 //
 //	x := a == b // want `raw == on floating-point operands`
+//	y := a == b || c != d // want `raw ==` `raw !=`
 //
-// Each `// want` comment holds one regular expression (backquoted or
-// double-quoted) that must match the message of a diagnostic reported on
-// that line; every diagnostic must in turn be claimed by a want comment.
+// Each pattern is a regular expression that must match the message of a
+// distinct diagnostic reported on that line (a line with two patterns
+// needs two diagnostics), and every diagnostic must in turn be claimed by
+// exactly one pattern. Pattern text is compiled exactly as written — no
+// string unquoting happens first — so prefer backquotes, and inside
+// double quotes remember that `\"` reaches the regexp engine as the two
+// characters backslash and quote. Matching is unanchored substring search
+// by default; use ^ and $ to anchor a pattern to the full message:
+//
+//	return x / y // want "^denominator y is never compared.*$"
+//
+// Trailing text after the final quoted pattern is ignored, so a want
+// comment may end with an explanatory note.
 package linttest
 
 import (
@@ -69,9 +85,16 @@ type want struct {
 	hit  bool
 }
 
-var wantRE = regexp.MustCompile("//\\s*want\\s+(`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\")")
+var (
+	// wantMarkerRE locates the `// want ` marker; the patterns follow it.
+	wantMarkerRE = regexp.MustCompile(`//\s*want\s+`)
+	// wantPatRE matches one quoted pattern at the start of the remainder.
+	wantPatRE = regexp.MustCompile("^(`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\")\\s*")
+)
 
-// parseWants scans a source file for `// want` expectations.
+// parseWants scans a source file for `// want` expectations. One marker
+// may carry several space-separated quoted patterns, each claiming its own
+// diagnostic on that line.
 func parseWants(path string) ([]*want, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -79,19 +102,27 @@ func parseWants(path string) ([]*want, error) {
 	}
 	var wants []*want
 	for i, line := range strings.Split(string(data), "\n") {
-		m := wantRE.FindStringSubmatch(line)
-		if m == nil {
+		loc := wantMarkerRE.FindStringIndex(line)
+		if loc == nil {
 			continue
 		}
-		pat := m[2]
-		if m[3] != "" {
-			pat = m[3]
+		rest := line[loc[1]:]
+		for {
+			m := wantPatRE.FindStringSubmatch(rest)
+			if m == nil {
+				break
+			}
+			pat := m[2]
+			if m[3] != "" {
+				pat = m[3]
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", path, i+1, pat, err)
+			}
+			wants = append(wants, &want{file: path, line: i + 1, re: re})
+			rest = rest[len(m[0]):]
 		}
-		re, err := regexp.Compile(pat)
-		if err != nil {
-			return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", path, i+1, pat, err)
-		}
-		wants = append(wants, &want{file: path, line: i + 1, re: re})
 	}
 	return wants, nil
 }

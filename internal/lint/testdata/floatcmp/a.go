@@ -27,6 +27,17 @@ func tolerated(a, b float64) bool {
 	return abs(a-b) <= eps // ok: ε-tolerance comparison
 }
 
+// multiFlagged produces two diagnostics on one line; the want comment
+// claims them with two patterns.
+func multiFlagged(a, b, c, d float64) bool {
+	return a == b || c != d // want `raw == on floating-point operands` `raw != on floating-point operands`
+}
+
+// anchored exercises a full-message anchored expectation.
+func anchored(a, b float64) bool {
+	return a == b // want "^raw == on floating-point operands; use the ε-tolerance helpers .geom[.]Eps. instead$"
+}
+
 const cA = 1.5
 const cB = 2.5
 

@@ -1,0 +1,113 @@
+// Fixture for the goroleak analyzer: goroutines must have a reachable
+// path to termination.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// LeakBusyLoop spins forever with no exit at all.
+func LeakBusyLoop() {
+	go func() { // want "no reachable path to termination"
+		for {
+		}
+	}()
+}
+
+// LeakSelectLoop drains a channel forever: no case ever returns, and a
+// receive on a closed channel does not end the loop.
+func LeakSelectLoop(in chan int) {
+	go func() { // want "no reachable path to termination"
+		for {
+			select {
+			case <-in:
+			}
+		}
+	}()
+}
+
+// GoodCtxLoop exits when the context is canceled.
+func GoodCtxLoop(ctx context.Context, in chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-in:
+			}
+		}
+	}()
+}
+
+// GoodRangeLoop terminates when the producer closes the channel.
+func GoodRangeLoop(in chan int) {
+	go func() {
+		for range in {
+		}
+	}()
+}
+
+// GoodJoin is a bounded goroutine with a WaitGroup join.
+func GoodJoin(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// spin is a named forever-loop; launching it leaks.
+func spin() {
+	for {
+	}
+}
+
+// LeakNamed resolves the body of a same-package function.
+func LeakNamed() {
+	go spin() // want "no reachable path to termination"
+}
+
+// drain is a named worker with a closing range: terminates.
+func drain(in chan int) {
+	for range in {
+	}
+}
+
+// GoodNamed launches a terminating same-package worker.
+func GoodNamed(in chan int) {
+	go drain(in)
+}
+
+// pump is a method worker used by GoodMethod/LeakMethod below.
+type pool struct {
+	in   chan int
+	stop chan struct{}
+}
+
+func (p *pool) pump() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.in:
+		}
+	}
+}
+
+func (p *pool) pumpForever() {
+	for {
+		select {
+		case <-p.in:
+		}
+	}
+}
+
+// GoodMethod: the method honors a stop channel.
+func (p *pool) GoodMethod() {
+	go p.pump()
+}
+
+// LeakMethod: the method loops with no exit.
+func (p *pool) LeakMethod() {
+	go p.pumpForever() // want "no reachable path to termination"
+}

@@ -1,0 +1,36 @@
+// Fixture for //lint:ignore extent handling: a directive above a
+// multi-line statement suppresses the statement's whole extent, but a
+// directive above a compound statement covers only its header.
+package fixture
+
+// MultiLineSuppressed: the second comparison sits on a continuation line
+// of the statement the directive annotates; both are suppressed.
+func MultiLineSuppressed(a, b, c, d float64) bool {
+	//lint:ignore floatcmp both comparisons are documented exact sentinel checks
+	eq := a == b ||
+		c != d
+	return eq
+}
+
+// MultiLineControl is the same statement with no directive; both lines
+// report.
+func MultiLineControl(a, b, c, d float64) bool {
+	eq := a == b || // want `raw == on floating-point operands`
+		c != d // want `raw != on floating-point operands`
+	return eq
+}
+
+// HeaderOnly: the directive covers the for-statement's multi-line header,
+// and stops at the opening brace — the comparison inside the body still
+// reports.
+func HeaderOnly(xs []float64, lim float64) int {
+	n := 0
+	//lint:ignore floatcmp the header comparison is an exact sentinel check
+	for i := 0; i < len(xs) &&
+		xs[i] != lim; i++ {
+		if xs[0] == lim { // want `raw == on floating-point operands`
+			n++
+		}
+	}
+	return n
+}

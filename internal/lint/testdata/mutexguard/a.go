@@ -1,0 +1,110 @@
+// Fixture for the mutexguard analyzer: `// guarded by <mu>` fields must
+// only be touched with the named sibling mutex held.
+package fixture
+
+import "sync"
+
+type Store struct {
+	mu sync.Mutex
+	// guarded by mu
+	items map[string]int
+	hits  int // guarded by mu
+	free  int
+}
+
+type Broken struct {
+	// guarded by missing
+	x int // want "names no sibling field"
+}
+
+// Good locks before touching guarded state and holds through the deferred
+// unlock.
+func (s *Store) Good(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits++
+	return s.items[k]
+}
+
+// BadDirect reads guarded state with no lock anywhere.
+func (s *Store) BadDirect(k string) int {
+	return s.items[k] // want "guarded by s.mu"
+}
+
+// BadAfterUnlock releases the lock and keeps mutating.
+func (s *Store) BadAfterUnlock(k string) int {
+	s.mu.Lock()
+	n := s.items[k]
+	s.mu.Unlock()
+	s.hits++ // want "guarded by s.mu"
+	return n
+}
+
+// MaybeHeld merges a held path with a not-held path: the analyzer only
+// fires on provably-unlocked accesses, so this stays silent.
+func (s *Store) MaybeHeld(lock bool, k string) int {
+	if lock {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	return s.items[k]
+}
+
+// NewStore touches guarded fields of a freshly allocated value, which has
+// not escaped yet: exempt.
+func NewStore() *Store {
+	s := &Store{items: make(map[string]int)}
+	s.items["seed"] = 1
+	s.hits = 0
+	return s
+}
+
+// bump must be called with s.mu held.
+func (s *Store) bump() {
+	s.hits++
+}
+
+// fold is like bump, but its contract sentence wraps mid-phrase: it must
+// be called
+// with s.mu held.
+func (s *Store) fold() {
+	s.hits++
+}
+
+// Unannotated fields need no lock.
+func (s *Store) Unannotated() int {
+	return s.free
+}
+
+// BadClosure hands out a closure that mutates guarded state with no lock
+// of its own; whoever calls it later is unlikely to hold s.mu.
+func (s *Store) BadClosure() func() {
+	return func() {
+		s.hits++ // want "guarded by s.mu"
+	}
+}
+
+// GoodClosure locks inside the closure.
+func (s *Store) GoodClosure() func() {
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.hits++
+	}
+}
+
+// RLockCounts treats a read lock as held for guarded reads.
+type RW struct {
+	mu sync.RWMutex
+	n  int // guarded by mu
+}
+
+func (r *RW) Read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.n
+}
+
+func (r *RW) BadRead() int {
+	return r.n // want "guarded by r.mu"
+}

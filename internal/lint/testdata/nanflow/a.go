@@ -1,0 +1,107 @@
+// Fixture for the nanflow analyzer: NaN/Inf-capable values must not reach
+// geometry predicates unclamped and unguarded.
+package fixture
+
+import "math"
+
+func clampUnit(x float64) float64 {
+	return math.Max(-1, math.Min(1, x))
+}
+
+// BadAcos passes a raw dot-product-style value straight in.
+func BadAcos(x float64) float64 {
+	return math.Acos(x) // want "not provably in \[-1, 1\]"
+}
+
+// BadAsinDerived: the offending value flows through a local.
+func BadAsinDerived(x float64) float64 {
+	t := x * 2
+	return math.Asin(t) // want "not provably in \[-1, 1\]"
+}
+
+// GoodAcosInline clamps at the call site.
+func GoodAcosInline(x float64) float64 {
+	return math.Acos(math.Max(-1, math.Min(1, x)))
+}
+
+// GoodAcosHelper routes the argument through a clamp-named helper; the
+// reaching-definitions pass connects t to its clamped definition.
+func GoodAcosHelper(x float64) float64 {
+	t := clampUnit(x)
+	return math.Acos(t)
+}
+
+// GoodAcosConst: compile-time constants in range are exact.
+func GoodAcosConst() float64 {
+	return math.Acos(0.5)
+}
+
+// BadAcosOneUnclampedPath: only one of two reaching definitions is
+// clamped, so the call can still see an out-of-range value.
+func BadAcosOneUnclampedPath(x float64, raw bool) float64 {
+	t := clampUnit(x)
+	if raw {
+		t = x
+	}
+	return math.Acos(t) // want "not provably in \[-1, 1\]"
+}
+
+// BadDiv divides by a parameter nothing ever inspected.
+func BadDiv(a, b float64) float64 {
+	return a / b // want "never compared against anything"
+}
+
+// GoodDivGuarded branches on the denominator first (either polarity
+// counts: the programmer has confronted the zero case).
+func GoodDivGuarded(a, b float64) float64 {
+	if b < 1e-9 {
+		return 0
+	}
+	return a / b
+}
+
+// GoodDivConst: constant denominators cannot be zero.
+func GoodDivConst(a float64) float64 {
+	return a / 2 * math.Pi
+}
+
+// GoodDivNonzeroLocal: every definition of the denominator is a nonzero
+// constant.
+func GoodDivNonzeroLocal(a float64) float64 {
+	h := 2.0
+	return a / h
+}
+
+// GoodDivIndirect: the guard inspects xs, and n is defined from len(xs) —
+// one level of definition indirection connects them.
+func GoodDivIndirect(xs []float64) float64 {
+	n := len(xs)
+	if len(xs) < 1 {
+		return 0
+	}
+	return 1 / float64(n)
+}
+
+// BadNaNSentinelScan initializes a running max with NaN: every ordered
+// comparison against it is false, so the first element never wins.
+func BadNaNSentinelScan(xs []float64) float64 {
+	best := math.NaN()
+	for _, x := range xs {
+		if x > best { // want "may hold math.NaN"
+			best = x
+		}
+	}
+	return best
+}
+
+// GoodNaNSentinelScan guards the sentinel with math.IsNaN before the
+// ordered comparison; the short-circuit CFG sees the guard on that path.
+func GoodNaNSentinelScan(xs []float64) float64 {
+	best := math.NaN()
+	for _, x := range xs {
+		if math.IsNaN(best) || x > best {
+			best = x
+		}
+	}
+	return best
+}

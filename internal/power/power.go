@@ -132,6 +132,12 @@ type Levels struct {
 // distance range [dmin, dmax], and approximation parameter eps1 > 0.
 func NewLevels(a, b, dmin, dmax, eps1 float64) Levels {
 	lv := Levels{A: a, B: b, DMin: dmin, DMax: dmax, Eps1: eps1}
+	if b <= 0 || eps1 <= 0 {
+		// Degenerate model parameters: the level recurrence below divides by
+		// b and log(1+ε₁); fall back to a single band covering everything.
+		lv.Break = append(lv.Break, dmax)
+		return lv
+	}
 	logBase := math.Log1p(eps1)
 	// k₀ = ⌈2 ln(dmin/b + 1)/ln(1+ε₁)⌉, K = ⌈2 ln(dmax/b + 1)/ln(1+ε₁)⌉.
 	k0 := int(math.Ceil(2 * math.Log(dmin/b+1) / logBase))
@@ -157,7 +163,12 @@ func NewLevels(a, b, dmin, dmax, eps1 float64) Levels {
 
 // PowerAt returns the exact power at distance d (no gating).
 func (lv Levels) PowerAt(d float64) float64 {
-	return lv.A / ((d + lv.B) * (d + lv.B))
+	den := (d + lv.B) * (d + lv.B)
+	if den <= 0 {
+		// Only reachable when d = −B, outside the physical domain d ≥ 0.
+		return 0
+	}
+	return lv.A / den
 }
 
 // Approx returns the piecewise-constant approximation P̃(d): the exact power
@@ -192,5 +203,11 @@ func (lv Levels) NumBands() int { return len(lv.Break) }
 // Eps1ForEps converts the overall approximation target ε of Theorem 4.2 to
 // the level parameter ε₁ = 2ε/(1−2ε). ε must be in (0, 1/2).
 func Eps1ForEps(eps float64) float64 {
-	return 2 * eps / (1 - 2*eps)
+	den := 1 - 2*eps
+	if den <= 0 {
+		// ε ≥ 1/2 is outside the documented domain; saturate instead of
+		// returning a negative or infinite level parameter.
+		return math.Inf(1)
+	}
+	return 2 * eps / den
 }

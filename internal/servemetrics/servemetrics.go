@@ -85,8 +85,10 @@ type family struct {
 
 // Registry holds metric families and renders them.
 type Registry struct {
-	mu       sync.Mutex
-	order    []string
+	mu sync.Mutex
+	// guarded by mu
+	order []string
+	// guarded by mu
 	families map[string]*family
 }
 
@@ -115,6 +117,8 @@ func labelBlock(kv []string) string {
 	return b.String()
 }
 
+// family returns (creating if needed) the named family. It must be called
+// with r.mu held.
 func (r *Registry) family(name, help, typ string) *family {
 	f, ok := r.families[name]
 	if !ok {

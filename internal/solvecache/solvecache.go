@@ -37,12 +37,14 @@ type entry struct {
 
 // Cache is a fixed-capacity LRU with hit/miss accounting.
 type Cache struct {
-	mu     sync.Mutex
-	cap    int
-	ll     *list.List
+	mu  sync.Mutex
+	cap int
+	// guarded by mu
+	ll *list.List
+	// guarded by mu
 	items  map[string]*list.Element
-	hits   uint64
-	misses uint64
+	hits   uint64 // guarded by mu
+	misses uint64 // guarded by mu
 }
 
 // New returns a cache holding at most capacity entries (minimum 1).

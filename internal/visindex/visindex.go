@@ -89,12 +89,18 @@ func New(sc *model.Scenario) *Index {
 	// stay short, split across the axes proportionally to the extent.
 	w := math.Max(ix.hi.X-ix.lo.X, gridPad)
 	h := math.Max(ix.hi.Y-ix.lo.Y, gridPad)
-	target := float64(4 * nSeg)
-	cell := math.Sqrt(w * h / target)
-	ix.nx = clampCells(int(math.Ceil(w / cell)))
-	ix.ny = clampCells(int(math.Ceil(h / cell)))
-	ix.cw = w / float64(ix.nx)
-	ix.ch = h / float64(ix.ny)
+	nx, ny := 1, 1
+	if nSeg > 0 {
+		target := float64(4 * nSeg)
+		cell := math.Sqrt(w * h / target)
+		if cell > 0 { // always true: w, h ≥ gridPad and target ≥ 4
+			nx = clampCells(int(math.Ceil(w / cell)))
+			ny = clampCells(int(math.Ceil(h / cell)))
+		}
+	}
+	ix.nx, ix.ny = nx, ny
+	ix.cw = w / float64(nx)
+	ix.ch = h / float64(ny)
 	ix.cells = make([][]int32, ix.nx*ix.ny)
 	for idx := range ix.all {
 		x0, y0 := ix.cellOf(boxLo[idx].Sub(geom.V(gridPad, gridPad)))
@@ -121,7 +127,9 @@ func clampCells(n int) int {
 
 // cellOf maps a point to clamped cell coordinates.
 func (ix *Index) cellOf(p geom.Vec) (int, int) {
+	//lint:ignore nanflow cw is set once in New to w/nx with w >= gridPad and nx >= 1, hence strictly positive
 	cx := int((p.X - ix.lo.X) / ix.cw)
+	//lint:ignore nanflow ch is strictly positive for the same reason as cw
 	cy := int((p.Y - ix.lo.Y) / ix.ch)
 	return clampInt(cx, ix.nx-1), clampInt(cy, ix.ny-1)
 }
