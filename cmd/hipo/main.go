@@ -36,18 +36,19 @@ func main() {
 		depotY    = flag.Float64("depot-y", 0, "budget depot y")
 		saIters   = flag.Int("sa-iters", 2000, "simulated annealing iterations for -objective maxmin")
 		seed      = flag.Int64("seed", 1, "random seed for heuristic objectives")
+		trace     = flag.Bool("trace", false, "print a per-stage timing/counter breakdown to stderr and embed it in the placement JSON")
 	)
 	flag.Parse()
 
 	if err := run(*inPath, *outPath, *eps, *perType, *workers, *objective,
-		*budget, *depotX, *depotY, *saIters, *seed); err != nil {
+		*budget, *depotX, *depotY, *saIters, *seed, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "hipo:", err)
 		os.Exit(1)
 	}
 }
 
 func run(inPath, outPath string, eps float64, perType bool, workers int,
-	objective string, budget, depotX, depotY float64, saIters int, seed int64) error {
+	objective string, budget, depotX, depotY float64, saIters int, seed int64, trace bool) error {
 	// Validate flags up front so bad values never reach the solver.
 	if eps <= 0 || eps >= 0.5 {
 		return fmt.Errorf("-eps must be in (0, 0.5), got %v", eps)
@@ -77,6 +78,11 @@ func run(inPath, outPath string, eps float64, perType bool, workers int,
 	opts := []hipo.Option{hipo.WithEps(eps), hipo.WithWorkers(workers)}
 	if perType {
 		opts = append(opts, hipo.WithPerTypeGreedy())
+	}
+	var tracer *hipo.Tracer
+	if trace {
+		tracer = hipo.NewTracer()
+		opts = append(opts, hipo.WithTracer(tracer))
 	}
 
 	var placement *hipo.Placement
@@ -115,5 +121,8 @@ func run(inPath, outPath string, eps float64, perType bool, workers int,
 	}
 	fmt.Fprintf(os.Stderr, "placed %d chargers, utility %.4f (guarantee ≥ %.2f·OPT)\n",
 		len(placement.Chargers), placement.Utility, hipo.ApproximationRatio(opts...))
+	if tracer != nil {
+		fmt.Fprint(os.Stderr, tracer.Breakdown().String())
+	}
 	return nil
 }

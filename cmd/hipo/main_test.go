@@ -53,7 +53,7 @@ func readPlacement(t *testing.T, path string) *hipo.Placement {
 func TestRunUtilityObjective(t *testing.T) {
 	in := writeScenario(t)
 	out := filepath.Join(t.TempDir(), "out.json")
-	if err := run(in, out, 0.15, false, 0, "utility", 0, 0, 0, 100, 1); err != nil {
+	if err := run(in, out, 0.15, false, 0, "utility", 0, 0, 0, 100, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	p := readPlacement(t, out)
@@ -65,7 +65,7 @@ func TestRunUtilityObjective(t *testing.T) {
 func TestRunPerTypeGreedy(t *testing.T) {
 	in := writeScenario(t)
 	out := filepath.Join(t.TempDir(), "out.json")
-	if err := run(in, out, 0.1, true, 2, "utility", 0, 0, 0, 100, 1); err != nil {
+	if err := run(in, out, 0.1, true, 2, "utility", 0, 0, 0, 100, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	if readPlacement(t, out).Utility <= 0 {
@@ -77,7 +77,7 @@ func TestRunMaxMinAndPropFair(t *testing.T) {
 	in := writeScenario(t)
 	for _, obj := range []string{"maxmin", "propfair"} {
 		out := filepath.Join(t.TempDir(), obj+".json")
-		if err := run(in, out, 0.15, false, 0, obj, 0, 0, 0, 100, 1); err != nil {
+		if err := run(in, out, 0.15, false, 0, obj, 0, 0, 0, 100, 1, false); err != nil {
 			t.Fatalf("%s: %v", obj, err)
 		}
 		if len(readPlacement(t, out).Chargers) == 0 {
@@ -89,24 +89,24 @@ func TestRunMaxMinAndPropFair(t *testing.T) {
 func TestRunBudgeted(t *testing.T) {
 	in := writeScenario(t)
 	out := filepath.Join(t.TempDir(), "out.json")
-	if err := run(in, out, 0.15, false, 0, "utility", 25, 0, 0, 100, 1); err != nil {
+	if err := run(in, out, 0.15, false, 0, "utility", 25, 0, 0, 100, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	_ = readPlacement(t, out) // budget may admit zero chargers; just no error
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "missing.json"), "", 0.15, false, 0, "utility", 0, 0, 0, 100, 1); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), "", 0.15, false, 0, "utility", 0, 0, 0, 100, 1, false); err == nil {
 		t.Error("missing input should fail")
 	}
 	in := writeScenario(t)
-	if err := run(in, "", 0.15, false, 0, "bogus", 0, 0, 0, 100, 1); err == nil {
+	if err := run(in, "", 0.15, false, 0, "bogus", 0, 0, 0, 100, 1, false); err == nil {
 		t.Error("unknown objective should fail")
 	}
 	// Corrupt JSON.
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	os.WriteFile(bad, []byte("{nope"), 0o644)
-	if err := run(bad, "", 0.15, false, 0, "utility", 0, 0, 0, 100, 1); err == nil {
+	if err := run(bad, "", 0.15, false, 0, "utility", 0, 0, 0, 100, 1, false); err == nil {
 		t.Error("corrupt input should fail")
 	}
 }
@@ -114,16 +114,16 @@ func TestRunErrors(t *testing.T) {
 func TestRunFlagValidation(t *testing.T) {
 	in := writeScenario(t)
 	for _, eps := range []float64{0, -0.1, 0.5, 1} {
-		if err := run(in, "", eps, false, 0, "utility", 0, 0, 0, 100, 1); err == nil {
+		if err := run(in, "", eps, false, 0, "utility", 0, 0, 0, 100, 1, false); err == nil {
 			t.Errorf("eps %v should be rejected", eps)
 		}
 	}
-	if err := run(in, "", 0.15, false, -2, "utility", 0, 0, 0, 100, 1); err == nil {
+	if err := run(in, "", 0.15, false, -2, "utility", 0, 0, 0, 100, 1, false); err == nil {
 		t.Error("negative workers should be rejected")
 	}
 	// Bad values must fail before the input is even read: no such file, yet
 	// the flag error is what surfaces.
-	err := run(filepath.Join(t.TempDir(), "missing.json"), "", 0.7, false, 0, "utility", 0, 0, 0, 100, 1)
+	err := run(filepath.Join(t.TempDir(), "missing.json"), "", 0.7, false, 0, "utility", 0, 0, 0, 100, 1, false)
 	if err == nil || !strings.Contains(err.Error(), "-eps") {
 		t.Errorf("flag validation should precede input reading, got %v", err)
 	}

@@ -3,11 +3,17 @@
 // seeded scenarios, times line-of-sight queries and full solves with the
 // index against the brute-force reference, verifies both arms produce
 // bit-for-bit identical placements, and writes a machine-readable JSON
-// report (schema hipo-bench/v1).
+// report (schema hipo-bench/v2).
+//
+// Since v2 every solve point also runs a third, traced arm: the indexed
+// solve repeated with a hipotrace.Tracer attached. Its per-stage breakdown
+// (durations plus pipeline counters) lands in the report, and the harness
+// verifies the traced placement is bit-for-bit identical to the untraced
+// one — tracing must be purely observational.
 //
 // Usage:
 //
-//	hipobench [-out BENCH_pr3.json] [-seed 1] [-quick]
+//	hipobench [-out BENCH_pr5.json] [-seed 1] [-quick]
 //
 // The scenario at every sweep point is fully determined by the seed, so two
 // runs on the same toolchain produce the same scenario hashes and the same
@@ -29,12 +35,14 @@ import (
 	"hipo/internal/core"
 	"hipo/internal/expt"
 	"hipo/internal/geom"
+	"hipo/internal/hipotrace"
 	"hipo/internal/model"
 	"hipo/internal/visindex"
 )
 
-// Schema identifies the report format for downstream tooling.
-const Schema = "hipo-bench/v1"
+// Schema identifies the report format for downstream tooling. v2 added the
+// traced solve arm: solve.traced_ms, solve.traced_identical, solve.trace.
+const Schema = "hipo-bench/v2"
 
 // LOSResult reports the line-of-sight micro-benchmark at one sweep point.
 type LOSResult struct {
@@ -58,6 +66,12 @@ type SolveResult struct {
 	IdenticalPlacement bool    `json:"identical_placement"`
 	Utility            float64 `json:"utility"`
 	Chargers           int     `json:"chargers"`
+	// TracedMs times the third arm: the indexed solve re-run with a tracer
+	// attached. TracedIdentical asserts tracing changed nothing about the
+	// placement, and Trace is that arm's per-stage breakdown.
+	TracedMs        float64              `json:"traced_ms"`
+	TracedIdentical bool                 `json:"traced_identical"`
+	Trace           *hipotrace.Breakdown `json:"trace,omitempty"`
 }
 
 // Point is one sweep point of the trajectory.
@@ -115,7 +129,7 @@ func sweep(quick bool) []sweepPoint {
 
 func main() {
 	var (
-		outPath = flag.String("out", "BENCH_pr3.json", "output JSON path")
+		outPath = flag.String("out", "BENCH_pr5.json", "output JSON path")
 		seed    = flag.Int64("seed", 1, "scenario seed")
 		quick   = flag.Bool("quick", false, "small sweep for CI smoke runs")
 	)
@@ -145,8 +159,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%-9s obstacles=%-3d devices=%-3d eps=%.2f  los %7.0f→%6.0f ns/op (%.1fx)",
 			sp.name, pt.Obstacles, pt.Devices, pt.Eps, pt.LOS.BruteNsOp, pt.LOS.IndexedNsOp, pt.LOS.Speedup)
 		if pt.Solve != nil {
-			fmt.Fprintf(os.Stderr, "  solve %8.1f→%8.1f ms (%.2fx) identical=%v",
-				pt.Solve.BruteMs, pt.Solve.IndexedMs, pt.Solve.Speedup, pt.Solve.IdenticalPlacement)
+			fmt.Fprintf(os.Stderr, "  solve %8.1f→%8.1f ms (%.2fx) identical=%v traced=%.1fms",
+				pt.Solve.BruteMs, pt.Solve.IndexedMs, pt.Solve.Speedup,
+				pt.Solve.IdenticalPlacement, pt.Solve.TracedMs)
 		}
 		fmt.Fprintln(os.Stderr)
 	}
@@ -280,18 +295,34 @@ func benchSolve(sc *model.Scenario, eps float64) (*SolveResult, error) {
 	}
 	indexedDur := time.Since(start)
 
+	// Third arm: same indexed solve, tracer attached. The breakdown goes
+	// into the report; the placement must not move by a single bit.
+	opt.Tracer = hipotrace.New()
+	start = time.Now()
+	traced, err := core.Solve(sc, opt)
+	if err != nil {
+		return nil, fmt.Errorf("traced solve: %w", err)
+	}
+	tracedDur := time.Since(start)
+
 	res := &SolveResult{
 		BruteMs:            float64(bruteDur.Nanoseconds()) / 1e6,
 		IndexedMs:          float64(indexedDur.Nanoseconds()) / 1e6,
 		IdenticalPlacement: samePlacement(brute.Placed, indexed.Placed),
 		Utility:            indexed.Utility,
 		Chargers:           len(indexed.Placed),
+		TracedMs:           float64(tracedDur.Nanoseconds()) / 1e6,
+		TracedIdentical:    samePlacement(indexed.Placed, traced.Placed),
+		Trace:              opt.Tracer.Breakdown(),
 	}
 	if indexedDur > 0 {
 		res.Speedup = float64(bruteDur) / float64(indexedDur)
 	}
 	if !res.IdenticalPlacement {
 		return res, fmt.Errorf("placements differ between brute-force and indexed visibility")
+	}
+	if !res.TracedIdentical {
+		return res, fmt.Errorf("tracing changed the placement")
 	}
 	return res, nil
 }

@@ -56,6 +56,17 @@ func TestRunPointInvariants(t *testing.T) {
 	if pt.Solve.Utility <= 0 || pt.Solve.Chargers == 0 {
 		t.Fatalf("degenerate solve result: %+v", pt.Solve)
 	}
+	if !pt.Solve.TracedIdentical || pt.Solve.TracedMs <= 0 {
+		t.Fatalf("traced arm broken: %+v", pt.Solve)
+	}
+	if pt.Solve.Trace == nil || pt.Solve.Trace.TotalMs <= 0 ||
+		pt.Solve.Trace.Counters["gain_evals"] == 0 ||
+		pt.Solve.Trace.Counters["los_queries"] == 0 {
+		t.Fatalf("traced arm breakdown incomplete: %+v", pt.Solve.Trace)
+	}
+	if len(pt.Solve.Trace.StageTotalsMs) < 3 {
+		t.Fatalf("expected discretize/pdcs/greedy stage totals, got %v", pt.Solve.Trace.StageTotalsMs)
+	}
 	if len(pt.ScenarioHash) != 64 {
 		t.Fatalf("scenario hash %q is not a sha256 hex digest", pt.ScenarioHash)
 	}

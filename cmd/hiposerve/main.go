@@ -17,6 +17,7 @@
 //	DELETE /v1/jobs/{id}       cancel an async job
 //	GET    /metrics            Prometheus text metrics
 //	GET    /healthz            liveness probe
+//	GET    /debug/pprof/*      profiling endpoints (only with -pprof)
 //
 // Solve requests run synchronously under a request deadline when small
 // (or "mode": "sync"), and are queued onto a bounded worker pool when
@@ -47,6 +48,10 @@ func main() {
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-job deadline for async solves (0 = none)")
 		syncLimit   = flag.Int("sync-device-limit", 64, "auto mode: max devices solved inline")
 		drain       = flag.Duration("drain-timeout", 60*time.Second, "graceful-shutdown drain budget")
+		jobTTL      = flag.Duration("job-retention", time.Hour, "how long finished jobs stay pollable (0 = forever)")
+		jobMax      = flag.Int("job-retain-max", 1024, "max finished jobs kept pollable (0 = unbounded)")
+		slowSolve   = flag.Duration("slow-solve", 10*time.Second, "log a per-stage breakdown for solves slower than this (0 = off)")
+		pprofOn     = flag.Bool("pprof", false, "expose /debug/pprof/* profiling endpoints")
 	)
 	flag.Parse()
 
@@ -63,6 +68,10 @@ func main() {
 		SyncTimeout:     *syncTimeout,
 		JobTimeout:      *jobTimeout,
 		SyncDeviceLimit: *syncLimit,
+		JobRetainTTL:    *jobTTL,
+		JobMaxTerminal:  *jobMax,
+		SlowSolve:       *slowSolve,
+		EnablePprof:     *pprofOn,
 		Logger:          logger,
 	})
 

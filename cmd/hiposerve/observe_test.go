@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"hipo"
+)
+
+// TestTraceOption checks the observability contract of the solve endpoints:
+// options.trace embeds the per-stage breakdown, untraced responses stay
+// trace-free, the two never share a cache entry, and the placements agree.
+func TestTraceOption(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	plain := SolveRequest{Scenario: testScenario()}
+	traced := SolveRequest{Scenario: testScenario(), Options: SolveOptions{Trace: true}}
+
+	resp, body := postJSON(t, ts.URL+"/v1/solve", plain)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plain solve: %d %s", resp.StatusCode, body)
+	}
+	if strings.Contains(string(body), `"trace"`) {
+		t.Errorf("untraced response contains a trace: %s", body)
+	}
+
+	resp, tbody := postJSON(t, ts.URL+"/v1/solve", traced)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced solve: %d %s", resp.StatusCode, tbody)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("traced request aliased the untraced cache entry (X-Cache %q)", got)
+	}
+	var tp hipo.Placement
+	if err := json.Unmarshal(tbody, &tp); err != nil {
+		t.Fatal(err)
+	}
+	if tp.Trace == nil || tp.Trace.TotalMs <= 0 {
+		t.Fatalf("traced response missing breakdown: %s", tbody)
+	}
+	if len(tp.Trace.Stages) == 0 || tp.Trace.Counters["gain_evals"] == 0 {
+		t.Errorf("breakdown incomplete: %+v", tp.Trace)
+	}
+
+	// Tracing is observational: the placement itself must be unchanged.
+	var pp hipo.Placement
+	if err := json.Unmarshal(body, &pp); err != nil {
+		t.Fatal(err)
+	}
+	if pp.Utility != tp.Utility || len(pp.Chargers) != len(tp.Chargers) {
+		t.Errorf("traced placement differs: %v vs %v", pp, tp)
+	}
+	for i := range pp.Chargers {
+		if pp.Chargers[i] != tp.Chargers[i] {
+			t.Errorf("charger %d differs: %+v vs %+v", i, pp.Chargers[i], tp.Chargers[i])
+		}
+	}
+}
+
+// TestStageHistograms checks that every solve (traced or not) feeds the
+// per-stage duration histograms.
+func TestStageHistograms(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	postJSON(t, ts.URL+"/v1/solve", SolveRequest{Scenario: testScenario()})
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	for _, stage := range []string{"discretize", "pdcs", "greedy"} {
+		want := `hiposerve_solve_stage_seconds_count{stage="` + stage + `"} 1`
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %s\n%s", want, metrics)
+		}
+	}
+}
+
+// TestSlowSolveLog sets a zero-distance threshold so every solve counts as
+// slow and asserts the structured warning carries the stage breakdown.
+func TestSlowSolveLog(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{SlowSolve: time.Nanosecond}
+	cfg.Logger = slog.New(slog.NewJSONHandler(&buf, nil))
+	s := newServer(cfg)
+	defer s.shutdown(context.Background())
+
+	req := SolveRequest{Scenario: testScenario()}
+	if _, err := s.execSolve(context.Background(), "/v1/solve", "k", &req, runSolve); err != nil {
+		t.Fatal(err)
+	}
+	logs := buf.String()
+	if !strings.Contains(logs, "slow solve") {
+		t.Fatalf("no slow-solve line:\n%s", logs)
+	}
+	for _, field := range []string{"total_ms", "stage_greedy_ms", "gain_evals", `"endpoint":"/v1/solve"`} {
+		if !strings.Contains(logs, field) {
+			t.Errorf("slow-solve line missing %s:\n%s", field, logs)
+		}
+	}
+}
+
+// TestPprofEndpoints: present only when enabled.
+func TestPprofEndpoints(t *testing.T) {
+	off, _ := newTestServer(t, Config{})
+	resp, _ := getBody(t, off.URL+"/debug/pprof/")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof served without -pprof: %d", resp.StatusCode)
+	}
+
+	on, _ := newTestServer(t, Config{EnablePprof: true})
+	resp, body := getBody(t, on.URL+"/debug/pprof/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index: %d %.80s", resp.StatusCode, body)
+	}
+	resp, _ = getBody(t, on.URL+"/debug/pprof/symbol")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof symbol: %d", resp.StatusCode)
+	}
+}
+
+// TestJobEvictionMetric runs jobs through a tight retention cap and checks
+// the eviction counter and the 404 for evicted IDs.
+func TestJobEvictionMetric(t *testing.T) {
+	ts, s := newTestServer(t, Config{Workers: 1, JobMaxTerminal: 1})
+	var ids []string
+	for i := 0; i < 4; i++ {
+		id, err := s.jobs.Submit(func(context.Context) (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Wait until retention (which runs on Submit) has had terminal jobs to
+	// chew through, then trigger one more pass.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.jobsEvicted.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("eviction counter never moved")
+		}
+		time.Sleep(5 * time.Millisecond)
+		if _, err := s.jobs.Submit(func(context.Context) (any, error) { return nil, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	v := metricValue(t, string(metrics), "hiposerve_jobs_evicted_total")
+	if v == "" || v == "0" {
+		t.Errorf("hiposerve_jobs_evicted_total = %q, want > 0", v)
+	}
+	resp, _ := getBody(t, ts.URL+"/v1/jobs/"+ids[0])
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted job poll = %d, want 404", resp.StatusCode)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"sort"
 	"time"
 
 	"hipo"
@@ -30,7 +32,19 @@ type Config struct {
 	// SyncDeviceLimit is the auto-mode threshold: scenarios with at most
 	// this many devices solve inline, larger ones are queued.
 	SyncDeviceLimit int
-	Logger          *slog.Logger
+	// JobRetainTTL and JobMaxTerminal bound how long finished jobs stay
+	// pollable: terminal jobs older than the TTL, or beyond the newest
+	// JobMaxTerminal, are evicted from the manager (0 = unbounded).
+	JobRetainTTL   time.Duration
+	JobMaxTerminal int
+	// SlowSolve is the threshold above which a completed solve emits a
+	// structured warning with its per-stage breakdown (0 = disabled).
+	SlowSolve time.Duration
+	// EnablePprof exposes the /debug/pprof/* profiling endpoints. The solve
+	// pipeline labels its goroutines by stage (hipo_stage/hipo_detail), so
+	// CPU profiles taken here attribute samples to discretize/pdcs/greedy.
+	EnablePprof bool
+	Logger      *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -68,13 +82,13 @@ type server struct {
 	cacheHits   *servemetrics.Counter
 	cacheMisses *servemetrics.Counter
 	jobsQueued  *servemetrics.Counter
+	jobsEvicted *servemetrics.Counter
 }
 
 func newServer(cfg Config) *server {
 	cfg = cfg.withDefaults()
 	s := &server{
 		cfg:   cfg,
-		jobs:  jobs.NewManager(context.Background(), cfg.Workers, cfg.QueueDepth, cfg.JobTimeout),
 		cache: solvecache.New(cfg.CacheSize),
 		reg:   servemetrics.NewRegistry(),
 		log:   cfg.Logger,
@@ -86,6 +100,16 @@ func newServer(cfg Config) *server {
 		"Solve-cache misses across all solve endpoints.")
 	s.jobsQueued = s.reg.Counter("hiposerve_jobs_submitted_total",
 		"Async jobs accepted into the queue.")
+	s.jobsEvicted = s.reg.Counter("hiposerve_jobs_evicted_total",
+		"Terminal jobs evicted by the retention policy (TTL or cap).")
+	s.jobs = jobs.NewManager(context.Background(), jobs.Config{
+		Workers:     cfg.Workers,
+		Depth:       cfg.QueueDepth,
+		JobTimeout:  cfg.JobTimeout,
+		RetainTTL:   cfg.JobRetainTTL,
+		MaxTerminal: cfg.JobMaxTerminal,
+		OnEvict:     func(n int) { s.jobsEvicted.Add(uint64(n)) },
+	})
 	s.reg.Gauge("hiposerve_jobs_tracked",
 		"Jobs currently tracked by the manager (all states).",
 		func() float64 { return float64(s.jobs.Len()) })
@@ -112,6 +136,15 @@ func (s *server) routes() {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJobCancel))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cfg.EnablePprof {
+		// Deliberately not instrumented: profile downloads can run for tens
+		// of seconds and would distort the request-latency histograms.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 }
 
 func (s *server) handler() http.Handler { return s.mux }
@@ -169,6 +202,10 @@ type SolveOptions struct {
 	Continuous bool `json:"continuous,omitempty"`
 	// Workers bounds solver goroutines (0 = GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
+	// Trace includes the per-stage timing/counter breakdown in the
+	// placement response (and in the async job result). It participates in
+	// the cache key, so traced and untraced responses never alias.
+	Trace bool `json:"trace,omitempty"`
 }
 
 func (o SolveOptions) validate() error {
@@ -210,28 +247,41 @@ type SolveRequest struct {
 	// Iterations and Seed configure /v1/solve/maxmin.
 	Iterations int   `json:"iterations,omitempty"`
 	Seed       int64 `json:"seed,omitempty"`
+
+	// tracer is attached by execSolve so stage histograms and slow-solve
+	// logs cover every solve, whether or not the client asked for a trace.
+	tracer *hipo.Tracer
+}
+
+// libOptions merges the client options with the server-attached tracer.
+func (r *SolveRequest) libOptions(ctx context.Context) []hipo.Option {
+	opts := r.Options.libOptions(ctx)
+	if r.tracer != nil {
+		opts = append(opts, hipo.WithTracer(r.tracer))
+	}
+	return opts
 }
 
 // solveFn executes one solve variant under the given context.
 type solveFn func(ctx context.Context, req *SolveRequest) (*hipo.Placement, error)
 
 func runSolve(ctx context.Context, req *SolveRequest) (*hipo.Placement, error) {
-	return req.Scenario.Solve(req.Options.libOptions(ctx)...)
+	return req.Scenario.Solve(req.libOptions(ctx)...)
 }
 
 func runBudgeted(ctx context.Context, req *SolveRequest) (*hipo.Placement, error) {
 	if req.Budget == nil {
 		return nil, errBadRequest{errors.New("budget is required for /v1/solve/budgeted")}
 	}
-	return req.Scenario.SolveBudgeted(*req.Budget, req.Options.libOptions(ctx)...)
+	return req.Scenario.SolveBudgeted(*req.Budget, req.libOptions(ctx)...)
 }
 
 func runMaxMin(ctx context.Context, req *SolveRequest) (*hipo.Placement, error) {
-	return req.Scenario.SolveMaxMin(req.Iterations, req.Seed, req.Options.libOptions(ctx)...)
+	return req.Scenario.SolveMaxMin(req.Iterations, req.Seed, req.libOptions(ctx)...)
 }
 
 func runPropFair(ctx context.Context, req *SolveRequest) (*hipo.Placement, error) {
-	return req.Scenario.SolveProportionalFair(req.Options.libOptions(ctx)...)
+	return req.Scenario.SolveProportionalFair(req.libOptions(ctx)...)
 }
 
 // errBadRequest marks errors that should map to 400 rather than 500.
@@ -336,13 +386,13 @@ func (s *server) solveHandler(endpoint string, run solveFn) http.HandlerFunc {
 			(req.Mode == "" || req.Mode == "auto") &&
 				len(req.Scenario.Devices) > s.cfg.SyncDeviceLimit
 		if async {
-			s.enqueueSolve(w, key, &req, run)
+			s.enqueueSolve(w, endpoint, key, &req, run)
 			return
 		}
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SyncTimeout)
 		defer cancel()
-		body, err := s.execSolve(ctx, key, &req, run)
+		body, err := s.execSolve(ctx, endpoint, key, &req, run)
 		if err != nil {
 			writeSolveError(w, err)
 			return
@@ -367,12 +417,20 @@ func writeSolveError(w http.ResponseWriter, err error) {
 	}
 }
 
-// execSolve runs the solve, serializes the placement, and fills the cache
-// so identical re-submissions return byte-identical bodies.
-func (s *server) execSolve(ctx context.Context, key string, req *SolveRequest, run solveFn) ([]byte, error) {
+// execSolve runs the solve under a tracer, serializes the placement, and
+// fills the cache so identical re-submissions return byte-identical bodies.
+// Every solve is traced server-side to feed the per-stage histograms and
+// the slow-solve log; the breakdown reaches the response body only when the
+// client set options.trace.
+func (s *server) execSolve(ctx context.Context, endpoint, key string, req *SolveRequest, run solveFn) ([]byte, error) {
+	req.tracer = hipo.NewTracer()
 	placement, err := run(ctx, req)
 	if err != nil {
 		return nil, err
+	}
+	s.observeTrace(endpoint, req.tracer.Breakdown())
+	if !req.Options.Trace {
+		placement.Trace = nil
 	}
 	body, err := json.Marshal(placement)
 	if err != nil {
@@ -382,11 +440,43 @@ func (s *server) execSolve(ctx context.Context, key string, req *SolveRequest, r
 	return body, nil
 }
 
+// observeTrace feeds the per-stage duration histograms and, above the
+// configured threshold, emits one structured warning with the stage totals
+// and pipeline counters so slow solves are diagnosable from logs alone.
+func (s *server) observeTrace(endpoint string, bd *hipo.TraceBreakdown) {
+	if bd == nil {
+		return
+	}
+	for stage, ms := range bd.StageTotalsMs {
+		s.reg.Histogram("hiposerve_solve_stage_seconds",
+			"Solve wall time per pipeline stage in seconds.",
+			nil, "stage", stage).Observe(ms / 1000)
+	}
+	if s.cfg.SlowSolve <= 0 || bd.TotalMs < s.cfg.SlowSolve.Seconds()*1000 {
+		return
+	}
+	args := []any{"endpoint", endpoint, "total_ms", bd.TotalMs}
+	for _, stage := range []string{"discretize", "pdcs", "greedy"} {
+		if ms, ok := bd.StageTotalsMs[stage]; ok {
+			args = append(args, "stage_"+stage+"_ms", ms)
+		}
+	}
+	names := make([]string, 0, len(bd.Counters))
+	for name := range bd.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		args = append(args, name, bd.Counters[name])
+	}
+	s.log.Warn("slow solve", args...)
+}
+
 // enqueueSolve submits the solve as an async job and answers 202 with the
 // job's polling URL.
-func (s *server) enqueueSolve(w http.ResponseWriter, key string, req *SolveRequest, run solveFn) {
+func (s *server) enqueueSolve(w http.ResponseWriter, endpoint, key string, req *SolveRequest, run solveFn) {
 	id, err := s.jobs.Submit(func(ctx context.Context) (any, error) {
-		body, err := s.execSolve(ctx, key, req, run)
+		body, err := s.execSolve(ctx, endpoint, key, req, run)
 		if err != nil {
 			return nil, err
 		}

@@ -120,6 +120,10 @@ type Placement struct {
 	// CandidateCounts reports, per charger type, how many candidate
 	// strategies PDCS extraction produced (after dominance filtering).
 	CandidateCounts []int `json:"candidate_counts,omitempty"`
+	// Trace is the per-stage timing/counter breakdown of the solve, present
+	// only when the solve ran with WithTracer. Untraced placements serialize
+	// exactly as before.
+	Trace *TraceBreakdown `json:"trace,omitempty"`
 }
 
 // internalScenario converts the public scenario into the internal model and

@@ -14,6 +14,7 @@ import (
 	"os"
 	"runtime"
 
+	"hipo/internal/hipotrace"
 	"hipo/internal/model"
 	"hipo/internal/pdcs"
 	"hipo/internal/power"
@@ -69,6 +70,10 @@ type Options struct {
 	// Ctx, when non-nil, allows canceling a long solve between pipeline
 	// stages (per charger type during extraction and before selection).
 	Ctx context.Context
+	// Tracer, when non-nil, collects per-stage spans, pipeline counters,
+	// and pprof goroutine labels for this solve (internal/hipotrace). It
+	// never influences placement decisions; a nil Tracer costs nothing.
+	Tracer *hipotrace.Tracer
 }
 
 // canceled reports whether the options' context has been canceled.
@@ -157,7 +162,9 @@ func extractCandidates(sc *model.Scenario, opt Options) ([][]pdcs.Candidate, err
 		SkipDominanceFilter:   opt.SkipDominanceFilter,
 		SkipPairConstructions: opt.SkipPairConstructions,
 		BruteForceVisibility:  opt.useBruteVisibility(),
+		Tracer:                opt.Tracer,
 	}
+	defer snapshotMemoStats(sc, opt.Tracer)()
 	// Types run sequentially; the position sweep inside each Extract is
 	// already parallel, which balances better than one goroutine per type
 	// (types have very different candidate counts).
@@ -171,6 +178,36 @@ func extractCandidates(sc *model.Scenario, opt Options) ([][]pdcs.Candidate, err
 	return out, nil
 }
 
+// label names the variant for trace spans and pprof detail labels.
+func (v GreedyVariant) label() string {
+	switch v {
+	case GreedyGlobal:
+		return "global"
+	case GreedyPerType:
+		return "per-type"
+	case GreedyContinuous:
+		return "continuous"
+	default:
+		return "lazy"
+	}
+}
+
+// snapshotMemoStats captures the visibility-index memo hit/miss counts and
+// returns a flush recording the deltas accrued in between; a no-op without
+// a tracer or index.
+func snapshotMemoStats(sc *model.Scenario, tr *hipotrace.Tracer) func() {
+	ix, ok := sc.AttachedVisibilityIndex().(*visindex.Index)
+	if !tr.Enabled() || !ok {
+		return func() {}
+	}
+	hits0, misses0 := ix.MemoStats()
+	return func() {
+		hits, misses := ix.MemoStats()
+		tr.Add(hipotrace.CtrVisMemoHits, hits-hits0)
+		tr.Add(hipotrace.CtrVisMemoMisses, misses-misses0)
+	}
+}
+
 // SelectFromCandidates runs the greedy strategy selection (Section 4.3)
 // over pre-extracted candidates.
 func SelectFromCandidates(sc *model.Scenario, cands [][]pdcs.Candidate, opt Options) (*Solution, error) {
@@ -178,6 +215,8 @@ func SelectFromCandidates(sc *model.Scenario, cands [][]pdcs.Candidate, opt Opti
 		return nil, fmt.Errorf("core: solve canceled: %w", err)
 	}
 	inst, flat := BuildInstance(sc, cands, opt)
+	inst.Tracer = opt.Tracer
+	endGreedy := opt.Tracer.StartStage(hipotrace.StageGreedy, opt.Variant.label())
 	var res submodular.Result
 	switch opt.Variant {
 	case GreedyGlobal:
@@ -191,6 +230,7 @@ func SelectFromCandidates(sc *model.Scenario, cands [][]pdcs.Candidate, opt Opti
 	default:
 		res = submodular.GreedyLazy(inst)
 	}
+	endGreedy()
 	sol := &Solution{ApproxValue: res.Value, Candidates: make([]int, len(cands))}
 	for q := range cands {
 		sol.Candidates[q] = len(cands[q])

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"hipo/internal/geom"
+	"hipo/internal/hipotrace"
 	"hipo/internal/model"
 	"hipo/internal/power"
 	"hipo/internal/schedule"
@@ -46,6 +47,10 @@ type Config struct {
 	// BruteForceVisibility answers occlusion queries by exhaustive obstacle
 	// scan instead of the spatial index (differential reference arm).
 	BruteForceVisibility bool
+	// Tracer, when non-nil, receives pipeline counters (feasibility
+	// queries). Generation hot paths count into locals and flush once per
+	// call, so a nil Tracer costs nothing.
+	Tracer *hipotrace.Tracer
 }
 
 // DefaultEps1 corresponds to the paper's default ε = 0.15 via
@@ -133,7 +138,10 @@ func NewGenerator(sc *model.Scenario, q int, cfg Config) *Generator {
 // Positions are filtered for placement feasibility but not deduplicated.
 func (g *Generator) DevicePositions(j int) []geom.Vec {
 	var out []geom.Vec
+	feas := 0
+	defer func() { g.cfg.Tracer.Add(hipotrace.CtrFeasibilityQueries, int64(feas)) }()
 	add := func(p geom.Vec) {
+		feas++
 		if g.sc.FeasiblePosition(p) {
 			out = append(out, p)
 		}
@@ -167,7 +175,10 @@ func (g *Generator) PairPositions(i, j int) []geom.Vec {
 		return nil
 	}
 	var out []geom.Vec
+	feas := 0
+	defer func() { g.cfg.Tracer.Add(hipotrace.CtrFeasibilityQueries, int64(feas)) }()
 	add := func(p geom.Vec) {
+		feas++
 		if g.sc.FeasiblePosition(p) {
 			out = append(out, p)
 		}

@@ -1,0 +1,208 @@
+package hipotrace
+
+import (
+	"context"
+	"encoding/json"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Add(CtrGainEvals, 7)
+	end := tr.StartStage(StageGreedy, "lazy")
+	end()
+	if b := tr.Breakdown(); b != nil {
+		t.Fatalf("nil tracer breakdown = %+v, want nil", b)
+	}
+	if c := tr.Counters(); c != nil {
+		t.Fatalf("nil tracer counters = %v, want nil", c)
+	}
+}
+
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.Add(CtrGainEvals, 3)
+		end := tr.StartStage(StagePDCS, "x")
+		end()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestCountersAndSpans(t *testing.T) {
+	tr := New()
+	end := tr.StartStage(StageDiscretize, "type-0")
+	tr.Add(CtrCandidatePositions, 10)
+	time.Sleep(time.Millisecond)
+	end()
+	end = tr.StartStage(StageGreedy, "lazy")
+	tr.Add(CtrGainEvals, 42)
+	tr.Add(CtrGainEvals, 8)
+	end()
+
+	b := tr.Breakdown()
+	if b == nil {
+		t.Fatal("nil breakdown")
+	}
+	if len(b.Stages) != 2 {
+		t.Fatalf("stages = %+v, want 2", b.Stages)
+	}
+	if b.Stages[0].Stage != StageDiscretize || b.Stages[1].Stage != StageGreedy {
+		t.Errorf("stage order = %+v", b.Stages)
+	}
+	if b.Stages[0].Ms <= 0 {
+		t.Errorf("discretize span duration = %v, want > 0", b.Stages[0].Ms)
+	}
+	if b.TotalMs < b.Stages[0].Ms {
+		t.Errorf("total %v < first span %v", b.TotalMs, b.Stages[0].Ms)
+	}
+	if got := b.Counters["gain_evals"]; got != 50 {
+		t.Errorf("gain_evals = %d, want 50", got)
+	}
+	if got := b.StageTotalsMs[StageDiscretize]; got != b.Stages[0].Ms {
+		t.Errorf("stage total %v != span %v", got, b.Stages[0].Ms)
+	}
+}
+
+func TestZeroCountersOmitted(t *testing.T) {
+	tr := New()
+	tr.Add(CtrLOSQueries, 0)
+	if c := tr.Counters(); len(c) != 0 {
+		t.Errorf("counters = %v, want empty", c)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Add(CtrLOSQueries, 1)
+			}
+			end := tr.StartStage(StagePDCS, "worker")
+			end()
+		}()
+	}
+	wg.Wait()
+	b := tr.Breakdown()
+	if got := b.Counters["los_queries"]; got != 8000 {
+		t.Errorf("los_queries = %d, want 8000", got)
+	}
+	if len(b.Stages) != 8 {
+		t.Errorf("spans = %d, want 8", len(b.Stages))
+	}
+}
+
+func TestPprofLabelsAppliedAndCleared(t *testing.T) {
+	var applied []context.Context
+	orig := setGoroutineLabels
+	setGoroutineLabels = func(ctx context.Context) {
+		orig(ctx)
+		applied = append(applied, ctx)
+	}
+	defer func() { setGoroutineLabels = orig }()
+
+	tr := New()
+	end := tr.StartStage(StagePDCS, "type-1")
+	end()
+	if len(applied) != 2 {
+		t.Fatalf("SetGoroutineLabels called %d times, want 2", len(applied))
+	}
+	var stage, detail string
+	pprof.ForLabels(applied[0], func(k, v string) bool {
+		switch k {
+		case LabelStage:
+			stage = v
+		case LabelDetail:
+			detail = v
+		}
+		return true
+	})
+	if stage != StagePDCS || detail != "type-1" {
+		t.Errorf("labels during stage = %q/%q", stage, detail)
+	}
+	cleared := true
+	pprof.ForLabels(applied[1], func(k, v string) bool {
+		if k == LabelStage {
+			cleared = false
+		}
+		return true
+	})
+	if !cleared {
+		t.Error("stage label survived span end")
+	}
+}
+
+func TestBreakdownJSONShape(t *testing.T) {
+	tr := New()
+	end := tr.StartStage(StageGreedy, "")
+	tr.Add(CtrGainEvals, 1)
+	end()
+	raw, err := json.Marshal(tr.Breakdown())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"total_ms"`, `"stages"`, `"stage_totals_ms"`, `"counters"`, `"gain_evals"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("breakdown JSON missing %s: %s", want, raw)
+		}
+	}
+	// Empty-label spans omit the label key.
+	if strings.Contains(string(raw), `"label"`) {
+		t.Errorf("empty label serialized: %s", raw)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	tr := New()
+	end := tr.StartStage(StageDiscretize, "type-0")
+	end()
+	tr.Add(CtrCandidatesKept, 3)
+	s := tr.Breakdown().String()
+	for _, want := range []string{"stage", "discretize", "type-0", "total", "candidates_kept=3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+	var b *Breakdown
+	if b.String() != "" {
+		t.Error("nil breakdown string not empty")
+	}
+}
+
+func TestCounterNamesTotal(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Counter(0); c < NumCounters; c++ {
+		n := c.Name()
+		if n == "" || seen[n] {
+			t.Errorf("counter %d has empty or duplicate name %q", c, n)
+		}
+		seen[n] = true
+	}
+	if Counter(-1).Name() != "counter_-1" || Counter(999).Name() != "counter_999" {
+		t.Error("out-of-range counter names")
+	}
+	if err := quick.Check(func(n int64) bool {
+		tr := New()
+		tr.Add(CtrLOSQueries, n)
+		if n == 0 {
+			return tr.Counters()["los_queries"] == 0
+		}
+		return tr.Counters()["los_queries"] == n
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -2,8 +2,9 @@
 // by cmd/hiposerve to run large placement solves off the request path. Each
 // job is a context-aware function; the manager tracks its lifecycle
 // (pending → running → done/failed/canceled), enforces an optional per-job
-// deadline, supports cancellation of both queued and running jobs, and
-// drains running work on graceful shutdown.
+// deadline, supports cancellation of both queued and running jobs, drains
+// running work on graceful shutdown, and evicts old terminal jobs under a
+// configurable retention policy so the job table cannot grow without bound.
 package jobs
 
 import (
@@ -46,14 +47,16 @@ var (
 )
 
 // Snapshot is a point-in-time copy of a job's externally visible state.
+// Started and Finished are nil until the job starts / finishes, so pending
+// jobs never serialize the zero time (0001-01-01T00:00:00Z).
 type Snapshot struct {
-	ID       string    `json:"id"`
-	State    State     `json:"state"`
-	Result   any       `json:"result,omitempty"`
-	Error    string    `json:"error,omitempty"`
-	Created  time.Time `json:"created"`
-	Started  time.Time `json:"started"`
-	Finished time.Time `json:"finished"`
+	ID       string     `json:"id"`
+	State    State      `json:"state"`
+	Result   any        `json:"result,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
 }
 
 type job struct {
@@ -70,41 +73,68 @@ type job struct {
 	cancel context.CancelFunc
 }
 
+// Config tunes a Manager. The zero value is usable: one worker, a
+// one-deep queue, no per-job deadline, and no retention limits (terminal
+// jobs are kept until Shutdown).
+type Config struct {
+	// Workers is the worker-pool size (min 1).
+	Workers int
+	// Depth is the queue capacity (min 1).
+	Depth int
+	// JobTimeout, when positive, bounds each job's execution time; a job
+	// killed by it reports state canceled with the deadline error text.
+	JobTimeout time.Duration
+	// RetainTTL, when positive, evicts terminal jobs whose finish time is
+	// older than the TTL. Evicted IDs report ErrNotFound.
+	RetainTTL time.Duration
+	// MaxTerminal, when positive, caps the number of terminal jobs kept;
+	// the oldest-finished are evicted first.
+	MaxTerminal int
+	// OnEvict, when non-nil, is called with the number of jobs evicted by
+	// each retention pass (e.g. to feed a metrics counter). Called without
+	// the manager lock held.
+	OnEvict func(n int)
+}
+
 // Manager owns the queue, the worker pool, and the job table.
 type Manager struct {
-	base    context.Context
-	queue   chan *job
-	timeout time.Duration
+	base context.Context
+	cfg  Config
+
+	// queue receives lock-free in the workers; sends and the close are
+	// serialized by mu so a Submit can never race Shutdown's close.
+	queue chan *job
 
 	mu sync.Mutex
 	// guarded by mu
 	jobs map[string]*job
+	// guarded by mu; terminal job IDs in finish order, for retention.
+	terminal []string
 	// guarded by mu
 	closed  bool
 	stop    chan struct{}
 	workers sync.WaitGroup
 }
 
-// NewManager starts workers goroutines consuming a queue of the given
-// depth. base is the root of every job context: canceling it (e.g. on
-// process shutdown) interrupts all running jobs. jobTimeout, when
-// positive, bounds each job's execution time.
-func NewManager(base context.Context, workers, depth int, jobTimeout time.Duration) *Manager {
-	if workers <= 0 {
-		workers = 1
+// NewManager starts cfg.Workers goroutines consuming a queue of depth
+// cfg.Depth. base is the root of every job context: canceling it (e.g. on
+// process shutdown) interrupts all running jobs.
+func NewManager(base context.Context, cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
 	}
-	if depth <= 0 {
-		depth = 1
+	if cfg.Depth <= 0 {
+		cfg.Depth = 1
 	}
 	m := &Manager{
-		base:    base,
-		queue:   make(chan *job, depth),
-		timeout: jobTimeout,
-		jobs:    make(map[string]*job),
-		stop:    make(chan struct{}),
+		base:  base,
+		cfg:   cfg,
+		queue: make(chan *job, cfg.Depth),
+		jobs:  make(map[string]*job),
+		stop:  make(chan struct{}),
 	}
-	m.workers.Add(workers)
-	for i := 0; i < workers; i++ {
+	m.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
 	}
 	return m
@@ -121,7 +151,9 @@ func newID() string {
 
 // Submit enqueues fn and returns the new job's ID. It fails fast with
 // ErrQueueFull when the queue is at capacity and ErrShuttingDown after
-// Shutdown has begun.
+// Shutdown has begun. The enqueue happens under the manager lock — the same
+// lock Shutdown holds while closing the queue — so a Submit racing a
+// Shutdown can never send on a closed channel.
 func (m *Manager) Submit(fn Fn) (string, error) {
 	j := &job{id: newID(), fn: fn, state: StatePending, created: time.Now()}
 	m.mu.Lock()
@@ -129,20 +161,22 @@ func (m *Manager) Submit(fn Fn) (string, error) {
 		m.mu.Unlock()
 		return "", ErrShuttingDown
 	}
-	m.jobs[j.id] = j
-	m.mu.Unlock()
+	evicted := m.evictLocked(time.Now())
 	select {
 	case m.queue <- j:
-		return j.id, nil
 	default:
-		m.mu.Lock()
-		delete(m.jobs, j.id)
 		m.mu.Unlock()
+		m.notifyEvict(evicted)
 		return "", ErrQueueFull
 	}
+	m.jobs[j.id] = j
+	m.mu.Unlock()
+	m.notifyEvict(evicted)
+	return j.id, nil
 }
 
-// Get returns a snapshot of the job.
+// Get returns a snapshot of the job. Jobs evicted by the retention policy
+// report ErrNotFound, like jobs that never existed.
 func (m *Manager) Get(id string) (Snapshot, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -167,8 +201,7 @@ func (m *Manager) Cancel(id string) (Snapshot, error) {
 	}
 	switch j.state {
 	case StatePending:
-		j.state = StateCanceled
-		j.finished = time.Now()
+		m.finishLocked(j, StateCanceled, nil)
 	case StateRunning:
 		if j.cancel != nil {
 			j.cancel()
@@ -187,7 +220,9 @@ func (m *Manager) Len() int {
 // Shutdown stops accepting new jobs and waits for the workers to finish
 // the jobs already queued or running, or for ctx to expire — whichever
 // comes first. On ctx expiry the workers are told to stop after their
-// current job and Shutdown returns ctx's error without waiting further.
+// current job, running jobs have their contexts canceled, and every job
+// still queued is drained and marked canceled with a finish timestamp, so
+// no job is ever left pending forever; Shutdown then returns ctx's error.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	if m.closed {
@@ -195,8 +230,11 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	m.closed = true
-	m.mu.Unlock()
+	// Closing under the same lock Submit sends under makes send-on-closed
+	// impossible: every Submit either observed closed above or completed
+	// its send before this close.
 	close(m.queue)
+	m.mu.Unlock()
 
 	done := make(chan struct{})
 	go func() {
@@ -208,8 +246,36 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		close(m.stop)
+		m.abandon()
 		return ctx.Err()
 	}
+}
+
+// abandon handles the expired-shutdown path: it drains the (closed) queue,
+// marking every still-pending job canceled, and cancels the contexts of
+// running jobs so they terminate as soon as their fn observes the context.
+func (m *Manager) abandon() {
+	// The queue is already closed, so the range ends once the buffered jobs
+	// (shared with any still-draining workers) are consumed.
+	for j := range m.queue {
+		m.discard(j)
+	}
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		if j.state == StateRunning && j.cancel != nil {
+			j.cancel()
+		}
+	}
+	m.mu.Unlock()
+}
+
+// discard marks a dequeued job canceled unless it already left pending.
+func (m *Manager) discard(j *job) {
+	m.mu.Lock()
+	if j.state == StatePending {
+		m.finishLocked(j, StateCanceled, context.Canceled)
+	}
+	m.mu.Unlock()
 }
 
 func (m *Manager) worker() {
@@ -217,7 +283,10 @@ func (m *Manager) worker() {
 	for j := range m.queue {
 		select {
 		case <-m.stop:
-			return
+			// Expired shutdown: stop running new work but keep draining so
+			// every queued job reaches a terminal state.
+			m.discard(j)
+			continue
 		default:
 		}
 		m.run(j)
@@ -227,8 +296,8 @@ func (m *Manager) worker() {
 func (m *Manager) run(j *job) {
 	ctx := m.base
 	var cancel context.CancelFunc
-	if m.timeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, m.timeout)
+	if m.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, m.cfg.JobTimeout)
 	} else {
 		ctx, cancel = context.WithCancel(ctx)
 	}
@@ -242,34 +311,95 @@ func (m *Manager) run(j *job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	// An expired Shutdown cancels running jobs under mu; if its sweep ran
+	// between the worker's stop check and this registration, it missed us —
+	// observe stop here so the job still gets canceled promptly.
+	select {
+	case <-m.stop:
+		cancel()
+	default:
+	}
 	m.mu.Unlock()
 
 	res, err := j.fn(ctx)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	j.finished = time.Now()
 	j.cancel = nil
 	switch {
-	case err != nil && errors.Is(err, context.Canceled):
-		j.state = StateCanceled
-		j.err = err
+	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		// Both context terminations — explicit Cancel and the per-job
+		// deadline — are cancellations, not failures of the fn itself. The
+		// error text is preserved so callers can tell them apart.
+		m.finishLocked(j, StateCanceled, err)
 	case err != nil:
-		j.state = StateFailed
-		j.err = err
+		m.finishLocked(j, StateFailed, err)
 	default:
-		j.state = StateDone
 		j.result = res
+		m.finishLocked(j, StateDone, nil)
+	}
+}
+
+// finishLocked moves a job to a terminal state, stamps its finish time, and
+// registers it with the retention list. Must be called with m.mu held.
+func (m *Manager) finishLocked(j *job, s State, err error) {
+	j.state = s
+	j.err = err
+	j.finished = time.Now()
+	m.terminal = append(m.terminal, j.id)
+}
+
+// evictLocked applies the retention policy and returns the number of
+// terminal jobs evicted. Must be called with m.mu held; callers report the
+// count via notifyEvict after unlocking.
+func (m *Manager) evictLocked(now time.Time) int {
+	cut := 0
+	if ttl := m.cfg.RetainTTL; ttl > 0 {
+		for cut < len(m.terminal) {
+			j, ok := m.jobs[m.terminal[cut]]
+			if ok && now.Sub(j.finished) <= ttl {
+				break
+			}
+			cut++
+		}
+	}
+	if max := m.cfg.MaxTerminal; max > 0 && len(m.terminal)-cut > max {
+		cut = len(m.terminal) - max
+	}
+	if cut == 0 {
+		return 0
+	}
+	n := 0
+	for _, id := range m.terminal[:cut] {
+		if _, ok := m.jobs[id]; ok {
+			delete(m.jobs, id)
+			n++
+		}
+	}
+	m.terminal = append(m.terminal[:0], m.terminal[cut:]...)
+	return n
+}
+
+// notifyEvict reports an eviction count to the OnEvict callback, if any.
+func (m *Manager) notifyEvict(n int) {
+	if n > 0 && m.cfg.OnEvict != nil {
+		m.cfg.OnEvict(n)
 	}
 }
 
 func (j *job) snapshot() Snapshot {
 	s := Snapshot{
-		ID:       j.id,
-		State:    j.state,
-		Created:  j.created,
-		Started:  j.started,
-		Finished: j.finished,
+		ID:      j.id,
+		State:   j.state,
+		Created: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.Finished = &t
 	}
 	if j.state == StateDone {
 		s.Result = j.result

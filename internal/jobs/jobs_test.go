@@ -29,7 +29,7 @@ func waitState(t *testing.T, m *Manager, id string, want State) Snapshot {
 }
 
 func TestJobLifecycleDone(t *testing.T) {
-	m := NewManager(context.Background(), 2, 4, 0)
+	m := NewManager(context.Background(), Config{Workers: 2, Depth: 4})
 	defer m.Shutdown(context.Background())
 	id, err := m.Submit(func(context.Context) (any, error) { return 42, nil })
 	if err != nil {
@@ -39,13 +39,13 @@ func TestJobLifecycleDone(t *testing.T) {
 	if snap.Result != 42 {
 		t.Errorf("result = %v, want 42", snap.Result)
 	}
-	if snap.Created.IsZero() || snap.Started.IsZero() || snap.Finished.IsZero() {
+	if snap.Created.IsZero() || snap.Started == nil || snap.Finished == nil {
 		t.Errorf("timestamps not all set: %+v", snap)
 	}
 }
 
 func TestJobFailed(t *testing.T) {
-	m := NewManager(context.Background(), 1, 4, 0)
+	m := NewManager(context.Background(), Config{Workers: 1, Depth: 4})
 	defer m.Shutdown(context.Background())
 	id, _ := m.Submit(func(context.Context) (any, error) {
 		return nil, errors.New("boom")
@@ -60,7 +60,7 @@ func TestJobFailed(t *testing.T) {
 }
 
 func TestCancelRunning(t *testing.T) {
-	m := NewManager(context.Background(), 1, 4, 0)
+	m := NewManager(context.Background(), Config{Workers: 1, Depth: 4})
 	defer m.Shutdown(context.Background())
 	started := make(chan struct{})
 	id, _ := m.Submit(func(ctx context.Context) (any, error) {
@@ -76,7 +76,7 @@ func TestCancelRunning(t *testing.T) {
 }
 
 func TestCancelPending(t *testing.T) {
-	m := NewManager(context.Background(), 1, 4, 0)
+	m := NewManager(context.Background(), Config{Workers: 1, Depth: 4})
 	defer m.Shutdown(context.Background())
 	block := make(chan struct{})
 	started := make(chan struct{})
@@ -103,7 +103,7 @@ func TestCancelPending(t *testing.T) {
 }
 
 func TestQueueFull(t *testing.T) {
-	m := NewManager(context.Background(), 1, 1, 0)
+	m := NewManager(context.Background(), Config{Workers: 1, Depth: 1})
 	defer m.Shutdown(context.Background())
 	block := make(chan struct{})
 	defer close(block)
@@ -121,20 +121,22 @@ func TestQueueFull(t *testing.T) {
 }
 
 func TestJobTimeout(t *testing.T) {
-	m := NewManager(context.Background(), 1, 2, 20*time.Millisecond)
+	m := NewManager(context.Background(), Config{Workers: 1, Depth: 2, JobTimeout: 20 * time.Millisecond})
 	defer m.Shutdown(context.Background())
 	id, _ := m.Submit(func(ctx context.Context) (any, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	})
-	snap := waitState(t, m, id, StateFailed)
-	if snap.Error == "" {
-		t.Error("timeout left no error")
+	// A deadline kill is a cancellation, not a failure of the fn; the
+	// deadline error text must survive so callers can tell the two apart.
+	snap := waitState(t, m, id, StateCanceled)
+	if snap.Error != context.DeadlineExceeded.Error() {
+		t.Errorf("timeout error = %q, want %q", snap.Error, context.DeadlineExceeded)
 	}
 }
 
 func TestShutdownDrains(t *testing.T) {
-	m := NewManager(context.Background(), 2, 8, 0)
+	m := NewManager(context.Background(), Config{Workers: 2, Depth: 8})
 	var ids []string
 	for i := 0; i < 5; i++ {
 		id, err := m.Submit(func(context.Context) (any, error) {
@@ -167,7 +169,7 @@ func TestShutdownDrains(t *testing.T) {
 }
 
 func TestShutdownDeadline(t *testing.T) {
-	m := NewManager(context.Background(), 1, 2, 0)
+	m := NewManager(context.Background(), Config{Workers: 1, Depth: 2})
 	started := make(chan struct{})
 	release := make(chan struct{})
 	defer close(release)
@@ -181,7 +183,7 @@ func TestShutdownDeadline(t *testing.T) {
 }
 
 func TestGetUnknown(t *testing.T) {
-	m := NewManager(context.Background(), 1, 1, 0)
+	m := NewManager(context.Background(), Config{Workers: 1, Depth: 1})
 	defer m.Shutdown(context.Background())
 	if _, err := m.Get("nope"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Get err = %v", err)

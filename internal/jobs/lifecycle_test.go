@@ -1,0 +1,240 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSubmitShutdownRace hammers Submit against Shutdown: before the
+// enqueue was moved under the manager lock, this reliably panicked with
+// "send on closed channel" under -race. Every Submit must either succeed or
+// fail cleanly with ErrShuttingDown/ErrQueueFull.
+func TestSubmitShutdownRace(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		m := NewManager(context.Background(), Config{Workers: 2, Depth: 4})
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 20; i++ {
+					_, err := m.Submit(func(context.Context) (any, error) { return nil, nil })
+					if err != nil && !errors.Is(err, ErrShuttingDown) && !errors.Is(err, ErrQueueFull) {
+						t.Errorf("Submit: unexpected error %v", err)
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := m.Shutdown(context.Background()); err != nil {
+				t.Errorf("Shutdown: %v", err)
+			}
+		}()
+		close(start)
+		wg.Wait()
+	}
+}
+
+// TestShutdownTimeoutNoOrphans submits more jobs than the workers can
+// finish before the shutdown context expires and asserts that no job is
+// left non-terminal once Shutdown returns: queued jobs must be drained and
+// marked canceled with a finish timestamp, not stranded pending forever.
+func TestShutdownTimeoutNoOrphans(t *testing.T) {
+	m := NewManager(context.Background(), Config{Workers: 1, Depth: 8})
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	var ids []string
+	id, _ := m.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, ctx.Err()
+	})
+	ids = append(ids, id)
+	<-started
+	for i := 0; i < 5; i++ {
+		id, err := m.Submit(func(context.Context) (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := m.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown err = %v, want DeadlineExceeded", err)
+	}
+
+	// The running job had its context canceled by the expired shutdown and
+	// may need a moment to observe it; queued jobs must already be terminal.
+	deadline := time.Now().Add(2 * time.Second)
+	for _, id := range ids[1:] {
+		snap, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !snap.State.Terminal() {
+			t.Errorf("queued job %s = %s after Shutdown returned, want terminal", id, snap.State)
+		}
+		if snap.State == StateCanceled && snap.Finished == nil {
+			t.Errorf("canceled job %s has no finish timestamp", id)
+		}
+	}
+	for {
+		snap, err := m.Get(ids[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("running job %s never terminated after expired shutdown", ids[0])
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSnapshotTimestampJSON pins the wire format: a pending job's snapshot
+// must not serialize zero started/finished timestamps.
+func TestSnapshotTimestampJSON(t *testing.T) {
+	m := NewManager(context.Background(), Config{Workers: 1, Depth: 4})
+	defer m.Shutdown(context.Background())
+	block := make(chan struct{})
+	started := make(chan struct{})
+	m.Submit(func(context.Context) (any, error) { close(started); <-block; return nil, nil })
+	<-started
+	id, _ := m.Submit(func(context.Context) (any, error) { return nil, nil })
+	snap, err := m.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "0001-01-01") {
+		t.Errorf("pending snapshot serializes zero timestamps: %s", raw)
+	}
+	if strings.Contains(string(raw), `"started"`) || strings.Contains(string(raw), `"finished"`) {
+		t.Errorf("pending snapshot has started/finished keys: %s", raw)
+	}
+	close(block)
+	snap = waitState(t, m, id, StateDone)
+	raw, _ = json.Marshal(snap)
+	if !strings.Contains(string(raw), `"started"`) || !strings.Contains(string(raw), `"finished"`) {
+		t.Errorf("done snapshot missing timestamps: %s", raw)
+	}
+}
+
+// TestRetentionMaxTerminal checks the bounded-table policy: only the newest
+// MaxTerminal terminal jobs survive, evicted IDs report ErrNotFound, and
+// the eviction callback sees the total count.
+func TestRetentionMaxTerminal(t *testing.T) {
+	var evicted atomic.Int64
+	m := NewManager(context.Background(), Config{
+		Workers:     2,
+		Depth:       4,
+		MaxTerminal: 3,
+		OnEvict:     func(n int) { evicted.Add(int64(n)) },
+	})
+	defer m.Shutdown(context.Background())
+
+	var ids []string
+	for i := 0; i < 10; i++ {
+		id, err := m.Submit(func(context.Context) (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, m, id, StateDone)
+		ids = append(ids, id)
+	}
+	// Eviction runs on Submit; one more triggers a final pass over the 10
+	// terminal jobs.
+	id, err := m.Submit(func(context.Context) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, id, StateDone)
+
+	gone := 0
+	for _, old := range ids {
+		if _, err := m.Get(old); errors.Is(err, ErrNotFound) {
+			gone++
+		}
+	}
+	if gone < len(ids)-3 {
+		t.Errorf("%d of %d old jobs evicted, want at least %d", gone, len(ids), len(ids)-3)
+	}
+	if evicted.Load() == 0 {
+		t.Error("OnEvict never reported an eviction")
+	}
+	if n := m.Len(); n > 4 { // 3 retained terminal + the latest
+		t.Errorf("job table holds %d entries, want <= 4", n)
+	}
+}
+
+// TestRetentionTTL checks time-based eviction.
+func TestRetentionTTL(t *testing.T) {
+	m := NewManager(context.Background(), Config{
+		Workers:   1,
+		Depth:     4,
+		RetainTTL: 10 * time.Millisecond,
+	})
+	defer m.Shutdown(context.Background())
+	id, _ := m.Submit(func(context.Context) (any, error) { return nil, nil })
+	waitState(t, m, id, StateDone)
+	time.Sleep(25 * time.Millisecond)
+	id2, _ := m.Submit(func(context.Context) (any, error) { return nil, nil })
+	waitState(t, m, id2, StateDone)
+	if _, err := m.Get(id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("expired job still retrievable (err = %v)", err)
+	}
+	if _, err := m.Get(id2); err != nil {
+		t.Errorf("fresh job evicted: %v", err)
+	}
+}
+
+// TestRetentionNeverEvictsNonTerminal makes sure pending/running jobs are
+// immune to retention regardless of age.
+func TestRetentionNeverEvictsNonTerminal(t *testing.T) {
+	m := NewManager(context.Background(), Config{
+		Workers:     1,
+		Depth:       8,
+		RetainTTL:   time.Nanosecond,
+		MaxTerminal: 1,
+	})
+	defer m.Shutdown(context.Background())
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	running, _ := m.Submit(func(context.Context) (any, error) { close(started); <-release; return nil, nil })
+	<-started
+	pending, _ := m.Submit(func(context.Context) (any, error) { return nil, nil })
+	for i := 0; i < 3; i++ {
+		if _, err := m.Submit(func(context.Context) (any, error) { return nil, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Get(running); err != nil {
+		t.Errorf("running job evicted: %v", err)
+	}
+	if _, err := m.Get(pending); err != nil {
+		t.Errorf("pending job evicted: %v", err)
+	}
+}

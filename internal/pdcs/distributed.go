@@ -6,6 +6,7 @@ import (
 
 	"hipo/internal/discretize"
 	"hipo/internal/geom"
+	"hipo/internal/hipotrace"
 	"hipo/internal/model"
 	"hipo/internal/schedule"
 )
@@ -68,16 +69,20 @@ func ExtractDistributed(sc *model.Scenario, cfg Config, workers int, machineCoun
 	sc = cfg.ensureVisibility(sc)
 	no := len(sc.Devices)
 	gens := make([]*discretize.Generator, len(sc.ChargerTypes))
-	dcfg := discretize.Config{Eps1: cfg.Eps1, SkipPairConstructions: cfg.SkipPairConstructions}
+	dcfg := discretize.Config{Eps1: cfg.Eps1, SkipPairConstructions: cfg.SkipPairConstructions, Tracer: cfg.Tracer}
 	for q := range gens {
 		gens[q] = discretize.NewGenerator(sc, q, dcfg)
 	}
 	if workers <= 0 {
 		workers = 1
 	}
+	// Distributed tasks interleave discretization and sweeping per device, so
+	// the whole fan-out is one pdcs span rather than per-stage spans.
+	endSweep := cfg.Tracer.StartStage(hipotrace.StagePDCS, "distributed")
 	outs := schedule.RunPool(no, workers, func(i int) TaskOutput {
 		return RunTask(sc, gens, i, cfg)
 	})
+	endSweep()
 
 	stats := DistStats{
 		TaskSeconds:     make([]float64, no),
@@ -113,10 +118,12 @@ func ExtractDistributed(sc *model.Scenario, cfg Config, workers int, machineCoun
 		}
 	}
 	for q := range byType {
+		cfg.Tracer.Add(hipotrace.CtrCandidatesRaw, int64(len(byType[q])))
 		byType[q] = dedupCandidates(byType[q])
 		if !cfg.SkipDominanceFilter {
 			byType[q] = FilterDominated(byType[q], no)
 		}
+		cfg.Tracer.Add(hipotrace.CtrCandidatesKept, int64(len(byType[q])))
 	}
 	return byType, stats
 }

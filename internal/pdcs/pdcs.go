@@ -7,6 +7,7 @@
 package pdcs
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sort"
@@ -14,6 +15,7 @@ import (
 
 	"hipo/internal/discretize"
 	"hipo/internal/geom"
+	"hipo/internal/hipotrace"
 	"hipo/internal/model"
 	"hipo/internal/power"
 	"hipo/internal/schedule"
@@ -68,19 +70,28 @@ type eligibleCache struct {
 	q      int
 	ct     model.ChargerType
 	levels []power.Levels // per device type
+	// powerLevels is the total piecewise band count across device types (the
+	// K of Lemma 4.1), reported to the tracer once per extraction.
+	powerLevels int64
+	tracer      *hipotrace.Tracer
 }
 
 func newEligibleCache(sc *model.Scenario, q int, eps1 float64) *eligibleCache {
 	ct := sc.ChargerTypes[q]
 	c := &eligibleCache{sc: sc, q: q, ct: ct}
+	levels := int64(0)
 	for t := range sc.DeviceTypes {
 		pp := sc.Power[q][t]
 		c.levels = append(c.levels, power.NewLevels(pp.A, pp.B, ct.DMin, ct.DMax, eps1))
+		levels += int64(c.levels[t].NumBands())
 	}
+	c.powerLevels = levels
 	return c
 }
 
 func (c *eligibleCache) at(p geom.Vec) []eligible {
+	los := 0
+	defer func() { c.tracer.Add(hipotrace.CtrLOSQueries, int64(los)) }()
 	sc, ct := c.sc, c.ct
 	dmin2 := (ct.DMin - geom.Eps) * (ct.DMin - geom.Eps)
 	if ct.DMin < geom.Eps {
@@ -108,6 +119,7 @@ func (c *eligibleCache) at(p geom.Vec) []eligible {
 				continue
 			}
 		}
+		los++
 		if !sc.LineOfSight(p, dev.Pos) {
 			continue
 		}
@@ -246,13 +258,24 @@ func Extract(sc *model.Scenario, q int, cfg Config) []Candidate {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	tr := cfg.Tracer
+	label := typeLabel(q)
+	endDisc := tr.StartStage(hipotrace.StageDiscretize, label)
 	positions := discretize.CandidatePositions(sc, q, discretize.Config{
 		Eps1:                  cfg.Eps1,
 		Workers:               workers,
 		SkipPairConstructions: cfg.SkipPairConstructions,
 		BruteForceVisibility:  cfg.BruteForceVisibility,
+		Tracer:                tr,
 	})
+	endDisc()
+	tr.Add(hipotrace.CtrCandidatePositions, int64(len(positions)))
+
+	endSweep := tr.StartStage(hipotrace.StagePDCS, label)
+	defer endSweep()
 	cache := newEligibleCache(sc, q, cfg.Eps1)
+	cache.tracer = tr
+	tr.Add(hipotrace.CtrPowerLevels, cache.powerLevels)
 	perPos := schedule.RunPool(len(positions), workers, func(i int) []Candidate {
 		return sweepPointCached(sc, q, positions[i], cache)
 	})
@@ -260,11 +283,19 @@ func Extract(sc *model.Scenario, q int, cfg Config) []Candidate {
 	for _, cs := range perPos {
 		cands = append(cands, cs...)
 	}
+	tr.Add(hipotrace.CtrCandidatesRaw, int64(len(cands)))
 	if cfg.SkipDominanceFilter {
+		tr.Add(hipotrace.CtrCandidatesKept, int64(len(cands)))
 		return cands
 	}
-	return FilterDominated(cands, len(sc.Devices))
+	kept := FilterDominated(cands, len(sc.Devices))
+	tr.Add(hipotrace.CtrCandidatesKept, int64(len(kept)))
+	return kept
 }
+
+// typeLabel renders the charger-type span label used in trace breakdowns
+// and pprof hipo_detail labels.
+func typeLabel(q int) string { return fmt.Sprintf("type-%d", q) }
 
 // Config tunes PDCS extraction.
 type Config struct {
@@ -286,6 +317,10 @@ type Config struct {
 	// pipeline itself never reads the wall clock and stays deterministic;
 	// with a nil Clock all reported durations are zero.
 	Clock func() time.Time
+	// Tracer, when non-nil, receives stage spans (discretize, pdcs) and the
+	// pipeline counters of internal/hipotrace. Sweep hot paths count into
+	// locals and flush per call; a nil Tracer costs nothing.
+	Tracer *hipotrace.Tracer
 }
 
 // ensureVisibility attaches the spatial visibility index for this

@@ -19,6 +19,8 @@ import (
 	"math"
 	"runtime"
 	"sync"
+
+	"hipo/internal/hipotrace"
 )
 
 // Entry is one coordinate of an element's sparse contribution vector.
@@ -54,6 +56,11 @@ type Instance struct {
 	// to a single representative strategy, so forbidding repeats would
 	// strand budget the continuous problem could spend.
 	AllowRepeat bool
+	// Tracer, when non-nil, receives gain-evaluation and lazy-heap counters.
+	// Greedy inner loops count into plain locals and flush once per run, so
+	// a nil Tracer adds no allocation or atomic on the hot path (guarded by
+	// the AllocsPerRun test in this package and BenchmarkSolveNilTracer).
+	Tracer *hipotrace.Tracer
 }
 
 // state tracks accumulated per-device power during a greedy run.
@@ -100,6 +107,8 @@ func GreedyPerType(inst *Instance) Result {
 	st := newState(inst)
 	used := make([]bool, len(inst.Elements))
 	var sel []int
+	evals := int64(0)
+	defer func() { inst.Tracer.Add(hipotrace.CtrGainEvals, evals) }()
 	for q := range inst.Budget {
 		for k := 0; k < inst.Budget[q]; k++ {
 			best, bestGain := -1, 0.0
@@ -107,6 +116,7 @@ func GreedyPerType(inst *Instance) Result {
 				if (used[e] && !inst.AllowRepeat) || inst.Elements[e].Part != q {
 					continue
 				}
+				evals++
 				if g := st.gain(e); g > bestGain {
 					best, bestGain = e, g
 				}
@@ -147,6 +157,8 @@ func greedyGlobal(inst *Instance, workers int) Result {
 		total += b
 	}
 	var sel []int
+	evals := int64(0)
+	defer func() { inst.Tracer.Add(hipotrace.CtrGainEvals, evals) }()
 	for len(sel) < total {
 		best, bestGain := -1, 0.0
 		if workers == 1 || len(inst.Elements) < 256 {
@@ -154,12 +166,15 @@ func greedyGlobal(inst *Instance, workers int) Result {
 				if (used[e] && !inst.AllowRepeat) || remaining[inst.Elements[e].Part] == 0 {
 					continue
 				}
+				evals++
 				if g := st.gain(e); g > bestGain {
 					best, bestGain = e, g
 				}
 			}
 		} else {
-			best, bestGain = parallelArgmax(inst, st, used, remaining, workers)
+			var n int64
+			best, bestGain, n = parallelArgmax(inst, st, used, remaining, workers)
+			evals += n
 		}
 		if best < 0 {
 			break
@@ -172,10 +187,11 @@ func greedyGlobal(inst *Instance, workers int) Result {
 	return Result{Selected: sel, Value: st.val}
 }
 
-func parallelArgmax(inst *Instance, st *state, used []bool, remaining []int, workers int) (int, float64) {
+func parallelArgmax(inst *Instance, st *state, used []bool, remaining []int, workers int) (int, float64, int64) {
 	type hit struct {
 		e int
 		g float64
+		n int64 // gains evaluated in this chunk
 	}
 	n := len(inst.Elements)
 	chunk := (n + workers - 1) / workers
@@ -185,27 +201,31 @@ func parallelArgmax(inst *Instance, st *state, used []bool, remaining []int, wor
 		lo := w * chunk
 		hi := min(lo+chunk, n)
 		if lo >= hi {
-			results[w] = hit{-1, 0}
+			results[w] = hit{-1, 0, 0}
 			continue
 		}
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			best, bestGain := -1, 0.0
+			evals := int64(0)
 			for e := lo; e < hi; e++ {
 				if (used[e] && !inst.AllowRepeat) || remaining[inst.Elements[e].Part] == 0 {
 					continue
 				}
+				evals++
 				if g := st.gain(e); g > bestGain {
 					best, bestGain = e, g
 				}
 			}
-			results[w] = hit{best, bestGain}
+			results[w] = hit{best, bestGain, evals}
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	best, bestGain := -1, 0.0
+	evals := int64(0)
 	for _, h := range results {
+		evals += h.n
 		// Deterministic tie-break on the lower element index keeps parallel
 		// and serial runs identical.
 		if h.e >= 0 && (h.g > bestGain+1e-15 ||
@@ -213,7 +233,7 @@ func parallelArgmax(inst *Instance, st *state, used []bool, remaining []int, wor
 			best, bestGain = h.e, h.g
 		}
 	}
-	return best, bestGain
+	return best, bestGain, evals
 }
 
 // lazyItem is a heap entry for CELF: a cached (possibly stale) upper bound
@@ -251,8 +271,16 @@ func GreedyLazy(inst *Instance) Result {
 		total += b
 	}
 
+	evals, reevals, freshHits := int64(0), int64(0), int64(0)
+	defer func() {
+		inst.Tracer.Add(hipotrace.CtrGainEvals, evals)
+		inst.Tracer.Add(hipotrace.CtrLazyReevals, reevals)
+		inst.Tracer.Add(hipotrace.CtrLazyFreshHits, freshHits)
+	}()
+
 	h := make(lazyHeap, 0, len(inst.Elements))
 	for e := range inst.Elements {
+		evals++
 		g := st.gain(e)
 		if g > 0 {
 			h = append(h, lazyItem{e: e, gain: g, round: 0})
@@ -270,6 +298,8 @@ func GreedyLazy(inst *Instance) Result {
 			continue
 		}
 		if it.round != round {
+			evals++
+			reevals++
 			it.gain = st.gain(it.e)
 			it.round = round
 			if it.gain <= 0 {
@@ -279,6 +309,8 @@ func GreedyLazy(inst *Instance) Result {
 				heap.Push(&h, it)
 				continue
 			}
+		} else {
+			freshHits++
 		}
 		// it is fresh and maximal: select.
 		st.add(it.e)
@@ -288,6 +320,7 @@ func GreedyLazy(inst *Instance) Result {
 		if inst.AllowRepeat {
 			// A selected element may be chosen again (another charger on an
 			// equivalent strategy); requeue it with its post-selection gain.
+			evals++
 			if g := st.gain(it.e); g > 0 {
 				heap.Push(&h, lazyItem{e: it.e, gain: g, round: round})
 			}

@@ -1,0 +1,115 @@
+package submodular
+
+import (
+	"math/rand"
+	"testing"
+
+	"hipo/internal/hipotrace"
+)
+
+// denseInstance builds a seeded instance whose lazy greedy performs
+// thousands of gain evaluations, so any per-evaluation allocation in the
+// instrumentation would show up as an allocation-count difference that
+// scales with the instance.
+func denseInstance(elems, devices int) *Instance {
+	rng := rand.New(rand.NewSource(42))
+	phi := UtilityPhi(1.0)
+	inst := &Instance{
+		Phi:    make([]Scalar, devices),
+		Weight: make([]float64, devices),
+		Budget: []int{8, 8},
+	}
+	for j := 0; j < devices; j++ {
+		inst.Phi[j] = phi
+		inst.Weight[j] = 1
+	}
+	for e := 0; e < elems; e++ {
+		el := Element{Part: e % 2}
+		for k := 0; k < 4; k++ {
+			el.Covers = append(el.Covers, Entry{
+				Device: rng.Intn(devices),
+				Power:  0.1 + 0.4*rng.Float64(),
+			})
+		}
+		inst.Elements = append(inst.Elements, el)
+	}
+	return inst
+}
+
+// TestLazyGreedyCounters checks the CELF bookkeeping: every element is
+// evaluated at least once for the initial heap, re-evaluations and fresh
+// hits partition the pops that led to selections, and counting never
+// changes the selection itself.
+func TestLazyGreedyCounters(t *testing.T) {
+	inst := denseInstance(400, 60)
+	plain := GreedyLazy(inst)
+
+	tr := hipotrace.New()
+	inst.Tracer = tr
+	traced := GreedyLazy(inst)
+	inst.Tracer = nil
+
+	if plain.Value != traced.Value || len(plain.Selected) != len(traced.Selected) {
+		t.Fatalf("tracing changed the result: %v vs %v", plain, traced)
+	}
+	for i := range plain.Selected {
+		if plain.Selected[i] != traced.Selected[i] {
+			t.Fatalf("selection %d differs: %d vs %d", i, plain.Selected[i], traced.Selected[i])
+		}
+	}
+
+	c := tr.Counters()
+	if c["gain_evals"] < int64(len(inst.Elements)) {
+		t.Errorf("gain_evals = %d, want >= %d (initial heap build)", c["gain_evals"], len(inst.Elements))
+	}
+	if c["lazy_fresh_hits"] == 0 {
+		t.Error("lazy_fresh_hits = 0; the first selection of a round is always fresh")
+	}
+	if got, want := c["lazy_fresh_hits"]+c["lazy_reevals"], int64(0); got < want {
+		t.Errorf("fresh+reevals = %d", got)
+	}
+	if c["lazy_reevals"] > c["gain_evals"] {
+		t.Errorf("reevals %d exceed total evals %d", c["lazy_reevals"], c["gain_evals"])
+	}
+}
+
+// TestLazyGreedyTracerAllocParity is the zero-overhead guard for the hot
+// loop: the greedy counts into plain locals and flushes once per call, so
+// attaching a tracer must not change the allocation count at all — and in
+// particular the nil-tracer path cannot be allocating per evaluation, since
+// the traced path (a superset of its work) allocates exactly as much.
+func TestLazyGreedyTracerAllocParity(t *testing.T) {
+	inst := denseInstance(800, 80)
+
+	inst.Tracer = nil
+	allocsNil := testing.AllocsPerRun(10, func() { GreedyLazy(inst) })
+
+	inst.Tracer = hipotrace.New()
+	allocsTraced := testing.AllocsPerRun(10, func() { GreedyLazy(inst) })
+	inst.Tracer = nil
+
+	if allocsNil != allocsTraced {
+		t.Errorf("allocs differ: nil tracer %v, traced %v — instrumentation is allocating",
+			allocsNil, allocsTraced)
+	}
+}
+
+// BenchmarkGreedyLazyNilTracer / BenchmarkGreedyLazyTraced isolate the
+// greedy stage for overhead comparison (the full-pipeline pair lives in the
+// root package as BenchmarkSolveNilTracer / BenchmarkSolveTraced).
+func BenchmarkGreedyLazyNilTracer(b *testing.B) {
+	inst := denseInstance(800, 80)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GreedyLazy(inst)
+	}
+}
+
+func BenchmarkGreedyLazyTraced(b *testing.B) {
+	inst := denseInstance(800, 80)
+	inst.Tracer = hipotrace.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GreedyLazy(inst)
+	}
+}

@@ -3,6 +3,7 @@ package visindex
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"hipo/internal/geom"
 	"hipo/internal/visibility"
@@ -20,6 +21,19 @@ type memoStore struct {
 	shadows sync.Map // posKey -> *geom.IntervalSet
 	events  sync.Map // posKey -> []float64
 	holes   sync.Map // rayKey -> []geom.Segment
+
+	// hits and misses count memo lookups across all three maps; observe via
+	// Index.MemoStats. Counting sits on the memoized (not the per-segment)
+	// path, so the atomics are amortized over the recomputation they save.
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// MemoStats returns the cumulative hit and miss counts of the per-viewpoint
+// memos since the index was built. Solve tracing (internal/hipotrace) reads
+// it before and after a pipeline stage and records the deltas.
+func (ix *Index) MemoStats() (hits, misses int64) {
+	return ix.memo.hits.Load(), ix.memo.misses.Load()
 }
 
 // posKey is a viewpoint quantized to its exact bit pattern.
@@ -37,8 +51,10 @@ func keyOf(p geom.Vec) posKey {
 func (ix *Index) Shadow(p geom.Vec) *geom.IntervalSet {
 	k := keyOf(p)
 	if v, ok := ix.memo.shadows.Load(k); ok {
+		ix.memo.hits.Add(1)
 		return v.(*geom.IntervalSet)
 	}
+	ix.memo.misses.Add(1)
 	s := visibility.ShadowOf(p, ix.obs)
 	v, _ := ix.memo.shadows.LoadOrStore(k, s)
 	return v.(*geom.IntervalSet)
@@ -49,8 +65,10 @@ func (ix *Index) Shadow(p geom.Vec) *geom.IntervalSet {
 func (ix *Index) EventAngles(p geom.Vec) []float64 {
 	k := keyOf(p)
 	if v, ok := ix.memo.events.Load(k); ok {
+		ix.memo.hits.Add(1)
 		return v.([]float64)
 	}
+	ix.memo.misses.Add(1)
 	ea := visibility.EventAnglesOf(p, ix.obs)
 	v, _ := ix.memo.events.LoadOrStore(k, ea)
 	return v.([]float64)
@@ -62,8 +80,10 @@ func (ix *Index) EventAngles(p geom.Vec) []float64 {
 func (ix *Index) HoleRays(p geom.Vec, rmax float64) []geom.Segment {
 	k := rayKey{math.Float64bits(p.X), math.Float64bits(p.Y), math.Float64bits(rmax)}
 	if v, ok := ix.memo.holes.Load(k); ok {
+		ix.memo.hits.Add(1)
 		return v.([]geom.Segment)
 	}
+	ix.memo.misses.Add(1)
 	hr := visibility.HoleRaysOf(p, rmax, ix.obs, ix.LineOfSight)
 	v, _ := ix.memo.holes.LoadOrStore(k, hr)
 	return v.([]geom.Segment)

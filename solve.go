@@ -6,6 +6,7 @@ import (
 	"hipo/internal/core"
 	"hipo/internal/deploycost"
 	"hipo/internal/fairness"
+	"hipo/internal/hipotrace"
 	"hipo/internal/power"
 	"hipo/internal/redeploy"
 )
@@ -19,6 +20,7 @@ type options struct {
 	workers    int
 	ctx        context.Context
 	bruteForce bool
+	tracer     *Tracer
 }
 
 func buildOptions(opts []Option) options {
@@ -33,6 +35,7 @@ func (o options) core() core.Options {
 	return core.Options{
 		Eps: o.eps, Variant: o.variant, Workers: o.workers, Ctx: o.ctx,
 		BruteForceVisibility: o.bruteForce,
+		Tracer:               o.tracer.internal(),
 	}
 }
 
@@ -76,6 +79,56 @@ func WithContinuousGreedy() Option {
 	return func(o *options) { o.variant = core.GreedyContinuous }
 }
 
+// Tracer collects the per-stage timing and counter breakdown of a solve:
+// spans for the discretize/pdcs/greedy pipeline stages, counters such as
+// line-of-sight queries and greedy gain evaluations, and runtime/pprof
+// goroutine labels (hipo_stage, hipo_detail) so CPU profiles attribute
+// samples to pipeline stages. Create one with NewTracer, pass it via
+// WithTracer, and read the result from Placement.Trace or Breakdown.
+//
+// Tracing is observational only: placements are bit-for-bit identical with
+// and without a tracer, and the disabled path adds no allocations to the
+// solver's hot loops. A Tracer is safe for concurrent use by the pipeline's
+// worker goroutines but should not be reused across solves — breakdowns
+// would mix their spans.
+type Tracer struct {
+	t *hipotrace.Tracer
+}
+
+// NewTracer returns an empty tracer ready to pass to WithTracer.
+func NewTracer() *Tracer { return &Tracer{t: hipotrace.New()} }
+
+// internal unwraps the tracer for core.Options; nil-safe.
+func (tr *Tracer) internal() *hipotrace.Tracer {
+	if tr == nil {
+		return nil
+	}
+	return tr.t
+}
+
+// TraceBreakdown is the JSON-ready per-stage summary of a traced solve:
+// total wall time, individual stage spans in start order, per-stage duration
+// totals, and the non-zero pipeline counters. Its String method renders an
+// aligned table (what cmd/hipo -trace prints).
+type TraceBreakdown = hipotrace.Breakdown
+
+// Breakdown summarizes everything the tracer collected so far. Returns nil
+// on a nil Tracer.
+func (tr *Tracer) Breakdown() *TraceBreakdown { return tr.internal().Breakdown() }
+
+// WithTracer attaches a tracer to the solve. The solve fills it with stage
+// spans and counters and embeds the final breakdown in Placement.Trace.
+func WithTracer(tr *Tracer) Option { return func(o *options) { o.tracer = tr } }
+
+// trace returns the breakdown to embed in a Placement, or nil when the
+// solve ran untraced (keeping the JSON byte-identical to pre-trace output).
+func (o options) trace() *TraceBreakdown {
+	if o.tracer == nil {
+		return nil
+	}
+	return o.tracer.Breakdown()
+}
+
 // Solve places the scenario's chargers to maximize total charging utility
 // using the full HIPO pipeline (area discretization → PDCS extraction →
 // greedy submodular maximization), achieving a 1/2 − ε approximation.
@@ -93,6 +146,7 @@ func (s *Scenario) Solve(opts ...Option) (*Placement, error) {
 		Chargers:        strategiesToPlaced(sol.Placed),
 		Utility:         sol.Utility,
 		CandidateCounts: sol.Candidates,
+		Trace:           o.trace(),
 	}, nil
 }
 
@@ -227,6 +281,7 @@ func (s *Scenario) SolveBudgeted(b DeploymentBudget, opts ...Option) (*Placement
 	return &Placement{
 		Chargers: strategiesToPlaced(res.Placed),
 		Utility:  power.TotalUtility(sc, res.Placed),
+		Trace:    o.trace(),
 	}, nil
 }
 
@@ -251,6 +306,7 @@ func (s *Scenario) SolveMaxMin(iterations int, seed int64, opts ...Option) (*Pla
 	return &Placement{
 		Chargers: strategiesToPlaced(placed),
 		Utility:  power.TotalUtility(sc, placed),
+		Trace:    o.trace(),
 	}, nil
 }
 
@@ -271,6 +327,7 @@ func (s *Scenario) SolveProportionalFair(opts ...Option) (*Placement, error) {
 		Chargers:        strategiesToPlaced(sol.Placed),
 		Utility:         sol.Utility,
 		CandidateCounts: sol.Candidates,
+		Trace:           o.trace(),
 	}, nil
 }
 

@@ -1,0 +1,101 @@
+package hipo
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestTracedSolveIdentical is the tentpole acceptance check at the public
+// API: a traced solve must place exactly the same chargers — bit for bit —
+// as an untraced one, and an untraced placement's JSON must not change
+// shape (no trace key).
+func TestTracedSolveIdentical(t *testing.T) {
+	sc := demoScenario()
+	plain, err := sc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer()
+	traced, err := sc.Solve(WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(plain.Chargers) != len(traced.Chargers) {
+		t.Fatalf("charger counts differ: %d vs %d", len(plain.Chargers), len(traced.Chargers))
+	}
+	for i := range plain.Chargers {
+		a, b := plain.Chargers[i], traced.Chargers[i]
+		if math.Float64bits(a.Pos.X) != math.Float64bits(b.Pos.X) ||
+			math.Float64bits(a.Pos.Y) != math.Float64bits(b.Pos.Y) ||
+			math.Float64bits(a.Orient) != math.Float64bits(b.Orient) ||
+			a.Type != b.Type {
+			t.Errorf("charger %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if math.Float64bits(plain.Utility) != math.Float64bits(traced.Utility) {
+		t.Errorf("utility differs: %v vs %v", plain.Utility, traced.Utility)
+	}
+
+	if plain.Trace != nil {
+		t.Error("untraced placement has a Trace")
+	}
+	raw, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `"trace"`) {
+		t.Errorf("untraced placement JSON mentions trace: %s", raw)
+	}
+
+	if traced.Trace == nil {
+		t.Fatal("traced placement has no Trace")
+	}
+	bd := traced.Trace
+	if bd.TotalMs <= 0 || len(bd.Stages) == 0 {
+		t.Fatalf("breakdown empty: %+v", bd)
+	}
+	for _, stage := range []string{"discretize", "pdcs", "greedy"} {
+		if _, ok := bd.StageTotalsMs[stage]; !ok {
+			t.Errorf("breakdown missing stage %s: %v", stage, bd.StageTotalsMs)
+		}
+	}
+	for _, ctr := range []string{"los_queries", "feasibility_queries", "power_levels",
+		"candidates_raw", "candidates_kept", "gain_evals"} {
+		if bd.Counters[ctr] == 0 {
+			t.Errorf("counter %s is zero: %v", ctr, bd.Counters)
+		}
+	}
+	// Breakdown() on the tracer must agree with the embedded copy.
+	if got := tr.Breakdown(); got.Counters["gain_evals"] != bd.Counters["gain_evals"] {
+		t.Errorf("Tracer.Breakdown disagrees with Placement.Trace")
+	}
+}
+
+// BenchmarkSolveNilTracer is the no-tracer baseline of the full pipeline;
+// compare against BenchmarkSolveTraced to see the total tracing overhead.
+// The zero-allocation guarantee of the nil-tracer hot path itself is
+// asserted by TestNilTracerZeroAlloc (internal/hipotrace) and
+// TestLazyGreedyTracerAllocParity (internal/submodular).
+func BenchmarkSolveNilTracer(b *testing.B) {
+	sc := demoScenario()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveTraced runs the same solve with a tracer attached.
+func BenchmarkSolveTraced(b *testing.B) {
+	sc := demoScenario()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Solve(WithTracer(NewTracer())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
