@@ -31,8 +31,8 @@ import (
 	"testing"
 	"time"
 
-	"hipo"
 	"hipo/internal/core"
+	"hipo/internal/corpus"
 	"hipo/internal/expt"
 	"hipo/internal/geom"
 	"hipo/internal/hipotrace"
@@ -186,7 +186,7 @@ func main() {
 
 func runPoint(sp sweepPoint, seed int64, minDur time.Duration) (Point, error) {
 	sc := expt.BenchScenario(seed, sp.obstacles, sp.deviceMult)
-	hash, err := toPublic(sc).ScenarioHash()
+	hash, err := corpus.ToPublic(sc).ScenarioHash()
 	if err != nil {
 		return Point{}, err
 	}
@@ -347,43 +347,4 @@ func randomPoint(sc *model.Scenario, rng *rand.Rand) geom.Vec {
 		sc.Region.Min.X+rng.Float64()*sc.Region.Width(),
 		sc.Region.Min.Y+rng.Float64()*sc.Region.Height(),
 	)
-}
-
-// toPublic converts an internal scenario to the public schema so the
-// report's scenario hashes match what hipogen/hiposerve would compute.
-func toPublic(sc *model.Scenario) *hipo.Scenario {
-	out := &hipo.Scenario{
-		Min: hipo.Point{X: sc.Region.Min.X, Y: sc.Region.Min.Y},
-		Max: hipo.Point{X: sc.Region.Max.X, Y: sc.Region.Max.Y},
-	}
-	for _, c := range sc.ChargerTypes {
-		out.ChargerTypes = append(out.ChargerTypes, hipo.ChargerSpec{
-			Name: c.Name, Alpha: c.Alpha, DMin: c.DMin, DMax: c.DMax, Count: c.Count,
-		})
-	}
-	for _, d := range sc.DeviceTypes {
-		out.DeviceTypes = append(out.DeviceTypes, hipo.DeviceSpec{
-			Name: d.Name, Alpha: d.Alpha, PTh: d.PTh,
-		})
-	}
-	for _, row := range sc.Power {
-		var r []hipo.PowerParams
-		for _, p := range row {
-			r = append(r, hipo.PowerParams{A: p.A, B: p.B})
-		}
-		out.Power = append(out.Power, r)
-	}
-	for _, d := range sc.Devices {
-		out.Devices = append(out.Devices, hipo.Device{
-			Pos: hipo.Point{X: d.Pos.X, Y: d.Pos.Y}, Orient: d.Orient, Type: d.Type,
-		})
-	}
-	for _, o := range sc.Obstacles {
-		var vs []hipo.Point
-		for _, v := range o.Shape.Vertices {
-			vs = append(vs, hipo.Point{X: v.X, Y: v.Y})
-		}
-		out.Obstacles = append(out.Obstacles, hipo.Obstacle{Vertices: vs})
-	}
-	return out
 }

@@ -1,0 +1,310 @@
+// Command hipoload runs a corpus-driven load or soak profile against
+// hiposerve and reports whether the server held up.
+//
+// By default it embeds the server in-process behind an httptest listener —
+// the exact production handler stack from internal/serve, no flag drift —
+// and drives a closed-loop profile over a deterministic scenario corpus
+// (internal/corpus). Point -url at a running hiposerve to load a remote
+// instance instead.
+//
+// A run proceeds in five steps: generate the corpus, materialize the
+// request plan (pure function of corpus + profile, witnessed by plan_hash
+// in the report), snapshot server health from /metrics and
+// /debug/pprof/goroutine, execute the plan, then wait for the jobs queue
+// to drain and snapshot again. The report (schema hipo-load/v1, default
+// BENCH_load.json) carries per-family latency quantiles, outcome counts,
+// client-observed cache hit ratios, and the soak verdict: no goroutine
+// growth beyond the worker-pool budget, bounded heap, zero non-terminal
+// jobs after drain.
+//
+//	hipoload                         # 15s-ish closed-loop smoke, in-process
+//	hipoload -requests 2000 -concurrency 16 -dup-ratio 0.5
+//	hipoload -open -rate 200 -requests 1000 -url http://host:8080
+//	hipoload -families sparse-obstacles,dense-obstacles -out -
+//
+// Exit status is 1 on any soak-invariant violation, so CI can gate on it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hipo/internal/corpus"
+	"hipo/internal/loadrun"
+	"hipo/internal/serve"
+)
+
+func main() {
+	cfg, out, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hipoload:", err)
+		os.Exit(2)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	report, err := run(context.Background(), cfg, log)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hipoload:", err)
+		os.Exit(1)
+	}
+	report.GeneratedUnix = time.Now().Unix()
+	if err := writeReport(report, out); err != nil {
+		fmt.Fprintln(os.Stderr, "hipoload:", err)
+		os.Exit(1)
+	}
+	log.Info("report written", "path", out,
+		"requests", report.Total.Requests,
+		"throughput_rps", fmt.Sprintf("%.1f", report.ThroughputRPS),
+		"p99_ms", fmt.Sprintf("%.2f", report.Total.LatencyMs.P99),
+		"error_rate", fmt.Sprintf("%.4f", report.Total.ErrorRate),
+		"invariants_ok", report.Soak.InvariantsOK)
+	if !report.Soak.InvariantsOK {
+		for _, v := range report.Soak.Violations {
+			log.Error("soak invariant violated", "violation", v)
+		}
+		os.Exit(1)
+	}
+}
+
+// loadConfig is everything run needs, assembled from flags or (in tests)
+// by hand.
+type loadConfig struct {
+	corpus  corpus.Config
+	profile loadrun.Profile
+	// url targets a remote hiposerve; empty embeds one in-process.
+	url   string
+	serve serve.Config
+	// goroutineBudget is the allowed goroutine growth across the run
+	// (0 = workers + 8).
+	goroutineBudget int
+	// drainWait bounds how long to wait for the jobs queue to empty after
+	// the last request.
+	drainWait time.Duration
+	// pollInterval spaces async job polls.
+	pollInterval time.Duration
+}
+
+func parseFlags(argv []string) (loadConfig, string, error) {
+	fs := flag.NewFlagSet("hipoload", flag.ContinueOnError)
+	var (
+		cfg      loadConfig
+		out      = fs.String("out", "BENCH_load.json", "report path ('-' for stdout)")
+		families = fs.String("families", "", "comma-separated corpus families (empty = all)")
+		mix      = fs.String("mix", "", "request mix weights sync,async,cancel,evaluate (empty = 70,15,5,10)")
+		open     = fs.Bool("open", false, "open-loop mode: fixed arrival rate instead of fixed concurrency")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-request deadline, async polling included")
+	)
+	fs.Int64Var(&cfg.corpus.Seed, "corpus-seed", 1, "corpus generation seed")
+	fs.IntVar(&cfg.corpus.PerFamily, "per-family", 3, "distinct scenarios per family")
+	fs.Float64Var(&cfg.corpus.DupRatio, "dup-ratio", 0.3, "fraction of corpus items repeating an earlier scenario (steers cache hits)")
+	fs.Float64Var(&cfg.profile.Rate, "rate", 50, "open-loop arrival rate, requests/second")
+	fs.IntVar(&cfg.profile.Concurrency, "concurrency", 8, "closed-loop worker count")
+	fs.IntVar(&cfg.profile.Requests, "requests", 400, "total planned requests, warmup included")
+	fs.IntVar(&cfg.profile.Warmup, "warmup", 40, "leading requests excluded from statistics")
+	fs.Int64Var(&cfg.profile.Seed, "seed", 1, "plan seed (kind and item selection, arrival jitter)")
+	fs.StringVar(&cfg.url, "url", "", "remote hiposerve base URL (empty = embed the server in-process)")
+	fs.IntVar(&cfg.serve.Workers, "workers", 4, "embedded server: async worker-pool size")
+	fs.IntVar(&cfg.serve.QueueDepth, "queue-depth", 16, "embedded server: jobs queue capacity")
+	fs.IntVar(&cfg.serve.CacheSize, "cache-size", 256, "embedded server: solve-cache entries")
+	fs.IntVar(&cfg.goroutineBudget, "goroutine-budget", 0, "allowed goroutine growth across the run (0 = workers + 8)")
+	fs.DurationVar(&cfg.drainWait, "drain-wait", 30*time.Second, "max wait for the jobs queue to drain after the run")
+	if err := fs.Parse(argv); err != nil {
+		return cfg, "", err
+	}
+	cfg.profile.OpenLoop = *open
+	cfg.profile.Timeout = *timeout
+	if *families != "" {
+		cfg.corpus.Families = strings.Split(*families, ",")
+	}
+	if *mix != "" {
+		m, err := parseMix(*mix)
+		if err != nil {
+			return cfg, "", err
+		}
+		cfg.profile.Mix = m
+	}
+	return cfg, *out, nil
+}
+
+func parseMix(s string) (loadrun.Mix, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return loadrun.Mix{}, fmt.Errorf("mix wants 4 comma-separated weights (sync,async,cancel,evaluate), got %q", s)
+	}
+	w := make([]int, 4)
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return loadrun.Mix{}, fmt.Errorf("bad mix weight %q", p)
+		}
+		w[i] = n
+	}
+	return loadrun.Mix{SolveSync: w[0], SolveAsync: w[1], Cancel: w[2], Evaluate: w[3]}, nil
+}
+
+// run executes one full load run and assembles the report. It is the
+// testable core: main only adds flag parsing and exit codes.
+func run(ctx context.Context, cfg loadConfig, log *slog.Logger) (*Report, error) {
+	corp, err := corpus.Generate(cfg.corpus)
+	if err != nil {
+		return nil, err
+	}
+	// Normalize up front so the report records the effective profile
+	// (defaults filled) rather than the raw flag values.
+	cfg.profile, err = cfg.profile.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	famNames := cfg.corpus.Families
+	if famNames == nil {
+		famNames = corpus.Names()
+	}
+
+	baseURL := cfg.url
+	client := http.DefaultClient
+	target := cfg.url
+	if baseURL == "" {
+		// Embed the production handler stack. Pprof must be on: the soak
+		// check reads the goroutine profile through it.
+		cfg.serve.EnablePprof = true
+		if cfg.serve.Logger == nil {
+			// The embedded server's request log would drown the run log.
+			cfg.serve.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelError}))
+		}
+		srv := serve.New(ctx, cfg.serve)
+		ts := httptest.NewServer(srv.Handler())
+		defer func() {
+			ts.Close()
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(shutdownCtx); err != nil {
+				log.Warn("embedded server shutdown", "err", err)
+			}
+		}()
+		baseURL = ts.URL
+		client = ts.Client()
+		target = "in-process"
+	}
+
+	plan, planHash, err := loadrun.Plan(corp, cfg.profile)
+	if err != nil {
+		return nil, err
+	}
+	log.Info("plan ready", "target", target, "corpus_items", len(corp.Items),
+		"duplicates", corp.Duplicates(), "requests", len(plan), "plan_hash", planHash[:12])
+
+	before, err := loadrun.ScrapeMetrics(client, baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("pre-run metrics scrape: %w", err)
+	}
+	goroutinesBefore, err := goroutines(client, baseURL, before)
+	if err != nil {
+		return nil, err
+	}
+
+	runner := &loadrun.Runner{BaseURL: baseURL, Client: client, PollInterval: cfg.pollInterval}
+	res, err := runner.Run(ctx, plan, cfg.profile)
+	if err != nil {
+		return nil, err
+	}
+	log.Info("run finished", "duration", res.Duration.Round(time.Millisecond),
+		"throughput_rps", fmt.Sprintf("%.1f", res.Throughput()))
+
+	after, err := drainAndScrape(ctx, client, baseURL, cfg.drainWait)
+	if err != nil {
+		return nil, err
+	}
+	goroutinesAfter, err := goroutines(client, baseURL, after)
+	if err != nil {
+		return nil, err
+	}
+
+	budget := cfg.goroutineBudget
+	if budget <= 0 {
+		workers := cfg.serve.Workers
+		if workers <= 0 {
+			workers = 4
+		}
+		budget = workers + 8
+	}
+	heapBefore := before["hiposerve_go_heap_alloc_bytes"]
+	soak := SoakReport{
+		GoroutinesBefore:  goroutinesBefore,
+		GoroutinesAfter:   goroutinesAfter,
+		GoroutineBudget:   budget,
+		HeapBeforeBytes:   heapBefore,
+		HeapAfterBytes:    after["hiposerve_go_heap_alloc_bytes"],
+		HeapBudgetBytes:   max(3*heapBefore, heapBefore+64*(1<<20)),
+		JobsActiveAfter:   after["hiposerve_jobs_active"],
+		QueueDepthAfter:   after["hiposerve_jobs_queue_depth"],
+		JobsRejectedDelta: after["hiposerve_jobs_rejected_total"] - before["hiposerve_jobs_rejected_total"],
+		ServerHitRatio:    after["hiposerve_cache_hit_ratio"],
+	}
+	total := res.Total()
+	soak.checkInvariants(total.Outcomes[loadrun.OutcomeRejected])
+
+	report := &Report{
+		Schema: SchemaVersion,
+		Target: target,
+		Corpus: CorpusInfo{
+			Seed:       cfg.corpus.Seed,
+			PerFamily:  cfg.corpus.PerFamily,
+			DupRatio:   cfg.corpus.DupRatio,
+			Families:   famNames,
+			Items:      len(corp.Items),
+			Duplicates: corp.Duplicates(),
+		},
+		Profile:       cfg.profile,
+		PlanHash:      planHash,
+		DurationMs:    float64(res.Duration) / float64(time.Millisecond),
+		ThroughputRPS: res.Throughput(),
+		WarmupDropped: res.WarmupDropped(),
+		Total:         statsReport(total),
+		Families:      map[string]StatsReport{},
+		Soak:          soak,
+	}
+	for name, fs := range res.Families() {
+		report.Families[name] = statsReport(fs)
+	}
+	return report, nil
+}
+
+// drainAndScrape polls /metrics until the jobs queue is empty and no job
+// is active (or the deadline passes — the invariant check then reports the
+// residue), returning the final scrape.
+func drainAndScrape(ctx context.Context, client *http.Client, baseURL string, wait time.Duration) (map[string]float64, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		m, err := loadrun.ScrapeMetrics(client, baseURL)
+		if err != nil {
+			return nil, fmt.Errorf("post-run metrics scrape: %w", err)
+		}
+		if m["hiposerve_jobs_active"] == 0 && m["hiposerve_jobs_queue_depth"] == 0 {
+			return m, nil
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			return m, nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// goroutines prefers the pprof profile (exact, includes stacks on demand)
+// and falls back to the metrics gauge when pprof is disabled on a remote
+// target.
+func goroutines(client *http.Client, baseURL string, metrics map[string]float64) (int, error) {
+	if n, err := loadrun.GoroutineCount(client, baseURL); err == nil {
+		return n, nil
+	}
+	if v, ok := metrics["hiposerve_go_goroutines"]; ok {
+		return int(v), nil
+	}
+	return 0, fmt.Errorf("no goroutine reading available (enable pprof or expose hiposerve_go_goroutines)")
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hipo/internal/corpus"
+	"hipo/internal/loadrun"
+	"hipo/internal/serve"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// TestRunEndToEnd drives a small closed-loop profile against the embedded
+// production server and checks the full report: schema, accounting,
+// per-family coverage, and a green soak verdict.
+func TestRunEndToEnd(t *testing.T) {
+	cfg := loadConfig{
+		corpus: corpus.Config{Seed: 5, PerFamily: 1, DupRatio: 0.3},
+		profile: loadrun.Profile{
+			Concurrency: 4, Requests: 60, Warmup: 10, Seed: 7,
+			Timeout: 30 * time.Second,
+		},
+		serve:        serve.Config{Workers: 2, QueueDepth: 8, Logger: quietLogger()},
+		drainWait:    20 * time.Second,
+		pollInterval: time.Millisecond,
+	}
+	report, err := run(context.Background(), cfg, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Schema != SchemaVersion {
+		t.Errorf("schema = %q, want %q", report.Schema, SchemaVersion)
+	}
+	if report.Target != "in-process" {
+		t.Errorf("target = %q", report.Target)
+	}
+	if len(report.PlanHash) != 64 {
+		t.Errorf("plan hash %q is not a sha256 hex digest", report.PlanHash)
+	}
+	if report.Total.Requests != 50 {
+		t.Errorf("measured %d requests, want 50", report.Total.Requests)
+	}
+	if report.WarmupDropped != 10 {
+		t.Errorf("warmup dropped = %d, want 10", report.WarmupDropped)
+	}
+	if report.Total.ErrorRate != 0 {
+		t.Errorf("error rate %.3f against a healthy server (outcomes %v)",
+			report.Total.ErrorRate, report.Total.Outcomes)
+	}
+	if len(report.Families) == 0 {
+		t.Fatal("no per-family stats")
+	}
+	sum := 0
+	for name, fs := range report.Families {
+		sum += fs.Requests
+		if fs.Requests > 0 && fs.LatencyMs.P99 <= 0 {
+			t.Errorf("family %s: p99 = %v with %d requests", name, fs.LatencyMs.P99, fs.Requests)
+		}
+	}
+	if sum != report.Total.Requests {
+		t.Errorf("family stats cover %d of %d requests", sum, report.Total.Requests)
+	}
+	// The 0.3 duplicate ratio must actually produce client-observed hits.
+	if report.Total.CacheHits == 0 {
+		t.Error("no cache hits despite duplicate corpus items")
+	}
+	if !report.Soak.InvariantsOK {
+		t.Errorf("soak invariants violated: %v", report.Soak.Violations)
+	}
+	if report.Soak.GoroutinesBefore <= 0 || report.Soak.GoroutinesAfter <= 0 {
+		t.Errorf("goroutine readings missing: before %d after %d",
+			report.Soak.GoroutinesBefore, report.Soak.GoroutinesAfter)
+	}
+	if report.Soak.HeapBeforeBytes <= 0 {
+		t.Error("heap reading missing")
+	}
+
+	// The report must round-trip to disk as valid JSON.
+	path := filepath.Join(t.TempDir(), "BENCH_load.json")
+	if err := writeReport(report, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SchemaVersion || back.PlanHash != report.PlanHash {
+		t.Error("report did not round-trip")
+	}
+}
+
+// TestRunIdenticalPlanHash: the acceptance criterion end to end — two runs
+// with the same seed, profile, and corpus produce the same plan hash even
+// though timings differ.
+func TestRunIdenticalPlanHash(t *testing.T) {
+	cfg := loadConfig{
+		corpus: corpus.Config{Seed: 9, PerFamily: 1},
+		profile: loadrun.Profile{
+			Concurrency: 4, Requests: 20, Seed: 3, Timeout: 30 * time.Second,
+		},
+		serve:        serve.Config{Workers: 2, Logger: quietLogger()},
+		drainWait:    10 * time.Second,
+		pollInterval: time.Millisecond,
+	}
+	a, err := run(context.Background(), cfg, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(context.Background(), cfg, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PlanHash != b.PlanHash {
+		t.Errorf("identical configs produced plan hashes %s vs %s", a.PlanHash, b.PlanHash)
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	cfg, out, err := parseFlags([]string{
+		"-requests", "100", "-warmup", "10", "-open", "-rate", "25",
+		"-families", "sparse-obstacles,mixed-type", "-mix", "1,2,3,4",
+		"-dup-ratio", "0.5", "-out", "-",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "-" {
+		t.Errorf("out = %q", out)
+	}
+	if !cfg.profile.OpenLoop || cfg.profile.Rate != 25 || cfg.profile.Requests != 100 {
+		t.Errorf("profile = %+v", cfg.profile)
+	}
+	if len(cfg.corpus.Families) != 2 || cfg.corpus.DupRatio != 0.5 {
+		t.Errorf("corpus = %+v", cfg.corpus)
+	}
+	want := loadrun.Mix{SolveSync: 1, SolveAsync: 2, Cancel: 3, Evaluate: 4}
+	if cfg.profile.Mix != want {
+		t.Errorf("mix = %+v, want %+v", cfg.profile.Mix, want)
+	}
+
+	if _, _, err := parseFlags([]string{"-mix", "1,2"}); err == nil {
+		t.Error("short mix accepted")
+	}
+	if _, _, err := parseFlags([]string{"-mix", "a,b,c,d"}); err == nil {
+		t.Error("non-numeric mix accepted")
+	}
+}
+
+// TestSoakInvariantDetection: cooked readings must trip the checks.
+func TestSoakInvariantDetection(t *testing.T) {
+	s := SoakReport{
+		GoroutinesBefore: 10, GoroutinesAfter: 40, GoroutineBudget: 10,
+		HeapBeforeBytes: 1 << 20, HeapAfterBytes: 200 << 20, HeapBudgetBytes: 65 << 20,
+		JobsActiveAfter: 2, QueueDepthAfter: 1,
+	}
+	s.checkInvariants(5) // client saw rejects, counter delta is zero
+	if s.InvariantsOK {
+		t.Fatal("violations not detected")
+	}
+	if len(s.Violations) != 5 {
+		t.Errorf("got %d violations, want 5: %v", len(s.Violations), s.Violations)
+	}
+
+	ok := SoakReport{
+		GoroutinesBefore: 10, GoroutinesAfter: 12, GoroutineBudget: 10,
+		HeapBeforeBytes: 1 << 20, HeapAfterBytes: 2 << 20, HeapBudgetBytes: 65 << 20,
+	}
+	ok.checkInvariants(0)
+	if !ok.InvariantsOK {
+		t.Errorf("clean readings flagged: %v", ok.Violations)
+	}
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hipo/internal/loadrun"
+)
+
+// SchemaVersion identifies the BENCH_load.json layout. Bump on any
+// incompatible change and keep CI's validator in sync.
+const SchemaVersion = "hipo-load/v1"
+
+// Report is the versioned BENCH_load.json artifact: what was run (corpus +
+// profile + plan hash), what came back (per-family and total latency /
+// outcome / cache statistics), and whether the server survived it (soak
+// invariants).
+type Report struct {
+	Schema        string                 `json:"schema"`
+	GeneratedUnix int64                  `json:"generated_unix"`
+	Target        string                 `json:"target"` // "in-process" or the remote URL
+	Corpus        CorpusInfo             `json:"corpus"`
+	Profile       loadrun.Profile        `json:"profile"`
+	PlanHash      string                 `json:"plan_hash"`
+	DurationMs    float64                `json:"duration_ms"`
+	ThroughputRPS float64                `json:"throughput_rps"`
+	WarmupDropped int                    `json:"warmup_dropped"`
+	Total         StatsReport            `json:"total"`
+	Families      map[string]StatsReport `json:"families"`
+	Soak          SoakReport             `json:"soak"`
+}
+
+// CorpusInfo records the generation parameters and resulting pool size so
+// a report is reproducible from its own header.
+type CorpusInfo struct {
+	Seed       int64    `json:"seed"`
+	PerFamily  int      `json:"per_family"`
+	DupRatio   float64  `json:"dup_ratio"`
+	Families   []string `json:"families"`
+	Items      int      `json:"items"`
+	Duplicates int      `json:"duplicates"`
+}
+
+// StatsReport is the serialized form of one loadrun.Stats aggregate.
+type StatsReport struct {
+	Requests      int            `json:"requests"`
+	Outcomes      map[string]int `json:"outcomes"`
+	ErrorRate     float64        `json:"error_rate"`
+	CacheHits     int            `json:"cache_hits"`
+	CacheMisses   int            `json:"cache_misses"`
+	CacheHitRatio float64        `json:"cache_hit_ratio"`
+	LatencyMs     LatencyReport  `json:"latency_ms"`
+}
+
+// LatencyReport carries the headline quantiles in milliseconds.
+type LatencyReport struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+func statsReport(s *loadrun.Stats) StatsReport {
+	return StatsReport{
+		Requests:      s.Requests,
+		Outcomes:      s.Outcomes,
+		ErrorRate:     s.ErrorRate(),
+		CacheHits:     s.CacheHits,
+		CacheMisses:   s.CacheMisses,
+		CacheHitRatio: s.CacheHitRatio(),
+		LatencyMs: LatencyReport{
+			P50:  s.Hist.Quantile(0.50),
+			P95:  s.Hist.Quantile(0.95),
+			P99:  s.Hist.Quantile(0.99),
+			Mean: s.Hist.Mean(),
+			Min:  s.Hist.Min(),
+			Max:  s.Hist.Max(),
+		},
+	}
+}
+
+// SoakReport captures before/after server health and the invariant
+// verdict. All "after" readings are taken once the jobs queue has drained.
+type SoakReport struct {
+	GoroutinesBefore  int      `json:"goroutines_before"`
+	GoroutinesAfter   int      `json:"goroutines_after"`
+	GoroutineBudget   int      `json:"goroutine_budget"`
+	HeapBeforeBytes   float64  `json:"heap_before_bytes"`
+	HeapAfterBytes    float64  `json:"heap_after_bytes"`
+	HeapBudgetBytes   float64  `json:"heap_budget_bytes"`
+	JobsActiveAfter   float64  `json:"jobs_active_after"`
+	QueueDepthAfter   float64  `json:"queue_depth_after"`
+	JobsRejectedDelta float64  `json:"jobs_rejected_delta"`
+	ServerHitRatio    float64  `json:"server_cache_hit_ratio"`
+	InvariantsOK      bool     `json:"invariants_ok"`
+	Violations        []string `json:"violations"`
+}
+
+// checkInvariants fills the verdict fields from the raw readings. The
+// goroutine budget absorbs the worker pool plus scheduler/network slack;
+// the heap budget allows 3× growth or +64 MiB, whichever is larger —
+// a retained-per-request leak blows through either within one soak run.
+func (s *SoakReport) checkInvariants(rejectedSeen int) {
+	s.Violations = []string{}
+	if s.JobsActiveAfter != 0 {
+		s.Violations = append(s.Violations,
+			fmt.Sprintf("jobs still active after drain: %.0f", s.JobsActiveAfter))
+	}
+	if s.QueueDepthAfter != 0 {
+		s.Violations = append(s.Violations,
+			fmt.Sprintf("queue not empty after drain: %.0f", s.QueueDepthAfter))
+	}
+	if s.GoroutinesAfter > s.GoroutinesBefore+s.GoroutineBudget {
+		s.Violations = append(s.Violations,
+			fmt.Sprintf("goroutines grew %d → %d (budget +%d)",
+				s.GoroutinesBefore, s.GoroutinesAfter, s.GoroutineBudget))
+	}
+	if s.HeapAfterBytes > s.HeapBudgetBytes {
+		s.Violations = append(s.Violations,
+			fmt.Sprintf("heap grew %.0f → %.0f bytes (budget %.0f)",
+				s.HeapBeforeBytes, s.HeapAfterBytes, s.HeapBudgetBytes))
+	}
+	if rejectedSeen > 0 && s.JobsRejectedDelta == 0 {
+		s.Violations = append(s.Violations,
+			fmt.Sprintf("client saw %d rejects but the server counter never moved", rejectedSeen))
+	}
+	s.InvariantsOK = len(s.Violations) == 0
+}
+
+// writeReport marshals the report to path ("-" for stdout).
+func writeReport(r *Report, path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -36,6 +36,8 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"hipo/internal/serve"
 )
 
 func main() {
@@ -61,7 +63,7 @@ func main() {
 	}
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
-	srv := newServer(Config{
+	srv := serve.New(context.Background(), serve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
 		CacheSize:       *cacheSize,
@@ -75,7 +77,7 @@ func main() {
 		Logger:          logger,
 	})
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -99,7 +101,7 @@ func main() {
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		logger.Error("http shutdown", "err", err)
 	}
-	if err := srv.shutdown(drainCtx); err != nil {
+	if err := srv.Shutdown(drainCtx); err != nil {
 		logger.Error("job drain", "err", err)
 	}
 	logger.Info("stopped")

@@ -1,0 +1,234 @@
+// Package corpus generates deterministic, seeded scenario corpora for load
+// and soak testing of the hiposerve service (cmd/hipoload). A corpus is a
+// pool of small, fast-to-solve scenarios drawn from named families that
+// span the axes the paper and the fairness line of work care about —
+// obstacle density, device clustering, charger-type heterogeneity, and
+// every solve objective the server exposes. Each item is tagged with its
+// canonical ScenarioHash, so request streams built from a corpus are fully
+// reproducible and the solve-cache hit rate is controllable via the
+// configurable duplicate ratio: duplicates share a hash with their source
+// item and therefore hit the same cache entry.
+//
+// Determinism contract: Generate is a pure function of its Config. The
+// same Config yields a byte-identical corpus (same items, same order, same
+// hashes); distinct families always produce disjoint hash sets because
+// every family perturbs the scenario structure, not just its seed.
+package corpus
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hipo"
+	"hipo/internal/model"
+)
+
+// Endpoints a family's items are solved through.
+const (
+	EndpointSolve    = "/v1/solve"
+	EndpointBudgeted = "/v1/solve/budgeted"
+	EndpointMaxMin   = "/v1/solve/maxmin"
+	EndpointPropFair = "/v1/solve/propfair"
+)
+
+// DefaultEps is the approximation parameter attached to corpus items.
+// Coarser than the paper's 0.15 default: load tests trade approximation
+// quality for request volume, and ε participates in the cache key anyway.
+const DefaultEps = 0.3
+
+// Item is one scenario in the corpus plus the request shape it is solved
+// with. Duplicate items repeat an earlier item's scenario verbatim (same
+// Hash), which is what makes cache-hit behavior steerable.
+type Item struct {
+	// Family names the generating family; Seed is the item's derived
+	// scenario seed (useful for reproducing one item in isolation).
+	Family string `json:"family"`
+	Seed   int64  `json:"seed"`
+	// Endpoint is the solve route this item targets.
+	Endpoint string `json:"endpoint"`
+	// Hash is the scenario's canonical content hash (hipo.ScenarioHash).
+	Hash string `json:"hash"`
+	// Eps is the approximation parameter to solve with.
+	Eps float64 `json:"eps"`
+	// Duplicate marks items that repeat an earlier item's scenario.
+	Duplicate bool           `json:"duplicate,omitempty"`
+	Scenario  *hipo.Scenario `json:"scenario"`
+
+	// Budget configures EndpointBudgeted items; Iterations and SolveSeed
+	// configure EndpointMaxMin items.
+	Budget     *hipo.DeploymentBudget `json:"budget,omitempty"`
+	Iterations int                    `json:"iterations,omitempty"`
+	SolveSeed  int64                  `json:"solve_seed,omitempty"`
+}
+
+// Config parameterizes corpus generation. The zero value is usable.
+type Config struct {
+	// Seed drives every random draw in the corpus.
+	Seed int64
+	// PerFamily is the number of distinct scenarios per family (default 3).
+	PerFamily int
+	// DupRatio in [0, 0.9] is the target fraction of the final corpus that
+	// repeats an earlier item (default 0 = all distinct).
+	DupRatio float64
+	// Families selects a subset by name (nil = all). Unknown names error.
+	Families []string
+}
+
+func (c Config) withDefaults() Config {
+	if c.PerFamily <= 0 {
+		c.PerFamily = 3
+	}
+	return c
+}
+
+// Corpus is a generated scenario pool.
+type Corpus struct {
+	Seed  int64  `json:"seed"`
+	Items []Item `json:"items"`
+}
+
+// Duplicates counts the items marked as repeats.
+func (c *Corpus) Duplicates() int {
+	n := 0
+	for _, it := range c.Items {
+		if it.Duplicate {
+			n++
+		}
+	}
+	return n
+}
+
+// family couples a name with its scenario builder and request shape.
+type family struct {
+	name     string
+	endpoint string
+	build    func(rng *rand.Rand) *model.Scenario
+}
+
+// families is the registry, in a fixed order so generation is stable.
+// Scenario sizing is deliberately small (≤ ~9 devices, ≤ 4 chargers):
+// a load run issues hundreds of solves, so each must take milliseconds,
+// not the seconds of the full paper-scale scenarios in internal/expt.
+var families = []family{
+	{"sparse-obstacles", EndpointSolve, buildSparseObstacles},
+	{"dense-obstacles", EndpointSolve, buildDenseObstacles},
+	{"uniform-devices", EndpointSolve, buildUniformDevices},
+	{"clustered-devices", EndpointSolve, buildClusteredDevices},
+	{"corridor-devices", EndpointSolve, buildCorridorDevices},
+	{"single-type", EndpointSolve, buildSingleType},
+	{"mixed-type", EndpointSolve, buildMixedType},
+	{"objective-budgeted", EndpointBudgeted, buildUniformDevices},
+	{"objective-maxmin", EndpointMaxMin, buildUniformDevices},
+	{"objective-propfair", EndpointPropFair, buildClusteredDevices},
+}
+
+// Names returns every family name in registry order.
+func Names() []string {
+	out := make([]string, len(families))
+	for i, f := range families {
+		out[i] = f.name
+	}
+	return out
+}
+
+// itemSeed derives a per-item seed that is stable across subset selection:
+// it depends only on the corpus seed, the family name, and the index.
+func itemSeed(seed int64, familyName string, i int) int64 {
+	h := fnv.New64a()
+	_, _ = fmt.Fprintf(h, "%d|%s|%d", seed, familyName, i) // hash writes cannot fail
+	return int64(h.Sum64())
+}
+
+// Generate builds the corpus for cfg. See the package comment for the
+// determinism contract.
+func Generate(cfg Config) (*Corpus, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DupRatio < 0 || cfg.DupRatio > 0.9 {
+		return nil, fmt.Errorf("corpus: dup ratio must be in [0, 0.9], got %v", cfg.DupRatio)
+	}
+	selected, err := selectFamilies(cfg.Families)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Corpus{Seed: cfg.Seed}
+	for _, f := range selected {
+		for i := 0; i < cfg.PerFamily; i++ {
+			seed := itemSeed(cfg.Seed, f.name, i)
+			rng := rand.New(rand.NewSource(seed))
+			sc := ToPublic(f.build(rng))
+			hash, err := sc.ScenarioHash()
+			if err != nil {
+				return nil, fmt.Errorf("corpus: %s[%d]: %w", f.name, i, err)
+			}
+			it := Item{
+				Family:   f.name,
+				Seed:     seed,
+				Endpoint: f.endpoint,
+				Hash:     hash,
+				Eps:      DefaultEps,
+				Scenario: sc,
+			}
+			switch f.endpoint {
+			case EndpointBudgeted:
+				it.Budget = &hipo.DeploymentBudget{
+					Depot:     hipo.Point{X: 0, Y: 0},
+					PerMeter:  1,
+					PerRadian: 1,
+					Budget:    80,
+				}
+			case EndpointMaxMin:
+				it.Iterations = 40
+				it.SolveSeed = seed
+			}
+			c.Items = append(c.Items, it)
+		}
+	}
+
+	// Append duplicates until they make up ~DupRatio of the final corpus,
+	// then shuffle so repeats interleave with first sights. One rng drives
+	// both steps, seeded independently of the scenario rngs.
+	if cfg.DupRatio > 0 {
+		base := len(c.Items)
+		nDup := int(math.Round(cfg.DupRatio * float64(base) / (1 - cfg.DupRatio)))
+		rng := rand.New(rand.NewSource(itemSeed(cfg.Seed, "duplicates", 0)))
+		for i := 0; i < nDup; i++ {
+			dup := c.Items[rng.Intn(base)]
+			dup.Duplicate = true
+			c.Items = append(c.Items, dup)
+		}
+		rng.Shuffle(len(c.Items), func(i, j int) {
+			c.Items[i], c.Items[j] = c.Items[j], c.Items[i]
+		})
+	}
+	return c, nil
+}
+
+func selectFamilies(names []string) ([]family, error) {
+	if names == nil {
+		return families, nil
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []family
+	for _, f := range families {
+		if want[f.name] {
+			out = append(out, f)
+			delete(want, f.name)
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("corpus: unknown families %v (known: %v)", unknown, Names())
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package corpus
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"hipo"
+)
+
+// TestGenerateDeterminism: the same config must yield a byte-identical
+// corpus — same items, same order, same hashes — across calls. This is the
+// property that makes load runs replayable.
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, PerFamily: 3, DupRatio: 0.25}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatal("same config produced different corpora")
+	}
+
+	// A different seed must actually change the corpus.
+	c, err := Generate(Config{Seed: 43, PerFamily: 3, DupRatio: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, _ := json.Marshal(c)
+	if bytes.Equal(ja, jc) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+// hashSet collects the distinct hashes of one generated family.
+func hashSet(t *testing.T, seed int64, fam string) map[string]bool {
+	t.Helper()
+	c, err := Generate(Config{Seed: seed, PerFamily: 3, Families: []string{fam}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make(map[string]bool)
+	for _, it := range c.Items {
+		if it.Hash == "" {
+			t.Fatalf("%s: item without hash", fam)
+		}
+		got, err := it.Scenario.ScenarioHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != it.Hash {
+			t.Fatalf("%s: tagged hash %s != recomputed %s", fam, it.Hash, got)
+		}
+		set[it.Hash] = true
+	}
+	return set
+}
+
+// TestFamilyHashSetsDisjoint: the same corpus seed must give every family
+// its own scenarios — no hash may appear in two families.
+func TestFamilyHashSetsDisjoint(t *testing.T) {
+	seen := make(map[string]string) // hash -> family
+	for _, fam := range Names() {
+		for h := range hashSet(t, 7, fam) {
+			if prev, ok := seen[h]; ok {
+				t.Errorf("hash %s appears in both %s and %s", h, prev, fam)
+			}
+			seen[h] = fam
+		}
+	}
+}
+
+// TestDuplicateRatio checks the dup-ratio bookkeeping: duplicates share a
+// hash with a non-duplicate item and make up roughly the requested share.
+func TestDuplicateRatio(t *testing.T) {
+	c, err := Generate(Config{Seed: 1, PerFamily: 3, DupRatio: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make(map[string]bool)
+	for _, it := range c.Items {
+		if !it.Duplicate {
+			first[it.Hash] = true
+		}
+	}
+	nDup := c.Duplicates()
+	if nDup == 0 {
+		t.Fatal("dup ratio 0.3 produced no duplicates")
+	}
+	for _, it := range c.Items {
+		if it.Duplicate && !first[it.Hash] {
+			t.Errorf("duplicate item %s/%s has no distinct source", it.Family, it.Hash)
+		}
+	}
+	got := float64(nDup) / float64(len(c.Items))
+	if math.Abs(got-0.3) > 0.05 {
+		t.Errorf("duplicate share = %.2f, want ~0.30", got)
+	}
+
+	// DupRatio 0 means every item is a first sight.
+	c0, err := Generate(Config{Seed: 1, PerFamily: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0.Duplicates() != 0 {
+		t.Errorf("dup ratio 0 produced %d duplicates", c0.Duplicates())
+	}
+}
+
+// TestUnknownFamilyErrors: typos must fail loudly, not silently shrink the
+// corpus.
+func TestUnknownFamilyErrors(t *testing.T) {
+	if _, err := Generate(Config{Families: []string{"no-such-family"}}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if _, err := Generate(Config{DupRatio: 0.95}); err == nil {
+		t.Fatal("out-of-range dup ratio accepted")
+	}
+}
+
+// TestItemsAreServable: every family's scenarios must validate against the
+// public schema and carry a consistent request shape, and items must solve
+// quickly — the corpus is a load-test pool, not a benchmark pool.
+func TestItemsAreServable(t *testing.T) {
+	c, err := Generate(Config{Seed: 3, PerFamily: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solved := make(map[string]bool)
+	for _, it := range c.Items {
+		if err := it.Scenario.Validate(); err != nil {
+			t.Errorf("%s: invalid scenario: %v", it.Family, err)
+			continue
+		}
+		if it.Endpoint == EndpointBudgeted && it.Budget == nil {
+			t.Errorf("%s: budgeted item without budget", it.Family)
+		}
+		if it.Endpoint == EndpointMaxMin && it.Iterations == 0 {
+			t.Errorf("%s: maxmin item without iterations", it.Family)
+		}
+		if solved[it.Family] {
+			continue // one solve per family keeps the test quick
+		}
+		solved[it.Family] = true
+		p, err := it.Scenario.Solve(hipo.WithEps(it.Eps))
+		if err != nil {
+			t.Errorf("%s: solve: %v", it.Family, err)
+			continue
+		}
+		if len(p.Chargers) == 0 {
+			t.Errorf("%s: empty placement", it.Family)
+		}
+	}
+	if len(solved) != len(Names()) {
+		t.Errorf("solved %d families, want %d", len(solved), len(Names()))
+	}
+}

@@ -217,6 +217,45 @@ func (m *Manager) Len() int {
 	return len(m.jobs)
 }
 
+// QueueDepth returns the number of jobs buffered in the queue waiting for a
+// worker. It can momentarily disagree with Counts().Pending: a job a worker
+// has dequeued but not yet transitioned stays pending while off the queue.
+func (m *Manager) QueueDepth() int {
+	return len(m.queue)
+}
+
+// Counts is a point-in-time census of tracked jobs by state.
+type Counts struct {
+	Pending, Running, Done, Failed, Canceled int
+}
+
+// Active returns the number of non-terminal jobs.
+func (c Counts) Active() int { return c.Pending + c.Running }
+
+// Counts tallies the tracked jobs by state (evicted jobs are gone and not
+// counted). An idle manager with an empty queue reports Active() == 0,
+// which load harnesses use as the "fully drained" invariant.
+func (m *Manager) Counts() Counts {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var c Counts
+	for _, j := range m.jobs {
+		switch j.state {
+		case StatePending:
+			c.Pending++
+		case StateRunning:
+			c.Running++
+		case StateDone:
+			c.Done++
+		case StateFailed:
+			c.Failed++
+		case StateCanceled:
+			c.Canceled++
+		}
+	}
+	return c
+}
+
 // Shutdown stops accepting new jobs and waits for the workers to finish
 // the jobs already queued or running, or for ctx to expire — whichever
 // comes first. On ctx expiry the workers are told to stop after their

@@ -1,0 +1,177 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSubmitStormAtCapacity hammers a saturated manager from many
+// goroutines and checks the overload contract end to end: every Submit
+// either succeeds or fails cleanly with ErrQueueFull, every accepted job
+// reaches a terminal state once the workers are released, the census
+// gauges read fully drained, and no goroutine outlives the manager (the
+// cancel_test.go leak-check pattern). Run under -race in CI.
+func TestSubmitStormAtCapacity(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	const (
+		workers  = 2
+		depth    = 4
+		stormers = 16
+		perStorm = 50
+	)
+	m := NewManager(context.Background(), Config{Workers: workers, Depth: depth})
+
+	// Park every worker so the queue is the only capacity.
+	release := make(chan struct{})
+	var parked sync.WaitGroup
+	parked.Add(workers)
+	blockers := make([]string, 0, workers)
+	for i := 0; i < workers; i++ {
+		id, err := m.Submit(func(ctx context.Context) (any, error) {
+			parked.Done()
+			<-release
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blockers = append(blockers, id)
+	}
+	parked.Wait()
+
+	var accepted sync.Map // id -> struct{}
+	var rejected, acceptedN atomic.Int64
+	var storm sync.WaitGroup
+	for g := 0; g < stormers; g++ {
+		storm.Add(1)
+		go func() {
+			defer storm.Done()
+			for i := 0; i < perStorm; i++ {
+				id, err := m.Submit(func(ctx context.Context) (any, error) { return i, nil })
+				switch {
+				case err == nil:
+					accepted.Store(id, struct{}{})
+					acceptedN.Add(1)
+				case errors.Is(err, ErrQueueFull):
+					rejected.Add(1)
+				default:
+					t.Errorf("Submit: unexpected error %v", err)
+				}
+			}
+		}()
+	}
+	storm.Wait()
+
+	// With the workers parked, at most `depth` storm submits can fit.
+	if got := acceptedN.Load(); got > depth {
+		t.Errorf("accepted %d storm jobs with all workers parked, queue depth %d", got, depth)
+	}
+	if rejected.Load() == 0 {
+		t.Error("saturated queue never returned ErrQueueFull")
+	}
+
+	close(release)
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every accepted job (and the blockers) must be terminal and pollable.
+	check := func(id string) {
+		snap, err := m.Get(id)
+		if err != nil {
+			t.Errorf("job %s: %v", id, err)
+			return
+		}
+		if !snap.State.Terminal() {
+			t.Errorf("job %s left in state %s after drain", id, snap.State)
+		}
+		if snap.Finished == nil {
+			t.Errorf("job %s terminal without a finish time", id)
+		}
+	}
+	for _, id := range blockers {
+		check(id)
+	}
+	accepted.Range(func(k, _ any) bool { check(k.(string)); return true })
+
+	c := m.Counts()
+	if c.Active() != 0 {
+		t.Errorf("Counts().Active() = %d after drain, want 0 (%+v)", c.Active(), c)
+	}
+	if got := int64(c.Done); got != acceptedN.Load()+int64(len(blockers)) {
+		t.Errorf("Counts().Done = %d, want %d", got, acceptedN.Load()+int64(len(blockers)))
+	}
+	if m.QueueDepth() != 0 {
+		t.Errorf("QueueDepth() = %d after drain, want 0", m.QueueDepth())
+	}
+
+	// Worker goroutines must all exit after Shutdown.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak after storm: %d before, %d after\n%s",
+		baseline, runtime.NumGoroutine(), buf[:n])
+}
+
+// TestCountsCensus walks one job through its lifecycle and checks the
+// census at each step.
+func TestCountsCensus(t *testing.T) {
+	m := NewManager(context.Background(), Config{Workers: 1, Depth: 2})
+	defer m.Shutdown(context.Background())
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if _, err := m.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if c := m.Counts(); c.Running != 1 || c.Active() != 1 {
+		t.Errorf("while running: %+v", c)
+	}
+
+	id, err := m.Submit(func(ctx context.Context) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := m.Counts(); c.Pending != 1 || c.Active() != 2 {
+		t.Errorf("with one queued: %+v", c)
+	}
+	if d := m.QueueDepth(); d != 1 {
+		t.Errorf("QueueDepth() = %d, want 1", d)
+	}
+
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queued job stuck in %s", snap.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if c := m.Counts(); c.Active() != 0 || c.Done != 2 {
+		t.Errorf("after drain: %+v", c)
+	}
+}

@@ -4,15 +4,19 @@ import "go/ast"
 
 // wallClockExempt lists the packages allowed to read the wall clock: the
 // job manager (timestamps job lifecycle), serving metrics (latency
-// accounting), the experiment harness (measures runtime as an output), the
-// solve tracer (span durations are its whole purpose; it never feeds time
-// back into placement decisions), and all cmd/examples layers. Everything
-// else is the deterministic pipeline, where identical inputs must yield
-// identical outputs.
+// accounting), the HTTP serving layer (request deadlines and latency
+// observation), the load harness (its entire purpose is timing requests),
+// the experiment harness (measures runtime as an output), the solve tracer
+// (span durations are its whole purpose; it never feeds time back into
+// placement decisions), and all cmd/examples layers. Everything else is
+// the deterministic pipeline, where identical inputs must yield identical
+// outputs.
 var wallClockExempt = []string{
 	"hipo/internal/expt",
 	"hipo/internal/hipotrace",
 	"hipo/internal/jobs",
+	"hipo/internal/loadrun",
+	"hipo/internal/serve",
 	"hipo/internal/servemetrics",
 }
 

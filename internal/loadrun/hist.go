@@ -1,0 +1,125 @@
+package loadrun
+
+import "math"
+
+// Latency histogram bounds: geometric buckets from 50µs to 120s with a
+// 1.25 growth factor (~67 buckets, ≤12.5% relative quantile error —
+// HDR-style resolution without per-sample storage).
+const (
+	histMinMs    = 0.05
+	histMaxMs    = 120000
+	histGrowth   = 1.25
+	histOverflow = 1 // trailing bucket for observations beyond histMaxMs
+)
+
+var histBuckets = func() int {
+	return int(math.Ceil(math.Log(histMaxMs/histMinMs)/math.Log(histGrowth))) + histOverflow
+}()
+
+// Hist is a fixed-bucket log-linear latency histogram in milliseconds.
+// It is not goroutine-safe; the Recorder serializes access.
+type Hist struct {
+	counts []uint64
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist {
+	return &Hist{counts: make([]uint64, histBuckets), min: math.Inf(1)}
+}
+
+func bucketIndex(ms float64) int {
+	if ms <= histMinMs {
+		return 0
+	}
+	i := int(math.Log(ms/histMinMs) / math.Log(histGrowth))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketBounds returns bucket i's latency range in milliseconds.
+func bucketBounds(i int) (lo, hi float64) {
+	lo = histMinMs * math.Pow(histGrowth, float64(i))
+	if i == 0 {
+		lo = 0
+	}
+	hi = histMinMs * math.Pow(histGrowth, float64(i+1))
+	if i == histBuckets-1 {
+		hi = math.Max(hi, histMaxMs)
+	}
+	return lo, hi
+}
+
+// Observe records one latency sample in milliseconds.
+func (h *Hist) Observe(ms float64) {
+	if ms < 0 || math.IsNaN(ms) {
+		return
+	}
+	h.counts[bucketIndex(ms)]++
+	h.count++
+	h.sum += ms
+	if ms < h.min {
+		h.min = ms
+	}
+	if ms > h.max {
+		h.max = ms
+	}
+}
+
+// Count returns the number of observed samples.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Mean returns the average observed latency in milliseconds (0 if empty).
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min and Max return the exact extreme samples (0 if empty).
+func (h *Hist) Min() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observed sample (0 if empty).
+func (h *Hist) Max() float64 { return h.max }
+
+// Quantile returns the latency in milliseconds at quantile q in [0, 1],
+// linearly interpolated within the containing bucket and clamped to the
+// exact observed min/max so p0/p100 are never bucket artifacts.
+func (h *Hist) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	target := q * float64(h.count)
+	var cum float64
+	for i, n := range h.counts {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= target {
+			lo, hi := bucketBounds(i)
+			frac := (target - cum) / float64(n)
+			v := lo + frac*(hi-lo)
+			return math.Min(math.Max(v, h.min), h.max)
+		}
+		cum = next
+	}
+	return h.Max()
+}

@@ -1,0 +1,225 @@
+// Package loadrun replays corpus-driven request streams against a
+// hiposerve instance and records what happens: per-request latency into
+// HDR-style log-linear histogram buckets, outcome classification (ok,
+// load-shed, timeout, server error, ...), client-observed cache hits, and
+// warmup exclusion, all broken down per corpus family.
+//
+// A run has two halves with very different determinism properties:
+//
+//   - Plan is a pure function of (corpus, profile): it fixes every
+//     request's kind, endpoint, body, and — for open-loop profiles —
+//     arrival offset, and digests the sequence into PlanHash. Identical
+//     seed + profile + corpus means an identical request sequence.
+//   - Run executes a plan against a live server. Timings, and therefore
+//     the recorded statistics, are as reproducible as the hardware.
+//
+// Two profiles are supported. Closed-loop: a fixed worker pool issues the
+// plan in order, each worker sending its next request as soon as the
+// previous answer lands — throughput adapts to the server. Open-loop: the
+// plan's seeded Poisson arrival schedule is honored regardless of how slow
+// the server answers, which is what exposes overload behavior (429 +
+// Retry-After load shedding) instead of politely waiting it out.
+package loadrun
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hipo"
+	"hipo/internal/corpus"
+	"hipo/internal/serve"
+)
+
+// Kind is the request archetype of one planned request.
+type Kind string
+
+// The four request archetypes a plan mixes. Cancels submit an async job
+// and immediately cancel it — the submit/cancel/poll round-trip is the
+// measured unit.
+const (
+	KindSolveSync  Kind = "solve_sync"
+	KindSolveAsync Kind = "solve_async"
+	KindCancel     Kind = "cancel"
+	KindEvaluate   Kind = "evaluate"
+)
+
+// Mix weights the request archetypes in a plan. Zero-valued mixes get
+// DefaultMix; individual zero weights simply exclude that kind.
+type Mix struct {
+	SolveSync  int `json:"solve_sync"`
+	SolveAsync int `json:"solve_async"`
+	Cancel     int `json:"cancel"`
+	Evaluate   int `json:"evaluate"`
+}
+
+// DefaultMix approximates the online redeployment workload: mostly
+// synchronous solves, a steady trickle of async jobs, the occasional
+// cancel, and evaluate calls scoring live placements.
+var DefaultMix = Mix{SolveSync: 70, SolveAsync: 15, Cancel: 5, Evaluate: 10}
+
+func (m Mix) total() int { return m.SolveSync + m.SolveAsync + m.Cancel + m.Evaluate }
+
+// Profile fixes the shape of a load run.
+type Profile struct {
+	// OpenLoop selects fixed-arrival-rate mode (Rate requests/second with
+	// seeded Poisson inter-arrivals); otherwise ClosedLoop with Concurrency
+	// workers.
+	OpenLoop    bool    `json:"open_loop"`
+	Rate        float64 `json:"rate,omitempty"`
+	Concurrency int     `json:"concurrency,omitempty"`
+	// Requests is the total planned request count, including warmup.
+	Requests int `json:"requests"`
+	// Warmup is the number of leading requests excluded from the report
+	// statistics (cold caches, page faults, JIT-warm connection pools).
+	Warmup int `json:"warmup"`
+	// Mix weights the request kinds.
+	Mix Mix `json:"mix"`
+	// Seed drives kind selection, item selection, and arrival jitter.
+	Seed int64 `json:"seed"`
+	// Timeout bounds each request including async polling (default 30s).
+	Timeout time.Duration `json:"-"`
+	// TimeoutMs mirrors Timeout into the JSON report.
+	TimeoutMs int64 `json:"timeout_ms"`
+}
+
+// Normalize validates the profile and fills defaults. Plan and Run call it
+// internally; callers that serialize the profile (cmd/hipoload reports)
+// should normalize first so the effective values are what gets recorded.
+func (p Profile) Normalize() (Profile, error) {
+	if p.Requests <= 0 {
+		return p, fmt.Errorf("loadrun: profile.Requests must be > 0, got %d", p.Requests)
+	}
+	if p.Warmup < 0 || p.Warmup >= p.Requests {
+		return p, fmt.Errorf("loadrun: warmup %d out of range for %d requests", p.Warmup, p.Requests)
+	}
+	if p.OpenLoop {
+		if p.Rate <= 0 {
+			return p, fmt.Errorf("loadrun: open-loop profile needs Rate > 0, got %v", p.Rate)
+		}
+	} else if p.Concurrency <= 0 {
+		p.Concurrency = 4
+	}
+	if p.Mix.total() == 0 {
+		p.Mix = DefaultMix
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = 30 * time.Second
+	}
+	p.TimeoutMs = p.Timeout.Milliseconds()
+	return p, nil
+}
+
+// Planned is one fully materialized request: everything Run needs to issue
+// it, fixed at plan time.
+type Planned struct {
+	Index        int
+	Kind         Kind
+	Endpoint     string
+	Family       string
+	ScenarioHash string
+	Body         []byte
+	// At is the arrival offset from run start (open-loop plans only).
+	At time.Duration
+	// Warmup requests execute normally but stay out of the statistics.
+	Warmup bool
+}
+
+// Plan materializes the request sequence for a profile over a corpus and
+// returns it with its content hash. The hash covers each request's kind,
+// endpoint, scenario hash, and exact body bytes, so any change to the
+// sequence — ordering included — changes it.
+func Plan(c *corpus.Corpus, prof Profile) ([]Planned, string, error) {
+	prof, err := prof.Normalize()
+	if err != nil {
+		return nil, "", err
+	}
+	if len(c.Items) == 0 {
+		return nil, "", fmt.Errorf("loadrun: empty corpus")
+	}
+	kinds := weightedKinds(prof.Mix)
+	rng := rand.New(rand.NewSource(prof.Seed))
+	digest := sha256.New()
+	plan := make([]Planned, 0, prof.Requests)
+	var at time.Duration
+	for i := 0; i < prof.Requests; i++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		item := c.Items[rng.Intn(len(c.Items))]
+		endpoint, body, err := buildBody(kind, item)
+		if err != nil {
+			return nil, "", err
+		}
+		if prof.OpenLoop {
+			// Poisson arrivals: exponential inter-arrival times at the
+			// target rate, drawn from the same seeded stream.
+			at += time.Duration(rng.ExpFloat64() / prof.Rate * float64(time.Second))
+		}
+		p := Planned{
+			Index:        i,
+			Kind:         kind,
+			Endpoint:     endpoint,
+			Family:       item.Family,
+			ScenarioHash: item.Hash,
+			Body:         body,
+			At:           at,
+			Warmup:       i < prof.Warmup,
+		}
+		plan = append(plan, p)
+		fmt.Fprintf(digest, "%d|%s|%s|%s|%x\n", i, kind, endpoint, item.Hash, sha256.Sum256(body))
+	}
+	return plan, hex.EncodeToString(digest.Sum(nil)), nil
+}
+
+// weightedKinds expands the mix into a lookup table for uniform draws.
+func weightedKinds(m Mix) []Kind {
+	out := make([]Kind, 0, m.total())
+	for _, kw := range []struct {
+		k Kind
+		w int
+	}{
+		{KindSolveSync, m.SolveSync},
+		{KindSolveAsync, m.SolveAsync},
+		{KindCancel, m.Cancel},
+		{KindEvaluate, m.Evaluate},
+	} {
+		for i := 0; i < kw.w; i++ {
+			out = append(out, kw.k)
+		}
+	}
+	return out
+}
+
+// buildBody marshals the request envelope for one (kind, item) pair. The
+// request types are the server's own, so the wire format cannot drift.
+func buildBody(kind Kind, item corpus.Item) (string, []byte, error) {
+	if kind == KindEvaluate {
+		// Scoring an empty placement is the cheapest valid evaluate: it
+		// exercises decode, validation, and the exact power model per
+		// device without any solver work.
+		body, err := json.Marshal(serve.EvaluateRequest{
+			Scenario:  item.Scenario,
+			Placement: &hipo.Placement{Chargers: []hipo.PlacedCharger{}},
+		})
+		return "/v1/evaluate", body, err
+	}
+	req := serve.SolveRequest{
+		Scenario:   item.Scenario,
+		Options:    serve.SolveOptions{Eps: item.Eps},
+		Budget:     item.Budget,
+		Iterations: item.Iterations,
+		Seed:       item.SolveSeed,
+	}
+	switch kind {
+	case KindSolveSync:
+		req.Mode = "sync"
+	case KindSolveAsync, KindCancel:
+		req.Mode = "async"
+	default:
+		return "", nil, fmt.Errorf("loadrun: unknown kind %q", kind)
+	}
+	body, err := json.Marshal(req)
+	return item.Endpoint, body, err
+}

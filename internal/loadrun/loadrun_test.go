@@ -1,0 +1,393 @@
+package loadrun
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hipo/internal/corpus"
+)
+
+func testCorpus(t *testing.T) *corpus.Corpus {
+	t.Helper()
+	c, err := corpus.Generate(corpus.Config{Seed: 11, PerFamily: 2, DupRatio: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestPlanDeterminism is the acceptance-criteria check: identical seed +
+// profile + corpus must yield an identical request sequence, witnessed by
+// the plan hash and by the materialized bodies themselves.
+func TestPlanDeterminism(t *testing.T) {
+	c := testCorpus(t)
+	prof := Profile{OpenLoop: true, Rate: 50, Requests: 40, Warmup: 5, Seed: 9}
+	planA, hashA, err := Plan(c, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planB, hashB, err := Plan(c, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hashA != hashB {
+		t.Fatalf("same inputs, different plan hashes: %s vs %s", hashA, hashB)
+	}
+	if len(planA) != len(planB) {
+		t.Fatalf("plan lengths differ: %d vs %d", len(planA), len(planB))
+	}
+	for i := range planA {
+		a, b := planA[i], planB[i]
+		if a.Kind != b.Kind || a.Endpoint != b.Endpoint || a.ScenarioHash != b.ScenarioHash ||
+			a.At != b.At || string(a.Body) != string(b.Body) {
+			t.Fatalf("request %d differs between identical plans", i)
+		}
+	}
+
+	// Any seed change must change the sequence.
+	prof.Seed = 10
+	_, hashC, err := Plan(c, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hashC == hashA {
+		t.Fatal("different profile seeds produced the same plan hash")
+	}
+
+	// So must a different corpus.
+	c2, err := corpus.Generate(corpus.Config{Seed: 12, PerFamily: 2, DupRatio: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.Seed = 9
+	_, hashD, err := Plan(c2, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hashD == hashA {
+		t.Fatal("different corpora produced the same plan hash")
+	}
+}
+
+// TestPlanShape checks warmup marking, mix restriction, arrival
+// monotonicity, and that bodies parse as the endpoint's request type.
+func TestPlanShape(t *testing.T) {
+	c := testCorpus(t)
+	prof := Profile{
+		OpenLoop: true, Rate: 100, Requests: 60, Warmup: 10, Seed: 4,
+		Mix: Mix{SolveSync: 1, Evaluate: 1}, // no async kinds at all
+	}
+	plan, _, err := Plan(c, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev time.Duration
+	for i, p := range plan {
+		if p.Warmup != (i < 10) {
+			t.Errorf("request %d: warmup = %v", i, p.Warmup)
+		}
+		if p.Kind != KindSolveSync && p.Kind != KindEvaluate {
+			t.Errorf("request %d: kind %s not in mix", i, p.Kind)
+		}
+		if p.At < prev {
+			t.Errorf("request %d: arrival offset went backwards (%v < %v)", i, p.At, prev)
+		}
+		prev = p.At
+		var body map[string]json.RawMessage
+		if err := json.Unmarshal(p.Body, &body); err != nil {
+			t.Fatalf("request %d: body does not parse: %v", i, err)
+		}
+		if _, ok := body["scenario"]; !ok {
+			t.Errorf("request %d: body missing scenario", i)
+		}
+	}
+
+	// Invalid profiles must be rejected, not silently patched.
+	if _, _, err := Plan(c, Profile{OpenLoop: true, Requests: 10}); err == nil {
+		t.Error("open-loop profile without rate accepted")
+	}
+	if _, _, err := Plan(c, Profile{Requests: 5, Warmup: 5}); err == nil {
+		t.Error("warmup == requests accepted")
+	}
+}
+
+// TestHistQuantiles feeds a known distribution through the histogram and
+// checks the quantiles land within bucket resolution.
+func TestHistQuantiles(t *testing.T) {
+	h := NewHist()
+	rng := rand.New(rand.NewSource(1))
+	// 10k samples uniform in [10, 110) ms: p50 ≈ 60, p99 ≈ 109.
+	for i := 0; i < 10000; i++ {
+		h.Observe(10 + rng.Float64()*100)
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	checks := []struct{ q, want, tol float64 }{
+		{0.50, 60, 15}, {0.95, 105, 15}, {0.99, 109, 15},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.want-c.tol || got > c.want+c.tol {
+			t.Errorf("q%.2f = %.1f, want %.1f ± %.1f", c.q, got, c.want, c.tol)
+		}
+	}
+	if h.Min() < 10 || h.Max() >= 110 {
+		t.Errorf("min/max = %.2f/%.2f outside sample range", h.Min(), h.Max())
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Error("q0/q1 must be the exact extremes")
+	}
+	if m := h.Mean(); m < 55 || m > 65 {
+		t.Errorf("mean = %.1f, want ~60", m)
+	}
+}
+
+// stubServer fakes just enough of hiposerve for runner tests: sync solves
+// alternate X-Cache miss/hit, async submits produce instantly-done jobs,
+// DELETE flips a job to canceled before its first poll.
+type stubServer struct {
+	mu sync.Mutex
+	// guarded by mu
+	jobs map[string]string
+	// guarded by mu
+	nextID int
+	// guarded by mu
+	solves int
+}
+
+func (s *stubServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	solve := func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Mode string `json:"mode"`
+		}
+		json.NewDecoder(r.Body).Decode(&req)
+		if req.Mode == "async" {
+			s.mu.Lock()
+			s.nextID++
+			id := fmt.Sprintf("j%d", s.nextID)
+			s.jobs[id] = "done"
+			s.mu.Unlock()
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(map[string]string{"job_id": id, "status_url": "/v1/jobs/" + id})
+			return
+		}
+		s.mu.Lock()
+		s.solves++
+		odd := s.solves%2 == 1
+		s.mu.Unlock()
+		if odd {
+			w.Header().Set("X-Cache", "miss")
+		} else {
+			w.Header().Set("X-Cache", "hit")
+		}
+		json.NewEncoder(w).Encode(map[string]any{"placement": map[string]any{}})
+	}
+	for _, ep := range []string{"/v1/solve", "/v1/solve/budgeted", "/v1/solve/maxmin", "/v1/solve/propfair"} {
+		mux.HandleFunc("POST "+ep, solve)
+	}
+	mux.HandleFunc("POST /v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]float64{"utility": 0})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		state, ok := s.jobs[r.PathValue("id")]
+		s.mu.Unlock()
+		if !ok {
+			http.Error(w, "no such job", http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"id": r.PathValue("id"), "state": state})
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		s.jobs[r.PathValue("id")] = "canceled"
+		s.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]string{"state": "canceled"})
+	})
+	return mux
+}
+
+// TestRunClosedLoop drives a full mixed plan against the stub and checks
+// the recorder's accounting: every measured request classified, warmup
+// excluded, cache headers tallied, cancels landing in canceled.
+func TestRunClosedLoop(t *testing.T) {
+	stub := &stubServer{jobs: make(map[string]string)}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	c := testCorpus(t)
+	prof := Profile{Concurrency: 4, Requests: 80, Warmup: 8, Seed: 2, Timeout: 5 * time.Second}
+	plan, _, err := Plan(c, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{BaseURL: ts.URL, Client: ts.Client(), PollInterval: time.Millisecond}
+	res, err := r.Run(context.Background(), plan, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Total()
+	if total.Requests != 72 {
+		t.Errorf("measured %d requests, want 72", total.Requests)
+	}
+	if res.WarmupDropped() != 8 {
+		t.Errorf("warmup dropped = %d, want 8", res.WarmupDropped())
+	}
+	classified := 0
+	for _, n := range total.Outcomes {
+		classified += n
+	}
+	if classified != total.Requests {
+		t.Errorf("outcomes cover %d of %d requests", classified, total.Requests)
+	}
+	if total.Outcomes[OutcomeOK] == 0 {
+		t.Error("no ok outcomes")
+	}
+	wantCancels := 0
+	for _, p := range plan {
+		if !p.Warmup && p.Kind == KindCancel {
+			wantCancels++
+		}
+	}
+	if total.Outcomes[OutcomeCanceled] != wantCancels {
+		t.Errorf("canceled = %d, want %d", total.Outcomes[OutcomeCanceled], wantCancels)
+	}
+	if total.ErrorRate() != 0 {
+		t.Errorf("error rate %.2f on an all-green stub (outcomes %v)", total.ErrorRate(), total.Outcomes)
+	}
+	if total.CacheHits+total.CacheMisses == 0 {
+		t.Error("no cache headers tallied")
+	}
+	if total.Hist.Count() != uint64(total.Requests) {
+		t.Errorf("hist has %d samples for %d requests", total.Hist.Count(), total.Requests)
+	}
+	// Per-family aggregates must partition the total.
+	sum := 0
+	for _, fs := range res.Families() {
+		sum += fs.Requests
+	}
+	if sum != total.Requests {
+		t.Errorf("family stats cover %d of %d requests", sum, total.Requests)
+	}
+	if res.Throughput() <= 0 {
+		t.Error("non-positive throughput")
+	}
+}
+
+// TestRunOpenLoopOverload replays an open-loop plan against a server that
+// load-sheds everything: each 429 + Retry-After must classify as rejected
+// (not as an error) and never as ok.
+func TestRunOpenLoopOverload(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := testCorpus(t)
+	prof := Profile{OpenLoop: true, Rate: 2000, Requests: 30, Warmup: 0, Seed: 5, Timeout: 2 * time.Second}
+	plan, _, err := Plan(c, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{BaseURL: ts.URL, Client: ts.Client()}
+	res, err := r.Run(context.Background(), plan, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Total()
+	if total.Outcomes[OutcomeRejected] != 30 {
+		t.Errorf("rejected = %d, want 30 (outcomes %v)", total.Outcomes[OutcomeRejected], total.Outcomes)
+	}
+	if total.ErrorRate() != 0 {
+		t.Errorf("load shedding counted toward error rate: %.2f", total.ErrorRate())
+	}
+}
+
+// TestOutcomeClassification pins the status-code mapping.
+func TestOutcomeClassification(t *testing.T) {
+	cases := map[int]string{
+		200: OutcomeOK,
+		400: OutcomeClientErr,
+		404: OutcomeClientErr,
+		429: OutcomeRejected,
+		500: OutcomeServerErr,
+		503: OutcomeServerErr,
+		504: OutcomeTimeout,
+	}
+	for code, want := range cases {
+		if got := classifyStatus(code); got != want {
+			t.Errorf("status %d → %s, want %s", code, got, want)
+		}
+	}
+	for _, o := range []string{OutcomeOK, OutcomeCanceled, OutcomeRejected} {
+		if ErrorOutcome(o) {
+			t.Errorf("%s must not count as an error", o)
+		}
+	}
+	for _, o := range []string{OutcomeTimeout, OutcomeClientErr, OutcomeServerErr, OutcomeTransport} {
+		if !ErrorOutcome(o) {
+			t.Errorf("%s must count as an error", o)
+		}
+	}
+}
+
+// TestScrapeMetrics parses a representative Prometheus text page,
+// including labeled series and histogram lines.
+func TestScrapeMetrics(t *testing.T) {
+	page := `# HELP hiposerve_cache_hits_total Solve-cache hits.
+# TYPE hiposerve_cache_hits_total counter
+hiposerve_cache_hits_total 42
+hiposerve_jobs_queue_depth 3
+hiposerve_http_request_seconds_bucket{path="/v1/solve",le="0.1"} 7
+hiposerve_cache_hit_ratio 0.5
+`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, page)
+	}))
+	defer ts.Close()
+	m, err := ScrapeMetrics(ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"hiposerve_cache_hits_total":                                       42,
+		"hiposerve_jobs_queue_depth":                                       3,
+		`hiposerve_http_request_seconds_bucket{path="/v1/solve",le="0.1"}`: 7,
+		"hiposerve_cache_hit_ratio":                                        0.5,
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("%s = %v, want %v", k, m[k], v)
+		}
+	}
+}
+
+// TestGoroutineCount parses the pprof debug=1 header.
+func TestGoroutineCount(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "goroutine profile: total 17")
+		fmt.Fprintln(w, "5 @ 0x47 0x48")
+	}))
+	defer ts.Close()
+	n, err := GoroutineCount(ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 17 {
+		t.Errorf("goroutines = %d, want 17", n)
+	}
+}

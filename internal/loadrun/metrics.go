@@ -1,0 +1,75 @@
+package loadrun
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ScrapeMetrics fetches baseURL/metrics and parses the Prometheus text
+// exposition into a flat map keyed by "name" or "name{labels}" exactly as
+// printed. cmd/hipoload diffs a before/after pair of these snapshots to
+// assert soak invariants (no job leaks, bounded rejects, cache behavior).
+func ScrapeMetrics(client *http.Client, baseURL string) (map[string]float64, error) {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadrun: /metrics returned %d", resp.StatusCode)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Value is everything after the last space; the key (possibly with a
+		// {labels} block containing spaces) is everything before it.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[strings.TrimSpace(line[:i])] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GoroutineCount reads the live goroutine total from the pprof endpoint
+// (requires the server to run with EnablePprof). The debug=1 text format
+// opens with "goroutine profile: total N".
+func GoroutineCount(client *http.Client, baseURL string) (int, error) {
+	resp, err := client.Get(baseURL + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("loadrun: goroutine profile returned %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		return 0, fmt.Errorf("loadrun: empty goroutine profile")
+	}
+	first := sc.Text()
+	var n int
+	if _, err := fmt.Sscanf(first, "goroutine profile: total %d", &n); err != nil {
+		return 0, fmt.Errorf("loadrun: unexpected goroutine profile header %q", first)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return n, nil
+}

@@ -1,0 +1,368 @@
+package loadrun
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Outcome classes a finished request lands in. "ok" and "canceled" are
+// successes (canceled is the expected terminal state of KindCancel
+// requests); everything else is an error class. "rejected" is the server's
+// 429 load-shed answer — under open-loop overload it is the healthy
+// outcome, and the report keeps it separate from real errors for exactly
+// that reason.
+const (
+	OutcomeOK        = "ok"
+	OutcomeCanceled  = "canceled"
+	OutcomeRejected  = "rejected"
+	OutcomeTimeout   = "timeout"
+	OutcomeClientErr = "client_error"
+	OutcomeServerErr = "server_error"
+	OutcomeTransport = "transport_error"
+)
+
+// ErrorOutcome reports whether an outcome class counts toward the error
+// rate. Rejections are deliberate load shedding, not failures.
+func ErrorOutcome(o string) bool {
+	switch o {
+	case OutcomeOK, OutcomeCanceled, OutcomeRejected:
+		return false
+	}
+	return true
+}
+
+// Stats aggregates one family's (or the whole run's) measured requests.
+type Stats struct {
+	Requests    int            `json:"requests"`
+	Outcomes    map[string]int `json:"outcomes"`
+	CacheHits   int            `json:"cache_hits"`
+	CacheMisses int            `json:"cache_misses"`
+	Hist        *Hist          `json:"-"`
+}
+
+func newStats() *Stats {
+	return &Stats{Outcomes: make(map[string]int), Hist: NewHist()}
+}
+
+// ErrorRate is the fraction of measured requests in error classes.
+func (s *Stats) ErrorRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	n := 0
+	for o, c := range s.Outcomes {
+		if ErrorOutcome(o) {
+			n += c
+		}
+	}
+	return float64(n) / float64(s.Requests)
+}
+
+// CacheHitRatio is the client-observed hit fraction among requests that
+// carried an X-Cache header (0 if none did).
+func (s *Stats) CacheHitRatio() float64 {
+	t := s.CacheHits + s.CacheMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(t)
+}
+
+// Recorder accumulates per-family statistics. Warmup requests are counted
+// only in WarmupDropped. Safe for concurrent use.
+type Recorder struct {
+	mu sync.Mutex
+	// guarded by mu
+	families map[string]*Stats
+	// guarded by mu
+	total *Stats
+	// guarded by mu
+	warmupDropped int
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{families: make(map[string]*Stats), total: newStats()}
+}
+
+func (r *Recorder) observe(p Planned, outcome, cache string, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p.Warmup {
+		r.warmupDropped++
+		return
+	}
+	fs := r.families[p.Family]
+	if fs == nil {
+		fs = newStats()
+		r.families[p.Family] = fs
+	}
+	for _, s := range []*Stats{fs, r.total} {
+		s.Requests++
+		s.Outcomes[outcome]++
+		switch cache {
+		case "hit":
+			s.CacheHits++
+		case "miss":
+			s.CacheMisses++
+		}
+		s.Hist.Observe(float64(d) / float64(time.Millisecond))
+	}
+}
+
+// Total returns the all-families aggregate.
+func (r *Recorder) Total() *Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Families returns the per-family aggregates keyed by family name.
+func (r *Recorder) Families() map[string]*Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*Stats, len(r.families))
+	for k, v := range r.families {
+		out[k] = v
+	}
+	return out
+}
+
+// WarmupDropped returns how many warmup requests were executed but
+// excluded from the statistics.
+func (r *Recorder) WarmupDropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.warmupDropped
+}
+
+// Runner executes a plan against a live hiposerve base URL.
+type Runner struct {
+	BaseURL string
+	// Client defaults to a dedicated client with a generous connection
+	// pool; override to inject transports in tests.
+	Client *http.Client
+	// PollInterval spaces async job polls (default 5ms).
+	PollInterval time.Duration
+}
+
+func (r *Runner) client() *http.Client {
+	if r.Client != nil {
+		return r.Client
+	}
+	return http.DefaultClient
+}
+
+func (r *Runner) pollInterval() time.Duration {
+	if r.PollInterval > 0 {
+		return r.PollInterval
+	}
+	return 5 * time.Millisecond
+}
+
+// RunResult couples the recorder with the run's wall-clock span.
+type RunResult struct {
+	*Recorder
+	// Duration is the wall time from first send to last completion.
+	Duration time.Duration
+}
+
+// Throughput is measured (non-warmup) requests per second.
+func (rr *RunResult) Throughput() float64 {
+	if rr.Duration <= 0 {
+		return 0
+	}
+	return float64(rr.Total().Requests) / rr.Duration.Seconds()
+}
+
+// Run executes the plan under the profile's loop discipline and returns
+// the aggregated statistics. Open-loop runs honor each request's planned
+// arrival offset; closed-loop runs keep prof.Concurrency requests in
+// flight. Every request completes (or times out) before Run returns.
+func (r *Runner) Run(ctx context.Context, plan []Planned, prof Profile) (*RunResult, error) {
+	prof, err := prof.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("loadrun: empty plan")
+	}
+	rec := NewRecorder()
+	start := time.Now()
+	if prof.OpenLoop {
+		r.runOpen(ctx, plan, prof, rec)
+	} else {
+		r.runClosed(ctx, plan, prof, rec)
+	}
+	return &RunResult{Recorder: rec, Duration: time.Since(start)}, nil
+}
+
+// runClosed feeds the plan in order to a fixed pool of workers.
+func (r *Runner) runClosed(ctx context.Context, plan []Planned, prof Profile, rec *Recorder) {
+	idx := make(chan Planned)
+	var wg sync.WaitGroup
+	for w := 0; w < prof.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range idx {
+				r.execute(ctx, p, prof, rec)
+			}
+		}()
+	}
+	for _, p := range plan {
+		if ctx.Err() != nil {
+			break
+		}
+		idx <- p
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// runOpen fires each request at its planned offset regardless of how many
+// are already in flight — the arrival process does not adapt to server
+// slowness, which is the point.
+func (r *Runner) runOpen(ctx context.Context, plan []Planned, prof Profile, rec *Recorder) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, p := range plan {
+		if d := p.At - time.Since(start); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(p Planned) {
+			defer wg.Done()
+			r.execute(ctx, p, prof, rec)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// execute issues one planned request, follows async submits to a terminal
+// job state, and records the classified outcome with end-to-end latency.
+func (r *Runner) execute(ctx context.Context, p Planned, prof Profile, rec *Recorder) {
+	reqCtx, cancel := context.WithTimeout(ctx, prof.Timeout)
+	defer cancel()
+	begin := time.Now()
+	outcome, cache := r.roundTrip(reqCtx, p)
+	rec.observe(p, outcome, cache, time.Since(begin))
+}
+
+func (r *Runner) roundTrip(ctx context.Context, p Planned) (outcome, cache string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.BaseURL+p.Endpoint, bytes.NewReader(p.Body))
+	if err != nil {
+		return OutcomeTransport, ""
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return classifyTransport(ctx), ""
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	cache = resp.Header.Get("X-Cache")
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return OutcomeOK, cache
+	case resp.StatusCode == http.StatusAccepted:
+		return r.followJob(ctx, p, body), cache
+	default:
+		return classifyStatus(resp.StatusCode), cache
+	}
+}
+
+// followJob drives a 202 response to a terminal state: cancel kinds issue
+// the DELETE first, then everything polls until the job finishes.
+func (r *Runner) followJob(ctx context.Context, p Planned, accepted []byte) string {
+	var ack struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(accepted, &ack); err != nil || ack.JobID == "" {
+		return OutcomeServerErr
+	}
+	jobURL := r.BaseURL + "/v1/jobs/" + ack.JobID
+	if p.Kind == KindCancel {
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, jobURL, nil)
+		if err != nil {
+			return OutcomeTransport
+		}
+		resp, err := r.client().Do(req)
+		if err != nil {
+			return classifyTransport(ctx)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return classifyStatus(resp.StatusCode)
+		}
+	}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, jobURL, nil)
+		if err != nil {
+			return OutcomeTransport
+		}
+		resp, err := r.client().Do(req)
+		if err != nil {
+			return classifyTransport(ctx)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return classifyStatus(resp.StatusCode)
+		}
+		var snap struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(body, &snap); err != nil {
+			return OutcomeServerErr
+		}
+		switch snap.State {
+		case "done":
+			return OutcomeOK
+		case "failed":
+			return OutcomeServerErr
+		case "canceled":
+			return OutcomeCanceled
+		}
+		select {
+		case <-time.After(r.pollInterval()):
+		case <-ctx.Done():
+			return OutcomeTimeout
+		}
+	}
+}
+
+func classifyTransport(ctx context.Context) string {
+	if ctx.Err() != nil {
+		return OutcomeTimeout
+	}
+	return OutcomeTransport
+}
+
+func classifyStatus(code int) string {
+	switch {
+	case code == http.StatusTooManyRequests:
+		return OutcomeRejected
+	case code == http.StatusGatewayTimeout:
+		return OutcomeTimeout
+	case code >= 500:
+		return OutcomeServerErr
+	case code >= 400:
+		return OutcomeClientErr
+	default:
+		return OutcomeOK
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package serve
 
 // Serving-layer benchmarks: the solve-cache hit path (the steady state of
 // a redeployment service receiving repeated scenarios) and end-to-end
@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http/httptest"
 	"testing"
@@ -22,10 +23,10 @@ func benchRequestBody(b *testing.B) []byte {
 	return body
 }
 
-func serveOnce(s *server, body []byte) *httptest.ResponseRecorder {
+func serveOnce(s *Server, body []byte) *httptest.ResponseRecorder {
 	req := httptest.NewRequest("POST", "/v1/solve", bytes.NewReader(body))
 	rec := httptest.NewRecorder()
-	s.handler().ServeHTTP(rec, req)
+	s.Handler().ServeHTTP(rec, req)
 	return rec
 }
 
@@ -33,7 +34,7 @@ func serveOnce(s *server, body []byte) *httptest.ResponseRecorder {
 // decoding, scenario hashing, LRU lookup, and response write — no solver
 // work.
 func BenchmarkSolveCacheHit(b *testing.B) {
-	s := newServer(Config{Logger: quietLogger()})
+	s := New(context.Background(), Config{Logger: quietLogger()})
 	body := benchRequestBody(b)
 	if rec := serveOnce(s, body); rec.Code != 200 { // warm the cache
 		b.Fatalf("warm-up solve: %d %s", rec.Code, rec.Body)
@@ -55,7 +56,7 @@ func BenchmarkSolveCacheHit(b *testing.B) {
 // throughput for identical re-submissions — the first request pays for the
 // solve, the rest ride the cache, as in the online redeployment workload.
 func BenchmarkRepeatedSolveThroughput(b *testing.B) {
-	s := newServer(Config{Logger: quietLogger()})
+	s := New(context.Background(), Config{Logger: quietLogger()})
 	body := benchRequestBody(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

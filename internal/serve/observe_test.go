@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -82,8 +82,8 @@ func TestSlowSolveLog(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := Config{SlowSolve: time.Nanosecond}
 	cfg.Logger = slog.New(slog.NewJSONHandler(&buf, nil))
-	s := newServer(cfg)
-	defer s.shutdown(context.Background())
+	s := New(context.Background(), cfg)
+	defer s.Shutdown(context.Background())
 
 	req := SolveRequest{Scenario: testScenario()}
 	if _, err := s.execSolve(context.Background(), "/v1/solve", "k", &req, runSolve); err != nil {

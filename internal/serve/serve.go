@@ -1,4 +1,11 @@
-package main
+// Package serve implements the hiposerve HTTP service: sync/async solve
+// endpoints for every objective, an LRU solve cache keyed by scenario
+// content hash, a bounded worker-pool job queue with admission control,
+// Prometheus-style metrics, and optional pprof endpoints. cmd/hiposerve is
+// a thin flag-parsing wrapper around this package; cmd/hipoload embeds the
+// same server in-process behind an httptest listener to drive load and
+// soak runs against the exact production handler stack.
+package serve
 
 import (
 	"context"
@@ -8,6 +15,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sort"
 	"time"
 
@@ -69,9 +77,9 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// server wires the job manager, solve cache, and metrics registry behind
+// Server wires the job manager, solve cache, and metrics registry behind
 // the HTTP mux.
-type server struct {
+type Server struct {
 	cfg   Config
 	jobs  *jobs.Manager
 	cache *solvecache.Cache
@@ -79,15 +87,18 @@ type server struct {
 	log   *slog.Logger
 	mux   *http.ServeMux
 
-	cacheHits   *servemetrics.Counter
-	cacheMisses *servemetrics.Counter
-	jobsQueued  *servemetrics.Counter
-	jobsEvicted *servemetrics.Counter
+	cacheHits    *servemetrics.Counter
+	cacheMisses  *servemetrics.Counter
+	jobsQueued   *servemetrics.Counter
+	jobsEvicted  *servemetrics.Counter
+	jobsRejected *servemetrics.Counter
 }
 
-func newServer(cfg Config) *server {
+// New builds a fully wired server from cfg. ctx is the base context for
+// async jobs: canceling it interrupts every queued and running solve.
+func New(ctx context.Context, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	s := &server{
+	s := &Server{
 		cfg:   cfg,
 		cache: solvecache.New(cfg.CacheSize),
 		reg:   servemetrics.NewRegistry(),
@@ -102,7 +113,9 @@ func newServer(cfg Config) *server {
 		"Async jobs accepted into the queue.")
 	s.jobsEvicted = s.reg.Counter("hiposerve_jobs_evicted_total",
 		"Terminal jobs evicted by the retention policy (TTL or cap).")
-	s.jobs = jobs.NewManager(context.Background(), jobs.Config{
+	s.jobsRejected = s.reg.Counter("hiposerve_jobs_rejected_total",
+		"Async submits load-shed with 429 because the queue was saturated.")
+	s.jobs = jobs.NewManager(ctx, jobs.Config{
 		Workers:     cfg.Workers,
 		Depth:       cfg.QueueDepth,
 		JobTimeout:  cfg.JobTimeout,
@@ -116,11 +129,40 @@ func newServer(cfg Config) *server {
 	s.reg.Gauge("hiposerve_cache_entries",
 		"Entries currently held by the solve cache.",
 		func() float64 { _, _, n := s.cache.Stats(); return float64(n) })
+	s.reg.Gauge("hiposerve_cache_hit_ratio",
+		"Fraction of solve lookups answered from the cache (0 before any).",
+		func() float64 {
+			hits, misses, _ := s.cache.Stats()
+			if hits+misses == 0 {
+				return 0
+			}
+			return float64(hits) / float64(hits+misses)
+		})
+	s.reg.Gauge("hiposerve_jobs_queue_depth",
+		"Jobs buffered in the queue awaiting a worker.",
+		func() float64 { return float64(s.jobs.QueueDepth()) })
+	s.reg.Gauge("hiposerve_jobs_active",
+		"Jobs in a non-terminal state (pending or running).",
+		func() float64 { return float64(s.jobs.Counts().Active()) })
+	// Process-health gauges for soak testing: cmd/hipoload diffs these
+	// across a run to assert the server neither leaks goroutines nor grows
+	// its heap without bound. ReadMemStats stops the world, but only at
+	// scrape frequency.
+	s.reg.Gauge("hiposerve_go_goroutines",
+		"Live goroutines in the serving process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	s.reg.Gauge("hiposerve_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
 	s.routes()
 	return s
 }
 
-func (s *server) routes() {
+func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/solve", s.instrument("/v1/solve",
 		s.solveHandler("/v1/solve", runSolve)))
 	s.mux.HandleFunc("POST /v1/solve/budgeted", s.instrument("/v1/solve/budgeted",
@@ -147,7 +189,8 @@ func (s *server) routes() {
 	}
 }
 
-func (s *server) handler() http.Handler { return s.mux }
+// Handler returns the root HTTP handler for mounting on a listener.
+func (s *Server) Handler() http.Handler { return s.mux }
 
 // statusWriter captures the response code for logging and metrics.
 type statusWriter struct {
@@ -162,7 +205,7 @@ func (w *statusWriter) WriteHeader(code int) {
 
 // instrument wraps a handler with request counting, latency observation,
 // and structured logging.
-func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	reqs := s.reg.Counter("hiposerve_requests_total",
 		"HTTP requests by endpoint.", "endpoint", endpoint)
 	errs := s.reg.Counter("hiposerve_request_errors_total",
@@ -323,7 +366,7 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // cacheKey derives the canonical key: endpoint + scenario content hash +
 // the solver-relevant request fields (mode excluded — it changes where the
 // solve runs, not its result).
-func (s *server) cacheKey(endpoint string, req *SolveRequest) (string, error) {
+func (s *Server) cacheKey(endpoint string, req *SolveRequest) (string, error) {
 	sh, err := req.Scenario.ScenarioHash()
 	if err != nil {
 		return "", err
@@ -342,7 +385,7 @@ func (s *server) cacheKey(endpoint string, req *SolveRequest) (string, error) {
 
 // solveHandler serves one solve variant with cache-first lookup and
 // sync/async dispatch.
-func (s *server) solveHandler(endpoint string, run solveFn) http.HandlerFunc {
+func (s *Server) solveHandler(endpoint string, run solveFn) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var req SolveRequest
 		if !decodeJSON(w, r, &req) {
@@ -422,7 +465,7 @@ func writeSolveError(w http.ResponseWriter, err error) {
 // Every solve is traced server-side to feed the per-stage histograms and
 // the slow-solve log; the breakdown reaches the response body only when the
 // client set options.trace.
-func (s *server) execSolve(ctx context.Context, endpoint, key string, req *SolveRequest, run solveFn) ([]byte, error) {
+func (s *Server) execSolve(ctx context.Context, endpoint, key string, req *SolveRequest, run solveFn) ([]byte, error) {
 	req.tracer = hipo.NewTracer()
 	placement, err := run(ctx, req)
 	if err != nil {
@@ -443,7 +486,7 @@ func (s *server) execSolve(ctx context.Context, endpoint, key string, req *Solve
 // observeTrace feeds the per-stage duration histograms and, above the
 // configured threshold, emits one structured warning with the stage totals
 // and pipeline counters so slow solves are diagnosable from logs alone.
-func (s *server) observeTrace(endpoint string, bd *hipo.TraceBreakdown) {
+func (s *Server) observeTrace(endpoint string, bd *hipo.TraceBreakdown) {
 	if bd == nil {
 		return
 	}
@@ -474,7 +517,7 @@ func (s *server) observeTrace(endpoint string, bd *hipo.TraceBreakdown) {
 
 // enqueueSolve submits the solve as an async job and answers 202 with the
 // job's polling URL.
-func (s *server) enqueueSolve(w http.ResponseWriter, endpoint, key string, req *SolveRequest, run solveFn) {
+func (s *Server) enqueueSolve(w http.ResponseWriter, endpoint, key string, req *SolveRequest, run solveFn) {
 	id, err := s.jobs.Submit(func(ctx context.Context) (any, error) {
 		body, err := s.execSolve(ctx, endpoint, key, req, run)
 		if err != nil {
@@ -484,6 +527,13 @@ func (s *server) enqueueSolve(w http.ResponseWriter, endpoint, key string, req *
 	})
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
+		// Load-shed instead of blocking or 500ing: the queue is a fixed
+		// buffer in front of a fixed worker pool, so the earliest a slot can
+		// open is when the fastest queued solve finishes — clients should
+		// back off rather than hammer. One second is deliberately coarse;
+		// open-loop load generators treat any 429 as an overload signal.
+		w.Header().Set("Retry-After", "1")
+		s.jobsRejected.Inc()
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, jobs.ErrShuttingDown):
@@ -500,7 +550,7 @@ func (s *server) enqueueSolve(w http.ResponseWriter, endpoint, key string, req *
 	})
 }
 
-func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.jobs.Get(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
@@ -509,7 +559,7 @@ func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, snap)
 }
 
-func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.jobs.Cancel(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
@@ -524,7 +574,7 @@ type EvaluateRequest struct {
 	Placement *hipo.Placement `json:"placement"`
 }
 
-func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var req EvaluateRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -552,7 +602,7 @@ type RedeployRequest struct {
 	MinMax bool `json:"minmax,omitempty"`
 }
 
-func (s *server) handleRedeploy(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRedeploy(w http.ResponseWriter, r *http.Request) {
 	var req RedeployRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -594,7 +644,7 @@ type DiagnosticsResponse struct {
 	CellCounts [][]int `json:"cell_counts,omitempty"`
 }
 
-func (s *server) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
 	var req DiagnosticsRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -638,17 +688,17 @@ func (s *server) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	// A scrape whose client vanished mid-response is not actionable.
 	_ = s.reg.WritePrometheus(w)
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// shutdown drains the job queue after the HTTP listener has stopped.
-func (s *server) shutdown(ctx context.Context) error {
+// Shutdown drains the job queue after the HTTP listener has stopped.
+func (s *Server) Shutdown(ctx context.Context) error {
 	return s.jobs.Shutdown(ctx)
 }

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -38,16 +38,16 @@ func quietLogger() *slog.Logger {
 }
 
 // newTestServer starts the full handler stack on an ephemeral port.
-func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *server) {
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Server) {
 	t.Helper()
 	cfg.Logger = quietLogger()
-	s := newServer(cfg)
-	ts := httptest.NewServer(s.handler())
+	s := New(context.Background(), cfg)
+	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		s.shutdown(ctx)
+		s.Shutdown(ctx)
 	})
 	return ts, s
 }
@@ -273,7 +273,8 @@ func TestJobCancel(t *testing.T) {
 	pollJob(t, ts.URL+accepted.StatusURL, jobs.StateCanceled)
 }
 
-// TestQueueFull answers 429 when the queue cannot take another job.
+// TestQueueFull answers 429 with a Retry-After header when the queue cannot
+// take another job, and counts the rejection.
 func TestQueueFull(t *testing.T) {
 	ts, s := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 	started := make(chan struct{})
@@ -286,6 +287,35 @@ func TestQueueFull(t *testing.T) {
 		SolveRequest{Scenario: testScenario(), Mode: "async"})
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	if v := metricValue(t, string(metrics), "hiposerve_jobs_rejected_total"); v != "1" {
+		t.Errorf("hiposerve_jobs_rejected_total = %q, want 1", v)
+	}
+	// The saturated queue is visible on the depth gauge before the blocking
+	// job is released.
+	if v := metricValue(t, string(metrics), "hiposerve_jobs_queue_depth"); v != "1" {
+		t.Errorf("hiposerve_jobs_queue_depth = %q, want 1", v)
+	}
+}
+
+// TestDrainGauges: after all work completes, the active-jobs gauge reads 0
+// and the hit-ratio gauge reflects the cache counters — the two families
+// the load harness scrapes for its soak invariants.
+func TestDrainGauges(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	req := SolveRequest{Scenario: testScenario()}
+	postJSON(t, ts.URL+"/v1/solve", req)
+	postJSON(t, ts.URL+"/v1/solve", req) // cache hit
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	if v := metricValue(t, string(metrics), "hiposerve_jobs_active"); v != "0" {
+		t.Errorf("hiposerve_jobs_active = %q, want 0", v)
+	}
+	if v := metricValue(t, string(metrics), "hiposerve_cache_hit_ratio"); v != "0.5" {
+		t.Errorf("hiposerve_cache_hit_ratio = %q, want 0.5", v)
 	}
 }
 
@@ -466,7 +496,7 @@ func TestHealthzAndMetricsEndpoints(t *testing.T) {
 // TestGracefulShutdownDrains verifies queued jobs finish before shutdown
 // returns.
 func TestGracefulShutdownDrains(t *testing.T) {
-	s := newServer(Config{Workers: 2, Logger: quietLogger()})
+	s := New(context.Background(), Config{Workers: 2, Logger: quietLogger()})
 	var ids []string
 	for i := 0; i < 4; i++ {
 		id, err := s.jobs.Submit(func(context.Context) (any, error) {
@@ -478,7 +508,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		}
 		ids = append(ids, id)
 	}
-	if err := s.shutdown(context.Background()); err != nil {
+	if err := s.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range ids {
