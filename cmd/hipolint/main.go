@@ -1,20 +1,33 @@
 // Command hipolint runs the repository's domain-aware static-analysis
-// suite (internal/lint): floatcmp, detrand, wallclock, ctxflow, errdrop,
-// anglesafe, mutexguard, nanflow, and goroleak. It has two modes:
+// suite (internal/lint): nine per-package analyzers (floatcmp, detrand,
+// wallclock, ctxflow, errdrop, anglesafe, mutexguard, nanflow, goroleak)
+// plus three whole-program analyzers built on the interprocedural
+// call-graph and effect-summary engine (hotpath, lockorder, ctxprop). It
+// has two modes:
 //
 // Standalone, over the whole module (or a subset of packages):
 //
 //	go run ./cmd/hipolint ./...
 //	go run ./cmd/hipolint -only floatcmp,errdrop ./internal/geom
+//	go run ./cmd/hipolint -only hotpath ./...        # whole-program only
 //	go run ./cmd/hipolint -fix ./...                 # apply suggested fixes
 //	go run ./cmd/hipolint -format=sarif ./... > out.sarif
 //	go run ./cmd/hipolint -baseline .hipolint-baseline.json ./...
 //	go run ./cmd/hipolint -write-baseline .hipolint-baseline.json ./...
+//	go run ./cmd/hipolint -effect-report effects.json ./...
 //
 // As a vet tool, speaking the go vet unit-checker protocol:
 //
 //	go build -o /tmp/hipolint ./cmd/hipolint
 //	go vet -vettool=/tmp/hipolint ./...
+//
+// Vet mode runs the per-package analyzers only: the unit-checker protocol
+// hands the tool one package at a time, so whole-program analyses cannot
+// see the call graph they need there.
+//
+// Package loading and per-package analysis run on a worker pool sized by
+// -parallel (default: GOMAXPROCS); output order is deterministic
+// regardless of worker scheduling.
 //
 // Exit status: 0 when no diagnostics, 1 (standalone) or 2 (vet mode) when
 // findings are reported, 2 on operational errors. Suppress individual
@@ -28,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"hipo/internal/lint"
@@ -70,9 +84,11 @@ func runStandalone(args []string, out, errw io.Writer) int {
 		formatName    = fs.String("format", "text", "output format: text or sarif")
 		baselinePath  = fs.String("baseline", "", "baseline file: only findings absent from it fail")
 		writeBaseline = fs.String("write-baseline", "", "snapshot current findings to this baseline file and exit")
+		effectReport  = fs.String("effect-report", "", "write the //hipo:hotpath effect-summary report (JSON) to this file")
+		parallel      = fs.Int("parallel", runtime.GOMAXPROCS(0), "package loading / analysis worker count")
 	)
 	fs.Usage = func() {
-		printf(errw, "usage: hipolint [-only name,...] [-list] [-fix] [-format text|sarif] [-baseline file] [-write-baseline file] [packages]\n")
+		printf(errw, "usage: hipolint [-only name,...] [-list] [-fix] [-format text|sarif] [-baseline file] [-write-baseline file] [-effect-report file] [-parallel n] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -80,7 +96,10 @@ func runStandalone(args []string, out, errw io.Writer) int {
 	}
 	if *list {
 		for _, a := range lint.Analyzers() {
-			printf(out, "%-10s %s\n", a.Name, a.Doc)
+			printf(out, "%-10s [package] %s\n", a.Name, a.Doc)
+		}
+		for _, a := range lint.ProgramAnalyzers() {
+			printf(out, "%-10s [program] %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -88,7 +107,7 @@ func runStandalone(args []string, out, errw io.Writer) int {
 		printf(errw, "hipolint: unknown -format %q (want text or sarif)\n", *formatName)
 		return 2
 	}
-	analyzers, err := selectAnalyzers(*only)
+	analyzers, progAnalyzers, err := selectSuites(*only)
 	if err != nil {
 		printf(errw, "hipolint: %v\n", err)
 		return 2
@@ -98,20 +117,32 @@ func runStandalone(args []string, out, errw io.Writer) int {
 		printf(errw, "hipolint: %v\n", err)
 		return 2
 	}
-	pkgs, err := lint.LoadModule(".", fs.Args())
+	pkgs, err := lint.LoadModuleParallel(".", fs.Args(), *parallel)
 	if err != nil {
 		printf(errw, "hipolint: %v\n", err)
 		return 2
 	}
-	var diags []lint.Diagnostic
-	for _, pkg := range pkgs {
-		ds, err := lint.RunAnalyzers(pkg, analyzers)
+	diags, err := runPerPackage(pkgs, analyzers, *parallel)
+	if err != nil {
+		printf(errw, "hipolint: %v\n", err)
+		return 2
+	}
+	if len(progAnalyzers) > 0 || *effectReport != "" {
+		prog := lint.BuildProgram(pkgs)
+		pds, err := lint.RunProgramAnalyzers(prog, progAnalyzers)
 		if err != nil {
 			printf(errw, "hipolint: %v\n", err)
 			return 2
 		}
-		diags = append(diags, ds...)
+		diags = append(diags, pds...)
+		if *effectReport != "" {
+			if err := writeEffectReport(*effectReport, prog); err != nil {
+				printf(errw, "hipolint: %v\n", err)
+				return 2
+			}
+		}
 	}
+	lint.SortDiagnostics(diags)
 
 	if *fix {
 		updated, dropped, err := lint.ApplyFixes(diags)
@@ -157,7 +188,7 @@ func runStandalone(args []string, out, errw io.Writer) int {
 	}
 
 	if *formatName == "sarif" {
-		if err := lint.WriteSARIF(out, analyzers, diags, root); err != nil {
+		if err := lint.WriteSARIF(out, analyzers, progAnalyzers, diags, root); err != nil {
 			printf(errw, "hipolint: %v\n", err)
 			return 2
 		}
@@ -172,6 +203,63 @@ func runStandalone(args []string, out, errw io.Writer) int {
 		exit = 1
 	}
 	return exit
+}
+
+// runPerPackage applies the per-package analyzers to every package on a
+// worker pool. Diagnostics come back concatenated in package order, so
+// the output is independent of worker scheduling.
+func runPerPackage(pkgs []*lint.Package, analyzers []*lint.Analyzer, workers int) ([]lint.Diagnostic, error) {
+	if len(analyzers) == 0 {
+		return nil, nil
+	}
+	perPkg := make([][]lint.Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range idx {
+				perPkg[i], errs[i] = lint.RunAnalyzers(pkgs[i], analyzers)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := range pkgs {
+		idx <- i
+	}
+	close(idx)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	var diags []lint.Diagnostic
+	for i := range pkgs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		diags = append(diags, perPkg[i]...)
+	}
+	return diags, nil
+}
+
+// writeEffectReport builds the hot-path effect report for prog and writes
+// it to path.
+func writeEffectReport(path string, prog *lint.Program) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	rep := lint.BuildEffectReport(prog)
+	if err := lint.WriteEffectReport(f, rep); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // unfixedDiagnostics keeps the diagnostics -fix could not resolve: those
@@ -191,19 +279,38 @@ func unfixedDiagnostics(diags, dropped []lint.Diagnostic) []lint.Diagnostic {
 	return out
 }
 
-// selectAnalyzers resolves the -only flag to a subset of the suite.
+// selectAnalyzers resolves the -only flag to a subset of the per-package
+// suite; program-analyzer names are rejected here (runVet uses it).
 func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
-	if only == "" {
-		return lint.Analyzers(), nil
+	as, ps, err := selectSuites(only)
+	if err != nil {
+		return nil, err
 	}
-	var out []*lint.Analyzer
+	if len(ps) > 0 {
+		return nil, fmt.Errorf("analyzer %q is whole-program only", ps[0].Name)
+	}
+	return as, nil
+}
+
+// selectSuites resolves the -only flag against both suites. An empty flag
+// selects everything.
+func selectSuites(only string) ([]*lint.Analyzer, []*lint.ProgramAnalyzer, error) {
+	if only == "" {
+		return lint.Analyzers(), lint.ProgramAnalyzers(), nil
+	}
+	var as []*lint.Analyzer
+	var ps []*lint.ProgramAnalyzer
 	for _, name := range strings.Split(only, ",") {
 		name = strings.TrimSpace(name)
-		a := lint.ByName(name)
-		if a == nil {
-			return nil, fmt.Errorf("unknown analyzer %q", name)
+		if a := lint.ByName(name); a != nil {
+			as = append(as, a)
+			continue
 		}
-		out = append(out, a)
+		if p := lint.ProgramByName(name); p != nil {
+			ps = append(ps, p)
+			continue
+		}
+		return nil, nil, fmt.Errorf("unknown analyzer %q", name)
 	}
-	return out, nil
+	return as, ps, nil
 }

@@ -53,10 +53,48 @@ func TestSuiteCleanOnRepository(t *testing.T) {
 		t.Skip("compiles the whole module; skipped in -short mode")
 	}
 	chdirModuleRoot(t)
+	report := filepath.Join(t.TempDir(), "effects.json")
 	var out, errw bytes.Buffer
-	code := runStandalone([]string{"./..."}, &out, &errw)
+	code := runStandalone([]string{"-effect-report", report, "./..."}, &out, &errw)
 	if code != 0 {
 		t.Errorf("hipolint ./... exited %d; diagnostics:\n%s%s", code, out.String(), errw.String())
+	}
+	// The same run must leave an effect report naming every annotated hot
+	// root as clean — the CI drift guard consumes exactly this file.
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("effect report not written: %v", err)
+	}
+	var rep struct {
+		Schema string `json:"schema"`
+		Roots  []struct {
+			Func  string `json:"func"`
+			Clean bool   `json:"clean"`
+		} `json:"roots"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("effect report does not parse: %v", err)
+	}
+	if rep.Schema != lint.EffectReportSchema {
+		t.Errorf("report schema = %q, want %q", rep.Schema, lint.EffectReportSchema)
+	}
+	roots := map[string]bool{}
+	for _, r := range rep.Roots {
+		roots[r.Func] = true
+		if !r.Clean {
+			t.Errorf("hot-path root %s is not clean", r.Func)
+		}
+	}
+	for _, want := range []string{
+		"hipo/internal/pdcs.Extract",
+		"hipo/internal/pdcs.ExtractAll",
+		"hipo/internal/discretize.CandidatePositions",
+		"hipo/internal/submodular.GreedyLazy",
+		"hipo/internal/visindex.Ensure",
+	} {
+		if !roots[want] {
+			t.Errorf("effect report is missing hot-path root %s", want)
+		}
 	}
 }
 
@@ -153,6 +191,26 @@ func TestListAnalyzers(t *testing.T) {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
 		}
+	}
+	// Whole-program analyzers are listed too, tagged with their layer so
+	// users know they are unavailable under go vet.
+	for _, name := range []string{"hotpath", "lockorder", "ctxprop"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing program analyzer %q:\n%s", name, out.String())
+		}
+	}
+	for _, tag := range []string{"[package]", "[program]"} {
+		if !strings.Contains(out.String(), tag) {
+			t.Errorf("-list output missing layer tag %q:\n%s", tag, out.String())
+		}
+	}
+}
+
+func TestSelectAnalyzersRejectsProgramNames(t *testing.T) {
+	// The vet entry point can only run per-package analyzers; asking it for
+	// a whole-program one must fail loudly, not silently no-op.
+	if _, err := selectAnalyzers("hotpath"); err == nil || !strings.Contains(err.Error(), "whole-program") {
+		t.Errorf("selectAnalyzers(hotpath) = %v, want whole-program error", err)
 	}
 }
 

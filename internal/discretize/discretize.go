@@ -278,6 +278,8 @@ func (g *Generator) TaskPositions(i int) []geom.Vec {
 // within charging range of at least one device. Per-device workloads run
 // in parallel on cfg.Workers goroutines (0 = GOMAXPROCS); deduplication is
 // order-stable, so results are deterministic regardless of worker count.
+//
+//hipo:hotpath
 func CandidatePositions(sc *model.Scenario, q int, cfg Config) []geom.Vec {
 	if !cfg.BruteForceVisibility {
 		sc = visindex.Ensure(sc)

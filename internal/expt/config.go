@@ -3,6 +3,8 @@
 // parameters of Tables 2–4, seeded random topologies on the 40 m × 40 m
 // two-obstacle plane of Figure 10(a), per-figure sweep runners, the field-
 // testbed replica of Section 7, and CSV/console reporting.
+//
+//hipo:allow-wallclock the experiment harness measures solver runtime as an output
 package expt
 
 import (

@@ -16,9 +16,11 @@
 // untraced solves place bit-for-bit identically.
 //
 // The package reads the wall clock (time.Now carries the monotonic
-// reading) and is exempt from the wallclock lint: it is a measurement
-// layer, like internal/expt, injected into the otherwise deterministic
-// pipeline by the caller.
+// reading) and declares the wallclock-lint exemption below: it is a
+// measurement layer, like internal/expt, injected into the otherwise
+// deterministic pipeline by the caller.
+//
+//hipo:allow-wallclock span durations are the tracer's purpose; timing never feeds back into placement
 package hipotrace
 
 import (

@@ -5,6 +5,8 @@
 // deadline, supports cancellation of both queued and running jobs, drains
 // running work on graceful shutdown, and evicts old terminal jobs under a
 // configurable retention policy so the job table cannot grow without bound.
+//
+//hipo:allow-wallclock job lifecycle timestamps and deadline enforcement require real time
 package jobs
 
 import (

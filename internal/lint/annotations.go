@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// This file parses the repository's `//hipo:` source annotations, the
+// grammar that lets invariants live next to the code they describe:
+//
+//	//hipo:allow-wallclock <reason>
+//	    Placed among a file's comments (conventionally right above the
+//	    package clause): the whole package may read the wall clock. The
+//	    wallclock analyzer skips it, and the effect-summary engine masks
+//	    wall-clock effects originating there, so measurement layers
+//	    (tracing, serving metrics) do not poison hot-path summaries.
+//
+//	//hipo:hotpath [deny=<effect>,...]
+//	    In a function's doc comment: the function is a hot-path root. Every
+//	    function reachable from it in the whole-program call graph must be
+//	    free of the denied effects (default: wallclock,rand,unknown — the
+//	    determinism effects plus the conservative top). Checked by the
+//	    hotpath analyzer with per-root offending call chains.
+//
+//	//hipo:pure <reason>
+//	    On (or directly above) a line calling a function value the
+//	    call-graph builder cannot resolve: asserts the value is effect-
+//	    free, instead of the default fallback to the unknown effect. The
+//	    reason is mandatory.
+//
+// Malformed directives are reported as "lintdirective" diagnostics, the
+// same channel //lint:ignore abuse flows through, so an annotation can
+// never silently rot.
+
+// hipoPrefix starts every directive this file owns.
+const hipoPrefix = "//hipo:"
+
+// Annotations carries one package's parsed //hipo: directives.
+type Annotations struct {
+	// AllowWallclock is the reason the package may read the wall clock, or
+	// "" when it may not.
+	AllowWallclock string
+	// HotPathRoots maps function declarations annotated //hipo:hotpath to
+	// their denied effect sets.
+	HotPathRoots map[*ast.FuncDecl]EffectSet
+	// PureLines marks (file, line) pairs covered by a //hipo:pure
+	// assertion. Like //lint:ignore, a directive covers its own line and
+	// the line immediately below.
+	PureLines map[string]map[int]bool
+	// Bad collects malformed directives as diagnostics.
+	Bad []Diagnostic
+}
+
+// DefaultHotPathDeny is the effect set a bare //hipo:hotpath denies: the
+// two determinism-breaking effects plus the unresolvable-call fallback.
+// Allocation, locking, blocking, and goroutine fan-out are legitimate on
+// today's hot paths (worker pools, tracer flushes); they are tracked in
+// summaries and the effect report but not denied by default.
+var DefaultHotPathDeny = EffNone.With(EffWallClock).With(EffRand).With(EffUnknown)
+
+// parseAnnotations scans all files of a package for //hipo: directives.
+func parseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
+	a := &Annotations{
+		HotPathRoots: make(map[*ast.FuncDecl]EffectSet),
+		PureLines:    make(map[string]map[int]bool),
+	}
+	for _, f := range files {
+		// Doc-comment directives on function declarations.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				kind, rest, ok := hipoDirective(c.Text)
+				if !ok || kind != "hotpath" {
+					continue
+				}
+				deny, diag := parseHotPathArgs(fset, c, rest)
+				if diag != nil {
+					a.Bad = append(a.Bad, *diag)
+					continue
+				}
+				a.HotPathRoots[fd] = deny
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				kind, rest, ok := hipoDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				switch kind {
+				case "allow-wallclock":
+					if strings.TrimSpace(rest) == "" {
+						a.Bad = append(a.Bad, Diagnostic{
+							Analyzer: "lintdirective",
+							Pos:      pos,
+							Message:  "//hipo:allow-wallclock needs a reason: `//hipo:allow-wallclock <reason>`",
+						})
+						continue
+					}
+					a.AllowWallclock = strings.TrimSpace(rest)
+				case "pure":
+					if strings.TrimSpace(rest) == "" {
+						a.Bad = append(a.Bad, Diagnostic{
+							Analyzer: "lintdirective",
+							Pos:      pos,
+							Message:  "//hipo:pure needs a reason: `//hipo:pure <reason>`",
+						})
+						continue
+					}
+					lines := a.PureLines[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]bool)
+						a.PureLines[pos.Filename] = lines
+					}
+					lines[pos.Line] = true
+					lines[pos.Line+1] = true
+				case "hotpath":
+					// Validated above when attached to a function's doc
+					// comment; anywhere else it annotates nothing.
+					if !isFuncDocComment(f, c) {
+						a.Bad = append(a.Bad, Diagnostic{
+							Analyzer: "lintdirective",
+							Pos:      pos,
+							Message:  "//hipo:hotpath must appear in a function's doc comment",
+						})
+					}
+				default:
+					a.Bad = append(a.Bad, Diagnostic{
+						Analyzer: "lintdirective",
+						Pos:      pos,
+						Message:  "unknown //hipo: directive " + kind + " (want hotpath, allow-wallclock, or pure)",
+					})
+				}
+			}
+		}
+	}
+	return a
+}
+
+// hipoDirective splits a comment into its //hipo: directive kind and the
+// remainder, reporting ok=false for non-directive comments.
+func hipoDirective(text string) (kind, rest string, ok bool) {
+	body, found := strings.CutPrefix(text, hipoPrefix)
+	if !found {
+		return "", "", false
+	}
+	kind, rest, _ = strings.Cut(body, " ")
+	return strings.TrimSpace(kind), rest, kind != ""
+}
+
+// parseHotPathArgs parses the optional arguments of //hipo:hotpath.
+// Supported: `deny=<effect>,...` overriding DefaultHotPathDeny.
+func parseHotPathArgs(fset *token.FileSet, c *ast.Comment, rest string) (EffectSet, *Diagnostic) {
+	deny := DefaultHotPathDeny
+	for _, field := range strings.Fields(rest) {
+		val, ok := strings.CutPrefix(field, "deny=")
+		if !ok {
+			d := Diagnostic{
+				Analyzer: "lintdirective",
+				Pos:      fset.Position(c.Pos()),
+				Message:  "unknown //hipo:hotpath argument " + field + " (want deny=<effect>,...)",
+			}
+			return 0, &d
+		}
+		set, err := ParseEffectSet(val)
+		if err != nil {
+			d := Diagnostic{
+				Analyzer: "lintdirective",
+				Pos:      fset.Position(c.Pos()),
+				Message:  "//hipo:hotpath deny list: " + err.Error(),
+			}
+			return 0, &d
+		}
+		deny = set
+	}
+	return deny, nil
+}
+
+// isFuncDocComment reports whether comment c belongs to the doc comment
+// group of some function declaration in f.
+func isFuncDocComment(f *ast.File, c *ast.Comment) bool {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, dc := range fd.Doc.List {
+			if dc == c {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Annotations returns the package's parsed //hipo: directives, computing
+// and caching them on first use.
+func (p *Package) Annotations() *Annotations {
+	if p.ann == nil {
+		p.ann = parseAnnotations(p.Fset, p.Files)
+	}
+	return p.ann
+}

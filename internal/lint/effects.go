@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file defines the effect lattice of the whole-program summary engine:
+// the six concrete effects the interprocedural analyzers reason about, plus
+// an "unknown" effect that models calls through function values the
+// call-graph builder cannot resolve (the conservative top element). Per-
+// function summaries are computed bottom-up over the strongly connected
+// components of the call graph in callgraph.go.
+
+// Effect is one observable side effect a function may have.
+type Effect uint8
+
+const (
+	// EffAlloc marks heap allocation: make, new, composite literals, and
+	// append. String concatenation and boxing are deliberately not modeled;
+	// the effect report exists to steer hot-path work, not to replace the
+	// allocation benchmarks that gate it.
+	EffAlloc Effect = iota
+	// EffLock marks sync.Mutex/sync.RWMutex lock or unlock operations.
+	EffLock
+	// EffBlock marks operations that may park the goroutine: channel sends
+	// and receives, select, mutex acquisition, WaitGroup.Wait, Cond.Wait,
+	// Once.Do, and time.Sleep.
+	EffBlock
+	// EffWallClock marks wall-clock reads (time.Now/Since/Until) outside
+	// //hipo:allow-wallclock packages.
+	EffWallClock
+	// EffRand marks draws from the global math/rand source — the same
+	// function set the detrand analyzer bans. Draws from an injected,
+	// seeded *rand.Rand are deterministic and carry no effect.
+	EffRand
+	// EffGo marks goroutine launches.
+	EffGo
+	// EffUnknown marks a call through a function value the engine cannot
+	// resolve to any declaration: the conservative fallback to top. Assert
+	// a call clean with `//hipo:pure <reason>` on or above its line.
+	EffUnknown
+
+	// NumEffects is the number of defined effects.
+	NumEffects
+)
+
+// effectNames maps effects to the stable names used in annotations
+// (`//hipo:hotpath deny=...`), diagnostics, and the effect report.
+var effectNames = [NumEffects]string{
+	EffAlloc:     "alloc",
+	EffLock:      "lock",
+	EffBlock:     "block",
+	EffWallClock: "wallclock",
+	EffRand:      "rand",
+	EffGo:        "go",
+	EffUnknown:   "unknown",
+}
+
+// Name returns the effect's stable lowercase name.
+func (e Effect) Name() string {
+	if e >= NumEffects {
+		return fmt.Sprintf("effect_%d", int(e))
+	}
+	return effectNames[e]
+}
+
+// EffectByName resolves a stable name back to its Effect; ok is false for
+// unknown names.
+func EffectByName(name string) (Effect, bool) {
+	for e := Effect(0); e < NumEffects; e++ {
+		if effectNames[e] == name {
+			return e, true
+		}
+	}
+	return 0, false
+}
+
+// EffectSet is a bitmask of Effects.
+type EffectSet uint16
+
+// EffNone is the empty effect set; EffTop has every effect including
+// unknown (the summary of a function the engine knows nothing about).
+const (
+	EffNone EffectSet = 0
+	EffTop  EffectSet = 1<<NumEffects - 1
+)
+
+// With returns s with e added.
+func (s EffectSet) With(e Effect) EffectSet { return s | 1<<e }
+
+// Has reports whether e is in s.
+func (s EffectSet) Has(e Effect) bool { return s&(1<<e) != 0 }
+
+// Union returns the join of two sets.
+func (s EffectSet) Union(o EffectSet) EffectSet { return s | o }
+
+// Intersect returns the effects present in both sets.
+func (s EffectSet) Intersect(o EffectSet) EffectSet { return s & o }
+
+// Effects returns the members of s in declaration order.
+func (s EffectSet) Effects() []Effect {
+	var out []Effect
+	for e := Effect(0); e < NumEffects; e++ {
+		if s.Has(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the set as a comma-joined, alphabetically sorted name
+// list, or "none" when empty.
+func (s EffectSet) String() string {
+	if s == 0 {
+		return "none"
+	}
+	var names []string
+	for _, e := range s.Effects() {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+// ParseEffectSet parses a comma-separated effect name list ("wallclock,
+// rand"). Unknown names are errors so annotation typos cannot silently
+// weaken a deny set.
+func ParseEffectSet(list string) (EffectSet, error) {
+	var s EffectSet
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		e, ok := EffectByName(name)
+		if !ok {
+			return 0, fmt.Errorf("unknown effect %q (want one of alloc,lock,block,wallclock,rand,go,unknown)", name)
+		}
+		s = s.With(e)
+	}
+	return s, nil
+}
+
+// ---------------------------------------------------------------------------
+// External function modeling.
+
+// externalEffects returns the effect set of a call to a function outside
+// the loaded program, identified by its package path and name ("" pkgPath
+// for builtins). The table enumerates the effect-relevant standard-library
+// surface; everything else is assumed effect-free, mirroring how the
+// per-package analyzers detect exactly these selectors. recvType, when
+// non-empty, is the name of the named receiver type for method calls
+// (e.g. "WaitGroup" for wg.Wait()).
+func externalEffects(pkgPath, recvType, name string) EffectSet {
+	switch pkgPath {
+	case "time":
+		if recvType == "" && wallClockFuncs[name] {
+			return EffNone.With(EffWallClock)
+		}
+		if recvType == "" && name == "Sleep" {
+			return EffNone.With(EffBlock)
+		}
+	case "math/rand", "math/rand/v2":
+		if recvType == "" && globalRandFuncs[name] {
+			return EffNone.With(EffRand)
+		}
+	case "sync":
+		switch recvType {
+		case "Mutex", "RWMutex":
+			switch name {
+			case "Lock", "RLock":
+				return EffNone.With(EffLock).With(EffBlock)
+			case "Unlock", "RUnlock":
+				return EffNone.With(EffLock)
+			}
+		case "WaitGroup":
+			if name == "Wait" {
+				return EffNone.With(EffBlock)
+			}
+		case "Cond":
+			if name == "Wait" {
+				return EffNone.With(EffBlock)
+			}
+		case "Once":
+			if name == "Do" {
+				return EffNone.With(EffBlock)
+			}
+		}
+	}
+	return EffNone
+}
+
+// externalRetClean lists external functions whose func-typed results are
+// known effect-free to call (context cancel functions do bookkeeping and
+// close a channel; they never block, spawn, or observe time). Calling the
+// result of any other external function is an unknown-effect call.
+var externalRetClean = map[string]bool{
+	"context.WithCancel":      true,
+	"context.WithCancelCause": true,
+	"context.WithDeadline":    true,
+	"context.WithTimeout":     true,
+}
+
+// namedRecvType returns the name of the named type of a method receiver
+// expression's type (behind one pointer), or "".
+func namedRecvType(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// isBuiltinAlloc reports whether a call to the named builtin allocates.
+func isBuiltinAlloc(name string) bool {
+	return name == "make" || name == "new" || name == "append"
+}
+
+// intrinsicNodeEffects returns the effects of one AST node itself,
+// independent of any calls it contains: composite literals allocate, go
+// statements spawn, channel operations block.
+func intrinsicNodeEffects(info *types.Info, n ast.Node) EffectSet {
+	switch n := n.(type) {
+	case *ast.CompositeLit:
+		return EffNone.With(EffAlloc)
+	case *ast.GoStmt:
+		return EffNone.With(EffGo)
+	case *ast.SendStmt:
+		return EffNone.With(EffBlock)
+	case *ast.SelectStmt:
+		return EffNone.With(EffBlock)
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			return EffNone.With(EffBlock)
+		}
+	case *ast.RangeStmt:
+		if info != nil {
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					return EffNone.With(EffBlock)
+				}
+			}
+		}
+	}
+	return EffNone
+}

@@ -56,7 +56,7 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagno
 					continue
 				}
 				name := fields[0]
-				if name != "*" && ByName(name) == nil {
+				if name != "*" && ByName(name) == nil && ProgramByName(name) == nil {
 					bad = append(bad, Diagnostic{
 						Analyzer: "lintdirective",
 						Pos:      pos,

@@ -26,7 +26,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -55,6 +54,9 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Package, when set, is the full loaded package, giving analyzers
+	// access to parsed //hipo: annotations.
+	Package *Package
 
 	diags *[]Diagnostic
 }
@@ -67,6 +69,16 @@ type Diagnostic struct {
 	Pos      token.Position
 	Message  string
 	Fixes    []SuggestedFix
+	// Related locates the supporting evidence of interprocedural findings
+	// (call-chain steps, effect origins); rendered as SARIF
+	// relatedLocations.
+	Related []RelatedPos
+}
+
+// RelatedPos is one supporting location of a diagnostic.
+type RelatedPos struct {
+	Pos     token.Position
+	Message string
 }
 
 func (d Diagnostic) String() string {
@@ -139,6 +151,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Package:  pkg,
 			diags:    &diags,
 		}
 		if err := a.Run(pass); err != nil {
@@ -153,19 +166,11 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 	}
 	kept = append(kept, bad...)
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i].Pos, kept[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
-		}
-		return kept[i].Analyzer < kept[j].Analyzer
-	})
+	// Malformed //hipo: directives surface through the same channel as
+	// malformed //lint:ignore comments: unsuppressible lintdirective
+	// diagnostics.
+	kept = append(kept, pkg.Annotations().Bad...)
+	SortDiagnostics(kept)
 	return kept, nil
 }
 

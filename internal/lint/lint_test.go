@@ -29,14 +29,54 @@ func TestWallClock(t *testing.T) {
 	linttest.Run(t, lint.WallClockAnalyzer, "testdata/wallclock", "hipo/internal/power")
 }
 
-func TestWallClockExemptPackages(t *testing.T) {
+func TestWallClockExemptInCommands(t *testing.T) {
+	// Only cmd/examples trees are exempt by path; pipeline packages opt out
+	// with the annotation instead.
+	linttest.RunExpectClean(t, lint.WallClockAnalyzer, "testdata/wallclock", "hipo/cmd/hiposerve")
+}
+
+func TestWallClockAllowAnnotation(t *testing.T) {
+	// Identical clock reads, but the package declares
+	// //hipo:allow-wallclock with a reason: no findings, regardless of the
+	// import path.
 	for _, path := range []string{
 		"hipo/internal/jobs",
-		"hipo/internal/servemetrics",
-		"hipo/internal/expt",
-		"hipo/cmd/hiposerve",
+		"hipo/internal/power",
 	} {
-		linttest.RunExpectClean(t, lint.WallClockAnalyzer, "testdata/wallclock", path)
+		linttest.RunExpectClean(t, lint.WallClockAnalyzer, "testdata/wallclockallow", path)
+	}
+}
+
+func TestHipoDirectiveValidation(t *testing.T) {
+	// Malformed //hipo: directives surface as lintdirective diagnostics no
+	// matter which analyzer runs; each broken directive in the fixture must
+	// produce exactly one.
+	pkg := loadTestPackage(t, "hipo/cmd/hiposerve", "testdata/hipobad")
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{lint.WallClockAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{
+		"//hipo:allow-wallclock needs a reason",
+		"//hipo:pure needs a reason",
+		"//hipo:hotpath deny list",
+		"unknown //hipo: directive frobnicate",
+		"//hipo:hotpath must appear in a function's doc comment",
+	}
+	if len(diags) != len(wants) {
+		t.Errorf("got %d diagnostics, want %d:\n%v", len(diags), len(wants), diags)
+	}
+	for _, w := range wants {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == "lintdirective" && strings.Contains(d.Message, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no lintdirective diagnostic containing %q", w)
+		}
 	}
 }
 

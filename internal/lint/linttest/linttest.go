@@ -132,6 +132,33 @@ func parseWants(path string) ([]*want, error) {
 // diagnostics against the `// want` comments.
 func Run(t *testing.T, a *lint.Analyzer, dir, importPath string) {
 	t.Helper()
+	pkg := loadDir(t, dir, importPath)
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	checkWants(t, dir, diags)
+}
+
+// RunProgram type-checks dir as one package, builds the whole-program call
+// graph over it, applies the program analyzer, and verifies diagnostics
+// against the `// want` comments. The import path decides scope gating
+// (lockorder's package allowlist, ctxprop's command exemption), so
+// fixtures may pose as pipeline packages like "hipo/internal/jobs".
+func RunProgram(t *testing.T, a *lint.ProgramAnalyzer, dir, importPath string) {
+	t.Helper()
+	pkg := loadDir(t, dir, importPath)
+	prog := lint.BuildProgram([]*lint.Package{pkg})
+	diags, err := lint.RunProgramAnalyzers(prog, []*lint.ProgramAnalyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	checkWants(t, dir, diags)
+}
+
+// loadDir type-checks the testdata directory as one package.
+func loadDir(t *testing.T, dir, importPath string) *lint.Package {
+	t.Helper()
 	exp := exportData(t)
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "gc", exp.Lookup)
@@ -139,11 +166,14 @@ func Run(t *testing.T, a *lint.Analyzer, dir, importPath string) {
 	if err != nil {
 		t.Fatalf("loading %s: %v", dir, err)
 	}
-	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
-	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
-	}
+	return pkg
+}
 
+// checkWants verifies diags against the `// want` comments of every .go
+// file in dir: each diagnostic must be claimed by exactly one pattern on
+// its line, and every pattern must claim a diagnostic.
+func checkWants(t *testing.T, dir string, diags []lint.Diagnostic) {
+	t.Helper()
 	var wants []*want
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -180,6 +210,22 @@ func Run(t *testing.T, a *lint.Analyzer, dir, importPath string) {
 		if !w.hit {
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
 		}
+	}
+}
+
+// RunProgramExpectClean asserts the program analyzer reports nothing on
+// dir when loaded under importPath — used to exercise scope gating (e.g.
+// lockorder outside the serving stack).
+func RunProgramExpectClean(t *testing.T, a *lint.ProgramAnalyzer, dir, importPath string) {
+	t.Helper()
+	pkg := loadDir(t, dir, importPath)
+	prog := lint.BuildProgram([]*lint.Package{pkg})
+	diags, err := lint.RunProgramAnalyzers(prog, []*lint.ProgramAnalyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	for _, d := range diags {
+		t.Errorf("expected no diagnostics under %s, got: %s", importPath, d)
 	}
 }
 

@@ -14,6 +14,8 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Package is one parsed, type-checked module package ready for analysis.
@@ -24,6 +26,10 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+
+	// ann caches the package's parsed //hipo: annotations (see
+	// annotations.go); access through Annotations().
+	ann *Annotations
 }
 
 // ExportData maps import paths to compiled export-data files, as produced
@@ -102,6 +108,20 @@ func goList(dir string, patterns []string) ([]*listedPackage, error) {
 // export data. Only non-test files are loaded, mirroring what `go vet`
 // hands a unit checker for the primary package.
 func LoadModule(dir string, patterns []string) ([]*Package, error) {
+	return LoadModuleParallel(dir, patterns, 1)
+}
+
+// LoadModuleParallel is LoadModule with parsing and type-checking spread
+// over a pool of workers. The token.FileSet is shared (it synchronizes
+// internally), but each worker owns a private gc importer over the shared
+// export data: the importer's package cache is a plain map. One
+// consequence is deliberate — dependency types materialized by different
+// workers are distinct types.Object universes, so whole-program layers
+// must never rely on cross-package object identity (callgraph.go keys
+// functions by canonical strings for exactly this reason). Package order
+// in the result matches the `go list` order regardless of which worker
+// finished first.
+func LoadModuleParallel(dir string, patterns []string, workers int) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -115,23 +135,53 @@ func LoadModule(dir string, patterns []string) ([]*Package, error) {
 			exp.files[p.ImportPath] = p.Export
 		}
 	}
-	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", exp.Lookup)
-	var pkgs []*Package
+	var targets []*listedPackage
 	for _, p := range listed {
-		if p.Standard || p.DepOnly {
-			continue
+		if !p.Standard && !p.DepOnly {
+			targets = append(targets, p)
 		}
-		var paths []string
-		for _, f := range p.GoFiles {
-			paths = append(paths, filepath.Join(p.Dir, f))
-		}
-		pkg, err := CheckFiles(fset, imp, p.ImportPath, paths)
+	}
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	fset := token.NewFileSet()
+	pkgs := make([]*Package, len(targets))
+	errs := make([]error, len(targets))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			imp := importer.ForCompiler(fset, "gc", exp.Lookup)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(targets) {
+					return
+				}
+				p := targets[i]
+				var paths []string
+				for _, f := range p.GoFiles {
+					paths = append(paths, filepath.Join(p.Dir, f))
+				}
+				pkg, err := CheckFiles(fset, imp, p.ImportPath, paths)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				pkg.Dir = p.Dir
+				pkgs[i] = pkg
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pkg.Dir = p.Dir
-		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
 }

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ProgramAnalyzer is a whole-program check: unlike Analyzer it sees every
+// loaded package at once through the call graph and effect summaries of a
+// Program. Program analyzers share the //lint:ignore suppression grammar
+// and the baseline ratchet with the per-package suite.
+type ProgramAnalyzer struct {
+	// Name is the identifier used in diagnostics and //lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-paragraph description.
+	Doc string
+	// Run inspects the program and reports findings through report.
+	Run func(prog *Program, report func(Diagnostic)) error
+}
+
+// ProgramAnalyzers returns the whole-program suite in stable order.
+func ProgramAnalyzers() []*ProgramAnalyzer {
+	return []*ProgramAnalyzer{
+		HotPathAnalyzer,
+		LockOrderAnalyzer,
+		CtxPropAnalyzer,
+	}
+}
+
+// ProgramByName returns the named program analyzer, or nil.
+func ProgramByName(name string) *ProgramAnalyzer {
+	for _, a := range ProgramAnalyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunProgramAnalyzers applies each program analyzer to prog, filters
+// findings suppressed by //lint:ignore directives in any loaded package,
+// and returns the survivors sorted by position.
+func RunProgramAnalyzers(prog *Program, analyzers []*ProgramAnalyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		if err := a.Run(prog, report); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	ign := make(ignoreSet)
+	for _, pkg := range prog.Packages {
+		// Malformed directives are reported by the per-package pass; here
+		// only the suppression index matters.
+		pkgIgn, _ := collectIgnores(pkg.Fset, pkg.Files)
+		for k := range pkgIgn {
+			ign[k] = true
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ign.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	SortDiagnostics(kept)
+	return kept, nil
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, analyzer, and
+// finally message, the stable order both suites present findings in.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
+	})
+}

@@ -1,0 +1,64 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hipo/internal/lint"
+	"hipo/internal/lint/linttest"
+)
+
+func TestHotPath(t *testing.T) {
+	linttest.RunProgram(t, lint.HotPathAnalyzer, "testdata/hotpath", "hipo/internal/pdcs")
+}
+
+func TestLockOrder(t *testing.T) {
+	linttest.RunProgram(t, lint.LockOrderAnalyzer, "testdata/lockorder", "hipo/internal/jobs")
+}
+
+func TestLockOrderOutOfScope(t *testing.T) {
+	// The same sources outside the serving stack participate in no global
+	// lock order; nothing is reported.
+	linttest.RunProgramExpectClean(t, lint.LockOrderAnalyzer, "testdata/lockorder", "hipo/internal/geom")
+}
+
+func TestCtxProp(t *testing.T) {
+	linttest.RunProgram(t, lint.CtxPropAnalyzer, "testdata/ctxprop", "hipo/internal/core")
+}
+
+func TestCtxPropExemptInCommands(t *testing.T) {
+	linttest.RunProgramExpectClean(t, lint.CtxPropAnalyzer, "testdata/ctxprop", "hipo/cmd/hiposerve")
+}
+
+// TestCtxPropSuggestedFix: a severed context.Background() toward a blocking
+// callee carries a machine fix replacing the argument with the in-scope
+// context name.
+func TestCtxPropSuggestedFix(t *testing.T) {
+	pkg := loadTestPackage(t, "hipo/internal/core", filepath.Join("testdata", "ctxprop"))
+	prog := lint.BuildProgram([]*lint.Package{pkg})
+	diags, err := lint.RunProgramAnalyzers(prog, []*lint.ProgramAnalyzer{lint.CtxPropAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withFix int
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			continue
+		}
+		withFix++
+		edit := d.Fixes[0].Edits[0]
+		if edit.NewText != "ctx" {
+			t.Errorf("fix replaces with %q, want ctx", edit.NewText)
+		}
+		if !strings.HasSuffix(edit.File, "a.go") {
+			t.Errorf("fix targets %q, want the fixture file", edit.File)
+		}
+		if edit.End <= edit.Start {
+			t.Errorf("fix range [%d,%d) is empty", edit.Start, edit.End)
+		}
+	}
+	if withFix == 0 {
+		t.Error("no ctxprop diagnostic carried a suggested fix")
+	}
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// EffectReportSchema versions the JSON layout of the hot-path effect
+// report. Consumers (the CI artifact step, ad-hoc jq queries) pin on it.
+const EffectReportSchema = "hipolint-effects/v1"
+
+// EffectReport summarizes every //hipo:hotpath root in the program: which
+// effects its reachable call graph carries, which of those its deny set
+// forbids, and whether it is clean. CI uploads this as a build artifact so
+// a hot path growing a new effect is visible in the report diff even while
+// the effect stays inside the allowed set.
+type EffectReport struct {
+	Schema string             `json:"schema"`
+	Roots  []EffectReportRoot `json:"roots"`
+}
+
+// EffectReportRoot is one annotated hot-path root.
+type EffectReportRoot struct {
+	// Func is the root's canonical call-graph key (pkgpath.Name).
+	Func string `json:"func"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Deny lists the effects the annotation forbids.
+	Deny []string `json:"deny"`
+	// Effects lists every effect reachable from the root, allowed or not.
+	Effects []string `json:"effects"`
+	// Reachable counts program functions reachable from the root
+	// (external calls are folded into summaries, not counted).
+	Reachable int `json:"reachable"`
+	// Clean reports whether Effects ∩ Deny is empty — i.e. the root
+	// passes the hotpath analyzer.
+	Clean bool `json:"clean"`
+}
+
+// BuildEffectReport walks every //hipo:hotpath annotation in prog and
+// returns the report, roots sorted by file then line.
+func BuildEffectReport(prog *Program) *EffectReport {
+	rep := &EffectReport{Schema: EffectReportSchema, Roots: []EffectReportRoot{}}
+	for _, pkg := range prog.Packages {
+		ann := pkg.Annotations()
+		for fd, deny := range ann.HotPathRoots {
+			node := prog.DeclNode(pkg, fd)
+			if node == nil {
+				continue
+			}
+			rep.Roots = append(rep.Roots, EffectReportRoot{
+				Func:      node.Key,
+				File:      node.Pos.Filename,
+				Line:      node.Pos.Line,
+				Deny:      effectSetNames(deny),
+				Effects:   effectSetNames(node.Summary),
+				Reachable: countReachable(node),
+				Clean:     node.Summary.Intersect(deny) == EffNone,
+			})
+		}
+	}
+	sort.Slice(rep.Roots, func(i, j int) bool {
+		a, b := rep.Roots[i], rep.Roots[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Func < b.Func
+	})
+	return rep
+}
+
+// WriteEffectReport renders the report as indented JSON on w.
+func WriteEffectReport(w io.Writer, rep *EffectReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func effectSetNames(s EffectSet) []string {
+	names := []string{}
+	for _, e := range s.Effects() {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// countReachable counts the distinct program functions reachable from
+// root over every edge kind, root included.
+func countReachable(root *FuncNode) int {
+	seen := map[*FuncNode]bool{root: true}
+	queue := []*FuncNode{root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Edges {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return len(seen)
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"encoding/json"
+	"go/token"
 	"io"
 	"path/filepath"
 )
@@ -44,15 +45,17 @@ type sarifMessage struct {
 }
 
 type sarifResult struct {
-	RuleID    string          `json:"ruleId"`
-	RuleIndex int             `json:"ruleIndex"`
-	Level     string          `json:"level"`
-	Message   sarifMessage    `json:"message"`
-	Locations []sarifLocation `json:"locations"`
+	RuleID           string          `json:"ruleId"`
+	RuleIndex        int             `json:"ruleIndex"`
+	Level            string          `json:"level"`
+	Message          sarifMessage    `json:"message"`
+	Locations        []sarifLocation `json:"locations"`
+	RelatedLocations []sarifLocation `json:"relatedLocations,omitempty"`
 }
 
 type sarifLocation struct {
 	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+	Message          *sarifMessage         `json:"message,omitempty"`
 }
 
 type sarifPhysicalLocation struct {
@@ -70,11 +73,13 @@ type sarifRegion struct {
 }
 
 // WriteSARIF renders diags as a SARIF 2.1.0 log on w. Every analyzer in
-// analyzers gets a rule descriptor whether or not it produced findings, so
-// consumers can tell "ran clean" from "did not run". File paths are made
-// relative to root (when possible) and slash-separated, as SARIF requires
-// repo-relative URIs.
-func WriteSARIF(w io.Writer, analyzers []*Analyzer, diags []Diagnostic, root string) error {
+// analyzers and progAnalyzers gets a rule descriptor whether or not it
+// produced findings, so consumers can tell "ran clean" from "did not run".
+// File paths are made relative to root (when possible) and
+// slash-separated, as SARIF requires repo-relative URIs. Related locations
+// (hotpath call chains, lockorder cycle edges) are carried through as
+// relatedLocations.
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, progAnalyzers []*ProgramAnalyzer, diags []Diagnostic, root string) error {
 	driver := sarifDriver{
 		Name:  "hipolint",
 		Rules: []sarifRule{},
@@ -93,29 +98,43 @@ func WriteSARIF(w io.Writer, analyzers []*Analyzer, diags []Diagnostic, root str
 	for _, a := range analyzers {
 		addRule(a.Name, a.Doc)
 	}
+	for _, a := range progAnalyzers {
+		addRule(a.Name, a.Doc)
+	}
 	// Diagnostics outside the suite (e.g. lintdirective for malformed
 	// ignore comments) still need a descriptor for their ruleId.
 	for _, d := range diags {
 		addRule(d.Analyzer, "diagnostic source not in the configured analyzer set")
 	}
 
+	location := func(pos token.Position, msg string) sarifLocation {
+		loc := sarifLocation{
+			PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: relSlashPath(root, pos.Filename)},
+				Region: sarifRegion{
+					StartLine:   pos.Line,
+					StartColumn: pos.Column,
+				},
+			},
+		}
+		if msg != "" {
+			loc.Message = &sarifMessage{Text: msg}
+		}
+		return loc
+	}
 	results := []sarifResult{}
 	for _, d := range diags {
-		results = append(results, sarifResult{
+		r := sarifResult{
 			RuleID:    d.Analyzer,
 			RuleIndex: ruleIndex[d.Analyzer],
 			Level:     "warning",
 			Message:   sarifMessage{Text: d.Message},
-			Locations: []sarifLocation{{
-				PhysicalLocation: sarifPhysicalLocation{
-					ArtifactLocation: sarifArtifactLocation{URI: relSlashPath(root, d.Pos.Filename)},
-					Region: sarifRegion{
-						StartLine:   d.Pos.Line,
-						StartColumn: d.Pos.Column,
-					},
-				},
-			}},
-		})
+			Locations: []sarifLocation{location(d.Pos, "")},
+		}
+		for _, rel := range d.Related {
+			r.RelatedLocations = append(r.RelatedLocations, location(rel.Pos, rel.Message))
+		}
+		results = append(results, r)
 	}
 
 	log := sarifLog{

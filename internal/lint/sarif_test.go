@@ -11,6 +11,9 @@ import (
 func sampleDiags() []lint.Diagnostic {
 	d1 := lint.Diagnostic{Analyzer: "nanflow", Message: "denominator b is never compared"}
 	d1.Pos.Filename, d1.Pos.Line, d1.Pos.Column = "/repo/internal/power/power.go", 137, 39
+	rel := lint.RelatedPos{Message: "call chain step 1: pdcs.Extract -> power.Model"}
+	rel.Pos.Filename, rel.Pos.Line, rel.Pos.Column = "/repo/internal/pdcs/pdcs.go", 42, 3
+	d1.Related = []lint.RelatedPos{rel}
 	d2 := lint.Diagnostic{Analyzer: "mutexguard", Message: "s.items is guarded by s.mu"}
 	d2.Pos.Filename, d2.Pos.Line, d2.Pos.Column = "/repo/internal/jobs/jobs.go", 80, 9
 	return []lint.Diagnostic{d1, d2}
@@ -21,7 +24,7 @@ func sampleDiags() []lint.Diagnostic {
 // slash-separated URIs.
 func TestWriteSARIF(t *testing.T) {
 	var buf bytes.Buffer
-	if err := lint.WriteSARIF(&buf, lint.Analyzers(), sampleDiags(), "/repo"); err != nil {
+	if err := lint.WriteSARIF(&buf, lint.Analyzers(), lint.ProgramAnalyzers(), sampleDiags(), "/repo"); err != nil {
 		t.Fatal(err)
 	}
 	var log struct {
@@ -51,6 +54,16 @@ func TestWriteSARIF(t *testing.T) {
 						} `json:"region"`
 					} `json:"physicalLocation"`
 				} `json:"locations"`
+				RelatedLocations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+					Message struct {
+						Text string `json:"text"`
+					} `json:"message"`
+				} `json:"relatedLocations"`
 			} `json:"results"`
 		} `json:"runs"`
 	}
@@ -75,6 +88,11 @@ func TestWriteSARIF(t *testing.T) {
 			t.Errorf("missing rule descriptor for analyzer %q", a.Name)
 		}
 	}
+	for _, a := range lint.ProgramAnalyzers() {
+		if !rules[a.Name] {
+			t.Errorf("missing rule descriptor for program analyzer %q", a.Name)
+		}
+	}
 	results := log.Runs[0].Results
 	if len(results) != 2 {
 		t.Fatalf("got %d results, want 2", len(results))
@@ -86,13 +104,23 @@ func TestWriteSARIF(t *testing.T) {
 	if got := results[0].Locations[0].PhysicalLocation.Region.StartLine; got != 137 {
 		t.Errorf("startLine = %d, want 137", got)
 	}
+	rel := results[0].RelatedLocations
+	if len(rel) != 1 {
+		t.Fatalf("got %d relatedLocations, want 1", len(rel))
+	}
+	if got := rel[0].PhysicalLocation.ArtifactLocation.URI; got != "internal/pdcs/pdcs.go" {
+		t.Errorf("related URI = %q, want repo-relative internal/pdcs/pdcs.go", got)
+	}
+	if rel[0].Message.Text == "" {
+		t.Error("related location lost its message")
+	}
 }
 
 // TestWriteSARIFEmpty: a clean run still lists every rule, with an empty
 // (not null) results array.
 func TestWriteSARIFEmpty(t *testing.T) {
 	var buf bytes.Buffer
-	if err := lint.WriteSARIF(&buf, lint.Analyzers(), nil, ""); err != nil {
+	if err := lint.WriteSARIF(&buf, lint.Analyzers(), lint.ProgramAnalyzers(), nil, ""); err != nil {
 		t.Fatal(err)
 	}
 	var log map[string]any

@@ -1,0 +1,58 @@
+// Testdata for the ctxprop program analyzer: context-receiving functions
+// must hand a derived context to blocking or spawning program callees.
+package a
+
+import "context"
+
+// blockingWait parks until the channel closes or the context is done; its
+// summary carries the block effect.
+func blockingWait(ctx context.Context, ch chan int) {
+	select {
+	case <-ch:
+	case <-ctx.Done():
+	}
+}
+
+// spawner fans out; its summary carries the go effect.
+func spawner(ctx context.Context, ch chan int) {
+	go blockingWait(ctx, ch)
+}
+
+// pureHelper neither blocks nor spawns; severing here is harmless.
+func pureHelper(ctx context.Context, n int) int {
+	return n + 1
+}
+
+// Severed passes a fresh root context to a blocking callee.
+func Severed(ctx context.Context, ch chan int) {
+	blockingWait(context.Background(), ch) // want `context severed: hipo/internal/core\.blockingWait blocks or spawns but receives context\.Background\(\) instead of a context derived from ctx`
+}
+
+// SeveredSpawn passes an unrelated root context to a goroutine spawner.
+func SeveredSpawn(ctx context.Context, ch chan int) {
+	spawner(context.TODO(), ch) // want `context severed: hipo/internal/core\.spawner blocks or spawns`
+}
+
+// Propagated hands the received context straight through.
+func Propagated(ctx context.Context, ch chan int) {
+	blockingWait(ctx, ch)
+}
+
+// Derived wraps the received context before passing it on; the tuple
+// assignment marks c2 as derived.
+func Derived(ctx context.Context, ch chan int) {
+	c2, cancel := context.WithCancel(ctx)
+	defer cancel()
+	blockingWait(c2, ch)
+}
+
+// NonBlocking severs toward a callee that cannot park; not flagged.
+func NonBlocking(ctx context.Context) int {
+	return pureHelper(context.Background(), 1)
+}
+
+// Ignored severs deliberately, with the reasoned escape hatch.
+func Ignored(ctx context.Context, ch chan int) {
+	//lint:ignore ctxprop fixture: the cleanup path must outlive the request
+	blockingWait(context.Background(), ch)
+}

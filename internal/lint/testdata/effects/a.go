@@ -1,0 +1,113 @@
+// Testdata for the effect-summary engine: recursion, interface widening,
+// func-value tracking, ret-nodes, and caller-folded arguments. The
+// effects_test table asserts the Summary of each exported function.
+package a
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+var sink time.Time
+
+// MutualA and MutualB form one SCC; the wall-clock read in MutualB must
+// surface in both summaries.
+func MutualA(n int) {
+	if n > 0 {
+		MutualB(n - 1)
+	}
+}
+
+func MutualB(n int) {
+	sink = time.Now()
+	MutualA(n)
+}
+
+// SelfRec is a single-node cycle with a direct alloc.
+func SelfRec(n int) []int {
+	if n == 0 {
+		return make([]int, 1)
+	}
+	return SelfRec(n - 1)
+}
+
+// Shape has two implementations with different effects; a call through the
+// interface widens to their union.
+type Shape interface {
+	Area() float64
+}
+
+type Circle struct{ R float64 }
+
+func (c Circle) Area() float64 { return 3 * c.R * c.R }
+
+type Noisy struct{}
+
+func (Noisy) Area() float64 { return rand.Float64() }
+
+// ViaInterface dispatches through Shape: its summary carries rand from the
+// Noisy implementation even though s may be a Circle.
+func ViaInterface(s Shape) float64 {
+	return s.Area()
+}
+
+// TrackedValue calls through a func value with a visible definition; the
+// engine resolves it and finds only the callee's alloc.
+func TrackedValue() []int {
+	f := SelfRec
+	return f(2)
+}
+
+// UntrackedValue calls through a value the engine cannot resolve: unknown.
+func UntrackedValue(fns map[int]func()) {
+	f := fns[0]
+	f()
+}
+
+// clockClosure returns a closure that reads the wall clock; the ret-node
+// machinery charges callers that invoke the result.
+func clockClosure() func() {
+	return func() {
+		sink = time.Now()
+	}
+}
+
+// ViaReturnedClosure invokes the closure returned by clockClosure and
+// inherits its wallclock effect.
+func ViaReturnedClosure() {
+	end := clockClosure()
+	end()
+}
+
+// Runner only invokes its argument; under the caller-folds rule its own
+// summary stays clean and the effect lands on the caller.
+func Runner(f func()) {
+	f()
+}
+
+// CallsRunner passes an effectful literal to Runner; the rand effect is
+// charged here, at the argument site.
+func CallsRunner() {
+	Runner(func() {
+		_ = rand.Int()
+	})
+}
+
+// Locker acquires a mutex: lock and block effects, and an entry in its
+// acquisition set.
+type Locker struct {
+	mu sync.Mutex
+}
+
+func (l *Locker) Locked() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+}
+
+// Spawner launches a goroutine over a channel send: go and block effects.
+func Spawner(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}

@@ -1,0 +1,27 @@
+// Testdata for //hipo: directive validation: every malformed directive
+// below is asserted as a lintdirective diagnostic by
+// TestHipoDirectiveValidation, so annotations cannot silently rot.
+package a
+
+//hipo:allow-wallclock
+
+func missingPureReason() {
+	f := pick()
+	//hipo:pure
+	f()
+}
+
+//hipo:hotpath deny=notaneffect
+func badDenyList() {
+}
+
+//hipo:frobnicate reasons
+func unknownDirective() {
+}
+
+func pick() func() {
+	return func() {}
+}
+
+//hipo:hotpath
+var notAFunction = 1

@@ -1,0 +1,53 @@
+// Testdata for the hotpath program analyzer: //hipo:hotpath contracts
+// checked against whole-program effect summaries.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+var sink time.Time
+
+// stamp reads the wall clock two hops below a hot root.
+func stamp() {
+	sink = time.Now()
+}
+
+// middle is the intermediate hop of the offending chain.
+func middle() {
+	stamp()
+}
+
+//hipo:hotpath
+func WallRoot() { // want `hot path root hipo/internal/pdcs\.WallRoot reaches denied effect\(s\) wallclock in hipo/internal/pdcs\.stamp .*chain: hipo/internal/pdcs\.WallRoot -> hipo/internal/pdcs\.middle -> hipo/internal/pdcs\.stamp`
+	middle()
+}
+
+//hipo:hotpath
+func CleanRoot() int { // ok: alloc is outside the default deny set
+	return len(make([]int, 4))
+}
+
+//hipo:hotpath deny=alloc
+func AllocRoot() []int { // want `hot path root hipo/internal/pdcs\.AllocRoot reaches denied effect\(s\) alloc`
+	return make([]int, 4)
+}
+
+//hipo:hotpath
+func RandRoot() float64 { // want `reaches denied effect\(s\) rand`
+	return rand.Float64()
+}
+
+//hipo:hotpath
+func UnknownRoot(fns map[int]func()) { // want `reaches denied effect\(s\) unknown`
+	f := fns[0]
+	f()
+}
+
+//hipo:hotpath
+func PureRoot(fns map[int]func()) { // ok: //hipo:pure severs the unknown fallback
+	f := fns[0]
+	//hipo:pure fixture: the table is asserted to hold pure functions
+	f()
+}

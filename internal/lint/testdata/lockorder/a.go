@@ -1,0 +1,75 @@
+// Testdata for the lockorder program analyzer: cycles in the global
+// lock-ordering graph, loaded under a serving-stack import path.
+package a
+
+import "sync"
+
+// Server carries two ordered locks.
+type Server struct {
+	mu sync.Mutex
+	wu sync.Mutex
+}
+
+// lockBoth orders mu before wu. Being first in key order, its edge site is
+// where the cycle is reported.
+func (s *Server) lockBoth() {
+	s.mu.Lock()
+	s.wu.Lock() // want `inconsistent lock order creates a potential deadlock: hipo/internal/jobs\.Server\.mu -> hipo/internal/jobs\.Server\.wu -> hipo/internal/jobs\.Server\.mu`
+	s.wu.Unlock()
+	s.mu.Unlock()
+}
+
+// lockReversed orders wu before mu, closing the cycle.
+func (s *Server) lockReversed() {
+	s.wu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.wu.Unlock()
+}
+
+// Cache exercises the self-loop through a callee.
+type Cache struct {
+	mu sync.Mutex
+}
+
+// reenter holds mu across a call that re-acquires it: a guaranteed
+// deadlock, found interprocedurally through the callee's acquisition set.
+func (c *Cache) reenter() {
+	c.mu.Lock()
+	c.lockedHelper() // want `lock hipo/internal/jobs\.Cache\.mu is acquired while already held`
+	c.mu.Unlock()
+}
+
+func (c *Cache) lockedHelper() {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// consistent takes the same locks in the blessed order; no cycle, no
+// report.
+type Pair struct {
+	first  sync.Mutex
+	second sync.Mutex
+}
+
+func (p *Pair) one() {
+	p.first.Lock()
+	p.second.Lock()
+	p.second.Unlock()
+	p.first.Unlock()
+}
+
+func (p *Pair) two() {
+	p.first.Lock()
+	p.second.Lock()
+	p.second.Unlock()
+	p.first.Unlock()
+}
+
+// localOnly uses a function-local mutex: locals cannot participate in a
+// global order and are excluded even when re-acquired via aliasing tricks.
+func localOnly() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}

@@ -1,0 +1,16 @@
+// Testdata for the wallclock analyzer's annotation escape hatch: the same
+// clock reads as testdata/wallclock, excused by a package-level
+// //hipo:allow-wallclock directive with a reason.
+//
+//hipo:allow-wallclock fixture: this package's purpose is timing
+package a
+
+import "time"
+
+func allowedNow() time.Time {
+	return time.Now()
+}
+
+func allowedSince(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -2,24 +2,6 @@ package lint
 
 import "go/ast"
 
-// wallClockExempt lists the packages allowed to read the wall clock: the
-// job manager (timestamps job lifecycle), serving metrics (latency
-// accounting), the HTTP serving layer (request deadlines and latency
-// observation), the load harness (its entire purpose is timing requests),
-// the experiment harness (measures runtime as an output), the solve tracer
-// (span durations are its whole purpose; it never feeds time back into
-// placement decisions), and all cmd/examples layers. Everything else is
-// the deterministic pipeline, where identical inputs must yield identical
-// outputs.
-var wallClockExempt = []string{
-	"hipo/internal/expt",
-	"hipo/internal/hipotrace",
-	"hipo/internal/jobs",
-	"hipo/internal/loadrun",
-	"hipo/internal/serve",
-	"hipo/internal/servemetrics",
-}
-
 // wallClockFuncs are the time package functions that observe the wall
 // clock. Duration arithmetic and timer construction are untouched.
 var wallClockFuncs = map[string]bool{
@@ -27,28 +9,31 @@ var wallClockFuncs = map[string]bool{
 }
 
 // WallClockAnalyzer flags wall-clock reads inside deterministic pipeline
-// packages.
+// packages. A package whose purpose is timing (the job manager, the solve
+// tracer, serving metrics, the load harness) opts out with a package-level
+// annotation carrying its justification:
+//
+//	//hipo:allow-wallclock span durations are the tracer's whole purpose
+//
+// so the exemption lives next to the code it excuses instead of in a list
+// here. The same annotation masks wall-clock effects in the whole-program
+// summaries (see callgraph.go), keeping instrumentation layers from
+// poisoning //hipo:hotpath contracts. cmd and examples layers are exempt
+// wholesale: operational code is expected to observe time.
 var WallClockAnalyzer = &Analyzer{
 	Name: "wallclock",
 	Doc: "flags time.Now/time.Since/time.Until inside deterministic pipeline " +
 		"packages; wall-clock reads there break run-to-run reproducibility — " +
-		"only internal/jobs, internal/servemetrics, internal/expt and cmd layers " +
-		"may observe time",
-	Applies: func(path string) bool {
-		if isCommandPackage(path) {
-			return false
-		}
-		for _, p := range wallClockExempt {
-			if pathHasPrefix(path, p) {
-				return false
-			}
-		}
-		return true
-	},
-	Run: runWallClock,
+		"a package whose purpose is timing opts out with " +
+		"`//hipo:allow-wallclock <reason>`",
+	Applies: func(path string) bool { return !isCommandPackage(path) },
+	Run:     runWallClock,
 }
 
 func runWallClock(pass *Pass) error {
+	if pass.Package != nil && pass.Package.Annotations().AllowWallclock != "" {
+		return nil
+	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
@@ -56,7 +41,7 @@ func runWallClock(pass *Pass) error {
 				return true
 			}
 			if selectorPackage(pass, sel) == "time" && wallClockFuncs[sel.Sel.Name] {
-				pass.Reportf(sel.Pos(), "time.%s reads the wall clock inside a deterministic pipeline package; inject timing from the caller or move it to an exempt layer", sel.Sel.Name)
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock inside a deterministic pipeline package; inject timing from the caller, or annotate the package `//hipo:allow-wallclock <reason>` if timing is its purpose", sel.Sel.Name)
 			}
 			return true
 		})

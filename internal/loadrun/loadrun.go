@@ -19,6 +19,8 @@
 // plan's seeded Poisson arrival schedule is honored regardless of how slow
 // the server answers, which is what exposes overload behavior (429 +
 // Retry-After load shedding) instead of politely waiting it out.
+//
+//hipo:allow-wallclock timing requests is the load harness's entire purpose
 package loadrun
 
 import (

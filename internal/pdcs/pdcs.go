@@ -252,6 +252,8 @@ func coversSubset(a, b []DevPower) bool {
 // filtering (Algorithm 2 step 9) unless cfg.SkipDominanceFilter. Results
 // are deterministic regardless of worker count: per-position outputs are
 // concatenated in position order.
+//
+//hipo:hotpath
 func Extract(sc *model.Scenario, q int, cfg Config) []Candidate {
 	sc = cfg.ensureVisibility(sc)
 	workers := cfg.Workers
@@ -422,6 +424,8 @@ func powersDominated(a, b []DevPower, sameType bool) bool {
 
 // ExtractAll runs Extract for every charger type and returns the per-type
 // candidate sets, the ground set of the partition matroid of Section 4.3.
+//
+//hipo:hotpath
 func ExtractAll(sc *model.Scenario, cfg Config) [][]Candidate {
 	out := make([][]Candidate, len(sc.ChargerTypes))
 	for q := range sc.ChargerTypes {

@@ -5,6 +5,8 @@
 // a thin flag-parsing wrapper around this package; cmd/hipoload embeds the
 // same server in-process behind an httptest listener to drive load and
 // soak runs against the exact production handler stack.
+//
+//hipo:allow-wallclock request deadlines and latency observation require real time
 package serve
 
 import (

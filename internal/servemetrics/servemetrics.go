@@ -4,6 +4,8 @@
 // exposition format at /metrics. It implements just the subset of the
 // format the server needs — counter, gauge, and histogram families with
 // optional constant labels — so the repo stays stdlib-only.
+//
+//hipo:allow-wallclock latency accounting is the metrics registry's purpose
 package servemetrics
 
 import (

@@ -80,6 +80,7 @@ func (st *state) gain(e int) float64 {
 	for _, en := range st.inst.Elements[e].Covers {
 		j := en.Device
 		phi := st.inst.Phi[j]
+		//hipo:pure Phi entries are pure scalar maps (UtilityPhi, LogUtilityPhi); the Instance contract forbids effectful utilities
 		g += st.inst.Weight[j] * (phi(st.cur[j]+en.Power) - phi(st.cur[j]))
 	}
 	return g
@@ -263,6 +264,8 @@ func (h *lazyHeap) Pop() any {
 // still the largest after re-evaluation is optimal for this round without
 // touching the rest of the heap. Returns the same selection as GreedyGlobal
 // up to ties.
+//
+//hipo:hotpath
 func GreedyLazy(inst *Instance) Result {
 	st := newState(inst)
 	remaining := append([]int(nil), inst.Budget...)

@@ -9,6 +9,8 @@ import "hipo/internal/model"
 // clone's obstacle geometry is owned by the index from then on. Pipeline
 // entry points (internal/core, internal/pdcs) call Ensure once per solve so
 // every downstream occlusion query is served by the same index.
+//
+//hipo:hotpath
 func Ensure(sc *model.Scenario) *model.Scenario {
 	if sc.AttachedVisibilityIndex() != nil {
 		return sc
