@@ -11,9 +11,16 @@
 // verifies the traced placement is bit-for-bit identical to the untraced
 // one — tracing must be purely observational.
 //
+// v3 adds extraction tiers (up to 200 obstacles × 200 devices) that
+// benchmark the PDCS extraction stage in isolation: a baseline arm running
+// the pre-overhaul pipeline (pruning and line-of-sight batching disabled),
+// an optimized arm running the overhauled one, and a traced optimized arm
+// whose stage spans yield the pdcs_stage_speedup acceptance metric. All
+// three arms must produce bit-for-bit identical candidate sets.
+//
 // Usage:
 //
-//	hipobench [-out BENCH_pr5.json] [-seed 1] [-quick]
+//	hipobench [-out BENCH_pr8.json] [-seed 1] [-quick]
 //
 // The scenario at every sweep point is fully determined by the seed, so two
 // runs on the same toolchain produce the same scenario hashes and the same
@@ -37,12 +44,16 @@ import (
 	"hipo/internal/geom"
 	"hipo/internal/hipotrace"
 	"hipo/internal/model"
+	"hipo/internal/pdcs"
+	"hipo/internal/power"
 	"hipo/internal/visindex"
 )
 
 // Schema identifies the report format for downstream tooling. v2 added the
 // traced solve arm: solve.traced_ms, solve.traced_identical, solve.trace.
-const Schema = "hipo-bench/v2"
+// v3 added the extraction tiers: point.extract with the three-arm PDCS
+// stage comparison.
+const Schema = "hipo-bench/v3"
 
 // LOSResult reports the line-of-sight micro-benchmark at one sweep point.
 type LOSResult struct {
@@ -74,16 +85,42 @@ type SolveResult struct {
 	Trace           *hipotrace.Breakdown `json:"trace,omitempty"`
 }
 
+// ExtractResult reports the three-arm PDCS extraction benchmark at one
+// sweep point. The baseline arm runs the pre-overhaul extraction pipeline
+// (Config.NoPairPruning + Config.NoBatchedLOS); the optimized arm runs the
+// overhauled one; the traced arm repeats the optimized arm with a tracer
+// attached. Baseline and traced arms both carry tracers so the
+// pdcs_stage_speedup compares like with like: the ratio of their summed
+// "pdcs" stage spans, which excludes the shared discretization stage and is
+// the PR's acceptance metric.
+type ExtractResult struct {
+	BaselineMs  float64 `json:"baseline_ms"`
+	OptimizedMs float64 `json:"optimized_ms"`
+	TracedMs    float64 `json:"traced_ms"`
+	// Speedup is the whole-extraction ratio between the two traced arms.
+	Speedup          float64 `json:"speedup"`
+	BaselinePdcsMs   float64 `json:"baseline_pdcs_ms"`
+	TracedPdcsMs     float64 `json:"traced_pdcs_ms"`
+	PdcsStageSpeedup float64 `json:"pdcs_stage_speedup"`
+	// Identical: baseline and optimized candidate sets agree bit for bit.
+	// TracedIdentical: attaching the tracer changed nothing.
+	Identical       bool                 `json:"identical"`
+	TracedIdentical bool                 `json:"traced_identical"`
+	Candidates      int                  `json:"candidates"`
+	Trace           *hipotrace.Breakdown `json:"trace,omitempty"`
+}
+
 // Point is one sweep point of the trajectory.
 type Point struct {
-	Name         string       `json:"name"`
-	Obstacles    int          `json:"obstacles"`
-	DeviceMult   int          `json:"device_mult"`
-	Devices      int          `json:"devices"`
-	Eps          float64      `json:"eps"`
-	ScenarioHash string       `json:"scenario_hash"`
-	LOS          LOSResult    `json:"los"`
-	Solve        *SolveResult `json:"solve,omitempty"`
+	Name         string         `json:"name"`
+	Obstacles    int            `json:"obstacles"`
+	DeviceMult   int            `json:"device_mult"`
+	Devices      int            `json:"devices"`
+	Eps          float64        `json:"eps"`
+	ScenarioHash string         `json:"scenario_hash"`
+	LOS          LOSResult      `json:"los"`
+	Solve        *SolveResult   `json:"solve,omitempty"`
+	Extract      *ExtractResult `json:"extract,omitempty"`
 }
 
 // Report is the full benchmark artifact.
@@ -104,32 +141,38 @@ type sweepPoint struct {
 	deviceMult int
 	eps        float64
 	solve      bool
+	extract    bool
 }
 
 func sweep(quick bool) []sweepPoint {
 	if quick {
 		return []sweepPoint{
-			{"obs-2", 2, 4, 0.3, true},
-			{"obs-10", 10, 4, 0.3, true},
+			{"obs-2", 2, 4, 0.3, true, false},
+			{"obs-10", 10, 4, 0.3, true, true},
 		}
 	}
 	return []sweepPoint{
 		// Obstacle-count axis: the index's reason to exist.
-		{"obs-2", 2, 4, 0.3, true},
-		{"obs-10", 10, 4, 0.3, true},
-		{"obs-25", 25, 4, 0.3, true},
-		{"obs-50", 50, 4, 0.3, true},
+		{"obs-2", 2, 4, 0.3, true, false},
+		{"obs-10", 10, 4, 0.3, true, true},
+		{"obs-25", 25, 4, 0.3, true, false},
+		{"obs-50", 50, 4, 0.3, true, false},
 		// Device-count axis at a fixed obstacle field.
-		{"dev-2", 10, 2, 0.3, true},
-		{"dev-6", 10, 6, 0.3, true},
+		{"dev-2", 10, 2, 0.3, true, false},
+		{"dev-6", 10, 6, 0.3, true, false},
 		// Finer ε: more candidates, more visibility queries per solve.
-		{"eps-0.15", 10, 4, 0.15, true},
+		{"eps-0.15", 10, 4, 0.15, true, false},
+		// Extraction tiers: PDCS stage in isolation, too large for the
+		// brute-force solve arm but exactly where pruning, batching, and
+		// pooling pay off.
+		{"ext-100", 100, 10, 0.3, false, true},
+		{"obs-200-dev-200", 200, 20, 0.3, false, true},
 	}
 }
 
 func main() {
 	var (
-		outPath = flag.String("out", "BENCH_pr5.json", "output JSON path")
+		outPath = flag.String("out", "BENCH_pr8.json", "output JSON path")
 		seed    = flag.Int64("seed", 1, "scenario seed")
 		quick   = flag.Bool("quick", false, "small sweep for CI smoke runs")
 	)
@@ -162,6 +205,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  solve %8.1f→%8.1f ms (%.2fx) identical=%v traced=%.1fms",
 				pt.Solve.BruteMs, pt.Solve.IndexedMs, pt.Solve.Speedup,
 				pt.Solve.IdenticalPlacement, pt.Solve.TracedMs)
+		}
+		if pt.Extract != nil {
+			fmt.Fprintf(os.Stderr, "  extract pdcs %7.1f→%6.1f ms (%.2fx stage) identical=%v traced_identical=%v",
+				pt.Extract.BaselinePdcsMs, pt.Extract.TracedPdcsMs, pt.Extract.PdcsStageSpeedup,
+				pt.Extract.Identical, pt.Extract.TracedIdentical)
 		}
 		fmt.Fprintln(os.Stderr)
 	}
@@ -206,7 +254,92 @@ func runPoint(sp sweepPoint, seed int64, minDur time.Duration) (Point, error) {
 		}
 		pt.Solve = sr
 	}
+	if sp.extract {
+		er, err := benchExtract(sc, sp.eps)
+		if err != nil {
+			return Point{}, err
+		}
+		pt.Extract = er
+	}
 	return pt, nil
+}
+
+// benchExtract runs pdcs.ExtractAll three times — seed baseline, overhauled,
+// overhauled with tracer — and verifies all arms produce bit-for-bit
+// identical candidate sets. Each arm gets its own scenario clone and fresh
+// visibility index so no memoized state leaks between arms.
+func benchExtract(sc *model.Scenario, eps float64) (*ExtractResult, error) {
+	eps1 := power.Eps1ForEps(eps)
+	run := func(cfg pdcs.Config) ([][]pdcs.Candidate, time.Duration) {
+		s := visindex.Ensure(sc.Clone())
+		start := time.Now()
+		out := pdcs.ExtractAll(s, cfg)
+		return out, time.Since(start)
+	}
+
+	trb := hipotrace.New()
+	base, baseDur := run(pdcs.Config{Eps1: eps1, NoPairPruning: true, NoBatchedLOS: true, Tracer: trb})
+	opt, optDur := run(pdcs.Config{Eps1: eps1})
+	tr := hipotrace.New()
+	traced, tracedDur := run(pdcs.Config{Eps1: eps1, Tracer: tr})
+
+	n := 0
+	for _, cs := range opt {
+		n += len(cs)
+	}
+	res := &ExtractResult{
+		BaselineMs:      float64(baseDur.Nanoseconds()) / 1e6,
+		OptimizedMs:     float64(optDur.Nanoseconds()) / 1e6,
+		TracedMs:        float64(tracedDur.Nanoseconds()) / 1e6,
+		BaselinePdcsMs:  trb.Breakdown().StageTotalsMs["pdcs"],
+		TracedPdcsMs:    tr.Breakdown().StageTotalsMs["pdcs"],
+		Identical:       sameCandidates(base, opt),
+		TracedIdentical: sameCandidates(opt, traced),
+		Candidates:      n,
+		Trace:           tr.Breakdown(),
+	}
+	if tracedDur > 0 {
+		res.Speedup = float64(baseDur) / float64(tracedDur)
+	}
+	if res.TracedPdcsMs > 0 {
+		res.PdcsStageSpeedup = res.BaselinePdcsMs / res.TracedPdcsMs
+	}
+	if !res.Identical {
+		return res, fmt.Errorf("candidate sets differ between baseline and overhauled extraction")
+	}
+	if !res.TracedIdentical {
+		return res, fmt.Errorf("tracing changed the extracted candidates")
+	}
+	return res, nil
+}
+
+// sameCandidates reports whether two per-type candidate sets are bit-for-bit
+// identical: same strategies in the same order with the same coverage lists.
+func sameCandidates(a, b [][]pdcs.Candidate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for q := range a {
+		if len(a[q]) != len(b[q]) {
+			return false
+		}
+		for i := range a[q] {
+			x, y := a[q][i], b[q][i]
+			if math.Float64bits(x.S.Pos.X) != math.Float64bits(y.S.Pos.X) ||
+				math.Float64bits(x.S.Pos.Y) != math.Float64bits(y.S.Pos.Y) ||
+				math.Float64bits(x.S.Orient) != math.Float64bits(y.S.Orient) ||
+				x.S.Type != y.S.Type || len(x.Covers) != len(y.Covers) {
+				return false
+			}
+			for m := range x.Covers {
+				if x.Covers[m].Device != y.Covers[m].Device ||
+					math.Float64bits(x.Covers[m].Power) != math.Float64bits(y.Covers[m].Power) {
+					return false
+				}
+			}
+		}
+	}
+	return true
 }
 
 // benchLOS times the raw line-of-sight predicate, brute force versus

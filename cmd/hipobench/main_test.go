@@ -17,6 +17,8 @@ func TestSweepShapes(t *testing.T) {
 	}
 	names := map[string]bool{}
 	maxObs := 0
+	bigTier := false
+	quickExtract := false
 	for _, sp := range full {
 		if names[sp.name] {
 			t.Fatalf("duplicate sweep point %q", sp.name)
@@ -25,14 +27,26 @@ func TestSweepShapes(t *testing.T) {
 		if sp.obstacles > maxObs {
 			maxObs = sp.obstacles
 		}
+		if sp.extract && sp.obstacles >= 200 && sp.deviceMult*10 >= 200 {
+			bigTier = true
+		}
 	}
 	if maxObs < 50 {
 		t.Fatalf("largest sweep point has %d obstacles, want ≥ 50", maxObs)
+	}
+	if !bigTier {
+		t.Fatal("full sweep must include an extraction tier with ≥ 200 obstacles and ≥ 200 devices")
 	}
 	for _, sp := range quick {
 		if !names[sp.name] {
 			t.Fatalf("quick point %q is not part of the full sweep", sp.name)
 		}
+		if sp.extract {
+			quickExtract = true
+		}
+	}
+	if !quickExtract {
+		t.Fatal("quick sweep must exercise the extraction arms for CI smoke")
 	}
 }
 
@@ -40,7 +54,7 @@ func TestSweepShapes(t *testing.T) {
 // window and checks the structural guarantees of the report: differential
 // agreement, identical placements, sane speedups, a pinned scenario hash.
 func TestRunPointInvariants(t *testing.T) {
-	pt, err := runPoint(sweepPoint{"obs-2", 2, 4, 0.3, true}, 1, time.Millisecond)
+	pt, err := runPoint(sweepPoint{"obs-2", 2, 4, 0.3, true, false}, 1, time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,12 +89,46 @@ func TestRunPointInvariants(t *testing.T) {
 	}
 
 	// Same seed, same point: the hash must reproduce.
-	again, err := runPoint(sweepPoint{"obs-2", 2, 4, 0.3, false}, 1, time.Millisecond)
+	again, err := runPoint(sweepPoint{"obs-2", 2, 4, 0.3, false, false}, 1, time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if again.ScenarioHash != pt.ScenarioHash {
 		t.Fatal("scenario hash not reproducible for a fixed seed")
+	}
+}
+
+// TestRunPointExtractInvariants runs a small extraction point for real and
+// checks the three-arm contract: bit-identical candidates across baseline,
+// optimized, and traced arms, positive stage timings, and the overhaul
+// counters present in the traced breakdown.
+func TestRunPointExtractInvariants(t *testing.T) {
+	pt, err := runPoint(sweepPoint{"obs-10", 10, 4, 0.3, false, true}, 1, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := pt.Extract
+	if ex == nil {
+		t.Fatal("extract point produced no extract result")
+	}
+	if !ex.Identical {
+		t.Fatal("baseline and overhauled extraction disagree")
+	}
+	if !ex.TracedIdentical {
+		t.Fatal("tracing changed the extracted candidates")
+	}
+	if ex.Candidates == 0 {
+		t.Fatal("extraction produced no candidates")
+	}
+	if ex.BaselinePdcsMs <= 0 || ex.TracedPdcsMs <= 0 || ex.PdcsStageSpeedup <= 0 {
+		t.Fatalf("degenerate stage timings: %+v", ex)
+	}
+	if ex.Trace == nil || ex.Trace.Counters["los_queries"] == 0 ||
+		ex.Trace.Counters["candidates_kept"] == 0 {
+		t.Fatalf("traced extraction breakdown incomplete: %+v", ex.Trace)
+	}
+	if ex.Trace.Counters["los_batched"] == 0 {
+		t.Fatal("batched line-of-sight path never engaged on an obstacle tier")
 	}
 }
 

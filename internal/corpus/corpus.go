@@ -142,6 +142,22 @@ func itemSeed(seed int64, familyName string, i int) int64 {
 	return int64(h.Sum64())
 }
 
+// BuildModel regenerates the internal-model scenario of item i of the
+// named family under the given corpus seed — the same scenario Generate
+// wraps into its public Item, before conversion. Test walls that need
+// model-level access (the PDCS bit-identity suite sweeps every family
+// through both extraction pipelines) use it without round-tripping through
+// the public types.
+func BuildModel(corpusSeed int64, familyName string, i int) (*model.Scenario, error) {
+	for _, f := range families {
+		if f.name == familyName {
+			rng := rand.New(rand.NewSource(itemSeed(corpusSeed, familyName, i)))
+			return f.build(rng), nil
+		}
+	}
+	return nil, fmt.Errorf("corpus: unknown family %q", familyName)
+}
+
 // Generate builds the corpus for cfg. See the package comment for the
 // determinism contract.
 func Generate(cfg Config) (*Corpus, error) {

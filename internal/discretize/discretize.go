@@ -21,8 +21,10 @@ package discretize
 
 import (
 	"math"
+	"math/bits"
 	"runtime"
 	"sort"
+	"sync/atomic"
 
 	"hipo/internal/geom"
 	"hipo/internal/hipotrace"
@@ -44,6 +46,13 @@ type Config struct {
 	// (Algorithm 2 steps 1–7), leaving only per-device ring events. Used by
 	// ablation benchmarks.
 	SkipPairConstructions bool
+	// NoPairPruning disables the spatial prefilters (device grid for
+	// neighbor sets and usefulness tests, obstacle-box pruning for ring
+	// cutting) and falls back to the exhaustive scans. Output is identical
+	// either way — the prefilters are conservative supersets re-checked by
+	// the exact predicates — so this exists as the benchmark baseline arm
+	// and for bit-identity tests.
+	NoPairPruning bool
 	// BruteForceVisibility answers occlusion queries by exhaustive obstacle
 	// scan instead of the spatial index (differential reference arm).
 	BruteForceVisibility bool
@@ -103,7 +112,24 @@ type Generator struct {
 	holes   [][]geom.Segment // hole boundary rays per device
 	rings   []geom.SectorRing
 	obs     []geom.Segment // all obstacle edges
+	// obsEdges[h] is the slice of obs holding obstacle h's edges, so the
+	// near-disk prefilter can assemble pruned edge lists that stay
+	// subsequences of obs (preserving enumeration order).
+	obsEdges [][]geom.Segment
+	// neighbors[i] is the precomputed NeighborSet of device i (ascending).
+	neighbors [][]int
+	// ix (the scenario's visibility index) and dgrid (a device-position
+	// grid) power the spatial prefilters; both nil under NoPairPruning.
+	ix    *visindex.Index
+	dgrid *visindex.DeviceGrid
 }
+
+// prunePad widens every pruning radius. Like visindex's grid padding it
+// strictly dominates the 1e-9 tolerances of the exact predicates
+// (geom.CircleSegmentIntersections tangency slack, the ±geom.Eps range
+// gates), so the prefilters can never drop an interacting obstacle or
+// device.
+const prunePad = 1e-6
 
 // NewGenerator builds the per-device geometry tables for charger type q.
 func NewGenerator(sc *model.Scenario, q int, cfg Config) *Generator {
@@ -126,10 +152,76 @@ func NewGenerator(sc *model.Scenario, q int, cfg Config) *Generator {
 			g.holes[j] = visibility.HoleRays(sc, sc.Devices[j].Pos, ct.DMax)
 		}
 	}
-	for _, o := range sc.Obstacles {
-		g.obs = append(g.obs, o.Shape.Edges()...)
+	perObs := make([][]geom.Segment, len(sc.Obstacles))
+	nEdges := 0
+	for h, o := range sc.Obstacles {
+		perObs[h] = o.Shape.Edges()
+		nEdges += len(perObs[h])
 	}
+	g.obs = make([]geom.Segment, 0, nEdges)
+	g.obsEdges = make([][]geom.Segment, len(sc.Obstacles))
+	for h := range perObs {
+		start := len(g.obs)
+		g.obs = append(g.obs, perObs[h]...)
+		g.obsEdges[h] = g.obs[start:len(g.obs):len(g.obs)]
+	}
+	if !cfg.NoPairPruning && !cfg.BruteForceVisibility {
+		if ix, ok := sc.AttachedVisibilityIndex().(*visindex.Index); ok {
+			g.ix = ix
+		}
+	}
+	g.buildNeighbors()
 	return g
+}
+
+// buildNeighbors precomputes every device's NeighborSet. With pruning
+// enabled a device grid narrows each scan to the cells overlapping the
+// 2·d_max disk and reports the pairs it skipped to the tracer; the exact
+// distance predicate then decides membership either way, so both paths
+// produce identical sets.
+func (g *Generator) buildNeighbors() {
+	sc, ct := g.sc, g.sc.ChargerTypes[g.q]
+	no := len(sc.Devices)
+	g.neighbors = make([][]int, no)
+	if no == 0 {
+		return
+	}
+	r := 2 * ct.DMax
+	if g.cfg.NoPairPruning {
+		for i := 0; i < no; i++ {
+			for j := 0; j < no; j++ {
+				if j != i && sc.Devices[i].Pos.Dist(sc.Devices[j].Pos) <= r {
+					g.neighbors[i] = append(g.neighbors[i], j)
+				}
+			}
+		}
+		return
+	}
+	pts := make([]geom.Vec, no)
+	for i := range pts {
+		pts[i] = sc.Devices[i].Pos
+	}
+	g.dgrid = visindex.NewDeviceGrid(pts, ct.DMax/2)
+	mask := make([]uint64, g.dgrid.Words())
+	pruned := int64(0)
+	for i := 0; i < no; i++ {
+		for w := range mask {
+			mask[w] = 0
+		}
+		g.dgrid.CollectDisk(pts[i], r+prunePad, mask)
+		scanned := 0
+		visindex.EachSet(mask, func(j int) {
+			if j == i {
+				return
+			}
+			scanned++
+			if pts[i].Dist(pts[j]) <= r {
+				g.neighbors[i] = append(g.neighbors[i], j)
+			}
+		})
+		pruned += int64(no - 1 - scanned)
+	}
+	g.cfg.Tracer.Add(hipotrace.CtrPairsPruned, pruned)
 }
 
 // DevicePositions emits the per-device candidate positions of device j:
@@ -137,19 +229,18 @@ func NewGenerator(sc *model.Scenario, q int, cfg Config) *Generator {
 // obstacle edges, plus event-angle boundary samples (Algorithm 2 step 8).
 // Positions are filtered for placement feasibility but not deduplicated.
 func (g *Generator) DevicePositions(j int) []geom.Vec {
-	var out []geom.Vec
+	return g.appendDevicePositions(nil, j)
+}
+
+func (g *Generator) appendDevicePositions(out []geom.Vec, j int) []geom.Vec {
 	feas := 0
-	defer func() { g.cfg.Tracer.Add(hipotrace.CtrFeasibilityQueries, int64(feas)) }()
 	add := func(p geom.Vec) {
 		feas++
 		if g.sc.FeasiblePosition(p) {
 			out = append(out, p)
 		}
 	}
-	segs := make([]geom.Segment, 0, len(g.edges[j])+len(g.holes[j])+len(g.obs))
-	segs = append(segs, g.edges[j]...)
-	segs = append(segs, g.holes[j]...)
-	segs = append(segs, g.obs...)
+	segs, segsPooled := g.deviceSegs(j)
 	for _, c := range g.circles[j] {
 		for _, s := range segs {
 			for _, p := range geom.CircleSegmentIntersections(c, s) {
@@ -157,10 +248,42 @@ func (g *Generator) DevicePositions(j int) []geom.Vec {
 			}
 		}
 	}
+	if segsPooled {
+		putSegBuf(segs)
+	}
 	for _, p := range g.eventAngleSamples(j) {
 		add(p)
 	}
+	g.cfg.Tracer.Add(hipotrace.CtrFeasibilityQueries, int64(feas))
 	return out
+}
+
+// deviceSegs assembles the segment workload device j's rings are cut
+// against. With the visibility index present the obstacle portion shrinks
+// to the obstacles whose padded box reaches the outermost ring; the pruned
+// list is a subsequence of the full one, and every dropped obstacle is
+// provably beyond every ring's intersection tolerance, so the emitted
+// positions are unchanged. The returned slice comes from a pool when
+// pruning assembled it (pooled=true; caller must return it via putSegBuf).
+func (g *Generator) deviceSegs(j int) (segs []geom.Segment, pooled bool) {
+	if g.ix == nil || len(g.obs) == 0 {
+		segs = make([]geom.Segment, 0, len(g.edges[j])+len(g.holes[j])+len(g.obs))
+		segs = append(segs, g.edges[j]...)
+		segs = append(segs, g.holes[j]...)
+		segs = append(segs, g.obs...)
+		return segs, false
+	}
+	maxR := g.circles[j][len(g.circles[j])-1].R
+	near := getObsBuf()
+	near = g.ix.AppendObstaclesNearDisk(near, g.sc.Devices[j].Pos, maxR+prunePad)
+	segs = getSegBuf()
+	segs = append(segs, g.edges[j]...)
+	segs = append(segs, g.holes[j]...)
+	for _, h := range near {
+		segs = append(segs, g.obsEdges[h]...)
+	}
+	putObsBuf(near)
+	return segs, true
 }
 
 // PairPositions emits the candidate positions arising from the device pair
@@ -170,11 +293,17 @@ func (g *Generator) DevicePositions(j int) []geom.Vec {
 // apart than 2·d_max. Not deduplicated.
 func (g *Generator) PairPositions(i, j int) []geom.Vec {
 	ct := g.sc.ChargerTypes[g.q]
-	pi, pj := g.sc.Devices[i].Pos, g.sc.Devices[j].Pos
-	if pi.Dist(pj) > 2*ct.DMax {
+	if g.sc.Devices[i].Pos.Dist(g.sc.Devices[j].Pos) > 2*ct.DMax {
 		return nil
 	}
-	var out []geom.Vec
+	return g.appendPairPositions(nil, i, j)
+}
+
+// appendPairPositions assumes the pair is within 2·d_max (callers walk
+// precomputed neighbor sets).
+func (g *Generator) appendPairPositions(out []geom.Vec, i, j int) []geom.Vec {
+	ct := g.sc.ChargerTypes[g.q]
+	pi, pj := g.sc.Devices[i].Pos, g.sc.Devices[j].Pos
 	feas := 0
 	defer func() { g.cfg.Tracer.Add(hipotrace.CtrFeasibilityQueries, int64(feas)) }()
 	add := func(p geom.Vec) {
@@ -242,19 +371,11 @@ func (g *Generator) PairPositions(i, j int) []geom.Vec {
 }
 
 // NeighborSet returns the indices of devices within 2·d_max of device i
-// (the O_i^k of Algorithm 4), excluding i itself.
+// (the O_i^k of Algorithm 4), excluding i itself. The sets are precomputed
+// at generator construction (spatially pruned unless NoPairPruning); the
+// returned slice is a copy the caller may mutate.
 func (g *Generator) NeighborSet(i int) []int {
-	ct := g.sc.ChargerTypes[g.q]
-	var out []int
-	for j := range g.sc.Devices {
-		if j == i {
-			continue
-		}
-		if g.sc.Devices[i].Pos.Dist(g.sc.Devices[j].Pos) <= 2*ct.DMax {
-			out = append(out, j)
-		}
-	}
-	return out
+	return append([]int(nil), g.neighbors[i]...)
 }
 
 // TaskPositions emits the complete candidate-position workload of
@@ -263,21 +384,54 @@ func (g *Generator) NeighborSet(i int) []int {
 // (smaller indices are handled by their own tasks, avoiding duplicate
 // work). Not deduplicated.
 func (g *Generator) TaskPositions(i int) []geom.Vec {
-	out := g.DevicePositions(i)
-	for _, j := range g.NeighborSet(i) {
+	return g.appendTaskPositions(nil, i)
+}
+
+func (g *Generator) appendTaskPositions(out []geom.Vec, i int) []geom.Vec {
+	out = g.appendDevicePositions(out, i)
+	for _, j := range g.neighbors[i] {
 		if j > i {
-			out = append(out, g.PairPositions(i, j)...)
+			out = g.appendPairPositions(out, i, j)
 		}
 	}
 	return out
+}
+
+// TaskCost estimates the relative cost of distributed task i in units of
+// geometric intersection tests: device i's own ring cutting plus every
+// larger-indexed neighbor pair's constructions. It is the single cost
+// model shared by the parallel position generator and Algorithm 5's LPT
+// scheduling/makespan simulation, deterministic for a given scenario.
+func (g *Generator) TaskCost(i int) float64 {
+	ci := float64(len(g.circles[i]))
+	ownSegs := len(g.edges[i]) + len(g.holes[i]) + len(g.obs)
+	cost := ci * float64(ownSegs)
+	for _, j := range g.neighbors[i] {
+		if j <= i {
+			continue
+		}
+		cj := float64(len(g.circles[j]))
+		cost += ci*cj +
+			ci*float64(len(g.edges[j])+len(g.holes[j])) +
+			cj*float64(len(g.edges[i])+len(g.holes[i]))
+		if !g.cfg.SkipPairConstructions {
+			// Line plus two inscribed-arc circles against both ring sets
+			// and both sector-edge pairs.
+			cost += 3*(ci+cj) + 2*float64(len(g.edges[i])+len(g.edges[j]))
+		}
+	}
+	return cost
 }
 
 // CandidatePositions returns the candidate charger positions for charger
 // type q: the deduplicated union of all per-device and per-pair positions,
 // restricted to the deployment region, outside obstacle interiors, and
 // within charging range of at least one device. Per-device workloads run
-// in parallel on cfg.Workers goroutines (0 = GOMAXPROCS); deduplication is
-// order-stable, so results are deterministic regardless of worker count.
+// in parallel on cfg.Workers goroutines (0 = GOMAXPROCS), handed out in
+// LPT order under the shared TaskCost model so the longest tasks start
+// first; position buffers are pooled across tasks. Deduplication is
+// order-stable over task order, so results are deterministic regardless of
+// worker count, hand-out order, or pooling.
 //
 //hipo:hotpath
 func CandidatePositions(sc *model.Scenario, q int, cfg Config) []geom.Vec {
@@ -289,20 +443,32 @@ func CandidatePositions(sc *model.Scenario, q int, cfg Config) []geom.Vec {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	perDevice := schedule.RunPool(len(sc.Devices), workers, func(i int) []geom.Vec {
-		return g.TaskPositions(i)
+	no := len(sc.Devices)
+	tasks := make([]schedule.Task, no)
+	for i := range tasks {
+		tasks[i] = schedule.Task{ID: i, Duration: g.TaskCost(i)}
+	}
+	var reuse atomic.Int64
+	perDevice := schedule.RunPoolOrdered(no, workers, schedule.LPTOrder(tasks), func(i int) []geom.Vec {
+		buf, reused := getPosBuf()
+		if reused {
+			reuse.Add(1)
+		}
+		return g.appendTaskPositions(buf, i)
 	})
 	dd := newDeduper()
 	for _, pts := range perDevice {
 		for _, p := range pts {
 			dd.add(p)
 		}
+		putPosBuf(pts)
 	}
-	return FilterUseful(sc, q, dd.points)
+	cfg.Tracer.Add(hipotrace.CtrPoolReuse, reuse.Load())
+	return g.FilterUseful(dd.points)
 }
 
 // FilterUseful keeps positions within charging range of at least one
-// device for charger type q.
+// device for charger type q by exhaustive device scan.
 func FilterUseful(sc *model.Scenario, q int, pts []geom.Vec) []geom.Vec {
 	ct := sc.ChargerTypes[q]
 	out := pts[:0]
@@ -311,6 +477,38 @@ func FilterUseful(sc *model.Scenario, q int, pts []geom.Vec) []geom.Vec {
 		for j := 0; j < len(sc.Devices) && !useful; j++ {
 			d := p.Dist(sc.Devices[j].Pos)
 			useful = d >= ct.DMin-geom.Eps && d <= ct.DMax+geom.Eps
+		}
+		if useful {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FilterUseful is the generator-aware variant of the package function:
+// with the device grid available it only distance-tests the devices whose
+// cells overlap each position's d_max disk. The grid superset is re-checked
+// by the identical exact predicate, so output matches the exhaustive scan
+// bit for bit.
+func (g *Generator) FilterUseful(pts []geom.Vec) []geom.Vec {
+	if g.dgrid == nil {
+		return FilterUseful(g.sc, g.q, pts)
+	}
+	sc, ct := g.sc, g.sc.ChargerTypes[g.q]
+	mask := make([]uint64, g.dgrid.Words())
+	out := pts[:0]
+	for _, p := range pts {
+		for w := range mask {
+			mask[w] = 0
+		}
+		g.dgrid.CollectDisk(p, ct.DMax+prunePad, mask)
+		useful := false
+		for w := 0; w < len(mask) && !useful; w++ {
+			for m := mask[w]; m != 0 && !useful; m &= m - 1 {
+				j := w*64 + bits.TrailingZeros64(m)
+				d := p.Dist(sc.Devices[j].Pos)
+				useful = d >= ct.DMin-geom.Eps && d <= ct.DMax+geom.Eps
+			}
 		}
 		if useful {
 			out = append(out, p)
@@ -347,14 +545,10 @@ func (g *Generator) eventAngleSamples(j int) []geom.Vec {
 		angles = append(angles, h.A.Sub(dev.Pos).Angle())
 	}
 	angles = append(angles, visibility.EventAngles(sc, dev.Pos)...)
-	ct := sc.ChargerTypes[g.q]
-	for i := range sc.Devices {
-		if i == j {
-			continue
-		}
-		if sc.Devices[i].Pos.Dist(dev.Pos) <= 2*ct.DMax {
-			angles = append(angles, sc.Devices[i].Pos.Sub(dev.Pos).Angle())
-		}
+	// Directions toward nearby devices: exactly the precomputed 2·d_max
+	// neighbor set, in the same ascending device order the full scan used.
+	for _, i := range g.neighbors[j] {
+		angles = append(angles, sc.Devices[i].Pos.Sub(dev.Pos).Angle())
 	}
 	sort.Float64s(angles)
 

@@ -4,7 +4,10 @@ import "math"
 
 // NormAngle maps theta into [0, 2π).
 func NormAngle(theta float64) float64 {
-	t := math.Mod(theta, 2*math.Pi)
+	t := theta
+	if t <= -2*math.Pi || t >= 2*math.Pi {
+		t = math.Mod(t, 2*math.Pi)
+	} // else Mod is the exact identity (|t| < 2π), so skipping it changes no bit
 	if t < 0 {
 		t += 2 * math.Pi
 	}
@@ -13,7 +16,10 @@ func NormAngle(theta float64) float64 {
 
 // AngleDiff returns the signed smallest rotation from a to b, in (−π, π].
 func AngleDiff(a, b float64) float64 {
-	d := math.Mod(b-a, 2*math.Pi)
+	d := b - a
+	if d <= -2*math.Pi || d >= 2*math.Pi {
+		d = math.Mod(d, 2*math.Pi)
+	} // else Mod is the exact identity (|d| < 2π), so skipping it changes no bit
 	if d > math.Pi {
 		d -= 2 * math.Pi
 	}

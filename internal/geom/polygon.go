@@ -149,17 +149,40 @@ func (p Polygon) IntersectsSegment(s Segment) bool {
 // grazes an obstacle corner is not blocked, while one entering the obstacle
 // is.
 func (p Polygon) BlocksSegment(s Segment) bool {
-	if s.Len() <= Eps {
+	return p.BlocksSegmentEdges(s, p.Edges())
+}
+
+// BlocksSegmentEdges is BlocksSegment evaluated against a caller-supplied
+// edge list, which must be exactly p.Edges(). Hot paths that test many
+// segments against the same polygon (the visibility index walks, viewpoint
+// batching) pass a cached list so the predicate allocates nothing; the
+// answer is identical to BlocksSegment by construction.
+func (p Polygon) BlocksSegmentEdges(s Segment, edges []Segment) bool {
+	lo, hi := p.BoundingBox()
+	return p.BlocksSegmentEdgesBB(s, edges, lo, hi)
+}
+
+// BlocksSegmentEdgesBB is BlocksSegmentEdges with the polygon's bounding
+// box (exactly p.BoundingBox()) also supplied by the caller, for hot paths
+// that cache it alongside the edge list.
+func (p Polygon) BlocksSegmentEdgesBB(s Segment, edges []Segment, lo, hi Vec) bool {
+	// Degenerate-segment guard. The Len2 screen is decisive when it fails:
+	// computed |s|² > 4·Eps² forces the true length above ~2·Eps, so the
+	// rounded Len() is certainly above Eps and the Hypot call can be skipped
+	// without changing the branch taken.
+	if s.Dir().Len2() <= 4*Eps*Eps && s.Len() <= Eps {
 		return false
 	}
 	// Cheap bounding-box rejection: line-of-sight tests dominate solver
-	// time and most segments are nowhere near most obstacles.
-	lo, hi := p.BoundingBox()
-	if math.Max(s.A.X, s.B.X) < lo.X-Eps || math.Min(s.A.X, s.B.X) > hi.X+Eps ||
-		math.Max(s.A.Y, s.B.Y) < lo.Y-Eps || math.Min(s.A.Y, s.B.Y) > hi.Y+Eps {
+	// time and most segments are nowhere near most obstacles. Each
+	// conjunction is the branch-only form of max(A,B) < t / min(A,B) > t,
+	// equivalent for every input including NaN (any NaN coordinate fails
+	// both forms).
+	if (s.A.X < lo.X-Eps && s.B.X < lo.X-Eps) || (s.A.X > hi.X+Eps && s.B.X > hi.X+Eps) ||
+		(s.A.Y < lo.Y-Eps && s.B.Y < lo.Y-Eps) || (s.A.Y > hi.Y+Eps && s.B.Y > hi.Y+Eps) {
 		return false
 	}
-	for _, e := range p.Edges() {
+	for _, e := range edges {
 		if SegmentsCrossInterior(s, e) {
 			return true
 		}
@@ -167,13 +190,16 @@ func (p Polygon) BlocksSegment(s Segment) bool {
 	// The segment may pass through the interior touching only at vertices
 	// (e.g. entering through one vertex and exiting through another), or lie
 	// entirely inside. Sample interior points between boundary hits.
-	return p.interiorSampleBlocked(s)
+	return p.interiorSampleBlocked(s, edges)
 }
 
-func (p Polygon) interiorSampleBlocked(s Segment) bool {
+func (p Polygon) interiorSampleBlocked(s Segment, edges []Segment) bool {
 	// Collect parameters of all boundary contacts, then test the midpoint of
-	// every sub-interval for interior containment.
-	ts := []float64{0, 1}
+	// every sub-interval for interior containment. The stack buffer covers
+	// typical contact counts; append spills to the heap only for segments
+	// grazing many edges.
+	var tsBuf [12]float64
+	ts := append(tsBuf[:0], 0, 1)
 	d := s.Dir()
 	l2 := d.Len2()
 	if l2 <= 0 {
@@ -182,7 +208,7 @@ func (p Polygon) interiorSampleBlocked(s Segment) bool {
 		// with NaN.
 		return p.containsInterior(s.A)
 	}
-	for _, e := range p.Edges() {
+	for _, e := range edges {
 		if q, ok := SegmentIntersection(s, e); ok {
 			t := q.Sub(s.A).Dot(d) / l2
 			ts = append(ts, math.Max(0, math.Min(1, t)))

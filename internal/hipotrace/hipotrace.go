@@ -85,6 +85,19 @@ const (
 	// shadow/event-angle/hole-ray memo cache of internal/visindex.
 	CtrVisMemoHits
 	CtrVisMemoMisses
+	// CtrPairsPruned counts device pairs skipped by the spatial device-grid
+	// prefilter before critical-construction enumeration (Algorithm 2): the
+	// pair's padded reachability disks provably cannot interact, so the
+	// exact pairwise geometry is never touched.
+	CtrPairsPruned
+	// CtrLOSBatched counts line-of-sight queries answered through a batched
+	// per-viewpoint visindex.Viewpoint instead of an independent DDA walk
+	// per ray. Always ≤ CtrLOSQueries.
+	CtrLOSBatched
+	// CtrPoolReuse counts buffer reuses out of the extraction sync.Pools
+	// (candidate-point slices, eligibility slices, viewpoints): each reuse
+	// is one hot-loop allocation avoided.
+	CtrPoolReuse
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -104,6 +117,9 @@ var counterNames = [NumCounters]string{
 	CtrLazyFreshHits:      "lazy_fresh_hits",
 	CtrVisMemoHits:        "vis_memo_hits",
 	CtrVisMemoMisses:      "vis_memo_misses",
+	CtrPairsPruned:        "pairs_pruned",
+	CtrLOSBatched:         "los_batched",
+	CtrPoolReuse:          "pool_reuse",
 }
 
 // Name returns the counter's stable snake_case name.

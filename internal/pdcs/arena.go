@@ -1,0 +1,39 @@
+package pdcs
+
+// covArena bump-allocates Candidate.Covers storage in large chunks so the
+// overhauled sweep performs one heap allocation per ~8k covered devices
+// instead of one per candidate. Carved slices are full-capacity
+// (three-index) sub-slices and the write position only ever advances, so a
+// slice handed out earlier can never be re-carved or overwritten — even
+// after the arena returns to a pool and serves a later sweep. Candidates
+// that escape extraction are detached from arena storage (detachCovers) so
+// survivors never pin a mostly-dead chunk.
+type covArena struct {
+	buf []DevPower
+}
+
+// covArenaChunk is the chunk size in DevPower entries (~128 KiB).
+const covArenaChunk = 1 << 13
+
+func (a *covArena) alloc(n int) []DevPower {
+	if n > cap(a.buf)-len(a.buf) {
+		sz := covArenaChunk
+		if n > sz {
+			sz = n
+		}
+		a.buf = make([]DevPower, 0, sz)
+	}
+	start := len(a.buf)
+	a.buf = a.buf[:start+n]
+	return a.buf[start : start+n : start+n]
+}
+
+// detachCovers replaces every candidate's Covers with a private copy,
+// releasing the extraction arenas the slices were carved from.
+func detachCovers(cands []Candidate) {
+	for i := range cands {
+		if len(cands[i].Covers) > 0 {
+			cands[i].Covers = append([]DevPower(nil), cands[i].Covers...)
+		}
+	}
+}

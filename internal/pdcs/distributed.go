@@ -14,7 +14,7 @@ import (
 // TaskOutput is the result of one distributed PDCS extraction task
 // (Algorithm 4): candidate strategies generated from one device's
 // neighbor-set workload across all charger types, plus the measured serial
-// duration used for LPT scheduling and makespan simulation.
+// duration used for makespan simulation (zero with a nil cfg.Clock).
 type TaskOutput struct {
 	Device     int
 	Candidates []Candidate
@@ -27,6 +27,22 @@ type TaskOutput struct {
 // (Algorithm 4 delegates to Algorithms 1 and 2). gens caches one Generator
 // per charger type.
 func RunTask(sc *model.Scenario, gens []*discretize.Generator, i int, cfg Config) TaskOutput {
+	return runTask(sc, gens, newEligibleCaches(sc, cfg), i, cfg)
+}
+
+func newEligibleCaches(sc *model.Scenario, cfg Config) []*eligibleCache {
+	caches := make([]*eligibleCache, len(sc.ChargerTypes))
+	for q := range caches {
+		caches[q] = newEligibleCache(sc, q, cfg)
+		caches[q].tracer = cfg.Tracer
+	}
+	return caches
+}
+
+// runTask is RunTask against shared per-type eligibility caches, so a
+// whole distributed run reuses one power-level table, device grid, and
+// viewpoint tiling per charger type instead of rebuilding them per task.
+func runTask(sc *model.Scenario, gens []*discretize.Generator, caches []*eligibleCache, i int, cfg Config) TaskOutput {
 	var start time.Time
 	if cfg.Clock != nil {
 		start = cfg.Clock()
@@ -34,10 +50,13 @@ func RunTask(sc *model.Scenario, gens []*discretize.Generator, i int, cfg Config
 	var cands []Candidate
 	for q := range sc.ChargerTypes {
 		pts := discretize.Dedup(gens[q].TaskPositions(i))
-		pts = discretize.FilterUseful(sc, q, pts)
+		pts = gens[q].FilterUseful(pts)
+		ar, _ := caches[q].getArena()
+		scr := sweepScratch{ar: ar}
 		for _, p := range pts {
-			cands = append(cands, SweepPoint(sc, q, p, cfg.Eps1)...)
+			cands = sweepPointAppend(sc, q, p, caches[q], &scr, cands)
 		}
+		caches[q].putArena(ar)
 	}
 	var dur time.Duration
 	if cfg.Clock != nil {
@@ -48,39 +67,63 @@ func RunTask(sc *model.Scenario, gens []*discretize.Generator, i int, cfg Config
 
 // DistStats reports the timing of a distributed extraction run.
 type DistStats struct {
-	// TaskSeconds[i] is the measured serial duration of task i.
+	// TaskSeconds[i] is task i's cost: the measured serial duration when
+	// cfg.Clock is set, otherwise the deterministic TaskCost estimate from
+	// internal/discretize (arbitrary units) — the same cost model that
+	// ordered the worker pool's hand-out.
 	TaskSeconds []float64
-	// SerialSeconds is Σ TaskSeconds: the non-distributed wall time of the
+	// SerialSeconds is Σ TaskSeconds: the non-distributed cost of the
 	// parallel-processing part.
 	SerialSeconds float64
 	// MakespanSeconds[m] is the simulated LPT makespan with m machines, for
-	// each requested machine count.
+	// each requested machine count, over the same TaskSeconds.
 	MakespanSeconds map[int]float64
 }
 
 // ExtractDistributed implements Algorithm 5: it splits PDCS extraction into
 // per-device tasks, runs them on a worker pool of size workers (0 =
-// serial measurement only), measures each task's serial cost, and simulates
-// the LPT makespan for every machine count in machineCounts. When the
-// number of machines is at least the number of devices, each task gets its
-// own machine, as in Algorithm 5 line 1. Candidates are merged per charger
-// type and dominance-filtered.
+// serial measurement only), and simulates the LPT makespan for every
+// machine count in machineCounts. When the number of machines is at least
+// the number of devices, each task gets its own machine, as in Algorithm 5
+// line 1. Candidates are merged per charger type in task order — so output
+// is independent of worker count and hand-out order — deduplicated, and
+// dominance-filtered.
+//
+// One cost model drives all scheduling: discretize.TaskCost summed across
+// charger types orders the live pool's hand-out (LPT), and the same
+// estimates back the makespan simulation when no Clock measures real
+// durations.
 func ExtractDistributed(sc *model.Scenario, cfg Config, workers int, machineCounts []int) ([][]Candidate, DistStats) {
 	sc = cfg.ensureVisibility(sc)
 	no := len(sc.Devices)
 	gens := make([]*discretize.Generator, len(sc.ChargerTypes))
-	dcfg := discretize.Config{Eps1: cfg.Eps1, SkipPairConstructions: cfg.SkipPairConstructions, Tracer: cfg.Tracer}
+	dcfg := discretize.Config{
+		Eps1:                  cfg.Eps1,
+		SkipPairConstructions: cfg.SkipPairConstructions,
+		NoPairPruning:         cfg.NoPairPruning,
+		BruteForceVisibility:  cfg.BruteForceVisibility,
+		Tracer:                cfg.Tracer,
+	}
 	for q := range gens {
 		gens[q] = discretize.NewGenerator(sc, q, dcfg)
 	}
+	caches := newEligibleCaches(sc, cfg)
 	if workers <= 0 {
 		workers = 1
+	}
+	est := make([]schedule.Task, no)
+	for i := range est {
+		cost := 0.0
+		for q := range gens {
+			cost += gens[q].TaskCost(i)
+		}
+		est[i] = schedule.Task{ID: i, Duration: cost}
 	}
 	// Distributed tasks interleave discretization and sweeping per device, so
 	// the whole fan-out is one pdcs span rather than per-stage spans.
 	endSweep := cfg.Tracer.StartStage(hipotrace.StagePDCS, "distributed")
-	outs := schedule.RunPool(no, workers, func(i int) TaskOutput {
-		return RunTask(sc, gens, i, cfg)
+	outs := schedule.RunPoolOrdered(no, workers, schedule.LPTOrder(est), func(i int) TaskOutput {
+		return runTask(sc, gens, caches, i, cfg)
 	})
 	endSweep()
 
@@ -90,7 +133,11 @@ func ExtractDistributed(sc *model.Scenario, cfg Config, workers int, machineCoun
 	}
 	tasks := make([]schedule.Task, no)
 	for i, o := range outs {
-		stats.TaskSeconds[i] = o.Duration.Seconds()
+		if cfg.Clock != nil {
+			stats.TaskSeconds[i] = o.Duration.Seconds()
+		} else {
+			stats.TaskSeconds[i] = est[i].Duration
+		}
 		stats.SerialSeconds += stats.TaskSeconds[i]
 		tasks[i] = schedule.Task{ID: i, Duration: stats.TaskSeconds[i]}
 	}
@@ -124,6 +171,8 @@ func ExtractDistributed(sc *model.Scenario, cfg Config, workers int, machineCoun
 			byType[q] = FilterDominated(byType[q], no)
 		}
 		cfg.Tracer.Add(hipotrace.CtrCandidatesKept, int64(len(byType[q])))
+		// Survivors escape to the caller; detach them from the task arenas.
+		detachCovers(byType[q])
 	}
 	return byType, stats
 }

@@ -114,3 +114,53 @@ func TestDedupCandidates(t *testing.T) {
 		t.Errorf("dedup kept %d, want 2", len(out))
 	}
 }
+
+// TestExtractDistributedOrderIndependent is the regression test for the
+// single-cost-model contract: the merged shard outputs and every scheduling
+// statistic must be bit-identical regardless of how many workers the pool
+// ran with (hand-out order changes, output must not), and the deterministic
+// TaskCost estimates must drive both the LPT hand-out and the makespan
+// simulation identically on every run.
+func TestExtractDistributedOrderIndependent(t *testing.T) {
+	sc := ringScenario()
+	cfg := Config{Eps1: 0.4}
+	ref, refStats := ExtractDistributed(sc, cfg, 1, []int{2, 4})
+	for _, workers := range []int{3, 8} {
+		got, stats := ExtractDistributed(sc, cfg, workers, []int{2, 4})
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d type buckets vs %d", workers, len(got), len(ref))
+		}
+		for q := range ref {
+			if len(got[q]) != len(ref[q]) {
+				t.Fatalf("workers=%d type %d: %d candidates vs %d", workers, q, len(got[q]), len(ref[q]))
+			}
+			for i := range ref[q] {
+				a, b := ref[q][i], got[q][i]
+				if math.Float64bits(a.S.Pos.X) != math.Float64bits(b.S.Pos.X) ||
+					math.Float64bits(a.S.Pos.Y) != math.Float64bits(b.S.Pos.Y) ||
+					math.Float64bits(a.S.Orient) != math.Float64bits(b.S.Orient) ||
+					len(a.Covers) != len(b.Covers) {
+					t.Fatalf("workers=%d type %d candidate %d differs from single-worker run", workers, q, i)
+				}
+				for m := range a.Covers {
+					if a.Covers[m].Device != b.Covers[m].Device ||
+						math.Float64bits(a.Covers[m].Power) != math.Float64bits(b.Covers[m].Power) {
+						t.Fatalf("workers=%d type %d candidate %d coverage differs", workers, q, i)
+					}
+				}
+			}
+		}
+		// With a nil Clock the stats are pure functions of the cost model;
+		// any drift means a second estimate crept back in.
+		for i := range refStats.TaskSeconds {
+			if stats.TaskSeconds[i] != refStats.TaskSeconds[i] {
+				t.Fatalf("workers=%d: task %d cost estimate %v vs %v", workers, i, stats.TaskSeconds[i], refStats.TaskSeconds[i])
+			}
+		}
+		for _, m := range []int{2, 4} {
+			if stats.MakespanSeconds[m] != refStats.MakespanSeconds[m] {
+				t.Fatalf("workers=%d: makespan(%d) %v vs %v", workers, m, stats.MakespanSeconds[m], refStats.MakespanSeconds[m])
+			}
+		}
+	}
+}

@@ -9,8 +9,10 @@ package pdcs
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"hipo/internal/discretize"
@@ -59,12 +61,20 @@ type eligible struct {
 // inside the device's receiving sector, and clear line of sight. The
 // returned powers use the piecewise approximation with parameter eps1.
 func EligibleAt(sc *model.Scenario, q int, p geom.Vec, eps1 float64) []eligible {
-	return newEligibleCache(sc, q, eps1).at(p)
+	return newEligibleCache(sc, q, Config{Eps1: eps1, NoPairPruning: true, NoBatchedLOS: true}).atSeed(p)
 }
+
+// prunePad widens the device-grid query radius past every exact-predicate
+// tolerance (the ±geom.Eps range gates), mirroring the padding contract of
+// internal/visindex: the grid may only over-approximate.
+const prunePad = 1e-6
 
 // eligibleCache precomputes, per device type, the piecewise power levels
 // for one charger type so that eligibility checks at thousands of candidate
-// positions avoid re-deriving them. Safe for concurrent reads.
+// positions avoid re-deriving them; with the spatial accelerators enabled
+// it also carries the device grid that prunes each position's device scan
+// and the viewpoint tiling that batches its line-of-sight rays. Safe for
+// concurrent use.
 type eligibleCache struct {
 	sc     *model.Scenario
 	q      int
@@ -74,87 +84,274 @@ type eligibleCache struct {
 	// K of Lemma 4.1), reported to the tracer once per extraction.
 	powerLevels int64
 	tracer      *hipotrace.Tracer
+
+	// dirs[j] = geom.FromAngle(Devices[j].Orient) and cosHalf[t] =
+	// cos(DeviceTypes[t].Alpha/2), hoisted out of the sector gate that runs
+	// millions of times per extraction; the values are the exact floats the
+	// gate would recompute, so hoisting changes no bit.
+	dirs    []geom.Vec
+	cosHalf []float64
+
+	// dgrid narrows each position's device scan to the cells overlapping
+	// its d_max disk (nil under NoPairPruning).
+	dgrid *visindex.DeviceGrid
+	// vpg answers LOS rays through memoized per-tile viewpoint batches: one
+	// obstacle collection per tile of positions instead of one DDA walk per
+	// ray (nil under NoBatchedLOS, brute-force visibility, or no obstacles).
+	vpg    *visindex.ViewpointGrid
+	elPool sync.Pool // *[]eligible
+	arPool sync.Pool // *covArena
 }
 
-func newEligibleCache(sc *model.Scenario, q int, eps1 float64) *eligibleCache {
+func newEligibleCache(sc *model.Scenario, q int, cfg Config) *eligibleCache {
 	ct := sc.ChargerTypes[q]
 	c := &eligibleCache{sc: sc, q: q, ct: ct}
 	levels := int64(0)
 	for t := range sc.DeviceTypes {
 		pp := sc.Power[q][t]
-		c.levels = append(c.levels, power.NewLevels(pp.A, pp.B, ct.DMin, ct.DMax, eps1))
+		c.levels = append(c.levels, power.NewLevels(pp.A, pp.B, ct.DMin, ct.DMax, cfg.Eps1))
 		levels += int64(c.levels[t].NumBands())
 	}
 	c.powerLevels = levels
+	pts := make([]geom.Vec, len(sc.Devices))
+	c.dirs = make([]geom.Vec, len(sc.Devices))
+	for j := range pts {
+		pts[j] = sc.Devices[j].Pos
+		c.dirs[j] = geom.FromAngle(sc.Devices[j].Orient)
+	}
+	c.cosHalf = make([]float64, len(sc.DeviceTypes))
+	for t := range sc.DeviceTypes {
+		c.cosHalf[t] = math.Cos(sc.DeviceTypes[t].Alpha / 2)
+	}
+	if !cfg.NoPairPruning && len(sc.Devices) > 0 {
+		c.dgrid = visindex.NewDeviceGrid(pts, ct.DMax/2)
+	}
+	if !cfg.NoBatchedLOS && len(sc.Obstacles) > 0 {
+		if ix, ok := sc.AttachedVisibilityIndex().(*visindex.Index); ok {
+			c.vpg = ix.NewViewpointGrid(ct.DMax+prunePad, pts)
+		}
+	}
 	return c
 }
 
-func (c *eligibleCache) at(p geom.Vec) []eligible {
-	los := 0
-	defer func() { c.tracer.Add(hipotrace.CtrLOSQueries, int64(los)) }()
-	sc, ct := c.sc, c.ct
-	dmin2 := (ct.DMin - geom.Eps) * (ct.DMin - geom.Eps)
-	if ct.DMin < geom.Eps {
-		dmin2 = 0
+// getArena hands out a pooled Covers arena for one sweep chunk; reused is
+// true when the arena (and its partially filled chunk) came back from an
+// earlier chunk instead of being freshly allocated.
+func (c *eligibleCache) getArena() (ar *covArena, reused bool) {
+	if v := c.arPool.Get(); v != nil {
+		return v.(*covArena), true
 	}
-	dmax2 := (ct.DMax + geom.Eps) * (ct.DMax + geom.Eps)
-	var out []eligible
+	return &covArena{}, false
+}
+
+func (c *eligibleCache) putArena(ar *covArena) { c.arPool.Put(ar) }
+
+// Tile-prefilter tolerances. The prefilter works on the tile envelope (all
+// positions within slack of the tile center), so its gates must out-pad the
+// exact per-position predicates in tryDevice:
+//
+//   - tileDistPad widens the [DMin, DMax] annulus beyond the exact ±geom.Eps
+//     range gates, and is also the minimum center distance (beyond the
+//     slack) at which the sector gate may engage — guaranteeing every
+//     in-tile position is at least tileDistPad from the device, which
+//     bounds the exact sector gate's angular tolerance below.
+//   - tileAngPad bounds the widening of the exact sector acceptance cone:
+//     tryDevice accepts cos ψ ≥ cos(α/2) − ε′ with ε′ = geom.Eps·max(1,d)/d
+//     ≤ 1e-9/tileDistPad = 1e-6 for d ≥ tileDistPad, and
+//     arccos(cos θ − ε′) ≤ θ + √(2ε′) ≤ θ + 1.5e-3 < θ + tileAngPad.
+const (
+	tileDistPad = 1e-3
+	tileAngPad  = 2e-3
+)
+
+// tileDevices lists, in ascending index order, every device that could pass
+// tryDevice's exact eligibility gates from some position within slack of
+// center — the conservative per-tile device prefilter memoized by
+// Viewpoint.AuxDevices. A device is skipped only when the whole tile
+// envelope provably fails the charging-range annulus or lies outside the
+// device's (padded) receiving sector.
+func (c *eligibleCache) tileDevices(center geom.Vec, slack float64) []int32 {
+	sc := c.sc
+	ct := c.ct
+	out := make([]int32, 0, len(sc.Devices))
 	for j := range sc.Devices {
 		dev := &sc.Devices[j]
-		delta := dev.Pos.Sub(p)
-		d2 := delta.Len2()
-		if d2 < dmin2 || d2 > dmax2 {
+		delta := dev.Pos.Sub(center)
+		dc := delta.Len()
+		if dc-slack > ct.DMax+geom.Eps+tileDistPad || dc+slack < ct.DMin-geom.Eps-tileDistPad {
 			continue
 		}
-		d := math.Sqrt(d2)
-		// Charger within the device's receiving sector (dot-product form;
-		// the radial gate is already checked above).
 		dt := &sc.DeviceTypes[dev.Type]
-		if dt.Alpha < 2*math.Pi-geom.Eps {
-			if d <= geom.Eps {
+		if dt.Alpha < 2*math.Pi-geom.Eps && dc > slack+tileDistPad {
+			// Directions device→position across the tile deviate from the
+			// device→center direction by at most asin(slack/dc).
+			spread := math.Asin(math.Min(1, slack/dc))
+			if geom.AbsAngleDiff(delta.Neg().Angle(), dev.Orient) > dt.Alpha/2+spread+tileAngPad {
 				continue
 			}
-			back := delta.Neg() // device → charger
-			if back.Dot(geom.FromAngle(dev.Orient)) < d*math.Cos(dt.Alpha/2)-geom.Eps*math.Max(1, d) {
-				continue
-			}
 		}
-		los++
-		if !sc.LineOfSight(p, dev.Pos) {
-			continue
-		}
-		pw := c.levels[dev.Type].Approx(d)
-		if pw <= 0 {
-			continue
-		}
-		out = append(out, eligible{device: j, theta: delta.Angle(), pw: pw})
+		out = append(out, int32(j))
 	}
 	return out
 }
 
-// SweepPoint implements Algorithm 1: it rotates a charger of type q at
-// point p through 360° and returns one candidate per practical dominating
-// coverage set. Orientations are chosen at the critical positions where a
-// device is about to fall out of the charging sector.
-func SweepPoint(sc *model.Scenario, q int, p geom.Vec, eps1 float64) []Candidate {
-	return sweepPointCached(sc, q, p, newEligibleCache(sc, q, eps1))
+// getEl / putEl pool the per-position eligibility slices. A slice is
+// returned to the pool by sweepPointAppend once its contents have been
+// copied into candidate Covers; EligibleAt's public result is simply never
+// returned, which is safe (the pool just doesn't see it again).
+func (c *eligibleCache) getEl() (out []eligible, reused bool) {
+	if v := c.elPool.Get(); v != nil {
+		return (*v.(*[]eligible))[:0], true
+	}
+	return nil, false
 }
 
-func sweepPointCached(sc *model.Scenario, q int, p geom.Vec, cache *eligibleCache) []Candidate {
-	el := cache.at(p)
+func (c *eligibleCache) putEl(el []eligible) {
+	if cap(el) == 0 {
+		return
+	}
+	c.elPool.Put(&el)
+}
+
+// rangeGates returns the squared charging-range gates with the ±geom.Eps
+// tolerances baked in, shared by the seed and overhauled scans.
+func (c *eligibleCache) rangeGates() (dmin2, dmax2 float64) {
+	ct := c.ct
+	dmin2 = (ct.DMin - geom.Eps) * (ct.DMin - geom.Eps)
+	if ct.DMin < geom.Eps {
+		dmin2 = 0
+	}
+	dmax2 = (ct.DMax + geom.Eps) * (ct.DMax + geom.Eps)
+	return dmin2, dmax2
+}
+
+func (c *eligibleCache) at(p geom.Vec) []eligible {
+	los, batched, reuse := 0, 0, 0
+	sc := c.sc
+	ct := c.ct
+	dmin2, dmax2 := c.rangeGates()
+	var vp *visindex.Viewpoint
+	if c.vpg != nil {
+		vp = c.vpg.At(p)
+	}
+	out, outReused := c.getEl()
+	if outReused {
+		reuse++
+	}
+	switch {
+	case c.dgrid != nil && vp != nil:
+		// Tile-pruned scan: the per-tile device prefilter is computed once
+		// per viewpoint tile and shared by every position swept inside it,
+		// in ascending index order like the full scan.
+		aux, ok := vp.AuxDevices()
+		if !ok {
+			center, slack := vp.Envelope()
+			aux = vp.SetAuxDevices(c.tileDevices(center, slack))
+		}
+		for _, j := range aux {
+			out, los, batched = c.tryDevice(out, int(j), p, dmin2, dmax2, vp, los, batched)
+		}
+	case c.dgrid != nil:
+		// Grid-pruned scan: only devices whose cell overlaps the d_max disk
+		// around p, visited in ascending index order like the full scan.
+		var maskBuf [4]uint64
+		mask := maskBuf[:]
+		if w := c.dgrid.Words(); w > len(maskBuf) {
+			mask = make([]uint64, w)
+		} else {
+			mask = maskBuf[:w]
+		}
+		c.dgrid.CollectDisk(p, ct.DMax+prunePad, mask)
+		for w, m := range mask {
+			for ; m != 0; m &= m - 1 {
+				j := w*64 + bits.TrailingZeros64(m)
+				out, los, batched = c.tryDevice(out, j, p, dmin2, dmax2, vp, los, batched)
+			}
+		}
+	default:
+		for j := range sc.Devices {
+			out, los, batched = c.tryDevice(out, j, p, dmin2, dmax2, vp, los, batched)
+		}
+	}
+	c.tracer.Add(hipotrace.CtrLOSQueries, int64(los))
+	c.tracer.Add(hipotrace.CtrLOSBatched, int64(batched))
+	c.tracer.Add(hipotrace.CtrPoolReuse, int64(reuse))
+	return out
+}
+
+// tryDevice applies the exact eligibility predicates to device j and
+// appends it to out when chargeable from p. It is the single predicate
+// body behind both the full and grid-pruned scans, so the two paths can
+// only differ in which provably-out-of-range devices they skip.
+func (c *eligibleCache) tryDevice(out []eligible, j int, p geom.Vec, dmin2, dmax2 float64, vp *visindex.Viewpoint, los, batched int) ([]eligible, int, int) {
+	sc := c.sc
+	dev := &sc.Devices[j]
+	delta := dev.Pos.Sub(p)
+	d2 := delta.Len2()
+	if d2 < dmin2 || d2 > dmax2 {
+		return out, los, batched
+	}
+	d := math.Sqrt(d2)
+	// Charger within the device's receiving sector (dot-product form;
+	// the radial gate is already checked above).
+	dt := &sc.DeviceTypes[dev.Type]
+	if dt.Alpha < 2*math.Pi-geom.Eps {
+		if d <= geom.Eps {
+			return out, los, batched
+		}
+		back := delta.Neg() // device → charger
+		if back.Dot(c.dirs[j]) < d*c.cosHalf[dev.Type]-geom.Eps*math.Max(1, d) {
+			return out, los, batched
+		}
+	}
+	los++
+	if vp != nil {
+		batched++
+		if !vp.LineOfSightTo(j, p) {
+			return out, los, batched
+		}
+	} else if !sc.LineOfSight(p, dev.Pos) {
+		return out, los, batched
+	}
+	pw := c.levels[dev.Type].Approx(d)
+	if pw <= 0 {
+		return out, los, batched
+	}
+	return append(out, eligible{device: j, theta: delta.Angle(), pw: pw}), los, batched
+}
+
+// atSeed is the pre-overhaul eligibility scan, preserved verbatim as the
+// benchmark baseline arm and the reference side of the bit-identity test
+// wall: a full device scan with a fresh result slice and one independent
+// DDA grid walk per line-of-sight ray.
+func (c *eligibleCache) atSeed(p geom.Vec) []eligible {
+	los := 0
+	defer func() { c.tracer.Add(hipotrace.CtrLOSQueries, int64(los)) }()
+	sc := c.sc
+	dmin2, dmax2 := c.rangeGates()
+	var out []eligible
+	for j := range sc.Devices {
+		out, los, _ = c.tryDevice(out, j, p, dmin2, dmax2, nil, los, 0)
+	}
+	return out
+}
+
+// sweepPointSeed is the pre-overhaul Algorithm 1 sweep, preserved verbatim
+// alongside atSeed for the baseline arm: per-position signature map,
+// freshly allocated index sets, and a post-hoc sort of every candidate's
+// Covers.
+func sweepPointSeed(sc *model.Scenario, q int, p geom.Vec, cache *eligibleCache) []Candidate {
+	el := cache.atSeed(p)
 	if len(el) == 0 {
 		return nil
 	}
 	ct := sc.ChargerTypes[q]
 	if ct.Alpha >= 2*math.Pi-geom.Eps {
 		// Omnidirectional charger: a single strategy covers everything.
-		return []Candidate{makeCandidate(p, 0, q, el, allIdx(len(el)))}
+		return []Candidate{makeCandidateSeed(p, 0, q, el, allIdx(len(el)))}
 	}
 	half := ct.Alpha / 2
 
-	// Device k is covered at orientation φ iff φ ∈ [θ_k − half, θ_k + half].
-	// Maximal coverage sets occur just before a device falls out, i.e. at
-	// φ = θ_k + half for some k (Algorithm 1 line 4).
 	var cands []Candidate
 	seen := make(map[string]bool)
 	for _, e := range el {
@@ -170,17 +367,9 @@ func sweepPointCached(sc *model.Scenario, q int, p geom.Vec, cache *eligibleCach
 			continue
 		}
 		seen[sig] = true
-		cands = append(cands, makeCandidate(p, phi, q, el, idx))
+		cands = append(cands, makeCandidateSeed(p, phi, q, el, idx))
 	}
 	return filterLocalDominated(cands)
-}
-
-func allIdx(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
 }
 
 func idxSignature(el []eligible, idx []int) string {
@@ -192,13 +381,126 @@ func idxSignature(el []eligible, idx []int) string {
 	return string(buf)
 }
 
-func makeCandidate(p geom.Vec, phi float64, q int, el []eligible, idx []int) Candidate {
+func makeCandidateSeed(p geom.Vec, phi float64, q int, el []eligible, idx []int) Candidate {
 	c := Candidate{S: model.Strategy{Pos: p, Orient: phi, Type: q}}
 	c.Covers = make([]DevPower, 0, len(idx))
 	for _, i := range idx {
 		c.Covers = append(c.Covers, DevPower{Device: el[i].device, Power: el[i].pw})
 	}
 	sort.Slice(c.Covers, func(a, b int) bool { return c.Covers[a].Device < c.Covers[b].Device })
+	return c
+}
+
+// SweepPoint implements Algorithm 1: it rotates a charger of type q at
+// point p through 360° and returns one candidate per practical dominating
+// coverage set. Orientations are chosen at the critical positions where a
+// device is about to fall out of the charging sector.
+func SweepPoint(sc *model.Scenario, q int, p geom.Vec, eps1 float64) []Candidate {
+	return sweepPointSeed(sc, q, p, newEligibleCache(sc, q, Config{Eps1: eps1, NoPairPruning: true, NoBatchedLOS: true}))
+}
+
+// sweepScratch carries the per-chunk reusable state of the overhauled
+// sweep: the orientation index scratch and the Covers arena. One scratch
+// serves every position of a sweep chunk, so per-position allocations
+// vanish entirely.
+type sweepScratch struct {
+	idx []int
+	ar  *covArena
+}
+
+// sweepPointAppend is the overhauled Algorithm 1 sweep: it appends point
+// p's candidates to buf and returns the extended slice. Output (order
+// included) is bit-for-bit identical to sweepPointSeed's; only the
+// bookkeeping differs — pooled eligibility slices, a shared index scratch,
+// direct cover comparisons instead of a per-position signature map, and
+// arena-carved Covers built in device order with no post-hoc sort.
+func sweepPointAppend(sc *model.Scenario, q int, p geom.Vec, cache *eligibleCache, scr *sweepScratch, buf []Candidate) []Candidate {
+	el := cache.at(p)
+	if len(el) == 0 {
+		cache.putEl(el)
+		return buf
+	}
+	ct := sc.ChargerTypes[q]
+	if ct.Alpha >= 2*math.Pi-geom.Eps {
+		// Omnidirectional charger: a single strategy covers everything.
+		scr.idx = allIdxInto(scr.idx, len(el))
+		buf = append(buf, makeCandidate(p, 0, q, el, scr.idx, scr.ar))
+		cache.putEl(el)
+		return buf
+	}
+	half := ct.Alpha / 2
+
+	// Device k is covered at orientation φ iff φ ∈ [θ_k − half, θ_k + half].
+	// Maximal coverage sets occur just before a device falls out, i.e. at
+	// φ = θ_k + half for some k (Algorithm 1 line 4).
+	start := len(buf)
+	idx := scr.idx
+	for _, e := range el {
+		phi := geom.NormAngle(e.theta + half)
+		idx = idx[:0]
+		for i, f := range el {
+			if geom.AbsAngleDiff(phi, f.theta) <= half+geom.Eps {
+				idx = append(idx, i)
+			}
+		}
+		// First-wins dedup on the covered-device sequence, comparing against
+		// already-admitted candidates directly (the sets here are tiny, so
+		// this beats the byte-signature map it replaced without changing
+		// which candidate survives).
+		if hasSameCover(buf[start:], el, idx) {
+			continue
+		}
+		buf = append(buf, makeCandidate(p, phi, q, el, idx, scr.ar))
+	}
+	scr.idx = idx[:0]
+	cache.putEl(el)
+	kept := filterLocalDominated(buf[start:])
+	return buf[:start+len(kept)]
+}
+
+// hasSameCover reports whether some candidate already covers exactly the
+// devices el[idx] lists (both sides ascending by device index).
+func hasSameCover(cands []Candidate, el []eligible, idx []int) bool {
+	for k := range cands {
+		cv := cands[k].Covers
+		if len(cv) != len(idx) {
+			continue
+		}
+		same := true
+		for m, i := range idx {
+			if cv[m].Device != el[i].device {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+func allIdx(n int) []int {
+	return allIdxInto(nil, n)
+}
+
+func allIdxInto(out []int, n int) []int {
+	out = out[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func makeCandidate(p geom.Vec, phi float64, q int, el []eligible, idx []int, ar *covArena) Candidate {
+	c := Candidate{S: model.Strategy{Pos: p, Orient: phi, Type: q}}
+	cv := ar.alloc(len(idx))
+	// el is built in ascending device order and idx ascends into el, so
+	// Covers comes out sorted by device with no explicit sort.
+	for m, i := range idx {
+		cv[m] = DevPower{Device: el[i].device, Power: el[i].pw}
+	}
+	c.Covers = cv
 	return c
 }
 
@@ -267,6 +569,7 @@ func Extract(sc *model.Scenario, q int, cfg Config) []Candidate {
 		Eps1:                  cfg.Eps1,
 		Workers:               workers,
 		SkipPairConstructions: cfg.SkipPairConstructions,
+		NoPairPruning:         cfg.NoPairPruning,
 		BruteForceVisibility:  cfg.BruteForceVisibility,
 		Tracer:                tr,
 	})
@@ -275,23 +578,74 @@ func Extract(sc *model.Scenario, q int, cfg Config) []Candidate {
 
 	endSweep := tr.StartStage(hipotrace.StagePDCS, label)
 	defer endSweep()
-	cache := newEligibleCache(sc, q, cfg.Eps1)
+	cache := newEligibleCache(sc, q, cfg)
 	cache.tracer = tr
 	tr.Add(hipotrace.CtrPowerLevels, cache.powerLevels)
-	perPos := schedule.RunPool(len(positions), workers, func(i int) []Candidate {
-		return sweepPointCached(sc, q, positions[i], cache)
-	})
-	var cands []Candidate
-	for _, cs := range perPos {
-		cands = append(cands, cs...)
+	// With every accelerator disabled, run the preserved pre-overhaul
+	// pipeline: per-position sweeps, full concatenation, then the global
+	// dominance filter. That combination is the benchmark baseline arm and
+	// must reproduce the seed pipeline faithfully, costs included. Its
+	// output is bit-for-bit identical to the overhauled path below (the
+	// bit-identity wall checks this).
+	if cfg.NoPairPruning && cfg.NoBatchedLOS {
+		perPos := schedule.RunPool(len(positions), workers, func(i int) []Candidate {
+			return sweepPointSeed(sc, q, positions[i], cache)
+		})
+		var cands []Candidate
+		for _, cs := range perPos {
+			cands = append(cands, cs...)
+		}
+		tr.Add(hipotrace.CtrCandidatesRaw, int64(len(cands)))
+		if cfg.SkipDominanceFilter {
+			tr.Add(hipotrace.CtrCandidatesKept, int64(len(cands)))
+			return cands
+		}
+		kept := FilterDominated(cands, len(sc.Devices))
+		tr.Add(hipotrace.CtrCandidatesKept, int64(len(kept)))
+		return kept
 	}
-	tr.Add(hipotrace.CtrCandidatesRaw, int64(len(cands)))
+
+	// Overhauled arm: positions are swept in contiguous chunks (one output
+	// buffer, index scratch, and Covers arena per chunk), and the chunk
+	// outputs — concatenated in chunk order, which is position order — feed
+	// the streaming reducer before the exact dominance filter.
+	const sweepChunk = 256
+	nChunks := (len(positions) + sweepChunk - 1) / sweepChunk
+	perChunk := schedule.RunPool(nChunks, workers, func(ci int) []Candidate {
+		lo := ci * sweepChunk
+		hi := min(lo+sweepChunk, len(positions))
+		ar, reused := cache.getArena()
+		if reused {
+			tr.Add(hipotrace.CtrPoolReuse, 1)
+		}
+		scr := sweepScratch{ar: ar}
+		var buf []Candidate
+		for i := lo; i < hi; i++ {
+			buf = sweepPointAppend(sc, q, positions[i], cache, &scr, buf)
+		}
+		cache.putArena(ar)
+		return buf
+	})
 	if cfg.SkipDominanceFilter {
+		var cands []Candidate
+		for _, cs := range perChunk {
+			cands = append(cands, cs...)
+		}
+		tr.Add(hipotrace.CtrCandidatesRaw, int64(len(cands)))
 		tr.Add(hipotrace.CtrCandidatesKept, int64(len(cands)))
+		detachCovers(cands)
 		return cands
 	}
-	kept := FilterDominated(cands, len(sc.Devices))
+	red := newStreamReducer(len(sc.Devices))
+	for _, cs := range perChunk {
+		for i := range cs {
+			red.add(cs[i])
+		}
+	}
+	tr.Add(hipotrace.CtrCandidatesRaw, int64(red.raw))
+	kept := FilterDominated(red.final(), len(sc.Devices))
 	tr.Add(hipotrace.CtrCandidatesKept, int64(len(kept)))
+	detachCovers(kept)
 	return kept
 }
 
@@ -313,6 +667,17 @@ type Config struct {
 	// BruteForceVisibility answers occlusion queries by exhaustive obstacle
 	// scan instead of the spatial index (differential reference arm).
 	BruteForceVisibility bool
+	// NoPairPruning disables the spatial prefilters — the device grid that
+	// narrows neighbor sets, eligibility scans and usefulness tests, and
+	// the obstacle-box pruning in discretization. Output is bit-for-bit
+	// identical either way (the prefilters are conservative supersets
+	// re-checked by the exact predicates); this is the benchmark baseline
+	// arm and the reference side of the bit-identity test wall.
+	NoPairPruning bool
+	// NoBatchedLOS disables per-viewpoint line-of-sight batching and
+	// answers every eligibility ray with an independent DDA grid walk.
+	// Same bit-identity contract as NoPairPruning.
+	NoBatchedLOS bool
 	// Clock, when non-nil, supplies the timestamps behind the per-task
 	// durations of DistStats (Algorithm 5's LPT simulation input). It is
 	// injected by measurement harnesses (internal/expt) so the extraction
@@ -356,12 +721,16 @@ func FilterDominated(cands []Candidate, no int) []Candidate {
 	}
 	// Sort candidate order by decreasing total power so likely dominators
 	// come first; dominance can only come from candidates with ≥ total
-	// power (since powers are componentwise ≥).
+	// power (since powers are componentwise ≥). The sort is stable so that
+	// equal-total ties resolve by input position — the invariant the
+	// streaming reducer's drop rules are proved against, which also makes
+	// the survivor choice within mutual-domination classes input-order
+	// deterministic rather than an artifact of the sorting algorithm.
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return total[order[a]] > total[order[b]] })
+	sort.SliceStable(order, func(a, b int) bool { return total[order[a]] > total[order[b]] })
 
 	keep := make([]bool, n)
 	var kept []int

@@ -69,6 +69,22 @@ func LPT(tasks []Task, m int) Assignment {
 	return asg
 }
 
+// LPTOrder returns the task indices in Longest-Processing-Time-first
+// hand-out order: decreasing duration, stable for ties. Feeding it to
+// RunPoolOrdered realizes LPT's 4/3 guarantee on a live worker pool (the
+// pool's greedy pulls are exactly "place on the least-loaded machine"),
+// instead of only in makespan simulation.
+func LPTOrder(tasks []Task) []int {
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return tasks[order[a]].Duration > tasks[order[b]].Duration
+	})
+	return order
+}
+
 // ListSchedule assigns tasks in their given order to the least-loaded
 // machine (Graham's basic rule, 2 − 1/m guarantee). Used as the LPT
 // ablation baseline.
@@ -120,6 +136,20 @@ func LowerBound(tasks []Task, m int) float64 {
 // the per-task results. fn must be safe for concurrent invocation. Results
 // are returned in task order.
 func RunPool[T any](n, workers int, fn func(i int) T) []T {
+	return runPool(n, workers, nil, fn)
+}
+
+// RunPoolOrdered is RunPool with an explicit hand-out order: idle workers
+// pull the next index from order (which must be a permutation of [0, n))
+// instead of ascending task order. Results are still indexed by task —
+// out[order[k]] = fn(order[k]) — so the returned slice is identical to
+// RunPool's regardless of order or worker count; only scheduling changes.
+// Pass an LPTOrder permutation to bound the pool's makespan.
+func RunPoolOrdered[T any](n, workers int, order []int, fn func(i int) T) []T {
+	return runPool(n, workers, order, fn)
+}
+
+func runPool[T any](n, workers int, order []int, fn func(i int) T) []T {
 	if workers < 1 {
 		workers = 1
 	}
@@ -144,6 +174,9 @@ func RunPool[T any](n, workers int, fn func(i int) T) []T {
 				mu.Unlock()
 				if i >= n {
 					return
+				}
+				if order != nil {
+					i = order[i]
 				}
 				out[i] = fn(i)
 			}

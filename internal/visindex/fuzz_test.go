@@ -1,0 +1,127 @@
+package visindex
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hipo/internal/geom"
+	"hipo/internal/model"
+)
+
+// goldenObstacles loads the obstacle fields and device positions of the
+// repository's golden fixtures, so the fuzz corpus starts from the exact
+// geometry the end-to-end suite pins.
+func goldenObstacles(t testing.TB) ([]*model.Scenario, [][]geom.Vec) {
+	dir := filepath.Join("..", "..", "testdata", "golden")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("golden fixtures unreadable: %v", err)
+	}
+	type fixture struct {
+		Scenario struct {
+			Obstacles []struct {
+				Vertices []struct{ X, Y float64 } `json:"vertices"`
+			} `json:"obstacles"`
+			Devices []struct {
+				Pos struct{ X, Y float64 } `json:"pos"`
+			} `json:"devices"`
+		} `json:"scenario"`
+	}
+	var scs []*model.Scenario
+	var devs [][]geom.Vec
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fx fixture
+		if err := json.Unmarshal(raw, &fx); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		sc := &model.Scenario{Region: model.Region{Min: geom.V(0, 0), Max: geom.V(40, 40)}}
+		for _, o := range fx.Scenario.Obstacles {
+			vs := make([]geom.Vec, len(o.Vertices))
+			for i, v := range o.Vertices {
+				vs[i] = geom.V(v.X, v.Y)
+			}
+			sc.Obstacles = append(sc.Obstacles, model.Obstacle{Shape: geom.Polygon{Vertices: vs}})
+		}
+		var pts []geom.Vec
+		for _, d := range fx.Scenario.Devices {
+			pts = append(pts, geom.V(d.Pos.X, d.Pos.Y))
+		}
+		scs = append(scs, sc)
+		devs = append(devs, pts)
+	}
+	if len(scs) == 0 {
+		t.Fatal("no golden fixtures found")
+	}
+	return scs, devs
+}
+
+// FuzzBatchedLOS differentially fuzzes the batched per-viewpoint
+// line-of-sight walk against the per-ray DDA walk and the brute-force
+// obstacle scan: for any obstacle field, ray, and batching envelope, all
+// three predicates must agree exactly. Obstacle fields come from the golden
+// fixtures plus a denser randomized field; rays and envelope radii come
+// from the fuzzer.
+func FuzzBatchedLOS(f *testing.F) {
+	scs, devs := goldenObstacles(f)
+	// A denser randomized field on top of the fixtures: more capsule
+	// survivors, more multi-obstacle tiles.
+	scs = append(scs, randomScenario(42, 24))
+	devs = append(devs, nil)
+
+	type arm struct {
+		ix *Index
+	}
+	arms := make([]arm, len(scs))
+	for i, sc := range scs {
+		arms[i] = arm{ix: New(sc)}
+	}
+
+	for i, pts := range devs {
+		for _, p := range pts {
+			f.Add(uint8(i), p.X, p.Y, 20.0, 20.0, 12.0)
+			f.Add(uint8(i), 0.0, 0.0, p.X, p.Y, 50.0)
+		}
+	}
+	f.Add(uint8(len(scs)-1), 1.0, 1.0, 39.0, 39.0, 60.0)
+	f.Add(uint8(0), 18.0, 16.0, 22.0, 20.0, 6.0) // corner-to-corner across a fixture box
+
+	f.Fuzz(func(t *testing.T, sel uint8, ax, ay, bx, by, rmax float64) {
+		for _, v := range []float64{ax, ay, bx, by, rmax} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e4 {
+				t.Skip("out of the supported coordinate range")
+			}
+		}
+		i := int(sel) % len(scs)
+		sc, ix := scs[i], arms[i].ix
+		a, b := geom.V(ax, ay), geom.V(bx, by)
+		if rmax <= 0 {
+			rmax = 1
+		}
+
+		want := sc.BruteForceLineOfSight(a, b)
+		if got := ix.LineOfSight(a, b); got != want {
+			t.Fatalf("indexed walk disagrees with brute force: got %v want %v (a=%v b=%v)", got, want, a, b)
+		}
+		// Production shape: the viewpoint tiling of a's tile, target b.
+		vp := ix.NewViewpointGrid(rmax, []geom.Vec{b}).At(a)
+		if got := vp.LineOfSightTo(0, a); got != want {
+			t.Fatalf("batched tile walk disagrees with brute force: got %v want %v (a=%v b=%v rmax=%v)", got, want, a, b, rmax)
+		}
+		// Off-center envelope: a lies inside the slack disk but not at the
+		// center, exercising the capsule inflation.
+		vp2 := ix.NewViewpoint(geom.V(ax+0.25, ay-0.25), 0.4, rmax, []geom.Vec{b})
+		if got := vp2.LineOfSightTo(0, a); got != want {
+			t.Fatalf("off-center viewpoint disagrees with brute force: got %v want %v (a=%v b=%v rmax=%v)", got, want, a, b, rmax)
+		}
+	})
+}

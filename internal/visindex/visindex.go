@@ -52,6 +52,16 @@ type Index struct {
 	// all lists every obstacle index: the conservative fallback candidate
 	// set used if the ray walk ever exits abnormally.
 	all []int32
+	// boxLo/boxHi are the per-obstacle gridPad-padded bounding boxes, the
+	// same boxes cell registration uses. Viewpoint batching and the
+	// ObstaclesNearDisk prefilter test against them, so those paths inherit
+	// the grid's conservative-padding contract.
+	boxLo, boxHi []geom.Vec
+	// edges and bbLo/bbHi cache each obstacle's Polygon.Edges() and exact
+	// (unpadded) BoundingBox() so the exact blocking predicate runs
+	// allocation- and recompute-free on the hot paths.
+	edges      [][]geom.Segment
+	bbLo, bbHi []geom.Vec
 
 	memo memoStore
 }
@@ -66,21 +76,28 @@ func New(sc *model.Scenario) *Index {
 		return ix
 	}
 	ix.all = make([]int32, n)
-	boxLo := make([]geom.Vec, n)
-	boxHi := make([]geom.Vec, n)
+	pad := geom.V(gridPad, gridPad)
+	ix.boxLo = make([]geom.Vec, n)
+	ix.boxHi = make([]geom.Vec, n)
+	ix.edges = make([][]geom.Segment, n)
+	ix.bbLo = make([]geom.Vec, n)
+	ix.bbHi = make([]geom.Vec, n)
 	nSeg := 0
 	for h, o := range sc.Obstacles {
 		ix.all[h] = int32(h)
-		boxLo[h], boxHi[h] = o.Shape.BoundingBox()
+		ix.edges[h] = o.Shape.Edges()
+		lo, hi := o.Shape.BoundingBox()
+		ix.bbLo[h], ix.bbHi[h] = lo, hi
+		ix.boxLo[h], ix.boxHi[h] = lo.Sub(pad), hi.Add(pad)
 		nSeg += len(o.Shape.Vertices)
 		if h == 0 {
-			ix.lo, ix.hi = boxLo[h], boxHi[h]
+			ix.lo, ix.hi = lo, hi
 			continue
 		}
-		ix.lo.X = math.Min(ix.lo.X, boxLo[h].X)
-		ix.lo.Y = math.Min(ix.lo.Y, boxLo[h].Y)
-		ix.hi.X = math.Max(ix.hi.X, boxHi[h].X)
-		ix.hi.Y = math.Max(ix.hi.Y, boxHi[h].Y)
+		ix.lo.X = math.Min(ix.lo.X, lo.X)
+		ix.lo.Y = math.Min(ix.lo.Y, lo.Y)
+		ix.hi.X = math.Max(ix.hi.X, hi.X)
+		ix.hi.Y = math.Max(ix.hi.Y, hi.Y)
 	}
 	ix.lo = ix.lo.Sub(geom.V(gridPad, gridPad))
 	ix.hi = ix.hi.Add(geom.V(gridPad, gridPad))
@@ -103,8 +120,8 @@ func New(sc *model.Scenario) *Index {
 	ix.ch = h / float64(ny)
 	ix.cells = make([][]int32, ix.nx*ix.ny)
 	for idx := range ix.all {
-		x0, y0 := ix.cellOf(boxLo[idx].Sub(geom.V(gridPad, gridPad)))
-		x1, y1 := ix.cellOf(boxHi[idx].Add(geom.V(gridPad, gridPad)))
+		x0, y0 := ix.cellOf(ix.boxLo[idx])
+		x1, y1 := ix.cellOf(ix.boxHi[idx])
 		for cy := y0; cy <= y1; cy++ {
 			for cx := x0; cx <= x1; cx++ {
 				c := cy*ix.nx + cx
