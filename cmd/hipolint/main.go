@@ -1,9 +1,10 @@
 // Command hipolint runs the repository's domain-aware static-analysis
 // suite (internal/lint): nine per-package analyzers (floatcmp, detrand,
 // wallclock, ctxflow, errdrop, anglesafe, mutexguard, nanflow, goroleak)
-// plus three whole-program analyzers built on the interprocedural
-// call-graph and effect-summary engine (hotpath, lockorder, ctxprop). It
-// has two modes:
+// plus six whole-program analyzers built on the interprocedural
+// call-graph, effect-summary, and taint engines (hotpath, lockorder,
+// ctxprop, detorder, fpassoc, sharedwrite) — fifteen in all. It has two
+// modes:
 //
 // Standalone, over the whole module (or a subset of packages):
 //
@@ -15,6 +16,7 @@
 //	go run ./cmd/hipolint -baseline .hipolint-baseline.json ./...
 //	go run ./cmd/hipolint -write-baseline .hipolint-baseline.json ./...
 //	go run ./cmd/hipolint -effect-report effects.json ./...
+//	go run ./cmd/hipolint -taint-report taint.json ./...
 //
 // As a vet tool, speaking the go vet unit-checker protocol:
 //
@@ -85,10 +87,11 @@ func runStandalone(args []string, out, errw io.Writer) int {
 		baselinePath  = fs.String("baseline", "", "baseline file: only findings absent from it fail")
 		writeBaseline = fs.String("write-baseline", "", "snapshot current findings to this baseline file and exit")
 		effectReport  = fs.String("effect-report", "", "write the //hipo:hotpath effect-summary report (JSON) to this file")
+		taintReport   = fs.String("taint-report", "", "write the order-taint sink report (hipolint-taint/v1 JSON) to this file")
 		parallel      = fs.Int("parallel", runtime.GOMAXPROCS(0), "package loading / analysis worker count")
 	)
 	fs.Usage = func() {
-		printf(errw, "usage: hipolint [-only name,...] [-list] [-fix] [-format text|sarif] [-baseline file] [-write-baseline file] [-effect-report file] [-parallel n] [packages]\n")
+		printf(errw, "usage: hipolint [-only name,...] [-list] [-fix] [-format text|sarif] [-baseline file] [-write-baseline file] [-effect-report file] [-taint-report file] [-parallel n] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -127,7 +130,7 @@ func runStandalone(args []string, out, errw io.Writer) int {
 		printf(errw, "hipolint: %v\n", err)
 		return 2
 	}
-	if len(progAnalyzers) > 0 || *effectReport != "" {
+	if len(progAnalyzers) > 0 || *effectReport != "" || *taintReport != "" {
 		prog := lint.BuildProgram(pkgs)
 		pds, err := lint.RunProgramAnalyzers(prog, progAnalyzers)
 		if err != nil {
@@ -137,6 +140,12 @@ func runStandalone(args []string, out, errw io.Writer) int {
 		diags = append(diags, pds...)
 		if *effectReport != "" {
 			if err := writeEffectReport(*effectReport, prog); err != nil {
+				printf(errw, "hipolint: %v\n", err)
+				return 2
+			}
+		}
+		if *taintReport != "" {
+			if err := writeTaintReport(*taintReport, prog); err != nil {
 				printf(errw, "hipolint: %v\n", err)
 				return 2
 			}
@@ -256,6 +265,25 @@ func writeEffectReport(path string, prog *lint.Program) error {
 	}
 	rep := lint.BuildEffectReport(prog)
 	if err := lint.WriteEffectReport(f, rep); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTaintReport builds the order-taint sink report for prog and writes
+// it to path.
+func writeTaintReport(path string, prog *lint.Program) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	rep, err := lint.BuildTaintReport(prog)
+	if err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := lint.WriteTaintReport(f, rep); err != nil {
 		_ = f.Close()
 		return err
 	}

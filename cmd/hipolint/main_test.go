@@ -54,8 +54,9 @@ func TestSuiteCleanOnRepository(t *testing.T) {
 	}
 	chdirModuleRoot(t)
 	report := filepath.Join(t.TempDir(), "effects.json")
+	taintPath := filepath.Join(t.TempDir(), "taint.json")
 	var out, errw bytes.Buffer
-	code := runStandalone([]string{"-effect-report", report, "./..."}, &out, &errw)
+	code := runStandalone([]string{"-effect-report", report, "-taint-report", taintPath, "./..."}, &out, &errw)
 	if code != 0 {
 		t.Errorf("hipolint ./... exited %d; diagnostics:\n%s%s", code, out.String(), errw.String())
 	}
@@ -94,6 +95,56 @@ func TestSuiteCleanOnRepository(t *testing.T) {
 	} {
 		if !roots[want] {
 			t.Errorf("effect report is missing hot-path root %s", want)
+		}
+	}
+	// The taint report from the same run must prove the bit-identity sinks
+	// clean and inventory the //hipo:order-invariant contracts.
+	tdata, err := os.ReadFile(taintPath)
+	if err != nil {
+		t.Fatalf("taint report not written: %v", err)
+	}
+	var trep struct {
+		Schema string `json:"schema"`
+		Sinks  []struct {
+			Kind  string `json:"kind"`
+			Clean bool   `json:"clean"`
+		} `json:"sinks"`
+		OrderInvariant []struct {
+			Func   string `json:"func"`
+			Reason string `json:"reason"`
+		} `json:"orderInvariant"`
+		Findings map[string]int `json:"findings"`
+	}
+	if err := json.Unmarshal(tdata, &trep); err != nil {
+		t.Fatalf("taint report does not parse: %v", err)
+	}
+	if trep.Schema != lint.TaintReportSchema {
+		t.Errorf("taint report schema = %q, want %q", trep.Schema, lint.TaintReportSchema)
+	}
+	clean := 0
+	for _, s := range trep.Sinks {
+		if !s.Clean {
+			t.Errorf("taint report has a dirty %s sink", s.Kind)
+		} else {
+			clean++
+		}
+	}
+	if clean < 3 {
+		t.Errorf("taint report proves %d sinks clean, want at least 3", clean)
+	}
+	annotated := map[string]bool{}
+	for _, oi := range trep.OrderInvariant {
+		annotated[oi.Func] = true
+		if oi.Reason == "" {
+			t.Errorf("order-invariant entry %s lost its reason", oi.Func)
+		}
+	}
+	if !annotated["hipo/internal/pdcs.(streamReducer).reduce"] {
+		t.Errorf("order-invariant inventory %v is missing pdcs.(streamReducer).reduce", annotated)
+	}
+	for _, a := range []string{"detorder", "fpassoc", "sharedwrite"} {
+		if n := trep.Findings[a]; n != 0 {
+			t.Errorf("taint report counts %d surviving %s findings, want 0", n, a)
 		}
 	}
 }
@@ -194,7 +245,7 @@ func TestListAnalyzers(t *testing.T) {
 	}
 	// Whole-program analyzers are listed too, tagged with their layer so
 	// users know they are unavailable under go vet.
-	for _, name := range []string{"hotpath", "lockorder", "ctxprop"} {
+	for _, name := range []string{"hotpath", "lockorder", "ctxprop", "detorder", "fpassoc", "sharedwrite"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing program analyzer %q:\n%s", name, out.String())
 		}

@@ -15,6 +15,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -241,8 +242,8 @@ func (m *Manager) Counts() Counts {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var c Counts
-	for _, j := range m.jobs {
-		switch j.state {
+	for _, id := range m.idsLocked() {
+		switch m.jobs[id].state {
 		case StatePending:
 			c.Pending++
 		case StateRunning:
@@ -302,12 +303,26 @@ func (m *Manager) abandon() {
 		m.discard(j)
 	}
 	m.mu.Lock()
-	for _, j := range m.jobs {
-		if j.state == StateRunning && j.cancel != nil {
+	// Cancel in sorted-ID order so the abandonment sequence — observable
+	// through each job's context and finish timestamps — is reproducible.
+	for _, id := range m.idsLocked() {
+		if j := m.jobs[id]; j.state == StateRunning && j.cancel != nil {
 			j.cancel()
 		}
 	}
 	m.mu.Unlock()
+}
+
+// idsLocked returns the tracked job IDs in sorted order. Multi-job walks
+// (state tallies, mass cancellation) go through it so their effect order
+// never depends on map iteration. Must be called with m.mu held.
+func (m *Manager) idsLocked() []string {
+	ids := make([]string, 0, len(m.jobs))
+	for id := range m.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // discard marks a dequeued job canceled unless it already left pending.

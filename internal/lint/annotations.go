@@ -29,6 +29,15 @@ import (
 //	    free, instead of the default fallback to the unknown effect. The
 //	    reason is mandatory.
 //
+//	//hipo:order-invariant <reason>
+//	    In a function's doc comment: the function's outputs are asserted
+//	    independent of any nondeterministic iteration, scheduling, or
+//	    reduction order inside it. The detorder and fpassoc analyzers
+//	    skip the function's body and the taint engine clears order taints
+//	    from its return summary; the reason is mandatory and should name
+//	    the invariant (e.g. "commutative int counters only" or "reducer
+//	    re-sorts by stream position before emitting").
+//
 // Malformed directives are reported as "lintdirective" diagnostics, the
 // same channel //lint:ignore abuse flows through, so an annotation can
 // never silently rot.
@@ -48,6 +57,11 @@ type Annotations struct {
 	// assertion. Like //lint:ignore, a directive covers its own line and
 	// the line immediately below.
 	PureLines map[string]map[int]bool
+	// OrderInvariant maps function declarations annotated
+	// //hipo:order-invariant to their stated reasons. The taint engine
+	// clears order taints from the function's return summary and detorder/
+	// fpassoc skip its body.
+	OrderInvariant map[*ast.FuncDecl]string
 	// Bad collects malformed directives as diagnostics.
 	Bad []Diagnostic
 }
@@ -62,8 +76,9 @@ var DefaultHotPathDeny = EffNone.With(EffWallClock).With(EffRand).With(EffUnknow
 // parseAnnotations scans all files of a package for //hipo: directives.
 func parseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 	a := &Annotations{
-		HotPathRoots: make(map[*ast.FuncDecl]EffectSet),
-		PureLines:    make(map[string]map[int]bool),
+		HotPathRoots:   make(map[*ast.FuncDecl]EffectSet),
+		PureLines:      make(map[string]map[int]bool),
+		OrderInvariant: make(map[*ast.FuncDecl]string),
 	}
 	for _, f := range files {
 		// Doc-comment directives on function declarations.
@@ -74,15 +89,28 @@ func parseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 			}
 			for _, c := range fd.Doc.List {
 				kind, rest, ok := hipoDirective(c.Text)
-				if !ok || kind != "hotpath" {
+				if !ok {
 					continue
 				}
-				deny, diag := parseHotPathArgs(fset, c, rest)
-				if diag != nil {
-					a.Bad = append(a.Bad, *diag)
-					continue
+				switch kind {
+				case "hotpath":
+					deny, diag := parseHotPathArgs(fset, c, rest)
+					if diag != nil {
+						a.Bad = append(a.Bad, *diag)
+						continue
+					}
+					a.HotPathRoots[fd] = deny
+				case "order-invariant":
+					if strings.TrimSpace(rest) == "" {
+						a.Bad = append(a.Bad, Diagnostic{
+							Analyzer: "lintdirective",
+							Pos:      fset.Position(c.Pos()),
+							Message:  "//hipo:order-invariant needs a reason: `//hipo:order-invariant <reason>`",
+						})
+						continue
+					}
+					a.OrderInvariant[fd] = strings.TrimSpace(rest)
 				}
-				a.HotPathRoots[fd] = deny
 			}
 		}
 		for _, cg := range f.Comments {
@@ -119,21 +147,21 @@ func parseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 					}
 					lines[pos.Line] = true
 					lines[pos.Line+1] = true
-				case "hotpath":
+				case "hotpath", "order-invariant":
 					// Validated above when attached to a function's doc
 					// comment; anywhere else it annotates nothing.
 					if !isFuncDocComment(f, c) {
 						a.Bad = append(a.Bad, Diagnostic{
 							Analyzer: "lintdirective",
 							Pos:      pos,
-							Message:  "//hipo:hotpath must appear in a function's doc comment",
+							Message:  "//hipo:" + kind + " must appear in a function's doc comment",
 						})
 					}
 				default:
 					a.Bad = append(a.Bad, Diagnostic{
 						Analyzer: "lintdirective",
 						Pos:      pos,
-						Message:  "unknown //hipo: directive " + kind + " (want hotpath, allow-wallclock, or pure)",
+						Message:  "unknown //hipo: directive " + kind + " (want hotpath, allow-wallclock, pure, or order-invariant)",
 					})
 				}
 			}

@@ -116,6 +116,9 @@ type Program struct {
 	keys    []string               // sorted node keys, for deterministic walks
 	methods map[string][]*FuncNode // name + "|" + rendered sig -> concrete methods
 	ctxs    map[*Package]*pkgContext
+
+	// taint caches the whole-program taint engine; access through Taint().
+	taint *TaintEngine
 }
 
 // SortedFuncs returns every node ordered by key.

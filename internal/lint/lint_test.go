@@ -62,6 +62,8 @@ func TestHipoDirectiveValidation(t *testing.T) {
 		"//hipo:hotpath deny list",
 		"unknown //hipo: directive frobnicate",
 		"//hipo:hotpath must appear in a function's doc comment",
+		"//hipo:order-invariant needs a reason",
+		"//hipo:order-invariant must appear in a function's doc comment",
 	}
 	if len(diags) != len(wants) {
 		t.Errorf("got %d diagnostics, want %d:\n%v", len(diags), len(wants), diags)

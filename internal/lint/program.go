@@ -25,6 +25,9 @@ func ProgramAnalyzers() []*ProgramAnalyzer {
 		HotPathAnalyzer,
 		LockOrderAnalyzer,
 		CtxPropAnalyzer,
+		DetOrderAnalyzer,
+		FPAssocAnalyzer,
+		SharedWriteAnalyzer,
 	}
 }
 

@@ -62,3 +62,55 @@ func TestCtxPropSuggestedFix(t *testing.T) {
 		t.Error("no ctxprop diagnostic carried a suggested fix")
 	}
 }
+
+func TestDetOrder(t *testing.T) {
+	linttest.RunProgram(t, lint.DetOrderAnalyzer, "testdata/detorder", "hipo/internal/servemetrics")
+}
+
+func TestFPAssoc(t *testing.T) {
+	linttest.RunProgram(t, lint.FPAssocAnalyzer, "testdata/fpassoc", "hipo/internal/expt")
+}
+
+func TestSharedWrite(t *testing.T) {
+	linttest.RunProgram(t, lint.SharedWriteAnalyzer, "testdata/sharedwrite", "hipo/internal/jobs")
+}
+
+func TestSharedWriteCleanWithoutGoroutines(t *testing.T) {
+	// The detorder fixture spawns nothing, so the goroutine subgraph is
+	// empty and sharedwrite has nothing to say.
+	linttest.RunProgramExpectClean(t, lint.SharedWriteAnalyzer, "testdata/detorder", "hipo/internal/servemetrics")
+}
+
+func TestFPAssocCleanOnDetOrderFixture(t *testing.T) {
+	// The detorder fixture has string and slice accumulations but no float
+	// reductions; fpassoc must stay silent on it.
+	linttest.RunProgramExpectClean(t, lint.FPAssocAnalyzer, "testdata/detorder", "hipo/internal/servemetrics")
+}
+
+// TestDetOrderSuggestedFix: a key-only map range over string keys in a file
+// that imports "sort" gets the machine-applicable sorted-keys rewrite.
+func TestDetOrderSuggestedFix(t *testing.T) {
+	pkg := loadTestPackage(t, "hipo/internal/servemetrics", filepath.Join("testdata", "detorder"))
+	prog := lint.BuildProgram([]*lint.Package{pkg})
+	diags, err := lint.RunProgramAnalyzers(prog, []*lint.ProgramAnalyzer{lint.DetOrderAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withFix int
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			continue
+		}
+		withFix++
+		edit := d.Fixes[0].Edits[0]
+		if !strings.Contains(edit.NewText, "sort.Strings") {
+			t.Errorf("fix rewrites to %q, want a sort.Strings canonicalization", edit.NewText)
+		}
+		if edit.End <= edit.Start {
+			t.Errorf("fix range [%d,%d) is empty", edit.Start, edit.End)
+		}
+	}
+	if withFix == 0 {
+		t.Error("no detorder diagnostic carried the sorted-keys fix")
+	}
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TaintReportSchema versions the JSON layout of the taint report. The CI
+// drift guard pins on it.
+const TaintReportSchema = "hipolint-taint/v1"
+
+// TaintReport is the machine-readable outcome of the whole-program taint
+// pass: every observed sink with the order taints (and source chains, when
+// any) that reach it, the order cleanliness of each //hipo:hotpath root's
+// returns, and the //hipo:order-invariant contract inventory. CI diffs it
+// as a build artifact and requires the hot roots plus pdcs.reduce to stay
+// detorder/fpassoc clean.
+type TaintReport struct {
+	Schema string `json:"schema"`
+	// Sinks lists every sink site the report pass observed, sorted by
+	// position. Clean means no order taint reaches it.
+	Sinks []TaintReportSink `json:"sinks"`
+	// Roots lists every //hipo:hotpath root's return-order cleanliness.
+	Roots []TaintReportRoot `json:"roots"`
+	// OrderInvariant inventories the //hipo:order-invariant contracts.
+	OrderInvariant []TaintReportAnnotation `json:"orderInvariant"`
+	// Findings counts surviving detorder/fpassoc/sharedwrite diagnostics.
+	Findings map[string]int `json:"findings"`
+}
+
+// TaintReportSink is one observed sink.
+type TaintReportSink struct {
+	// Kind is placement-return, scenario-hash, report-writer, or
+	// prometheus-text.
+	Kind string `json:"kind"`
+	// Func is the family root's canonical call-graph key.
+	Func string `json:"func"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Taints names the order taints reaching the sink; empty when clean.
+	Taints []string `json:"taints"`
+	Clean  bool     `json:"clean"`
+	// Chain renders the source-to-sink steps when tainted.
+	Chain []string `json:"chain,omitempty"`
+	// Suppressed carries the covering //hipo:order-invariant reason.
+	Suppressed string `json:"suppressed,omitempty"`
+}
+
+// TaintReportRoot is one hot-path root's order verdict.
+type TaintReportRoot struct {
+	Func string `json:"func"`
+	// OrderTaints names the order taints of the root's return summary.
+	OrderTaints []string `json:"orderTaints"`
+	OrderClean  bool     `json:"orderClean"`
+}
+
+// TaintReportAnnotation is one //hipo:order-invariant contract.
+type TaintReportAnnotation struct {
+	Func   string `json:"func"`
+	Reason string `json:"reason"`
+}
+
+// BuildTaintReport runs (or reuses) the taint engine and the three
+// determinism analyzers and assembles the report.
+func BuildTaintReport(prog *Program) (*TaintReport, error) {
+	eng := prog.Taint()
+	rep := &TaintReport{
+		Schema:         TaintReportSchema,
+		Sinks:          []TaintReportSink{},
+		Roots:          []TaintReportRoot{},
+		OrderInvariant: []TaintReportAnnotation{},
+		Findings:       map[string]int{"detorder": 0, "fpassoc": 0, "sharedwrite": 0},
+	}
+	for _, s := range eng.Sinks {
+		sink := TaintReportSink{
+			Kind:       s.Kind,
+			Func:       s.Func.Key,
+			File:       s.Pos.Filename,
+			Line:       s.Pos.Line,
+			Taints:     taintSetNames(s.Taints),
+			Clean:      s.Taints == 0,
+			Suppressed: s.Suppressed,
+		}
+		for _, t := range s.Taints.Taints() {
+			c := s.Chains[t]
+			if c == nil {
+				continue
+			}
+			for i, step := range c.Steps {
+				sink.Chain = append(sink.Chain, fmt.Sprintf("%s %d/%d %s:%d: %s",
+					t, i+1, len(c.Steps), step.Pos.Filename, step.Pos.Line, step.Note))
+			}
+		}
+		rep.Sinks = append(rep.Sinks, sink)
+	}
+	for _, pkg := range prog.Packages {
+		ann := pkg.Annotations()
+		for fd := range ann.HotPathRoots {
+			node := prog.DeclNode(pkg, fd)
+			if node == nil {
+				continue
+			}
+			sum := eng.Summaries[node]
+			var order TaintSet
+			if sum != nil {
+				order = sum.Ret.Order()
+			}
+			rep.Roots = append(rep.Roots, TaintReportRoot{
+				Func:        node.Key,
+				OrderTaints: taintSetNames(order),
+				OrderClean:  order == 0,
+			})
+		}
+		for fd, reason := range ann.OrderInvariant {
+			node := prog.DeclNode(pkg, fd)
+			if node == nil {
+				continue
+			}
+			rep.OrderInvariant = append(rep.OrderInvariant, TaintReportAnnotation{Func: node.Key, Reason: reason})
+		}
+	}
+	sort.Slice(rep.Roots, func(i, j int) bool { return rep.Roots[i].Func < rep.Roots[j].Func })
+	sort.Slice(rep.OrderInvariant, func(i, j int) bool { return rep.OrderInvariant[i].Func < rep.OrderInvariant[j].Func })
+	diags, err := RunProgramAnalyzers(prog, []*ProgramAnalyzer{DetOrderAnalyzer, FPAssocAnalyzer, SharedWriteAnalyzer})
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range diags {
+		rep.Findings[d.Analyzer]++
+	}
+	return rep, nil
+}
+
+// WriteTaintReport renders the report as indented JSON on w.
+func WriteTaintReport(w io.Writer, rep *TaintReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func taintSetNames(s TaintSet) []string {
+	names := []string{}
+	for _, t := range s.Taints() {
+		names = append(names, t.String())
+	}
+	return names
+}

@@ -1,0 +1,109 @@
+// Testdata for the detorder program analyzer: order-tainted values
+// reaching bit-identity sinks. The fixture poses as
+// hipo/internal/servemetrics so the report-writer and prometheus-text sink
+// rules engage alongside the name-matched Placement and ScenarioHash
+// sinks.
+package a
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Placement mirrors the root package's result type; the placement-return
+// sink matches by type name so fixtures stay self-contained.
+type Placement struct {
+	IDs     []int
+	Weights []float64
+}
+
+// ScenarioHash stands in for the repro-hash entry point the scenario-hash
+// sink rule names.
+func ScenarioHash(parts ...string) string { return strings.Join(parts, "|") }
+
+// BadPlacement appends under map iteration and returns the collection
+// through the exported Placement surface.
+func BadPlacement(m map[string]int) Placement {
+	var ids []int
+	for k := range m {
+		ids = append(ids, m[k])
+	}
+	return Placement{IDs: ids} // want `map-order-tainted value reaches placement-return sink`
+}
+
+// GoodPlacement canonicalizes the key order first; the sorted keys carry
+// no order taint into the second loop.
+func GoodPlacement(m map[string]int) Placement {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var ids []int
+	for _, k := range keys {
+		ids = append(ids, m[k])
+	}
+	return Placement{IDs: ids}
+}
+
+// BadHash concatenates map keys in iteration order and hashes the result.
+func BadHash(m map[string]float64) string {
+	var sig string
+	for k := range m {
+		sig += k
+	}
+	return ScenarioHash(sig) // want `map-order-tainted value reaches scenario-hash sink`
+}
+
+// BadReport encodes a map-ordered slice through the JSON report writer.
+func BadReport(w io.Writer, m map[int]float64) error {
+	var xs []float64
+	for _, v := range m {
+		xs = append(xs, v)
+	}
+	return json.NewEncoder(w).Encode(xs) // want `map-order-tainted value reaches report-writer sink`
+}
+
+// BadProm builds exposition text under map iteration.
+func BadProm(w io.Writer, m map[string]int) {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	fmt.Fprintf(w, "%s\n", b.String()) // want `map-order-tainted value reaches prometheus-text sink`
+}
+
+// BadFloatSort sorts, but with a comparator that leaves float ties in
+// incoming (map) order — not a canonicalization, so the taint survives.
+func BadFloatSort(m map[string]float64) Placement {
+	var ws []float64
+	for _, v := range m {
+		ws = append(ws, v)
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+	return Placement{Weights: ws} // want `map-order-tainted value reaches placement-return sink`
+}
+
+// SuppressedPlacement is deliberately order-free; the annotation carries
+// the reasoning and silences the sink.
+//
+//hipo:order-invariant fixture: every consumer re-canonicalizes the ID set
+func SuppressedPlacement(m map[string]int) Placement {
+	var ids []int
+	for k := range m {
+		ids = append(ids, m[k])
+	}
+	return Placement{IDs: ids} // ok: suppressed by the annotation
+}
+
+// CountClean shows integer tallies are commutative, not order sources.
+func CountClean(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

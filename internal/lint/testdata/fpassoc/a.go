@@ -1,0 +1,91 @@
+// Testdata for the fpassoc program analyzer: floating-point accumulations
+// whose addend order is nondeterministic.
+package a
+
+import "sync"
+
+// BadMapSum folds map values in iteration order.
+func BadMapSum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `floating-point accumulation in .*BadMapSum adds its terms in map-order-dependent order`
+	}
+	return sum
+}
+
+// BadGoSum folds channel arrivals in goroutine completion order.
+func BadGoSum(xs []float64) float64 {
+	out := make(chan float64)
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(v float64) {
+			defer wg.Done()
+			out <- v
+		}(x)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	sum := 0.0
+	for v := range out {
+		sum += v // want `floating-point accumulation in .*BadGoSum adds its terms in go-order-dependent order`
+	}
+	return sum
+}
+
+// BadSelectSum folds whichever channel the select picks first.
+func BadSelectSum(a, b <-chan float64) float64 {
+	sum := 0.0
+	for i := 0; i < 4; i++ {
+		select {
+		case v := <-a:
+			sum += v // want `select-order-dependent order`
+		case v := <-b:
+			sum += v // want `select-order-dependent order`
+		}
+	}
+	return sum
+}
+
+// CleanIndexed is the order-preserving parallel-reduction idiom: workers
+// write only their own indexed slot and the merge loop runs in index
+// order.
+func CleanIndexed(xs []float64) float64 {
+	res := make([]float64, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4 && w < len(xs); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res[w] = xs[w] * 2
+		}(w)
+	}
+	wg.Wait()
+	sum := 0.0
+	for _, v := range res {
+		sum += v // ok: slice range is deterministic
+	}
+	return sum
+}
+
+// CleanOneShot adds an order-tainted scalar once, outside any loop: for a
+// fixed operand set a single rounded add is deterministic.
+func CleanOneShot(m map[string]float64) float64 {
+	total := 1.0
+	total += BadMapSum(m)
+	return total
+}
+
+// SuppressedSum is a deliberate order-free reduction; the annotation
+// documents why the drift is acceptable.
+//
+//hipo:order-invariant fixture: the estimate is compared under tolerance, not bit identity
+func SuppressedSum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // ok: annotated
+	}
+	return sum
+}

@@ -25,3 +25,15 @@ func pick() func() {
 
 //hipo:hotpath
 var notAFunction = 1
+
+//hipo:order-invariant
+func missingOrderReason(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+//hipo:order-invariant misplaced on a type
+type notAFunctionEither struct{}

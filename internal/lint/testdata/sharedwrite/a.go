@@ -1,0 +1,60 @@
+// Testdata for the sharedwrite program analyzer: goroutine-reachable calls
+// to lock-contract functions without the contract lock provably held.
+package a
+
+import "sync"
+
+// Store is shared state with a documented lock contract on its mutator.
+type Store struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bump must be called with s.mu held.
+func (s *Store) bump() { s.n++ }
+
+// StartBad spawns a goroutine that calls the contract function bare.
+func (s *Store) StartBad() {
+	go func() {
+		s.bump() // want `goroutine-reachable call to .*bump, whose contract requires .*Store\.mu held`
+	}()
+}
+
+// StartGood locks around the contract call; the dataflow proves the lock
+// held at the call site.
+func (s *Store) StartGood() {
+	go func() {
+		s.mu.Lock()
+		s.bump()
+		s.mu.Unlock()
+	}()
+}
+
+// StartViaHelper reaches the contract call through an intermediate helper
+// that neither locks nor carries the contract — the shared-write escape
+// the whole-program pass exists to catch.
+func (s *Store) StartViaHelper() {
+	go s.helperNoLock()
+}
+
+func (s *Store) helperNoLock() {
+	s.bump() // want `goroutine-reachable call to .*bump, whose contract requires .*Store\.mu held`
+}
+
+// StartViaLockingHelper reaches the contract call through a helper that
+// takes the lock itself.
+func (s *Store) StartViaLockingHelper() {
+	go s.helperWithLock()
+}
+
+func (s *Store) helperWithLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bump()
+}
+
+// NotSpawned calls bare too, but is never goroutine-reachable, so this
+// analyzer leaves it to the per-package mutexguard pass.
+func (s *Store) NotSpawned() {
+	s.bump()
+}

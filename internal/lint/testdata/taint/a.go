@@ -1,0 +1,118 @@
+// Testdata for the taint engine's summary tests: order-taint propagation
+// through SCCs, closures, spawn families, sanitizers, parameter flows, and
+// //hipo:order-invariant masking. The engine-level tests assert on the
+// return summaries of these functions by call-graph key.
+package a
+
+import "sort"
+
+// MutualA / MutualB form an SCC whose base case appends under map
+// iteration: the taint must close over the cycle.
+func MutualA(m map[string]int, depth int) []int {
+	if depth == 0 {
+		var out []int
+		for k := range m {
+			out = append(out, m[k])
+		}
+		return out
+	}
+	return MutualB(m, depth-1)
+}
+
+func MutualB(m map[string]int, depth int) []int {
+	return MutualA(m, depth)
+}
+
+// ViaClosure births the taint inside a family-local literal and returns it
+// through the closure's return value.
+func ViaClosure(m map[string]int) []int {
+	collect := func() []int {
+		var out []int
+		for k := range m {
+			out = append(out, m[k])
+		}
+		return out
+	}
+	return collect()
+}
+
+// FanIn accumulates channel arrivals in a family that spawns, so the
+// string carries goroutine-order taint.
+func FanIn(xs []string) string {
+	out := make(chan string, len(xs))
+	for _, x := range xs {
+		go func(v string) { out <- v }(x)
+	}
+	var s string
+	for v := range out {
+		s += v
+	}
+	return s
+}
+
+// Selected appends under select choice.
+func Selected(a, b chan int) []int {
+	var out []int
+	for i := 0; i < 2; i++ {
+		select {
+		case v := <-a:
+			out = append(out, v)
+		case v := <-b:
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SortedKeys canonicalizes before returning: the sort sanitizes the
+// collected keys.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// echo exists to exercise parameter-to-return propagation.
+func echo(xs []int) []int { return xs }
+
+// ViaEcho routes its map-ordered collection through echo; the taint must
+// survive the parameter round-trip.
+func ViaEcho(m map[string]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, m[k])
+	}
+	return echo(out)
+}
+
+// Annotated is deliberately order-free; the directive masks its return
+// summary.
+//
+//hipo:order-invariant fixture: callers treat the collection as an unordered set
+func Annotated(m map[string]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// ViaAnnotated consumes only the masked summary, so it stays clean.
+func ViaAnnotated(m map[string]int) []int {
+	return Annotated(m)
+}
+
+// IndexedMerge is the order-preserving idiom: keyed writes then an index-
+// order merge; no order taint anywhere.
+func IndexedMerge(m map[int]float64, n int) []float64 {
+	out := make([]float64, n)
+	for k, v := range m {
+		if k >= 0 && k < n {
+			out[k] = v
+		}
+	}
+	return out
+}

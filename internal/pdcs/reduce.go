@@ -90,6 +90,8 @@ func (r *streamReducer) add(c Candidate) {
 }
 
 // reduce runs one zero-slack dominance pass over the current entries.
+//
+//hipo:order-invariant the seq tiebreak makes the dominance sort total, so the kept set is identical for every arrival interleaving of the same candidate stream
 func (r *streamReducer) reduce() {
 	// Exactly FilterDominated's stable processing order, made total by the
 	// explicit stream-position tiebreak.

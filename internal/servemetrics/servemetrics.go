@@ -81,15 +81,12 @@ type family struct {
 	name    string
 	help    string
 	typ     string
-	order   []string
 	metrics map[string]*metric
 }
 
 // Registry holds metric families and renders them.
 type Registry struct {
 	mu sync.Mutex
-	// guarded by mu
-	order []string
 	// guarded by mu
 	families map[string]*family
 }
@@ -126,7 +123,6 @@ func (r *Registry) family(name, help, typ string) *family {
 	if !ok {
 		f = &family{name: name, help: help, typ: typ, metrics: make(map[string]*metric)}
 		r.families[name] = f
-		r.order = append(r.order, name)
 	}
 	return f
 }
@@ -142,7 +138,6 @@ func (r *Registry) Counter(name, help string, labels ...string) *Counter {
 	if !ok {
 		m = &metric{labels: lb, counter: &Counter{}}
 		f.metrics[lb] = m
-		f.order = append(f.order, lb)
 	}
 	return m.counter
 }
@@ -161,7 +156,6 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...str
 	if !ok {
 		m = &metric{labels: lb, hist: newHistogram(buckets)}
 		f.metrics[lb] = m
-		f.order = append(f.order, lb)
 	}
 	return m.hist
 }
@@ -174,7 +168,6 @@ func (r *Registry) Gauge(name, help string, fn func() float64, labels ...string)
 	lb := labelBlock(labels)
 	if _, ok := f.metrics[lb]; !ok {
 		f.metrics[lb] = &metric{labels: lb, gauge: fn}
-		f.order = append(f.order, lb)
 	}
 }
 
@@ -195,8 +188,12 @@ func histLabels(lb, le string) string {
 }
 
 // WritePrometheus renders every family in the text exposition format, in
-// registration order. The first write error, if any, is returned (scrape
-// handlers typically cannot act on it beyond dropping the response).
+// sorted name order with each family's label blocks sorted. Canonical
+// ordering makes the exposition byte-reproducible regardless of which call
+// site registered a metric first — the property the detorder prometheus-
+// text sink checks, and what lets scrapes be diffed byte-for-byte. The
+// first write error, if any, is returned (scrape handlers typically cannot
+// act on it beyond dropping the response).
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -204,12 +201,22 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		_, err := fmt.Fprintf(w, format, args...)
 		return err
 	}
-	for _, name := range r.order {
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		f := r.families[name]
 		if err := pf("# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
 			return err
 		}
-		for _, lb := range f.order {
+		blocks := make([]string, 0, len(f.metrics))
+		for lb := range f.metrics {
+			blocks = append(blocks, lb)
+		}
+		sort.Strings(blocks)
+		for _, lb := range blocks {
 			m := f.metrics[lb]
 			var err error
 			switch {

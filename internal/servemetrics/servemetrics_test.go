@@ -2,6 +2,7 @@ package servemetrics
 
 import (
 	"math"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -112,5 +113,64 @@ func TestConcurrentObservations(t *testing.T) {
 	}
 	if h.Count() != 8000 || math.Abs(h.Sum()-80) > 1e-6 {
 		t.Errorf("hist count/sum = %d/%v", h.Count(), h.Sum())
+	}
+}
+
+// TestWritePrometheusSorted registers families and label blocks in
+// deliberately unsorted order and asserts the exposition comes out in
+// sorted family-name order with sorted label blocks inside each family —
+// the canonical form that makes scrapes byte-reproducible no matter which
+// call site registered first.
+func TestWritePrometheusSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "Last family registered first.").Inc()
+	r.Counter("aa_total", "First family registered last.", "shard", "b").Inc()
+	r.Counter("aa_total", "First family registered last.", "shard", "a").Inc()
+	r.Gauge("mm_depth", "Middle family.", func() float64 { return 1 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	var families []string
+	var sampleLines []string
+	for _, line := range strings.Split(out, "\n") {
+		if name, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			families = append(families, strings.Fields(name)[0])
+		}
+		if line != "" && !strings.HasPrefix(line, "#") {
+			sampleLines = append(sampleLines, line)
+		}
+	}
+	if !sort.StringsAreSorted(families) {
+		t.Errorf("families not in sorted order: %v", families)
+	}
+	var aaBlocks []string
+	for _, line := range sampleLines {
+		if strings.HasPrefix(line, "aa_total{") {
+			aaBlocks = append(aaBlocks, line)
+		}
+	}
+	if !sort.StringsAreSorted(aaBlocks) {
+		t.Errorf("label blocks not in sorted order: %v", aaBlocks)
+	}
+	if len(aaBlocks) != 2 {
+		t.Fatalf("expected 2 aa_total samples, got %v", aaBlocks)
+	}
+	// Two registries fed the same metrics in different orders must render
+	// byte-identical expositions.
+	r2 := NewRegistry()
+	r2.Gauge("mm_depth", "Middle family.", func() float64 { return 1 })
+	r2.Counter("aa_total", "First family registered last.", "shard", "a").Inc()
+	r2.Counter("aa_total", "First family registered last.", "shard", "b").Inc()
+	r2.Counter("zz_total", "Last family registered first.").Inc()
+	var b2 strings.Builder
+	if err := r2.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Errorf("exposition depends on registration order:\n--- a ---\n%s\n--- b ---\n%s", out, b2.String())
 	}
 }

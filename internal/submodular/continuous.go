@@ -160,8 +160,17 @@ func roundPartition(inst *Instance, x []float64, rng *rand.Rand) []int {
 			byPart[el.Part] = append(byPart[el.Part], e)
 		}
 	}
+	// Iterate parts in sorted order: map iteration order would otherwise
+	// leak into both the output ordering and the rng consumption sequence,
+	// breaking run-to-run bit identity of every downstream Placement.
+	parts := make([]int, 0, len(byPart))
+	for q := range byPart {
+		parts = append(parts, q)
+	}
+	sort.Ints(parts)
 	var out []int
-	for q, elems := range byPart {
+	for _, q := range parts {
+		elems := byPart[q]
 		k := inst.Budget[q]
 		weights := make([]float64, len(elems))
 		for i, e := range elems {
@@ -201,8 +210,14 @@ func topXPerPart(inst *Instance, x []float64) []int {
 			byPart[el.Part] = append(byPart[el.Part], e)
 		}
 	}
+	parts := make([]int, 0, len(byPart))
+	for q := range byPart {
+		parts = append(parts, q)
+	}
+	sort.Ints(parts)
 	var out []int
-	for q, elems := range byPart {
+	for _, q := range parts {
+		elems := byPart[q]
 		sort.Slice(elems, func(a, b int) bool { return x[elems[a]] > x[elems[b]] })
 		k := inst.Budget[q]
 		if k > len(elems) {

@@ -188,6 +188,10 @@ func greedyGlobal(inst *Instance, workers int) Result {
 	return Result{Selected: sel, Value: st.val}
 }
 
+// parallelArgmax fans the marginal-gain scan out over index-disjoint
+// chunks and merges the per-worker winners.
+//
+//hipo:order-invariant workers write only their own indexed result slot and the merge loop scans slots in index order with a lower-index tiebreak, so the argmax never depends on goroutine completion order
 func parallelArgmax(inst *Instance, st *state, used []bool, remaining []int, workers int) (int, float64, int64) {
 	type hit struct {
 		e int
