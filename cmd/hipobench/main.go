@@ -18,9 +18,17 @@
 // whose stage spans yield the pdcs_stage_speedup acceptance metric. All
 // three arms must produce bit-for-bit identical candidate sets.
 //
+// v4 adds the incremental arm: a warm hipo.Incremental session is primed
+// with a full solve, then a single device move, add, and remove are applied
+// one at a time; after each, the warm re-solve races a cold solve of the
+// same mutated scenario. The harness verifies every warm placement is
+// bit-for-bit identical to its cold counterpart (the utility-parity gate)
+// and reports per-mutation and aggregate speedups plus the session's cache
+// counters.
+//
 // Usage:
 //
-//	hipobench [-out BENCH_pr8.json] [-seed 1] [-quick]
+//	hipobench [-out BENCH_pr10.json] [-seed 1] [-quick]
 //
 // The scenario at every sweep point is fully determined by the seed, so two
 // runs on the same toolchain produce the same scenario hashes and the same
@@ -38,6 +46,7 @@ import (
 	"testing"
 	"time"
 
+	"hipo"
 	"hipo/internal/core"
 	"hipo/internal/corpus"
 	"hipo/internal/expt"
@@ -52,8 +61,9 @@ import (
 // Schema identifies the report format for downstream tooling. v2 added the
 // traced solve arm: solve.traced_ms, solve.traced_identical, solve.trace.
 // v3 added the extraction tiers: point.extract with the three-arm PDCS
-// stage comparison.
-const Schema = "hipo-bench/v3"
+// stage comparison. v4 added point.incremental: the warm-session re-solve
+// versus cold-solve comparison with its per-mutation parity gate.
+const Schema = "hipo-bench/v4"
 
 // LOSResult reports the line-of-sight micro-benchmark at one sweep point.
 type LOSResult struct {
@@ -110,17 +120,48 @@ type ExtractResult struct {
 	Trace           *hipotrace.Breakdown `json:"trace,omitempty"`
 }
 
+// IncrementalMutation is one measured mutation step of the incremental arm:
+// the mutation applied, the warm session re-solve versus the cold solve of
+// the identical mutated scenario, and the bit-for-bit parity verdict.
+type IncrementalMutation struct {
+	Op            string  `json:"op"`
+	ColdMs        float64 `json:"cold_ms"`
+	IncrementalMs float64 `json:"incremental_ms"`
+	Speedup       float64 `json:"speedup"`
+	// Parity: the warm placement equals the cold one bit for bit (same
+	// strategies in the same order, same utility bits).
+	Parity   bool    `json:"parity"`
+	Utility  float64 `json:"utility"`
+	Chargers int     `json:"chargers"`
+}
+
+// IncrementalResult reports the incremental arm at one sweep point: a
+// session is primed with a full solve, then a single device move, add, and
+// remove are applied one at a time, each followed by a warm re-solve that
+// races a cold solve of the same mutated scenario.
+type IncrementalResult struct {
+	PrimeMs   float64               `json:"prime_ms"`
+	Mutations []IncrementalMutation `json:"mutations"`
+	// Speedup aggregates the arm: total cold milliseconds over total warm
+	// milliseconds across all mutation steps. Parity is the conjunction of
+	// the per-mutation gates.
+	Speedup float64                `json:"speedup"`
+	Parity  bool                   `json:"parity"`
+	Stats   *hipo.IncrementalStats `json:"stats"`
+}
+
 // Point is one sweep point of the trajectory.
 type Point struct {
-	Name         string         `json:"name"`
-	Obstacles    int            `json:"obstacles"`
-	DeviceMult   int            `json:"device_mult"`
-	Devices      int            `json:"devices"`
-	Eps          float64        `json:"eps"`
-	ScenarioHash string         `json:"scenario_hash"`
-	LOS          LOSResult      `json:"los"`
-	Solve        *SolveResult   `json:"solve,omitempty"`
-	Extract      *ExtractResult `json:"extract,omitempty"`
+	Name         string             `json:"name"`
+	Obstacles    int                `json:"obstacles"`
+	DeviceMult   int                `json:"device_mult"`
+	Devices      int                `json:"devices"`
+	Eps          float64            `json:"eps"`
+	ScenarioHash string             `json:"scenario_hash"`
+	LOS          LOSResult          `json:"los"`
+	Solve        *SolveResult       `json:"solve,omitempty"`
+	Extract      *ExtractResult     `json:"extract,omitempty"`
+	Incremental  *IncrementalResult `json:"incremental,omitempty"`
 }
 
 // Report is the full benchmark artifact.
@@ -136,43 +177,45 @@ type Report struct {
 }
 
 type sweepPoint struct {
-	name       string
-	obstacles  int
-	deviceMult int
-	eps        float64
-	solve      bool
-	extract    bool
+	name        string
+	obstacles   int
+	deviceMult  int
+	eps         float64
+	solve       bool
+	extract     bool
+	incremental bool
 }
 
 func sweep(quick bool) []sweepPoint {
 	if quick {
 		return []sweepPoint{
-			{"obs-2", 2, 4, 0.3, true, false},
-			{"obs-10", 10, 4, 0.3, true, true},
+			{"obs-2", 2, 4, 0.3, true, false, false},
+			{"obs-10", 10, 4, 0.3, true, true, true},
 		}
 	}
 	return []sweepPoint{
 		// Obstacle-count axis: the index's reason to exist.
-		{"obs-2", 2, 4, 0.3, true, false},
-		{"obs-10", 10, 4, 0.3, true, true},
-		{"obs-25", 25, 4, 0.3, true, false},
-		{"obs-50", 50, 4, 0.3, true, false},
+		{"obs-2", 2, 4, 0.3, true, false, false},
+		{"obs-10", 10, 4, 0.3, true, true, true},
+		{"obs-25", 25, 4, 0.3, true, false, false},
+		{"obs-50", 50, 4, 0.3, true, false, true},
 		// Device-count axis at a fixed obstacle field.
-		{"dev-2", 10, 2, 0.3, true, false},
-		{"dev-6", 10, 6, 0.3, true, false},
+		{"dev-2", 10, 2, 0.3, true, false, false},
+		{"dev-6", 10, 6, 0.3, true, false, false},
 		// Finer ε: more candidates, more visibility queries per solve.
-		{"eps-0.15", 10, 4, 0.15, true, false},
+		{"eps-0.15", 10, 4, 0.15, true, false, false},
 		// Extraction tiers: PDCS stage in isolation, too large for the
 		// brute-force solve arm but exactly where pruning, batching, and
-		// pooling pay off.
-		{"ext-100", 100, 10, 0.3, false, true},
-		{"obs-200-dev-200", 200, 20, 0.3, false, true},
+		// pooling pay off. The incremental arm runs here too — large tiers
+		// are where warm-session reuse matters most.
+		{"ext-100", 100, 10, 0.3, false, true, true},
+		{"obs-200-dev-200", 200, 20, 0.3, false, true, true},
 	}
 }
 
 func main() {
 	var (
-		outPath = flag.String("out", "BENCH_pr8.json", "output JSON path")
+		outPath = flag.String("out", "BENCH_pr10.json", "output JSON path")
 		seed    = flag.Int64("seed", 1, "scenario seed")
 		quick   = flag.Bool("quick", false, "small sweep for CI smoke runs")
 	)
@@ -210,6 +253,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  extract pdcs %7.1f→%6.1f ms (%.2fx stage) identical=%v traced_identical=%v",
 				pt.Extract.BaselinePdcsMs, pt.Extract.TracedPdcsMs, pt.Extract.PdcsStageSpeedup,
 				pt.Extract.Identical, pt.Extract.TracedIdentical)
+		}
+		if pt.Incremental != nil {
+			fmt.Fprintf(os.Stderr, "  incremental %.2fx parity=%v",
+				pt.Incremental.Speedup, pt.Incremental.Parity)
 		}
 		fmt.Fprintln(os.Stderr)
 	}
@@ -261,7 +308,117 @@ func runPoint(sp sweepPoint, seed int64, minDur time.Duration) (Point, error) {
 		}
 		pt.Extract = er
 	}
+	if sp.incremental {
+		ir, err := benchIncremental(sc, seed, sp.eps)
+		if err != nil {
+			return Point{}, err
+		}
+		pt.Incremental = ir
+	}
 	return pt, nil
+}
+
+// benchIncremental primes a warm hipo.Incremental session with a full solve,
+// then applies a single device move, add, and remove, one at a time. After
+// each mutation the warm re-solve is timed against a cold (*Scenario).Solve
+// of the identical mutated scenario, and the two placements are compared
+// bit for bit — the utility-parity gate. Mutated positions are drawn from a
+// seeded rejection sampler over the scenario's feasible region, so the arm
+// is as deterministic as the rest of the sweep.
+func benchIncremental(sc *model.Scenario, seed int64, eps float64) (*IncrementalResult, error) {
+	pub := corpus.ToPublic(sc)
+	inc, err := pub.NewIncremental(hipo.WithEps(eps))
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if _, err := inc.Solve(); err != nil {
+		return nil, fmt.Errorf("prime solve: %w", err)
+	}
+	res := &IncrementalResult{
+		PrimeMs: float64(time.Since(start).Nanoseconds()) / 1e6,
+		Parity:  true,
+	}
+
+	rng := rand.New(rand.NewSource(seed + 104729))
+	feasible := func() hipo.Point {
+		for {
+			p := randomPoint(sc, rng)
+			if sc.FeasiblePosition(p) {
+				return hipo.Point{X: p.X, Y: p.Y}
+			}
+		}
+	}
+	muts := []hipo.Mutation{
+		hipo.MutateMoveDevice(0, feasible(), rng.Float64()*2*math.Pi),
+		hipo.MutateAddDevice(hipo.Device{Pos: feasible(), Orient: rng.Float64() * 2 * math.Pi}),
+		// Remove the device just added, so every step is a single-device
+		// edit against a comparable population.
+		hipo.MutateRemoveDevice(len(pub.Devices)),
+	}
+
+	var coldTotal, warmTotal time.Duration
+	for _, m := range muts {
+		if err := inc.Apply(m); err != nil {
+			return nil, fmt.Errorf("apply %s: %w", m.Op, err)
+		}
+		start = time.Now()
+		warm, err := inc.Solve()
+		if err != nil {
+			return nil, fmt.Errorf("incremental solve after %s: %w", m.Op, err)
+		}
+		warmDur := time.Since(start)
+
+		mutated := inc.Scenario()
+		start = time.Now()
+		cold, err := mutated.Solve(hipo.WithEps(eps))
+		if err != nil {
+			return nil, fmt.Errorf("cold solve after %s: %w", m.Op, err)
+		}
+		coldDur := time.Since(start)
+
+		im := IncrementalMutation{
+			Op:            m.Op,
+			ColdMs:        float64(coldDur.Nanoseconds()) / 1e6,
+			IncrementalMs: float64(warmDur.Nanoseconds()) / 1e6,
+			Parity: math.Float64bits(warm.Utility) == math.Float64bits(cold.Utility) &&
+				samePlacedChargers(warm.Chargers, cold.Chargers),
+			Utility:  warm.Utility,
+			Chargers: len(warm.Chargers),
+		}
+		if warmDur > 0 {
+			im.Speedup = float64(coldDur) / float64(warmDur)
+		}
+		res.Mutations = append(res.Mutations, im)
+		res.Parity = res.Parity && im.Parity
+		coldTotal += coldDur
+		warmTotal += warmDur
+	}
+	if warmTotal > 0 {
+		res.Speedup = float64(coldTotal) / float64(warmTotal)
+	}
+	st := inc.Stats()
+	res.Stats = &st
+	if !res.Parity {
+		return res, fmt.Errorf("incremental placement diverged from cold solve")
+	}
+	return res, nil
+}
+
+// samePlacedChargers is samePlacement over the public placement type.
+func samePlacedChargers(a, b []hipo.PlacedCharger) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i].Pos.X) != math.Float64bits(b[i].Pos.X) ||
+			math.Float64bits(a[i].Pos.Y) != math.Float64bits(b[i].Pos.Y) ||
+			math.Float64bits(a[i].Orient) != math.Float64bits(b[i].Orient) ||
+			a[i].Type != b[i].Type {
+			return false
+		}
+	}
+	return true
 }
 
 // benchExtract runs pdcs.ExtractAll three times — seed baseline, overhauled,

@@ -19,6 +19,7 @@ func TestSweepShapes(t *testing.T) {
 	maxObs := 0
 	bigTier := false
 	quickExtract := false
+	quickIncremental := false
 	for _, sp := range full {
 		if names[sp.name] {
 			t.Fatalf("duplicate sweep point %q", sp.name)
@@ -29,6 +30,9 @@ func TestSweepShapes(t *testing.T) {
 		}
 		if sp.extract && sp.obstacles >= 200 && sp.deviceMult*10 >= 200 {
 			bigTier = true
+			if !sp.incremental {
+				t.Fatal("the ≥200×200 tier must run the incremental arm: it is the acceptance tier")
+			}
 		}
 	}
 	if maxObs < 50 {
@@ -44,9 +48,15 @@ func TestSweepShapes(t *testing.T) {
 		if sp.extract {
 			quickExtract = true
 		}
+		if sp.incremental {
+			quickIncremental = true
+		}
 	}
 	if !quickExtract {
 		t.Fatal("quick sweep must exercise the extraction arms for CI smoke")
+	}
+	if !quickIncremental {
+		t.Fatal("quick sweep must exercise the incremental arm for CI smoke")
 	}
 }
 
@@ -54,7 +64,7 @@ func TestSweepShapes(t *testing.T) {
 // window and checks the structural guarantees of the report: differential
 // agreement, identical placements, sane speedups, a pinned scenario hash.
 func TestRunPointInvariants(t *testing.T) {
-	pt, err := runPoint(sweepPoint{"obs-2", 2, 4, 0.3, true, false}, 1, time.Millisecond)
+	pt, err := runPoint(sweepPoint{"obs-2", 2, 4, 0.3, true, false, false}, 1, time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +99,7 @@ func TestRunPointInvariants(t *testing.T) {
 	}
 
 	// Same seed, same point: the hash must reproduce.
-	again, err := runPoint(sweepPoint{"obs-2", 2, 4, 0.3, false, false}, 1, time.Millisecond)
+	again, err := runPoint(sweepPoint{"obs-2", 2, 4, 0.3, false, false, false}, 1, time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +113,7 @@ func TestRunPointInvariants(t *testing.T) {
 // optimized, and traced arms, positive stage timings, and the overhaul
 // counters present in the traced breakdown.
 func TestRunPointExtractInvariants(t *testing.T) {
-	pt, err := runPoint(sweepPoint{"obs-10", 10, 4, 0.3, false, true}, 1, time.Millisecond)
+	pt, err := runPoint(sweepPoint{"obs-10", 10, 4, 0.3, false, true, false}, 1, time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,6 +139,48 @@ func TestRunPointExtractInvariants(t *testing.T) {
 	}
 	if ex.Trace.Counters["los_batched"] == 0 {
 		t.Fatal("batched line-of-sight path never engaged on an obstacle tier")
+	}
+}
+
+// TestRunPointIncrementalInvariants runs a small incremental point for real
+// and checks the arm's contract: three single-device mutation steps (move,
+// add, remove), each passing the bit-for-bit parity gate against its cold
+// solve, with positive timings and live session cache counters.
+func TestRunPointIncrementalInvariants(t *testing.T) {
+	pt, err := runPoint(sweepPoint{"obs-10", 10, 4, 0.3, false, false, true}, 1, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir := pt.Incremental
+	if ir == nil {
+		t.Fatal("incremental point produced no incremental result")
+	}
+	if !ir.Parity {
+		t.Fatalf("incremental arm failed the parity gate: %+v", ir.Mutations)
+	}
+	if len(ir.Mutations) != 3 {
+		t.Fatalf("want 3 mutation steps (move, add, remove), got %d", len(ir.Mutations))
+	}
+	wantOps := []string{"move_device", "add_device", "remove_device"}
+	for i, im := range ir.Mutations {
+		if im.Op != wantOps[i] {
+			t.Fatalf("mutation %d: op %q, want %q", i, im.Op, wantOps[i])
+		}
+		if im.ColdMs <= 0 || im.IncrementalMs <= 0 || im.Speedup <= 0 {
+			t.Fatalf("mutation %d has degenerate timings: %+v", i, im)
+		}
+		if im.Utility <= 0 || im.Chargers == 0 {
+			t.Fatalf("mutation %d produced a degenerate placement: %+v", i, im)
+		}
+	}
+	if ir.PrimeMs <= 0 || ir.Speedup <= 0 {
+		t.Fatalf("degenerate aggregate timings: %+v", ir)
+	}
+	if ir.Stats == nil || ir.Stats.Mutations != 3 || ir.Stats.Solves != 4 {
+		t.Fatalf("session counters off: %+v", ir.Stats)
+	}
+	if ir.Stats.SweepsReused == 0 && ir.Stats.TasksReused == 0 {
+		t.Fatalf("warm session reused nothing: %+v", ir.Stats)
 	}
 }
 

@@ -97,7 +97,7 @@ func parseFlags(argv []string) (loadConfig, string, error) {
 		cfg      loadConfig
 		out      = fs.String("out", "BENCH_load.json", "report path ('-' for stdout)")
 		families = fs.String("families", "", "comma-separated corpus families (empty = all)")
-		mix      = fs.String("mix", "", "request mix weights sync,async,cancel,evaluate (empty = 70,15,5,10)")
+		mix      = fs.String("mix", "", "request mix weights sync,async,cancel,evaluate[,mutate] (empty = 65,15,5,10,5)")
 		open     = fs.Bool("open", false, "open-loop mode: fixed arrival rate instead of fixed concurrency")
 		timeout  = fs.Duration("timeout", 30*time.Second, "per-request deadline, async polling included")
 	)
@@ -135,10 +135,12 @@ func parseFlags(argv []string) (loadConfig, string, error) {
 
 func parseMix(s string) (loadrun.Mix, error) {
 	parts := strings.Split(s, ",")
-	if len(parts) != 4 {
-		return loadrun.Mix{}, fmt.Errorf("mix wants 4 comma-separated weights (sync,async,cancel,evaluate), got %q", s)
+	// The mutate weight is optional so pre-existing 4-weight invocations
+	// keep working (they simply exclude mutate_solve from the mix).
+	if len(parts) != 4 && len(parts) != 5 {
+		return loadrun.Mix{}, fmt.Errorf("mix wants 4 or 5 comma-separated weights (sync,async,cancel,evaluate[,mutate]), got %q", s)
 	}
-	w := make([]int, 4)
+	w := make([]int, 5)
 	for i, p := range parts {
 		n, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil || n < 0 {
@@ -146,7 +148,7 @@ func parseMix(s string) (loadrun.Mix, error) {
 		}
 		w[i] = n
 	}
-	return loadrun.Mix{SolveSync: w[0], SolveAsync: w[1], Cancel: w[2], Evaluate: w[3]}, nil
+	return loadrun.Mix{SolveSync: w[0], SolveAsync: w[1], Cancel: w[2], Evaluate: w[3], MutateSolve: w[4]}, nil
 }
 
 // run executes one full load run and assembles the report. It is the

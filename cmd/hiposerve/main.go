@@ -13,6 +13,10 @@
 //	POST   /v1/evaluate        score an existing placement
 //	POST   /v1/redeploy        migration plan between placements (§8.1)
 //	POST   /v1/diagnostics     reachability / feasible-area diagnostics
+//	POST   /v1/scenarios       register a scenario (returns its hash)
+//	GET    /v1/scenarios/{h}   inspect a registered scenario
+//	POST   /v1/scenarios/{h}/mutate   derive a child via mutations
+//	POST   /v1/scenarios/{h}/solve    solve via a warm incremental session
 //	GET    /v1/jobs/{id}       poll an async job
 //	DELETE /v1/jobs/{id}       cancel an async job
 //	GET    /metrics            Prometheus text metrics
@@ -53,28 +57,30 @@ func main() {
 		jobTTL      = flag.Duration("job-retention", time.Hour, "how long finished jobs stay pollable (0 = forever)")
 		jobMax      = flag.Int("job-retain-max", 1024, "max finished jobs kept pollable (0 = unbounded)")
 		slowSolve   = flag.Duration("slow-solve", 10*time.Second, "log a per-stage breakdown for solves slower than this (0 = off)")
+		scenarioCap = flag.Int("scenario-capacity", 64, "scenario-registry capacity (entries)")
 		pprofOn     = flag.Bool("pprof", false, "expose /debug/pprof/* profiling endpoints")
 	)
 	flag.Parse()
 
-	if *workers < 1 || *queueDepth < 1 || *cacheSize < 1 {
-		fmt.Fprintln(os.Stderr, "hiposerve: -workers, -queue-depth, and -cache-size must be >= 1")
+	if *workers < 1 || *queueDepth < 1 || *cacheSize < 1 || *scenarioCap < 1 {
+		fmt.Fprintln(os.Stderr, "hiposerve: -workers, -queue-depth, -cache-size, and -scenario-capacity must be >= 1")
 		os.Exit(2)
 	}
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	srv := serve.New(context.Background(), serve.Config{
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		CacheSize:       *cacheSize,
-		SyncTimeout:     *syncTimeout,
-		JobTimeout:      *jobTimeout,
-		SyncDeviceLimit: *syncLimit,
-		JobRetainTTL:    *jobTTL,
-		JobMaxTerminal:  *jobMax,
-		SlowSolve:       *slowSolve,
-		EnablePprof:     *pprofOn,
-		Logger:          logger,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		CacheSize:        *cacheSize,
+		SyncTimeout:      *syncTimeout,
+		JobTimeout:       *jobTimeout,
+		SyncDeviceLimit:  *syncLimit,
+		JobRetainTTL:     *jobTTL,
+		JobMaxTerminal:   *jobMax,
+		SlowSolve:        *slowSolve,
+		ScenarioCapacity: *scenarioCap,
+		EnablePprof:      *pprofOn,
+		Logger:           logger,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

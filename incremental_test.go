@@ -1,0 +1,187 @@
+package hipo
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// incMutationChain is a fixed mutation sequence exercising all four ops.
+func incMutationChain() []Mutation {
+	return []Mutation{
+		MutateMoveDevice(1, Point{X: 16, Y: 14}, 0.5),
+		MutateAddDevice(Device{Pos: Point{X: 33, Y: 9}, Orient: 1.0, Type: 1}),
+		MutateAddObstacle(Obstacle{Vertices: []Point{{X: 6, Y: 28}, {X: 9, Y: 28}, {X: 9, Y: 31}, {X: 6, Y: 31}}}),
+		MutateRemoveDevice(0),
+	}
+}
+
+// TestIncrementalMatchesColdSolve pins the public contract: after every
+// mutation, the session's placement equals a cold Solve of the mutated
+// scenario bit for bit.
+func TestIncrementalMatchesColdSolve(t *testing.T) {
+	s := demoScenario()
+	inc, err := s.NewIncremental(WithEps(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string) {
+		t.Helper()
+		got, err := inc.Solve()
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		want, err := inc.Scenario().Solve(WithEps(0.3))
+		if err != nil {
+			t.Fatalf("%s: cold: %v", label, err)
+		}
+		if math.Float64bits(got.Utility) != math.Float64bits(want.Utility) {
+			t.Fatalf("%s: utility %v, cold %v", label, got.Utility, want.Utility)
+		}
+		if len(got.Chargers) != len(want.Chargers) {
+			t.Fatalf("%s: %d chargers, cold %d", label, len(got.Chargers), len(want.Chargers))
+		}
+		for i := range got.Chargers {
+			if got.Chargers[i] != want.Chargers[i] {
+				t.Fatalf("%s: charger %d = %+v, cold %+v", label, i, got.Chargers[i], want.Chargers[i])
+			}
+		}
+	}
+	check("prime")
+	for i, m := range incMutationChain() {
+		if err := inc.Apply(m); err != nil {
+			t.Fatalf("mutation %d: %v", i, err)
+		}
+		check(m.Op)
+	}
+	st := inc.Stats()
+	if st.Mutations != 4 || st.Solves != 5 {
+		t.Fatalf("stats = %+v, want 4 mutations / 5 solves", st)
+	}
+	if st.SweepsReused == 0 || st.TasksReused == 0 {
+		t.Fatalf("no cache reuse: %+v", st)
+	}
+}
+
+// TestIncrementalDeterministicChain runs the same mutation chain through two
+// independent sessions and requires identical scenario-hash chains and
+// identical placements at every step — replaying a stored mutation trace
+// must be fully reproducible.
+func TestIncrementalDeterministicChain(t *testing.T) {
+	run := func() (hashes []string, placements []*Placement) {
+		inc, err := demoScenario().NewIncremental(WithEps(0.3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		record := func() {
+			h, err := inc.Scenario().ScenarioHash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := inc.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			hashes, placements = append(hashes, h), append(placements, p)
+		}
+		record()
+		for _, m := range incMutationChain() {
+			if err := inc.Apply(m); err != nil {
+				t.Fatal(err)
+			}
+			record()
+		}
+		return hashes, placements
+	}
+	h1, p1 := run()
+	h2, p2 := run()
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("step %d: scenario hash diverged: %s vs %s", i, h1[i], h2[i])
+		}
+		a, _ := json.Marshal(p1[i])
+		b, _ := json.Marshal(p2[i])
+		if string(a) != string(b) {
+			t.Fatalf("step %d: placements diverged:\n%s\n%s", i, a, b)
+		}
+	}
+	// The chain must actually change the scenario at every step.
+	seen := map[string]bool{}
+	for _, h := range h1 {
+		if seen[h] {
+			t.Fatalf("duplicate scenario hash in chain: %s", h)
+		}
+		seen[h] = true
+	}
+}
+
+// TestSolveIncrementalOneShot checks the convenience form against a
+// manually mutated scenario.
+func TestSolveIncrementalOneShot(t *testing.T) {
+	s := demoScenario()
+	got, err := s.SolveIncremental([]Mutation{MutateMoveDevice(2, Point{X: 26, Y: 30}, 1.2)}, WithEps(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := demoScenario()
+	mutated.Devices[2].Pos, mutated.Devices[2].Orient = Point{X: 26, Y: 30}, 1.2
+	want, err := mutated.Solve(WithEps(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got.Utility) != math.Float64bits(want.Utility) || len(got.Chargers) != len(want.Chargers) {
+		t.Fatalf("one-shot mismatch: %+v vs %+v", got, want)
+	}
+	// The original scenario must be untouched.
+	if s.Devices[2].Pos != demoScenario().Devices[2].Pos {
+		t.Fatal("SolveIncremental mutated the caller's scenario")
+	}
+}
+
+// TestIncrementalRedeploy plans the switching moves between consecutive
+// incremental placements.
+func TestIncrementalRedeploy(t *testing.T) {
+	inc, err := demoScenario().NewIncremental(WithEps(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Redeploy(RedeployCost{PerMeter: 1}); err == nil {
+		t.Fatal("redeploy before any solve succeeded")
+	}
+	first, err := inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Redeploy(RedeployCost{PerMeter: 1}); err == nil {
+		t.Fatal("redeploy after a single solve succeeded")
+	}
+	if err := inc.Apply(MutateMoveDevice(0, Point{X: 8, Y: 20}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	second, err := inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := inc.Redeploy(RedeployCost{PerMeter: 1, PerInstall: 5, PerDecommission: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalCost < 0 || len(plan.Moves) == 0 {
+		t.Fatalf("degenerate plan: %+v", plan)
+	}
+	_ = first
+	_ = second
+	// Mutation JSON round-trips (stored traces must replay).
+	m := MutateAddObstacle(Obstacle{Vertices: []Point{{X: 1, Y: 1}, {X: 2, Y: 1}, {X: 2, Y: 2}}})
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Mutation
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Op != MutationAddObstacle || len(back.Obstacle.Vertices) != 3 {
+		t.Fatalf("mutation did not round-trip: %+v", back)
+	}
+}

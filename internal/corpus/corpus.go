@@ -32,6 +32,9 @@ const (
 	EndpointBudgeted = "/v1/solve/budgeted"
 	EndpointMaxMin   = "/v1/solve/maxmin"
 	EndpointPropFair = "/v1/solve/propfair"
+	// EndpointScenarios is the scenario-registry root; mutation-trace items
+	// replay their trace through it (register → mutate → incremental solve).
+	EndpointScenarios = "/v1/scenarios"
 )
 
 // DefaultEps is the approximation parameter attached to corpus items.
@@ -62,6 +65,11 @@ type Item struct {
 	Budget     *hipo.DeploymentBudget `json:"budget,omitempty"`
 	Iterations int                    `json:"iterations,omitempty"`
 	SolveSeed  int64                  `json:"solve_seed,omitempty"`
+	// Mutations is the mutation trace of EndpointScenarios items, valid
+	// against Scenario when applied in order. Hash stays the base
+	// scenario's hash; the mutated scenario's hash is whatever the server
+	// returns from the mutate call.
+	Mutations []hipo.Mutation `json:"mutations,omitempty"`
 }
 
 // Config parameterizes corpus generation. The zero value is usable.
@@ -102,10 +110,13 @@ func (c *Corpus) Duplicates() int {
 }
 
 // family couples a name with its scenario builder and request shape.
+// mutate, when set, draws a mutation trace against the freshly built
+// scenario from the same seeded rng stream.
 type family struct {
 	name     string
 	endpoint string
 	build    func(rng *rand.Rand) *model.Scenario
+	mutate   func(rng *rand.Rand, sc *model.Scenario) []hipo.Mutation
 }
 
 // families is the registry, in a fixed order so generation is stable.
@@ -113,16 +124,17 @@ type family struct {
 // a load run issues hundreds of solves, so each must take milliseconds,
 // not the seconds of the full paper-scale scenarios in internal/expt.
 var families = []family{
-	{"sparse-obstacles", EndpointSolve, buildSparseObstacles},
-	{"dense-obstacles", EndpointSolve, buildDenseObstacles},
-	{"uniform-devices", EndpointSolve, buildUniformDevices},
-	{"clustered-devices", EndpointSolve, buildClusteredDevices},
-	{"corridor-devices", EndpointSolve, buildCorridorDevices},
-	{"single-type", EndpointSolve, buildSingleType},
-	{"mixed-type", EndpointSolve, buildMixedType},
-	{"objective-budgeted", EndpointBudgeted, buildUniformDevices},
-	{"objective-maxmin", EndpointMaxMin, buildUniformDevices},
-	{"objective-propfair", EndpointPropFair, buildClusteredDevices},
+	{"sparse-obstacles", EndpointSolve, buildSparseObstacles, nil},
+	{"dense-obstacles", EndpointSolve, buildDenseObstacles, nil},
+	{"uniform-devices", EndpointSolve, buildUniformDevices, nil},
+	{"clustered-devices", EndpointSolve, buildClusteredDevices, nil},
+	{"corridor-devices", EndpointSolve, buildCorridorDevices, nil},
+	{"single-type", EndpointSolve, buildSingleType, nil},
+	{"mixed-type", EndpointSolve, buildMixedType, nil},
+	{"objective-budgeted", EndpointBudgeted, buildUniformDevices, nil},
+	{"objective-maxmin", EndpointMaxMin, buildUniformDevices, nil},
+	{"objective-propfair", EndpointPropFair, buildClusteredDevices, nil},
+	{"mutation-trace", EndpointScenarios, buildMutationBase, mutationTrace},
 }
 
 // Names returns every family name in registry order.
@@ -175,7 +187,8 @@ func Generate(cfg Config) (*Corpus, error) {
 		for i := 0; i < cfg.PerFamily; i++ {
 			seed := itemSeed(cfg.Seed, f.name, i)
 			rng := rand.New(rand.NewSource(seed))
-			sc := ToPublic(f.build(rng))
+			msc := f.build(rng)
+			sc := ToPublic(msc)
 			hash, err := sc.ScenarioHash()
 			if err != nil {
 				return nil, fmt.Errorf("corpus: %s[%d]: %w", f.name, i, err)
@@ -199,6 +212,9 @@ func Generate(cfg Config) (*Corpus, error) {
 			case EndpointMaxMin:
 				it.Iterations = 40
 				it.SolveSeed = seed
+			}
+			if f.mutate != nil {
+				it.Mutations = f.mutate(rng, msc)
 			}
 			c.Items = append(c.Items, it)
 		}

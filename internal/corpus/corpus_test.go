@@ -168,3 +168,45 @@ func TestItemsAreServable(t *testing.T) {
 		t.Errorf("solved %d families, want %d", len(solved), len(Names()))
 	}
 }
+
+// TestMutationTraceItems: every mutation-trace item carries a trace that
+// applies cleanly to its base scenario, and the mutated scenario solves to
+// a non-empty placement with a hash distinct from the base.
+func TestMutationTraceItems(t *testing.T) {
+	c, err := Generate(Config{Seed: 7, PerFamily: 3, Families: []string{"mutation-trace"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Items) != 3 {
+		t.Fatalf("generated %d items, want 3", len(c.Items))
+	}
+	for i, it := range c.Items {
+		if it.Endpoint != EndpointScenarios {
+			t.Fatalf("item %d: endpoint %q", i, it.Endpoint)
+		}
+		if len(it.Mutations) == 0 {
+			t.Fatalf("item %d carries no mutation trace", i)
+		}
+		inc, err := it.Scenario.NewIncremental(hipo.WithEps(it.Eps))
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if err := inc.Apply(it.Mutations...); err != nil {
+			t.Fatalf("item %d: trace does not apply: %v", i, err)
+		}
+		p, err := inc.Solve()
+		if err != nil {
+			t.Fatalf("item %d: mutated scenario does not solve: %v", i, err)
+		}
+		if len(p.Chargers) == 0 {
+			t.Fatalf("item %d: empty placement after trace", i)
+		}
+		h, err := inc.Scenario().ScenarioHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h == it.Hash {
+			t.Fatalf("item %d: trace did not change the scenario hash", i)
+		}
+	}
+}

@@ -112,6 +112,70 @@ func buildMixedType(rng *rand.Rand) *model.Scenario {
 	return sc
 }
 
+// buildMutationBase is the mutation-trace family's base scenario: a
+// mid-density obstacle field (structurally distinct from the sparse and
+// dense families' counts) with a uniform device population. The family's
+// mutation traces are drawn against it by mutationTrace.
+func buildMutationBase(rng *rand.Rand) *model.Scenario {
+	sc := smallBase()
+	sc.Obstacles = expt.RandomObstacles(rng, 4)
+	expt.PlaceRandomDevices(sc, rng, deviceCounts(sc, smallPopulation(rng)))
+	return sc
+}
+
+// mutationTrace draws a short, always-valid mutation trace against sc: a
+// device move, a device add, and a small obstacle placed clear of every
+// device (including the moved and added ones). Replaying the trace through
+// the scenario-mutation API is what the load harness measures.
+func mutationTrace(rng *rand.Rand, sc *model.Scenario) []hipo.Mutation {
+	feasible := func() geom.Vec {
+		for {
+			p := geom.V(
+				sc.Region.Min.X+rng.Float64()*sc.Region.Width(),
+				sc.Region.Min.Y+rng.Float64()*sc.Region.Height(),
+			)
+			if sc.FeasiblePosition(p) {
+				return p
+			}
+		}
+	}
+	moved := feasible()
+	added := feasible()
+	muts := []hipo.Mutation{
+		hipo.MutateMoveDevice(0, hipo.Point{X: moved.X, Y: moved.Y}, rng.Float64()*2*math.Pi),
+		hipo.MutateAddDevice(hipo.Device{
+			Pos:    hipo.Point{X: added.X, Y: added.Y},
+			Orient: rng.Float64() * 2 * math.Pi,
+			Type:   rng.Intn(len(sc.DeviceTypes)),
+		}),
+	}
+	positions := []geom.Vec{moved, added}
+	for _, d := range sc.Devices[1:] {
+		positions = append(positions, d.Pos)
+	}
+	const side, margin = 2.0, 0.5
+	for {
+		c := geom.V(
+			sc.Region.Min.X+1+rng.Float64()*(sc.Region.Width()-side-2),
+			sc.Region.Min.Y+1+rng.Float64()*(sc.Region.Height()-side-2),
+		)
+		clear := true
+		for _, p := range positions {
+			if p.X > c.X-margin && p.X < c.X+side+margin &&
+				p.Y > c.Y-margin && p.Y < c.Y+side+margin {
+				clear = false
+				break
+			}
+		}
+		if clear {
+			return append(muts, hipo.MutateAddObstacle(hipo.Obstacle{Vertices: []hipo.Point{
+				{X: c.X, Y: c.Y}, {X: c.X + side, Y: c.Y},
+				{X: c.X + side, Y: c.Y + side}, {X: c.X, Y: c.Y + side},
+			}}))
+		}
+	}
+}
+
 // placeSampled appends n devices at sampled positions, rejecting samples
 // outside the region or inside obstacles; types round-robin over the
 // device table and orientations are uniform, as in expt.

@@ -98,6 +98,10 @@ const (
 	// (candidate-point slices, eligibility slices, viewpoints): each reuse
 	// is one hot-loop allocation avoided.
 	CtrPoolReuse
+	// CtrLazyWarmHits counts CELF heap seeds taken from a warm-start prior
+	// gain table (GreedyLazyWarm) instead of being recomputed: each hit is
+	// one round-0 gain evaluation avoided on an incremental re-solve.
+	CtrLazyWarmHits
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -120,6 +124,7 @@ var counterNames = [NumCounters]string{
 	CtrPairsPruned:        "pairs_pruned",
 	CtrLOSBatched:         "los_batched",
 	CtrPoolReuse:          "pool_reuse",
+	CtrLazyWarmHits:       "lazy_warm_hits",
 }
 
 // Name returns the counter's stable snake_case name.

@@ -1,0 +1,547 @@
+// Package incremental re-solves a HIPO scenario across a stream of small
+// mutations — devices added, removed, or moved, obstacles added — without
+// repeating the work a cold solve would redo from scratch.
+//
+// The design leans entirely on two purity contracts of the cold pipeline:
+//
+//   - Position generation is per-task: discretize task i (device i's own
+//     events plus pair constructions with larger-indexed neighbors) depends
+//     only on geometry within 2·d_max of device i, and the cold
+//     CandidatePositions is exactly "concatenate task outputs in device
+//     order, dedup, filter".
+//
+//   - The Algorithm 1 sweep is per-position: a position's candidate list
+//     depends only on geometry within d_max of the position, and the cold
+//     Extract is exactly "sweep positions in order, reduce, dominance-filter".
+//
+// A Session therefore caches per-task position lists and per-position sweep
+// outputs, computes a conservative blast radius for every mutation
+// (2·d_max + pad for tasks, d_max + pad for sweeps), recomputes only what
+// the radius touches, and reassembles the caches in cold order. The result
+// feeds the same reducer, dominance filter, and instance builder as the
+// cold path, so every incremental solve is bit-for-bit identical to
+// core.Solve on the mutated scenario — the parity tests in this package and
+// the bench gate in cmd/hipobench enforce exactly that, not an approximate
+// agreement.
+//
+// Selection is warm-started: round-0 singleton gains are content-addressed
+// by coverage list and replayed into submodular.GreedyLazyWarm. A gain is
+// only reused when it is provably bit-exact — device count and type tables
+// unchanged since it was computed — because the CELF heap order, and hence
+// the placement, would otherwise be allowed to drift under ties.
+package incremental
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+
+	"hipo/internal/core"
+	"hipo/internal/discretize"
+	"hipo/internal/geom"
+	"hipo/internal/model"
+	"hipo/internal/pdcs"
+	"hipo/internal/power"
+	"hipo/internal/schedule"
+	"hipo/internal/submodular"
+	"hipo/internal/visindex"
+)
+
+// invPad widens every invalidation radius beyond the exact dependency
+// range. It strictly dominates the 1e-6 pruning pads and 1e-9 geometric
+// tolerances of the cold pipeline, so a cached artifact is never kept when
+// fresh computation could differ.
+const invPad = 1e-3
+
+// Op enumerates the supported scenario mutations.
+type Op int
+
+const (
+	// OpAddDevice appends Mutation.Device to the scenario.
+	OpAddDevice Op = iota
+	// OpRemoveDevice removes the device at Mutation.Index; devices after it
+	// shift down by one, exactly as a cold scenario built without it.
+	OpRemoveDevice
+	// OpMoveDevice repositions the device at Mutation.Index to
+	// Mutation.Device.Pos / Orient (its type is unchanged).
+	OpMoveDevice
+	// OpAddObstacle appends Mutation.Obstacle to the scenario.
+	OpAddObstacle
+)
+
+// Mutation is one scenario edit. Construct with the helpers below.
+type Mutation struct {
+	Op       Op
+	Index    int
+	Device   model.Device
+	Obstacle model.Obstacle
+}
+
+// AddDevice returns a mutation appending device d.
+func AddDevice(d model.Device) Mutation { return Mutation{Op: OpAddDevice, Device: d} }
+
+// RemoveDevice returns a mutation removing the device at index i.
+func RemoveDevice(i int) Mutation { return Mutation{Op: OpRemoveDevice, Index: i} }
+
+// MoveDevice returns a mutation moving device i to pos with orientation
+// orient.
+func MoveDevice(i int, pos geom.Vec, orient float64) Mutation {
+	return Mutation{Op: OpMoveDevice, Index: i, Device: model.Device{Pos: pos, Orient: orient}}
+}
+
+// AddObstacle returns a mutation appending obstacle o.
+func AddObstacle(o model.Obstacle) Mutation { return Mutation{Op: OpAddObstacle, Obstacle: o} }
+
+// Stats counts the work an incremental solve did and skipped. Cumulative
+// over the session.
+type Stats struct {
+	Mutations int // mutations applied
+	Solves    int // Solve calls that ran the pipeline
+	FastPath  int // Solve calls served from the previous solution
+
+	TasksRecomputed int // discretize tasks regenerated
+	TasksReused     int // discretize tasks served from cache
+	SweepsComputed  int // positions swept
+	SweepsReused    int // positions served from cache
+	GainsWarm       int // round-0 gains replayed into the CELF heap
+	GainsCold       int // round-0 gains recomputed
+}
+
+// posKey is the exact bit pattern of a candidate position — the sweep-cache
+// key. Positions survive dedup with their first-occurrence bits, so equal
+// geometry always rebuilds the same key.
+type posKey struct{ x, y uint64 }
+
+func keyOf(p geom.Vec) posKey {
+	return posKey{math.Float64bits(p.X), math.Float64bits(p.Y)}
+}
+
+// typeState is the per-charger-type cache.
+type typeState struct {
+	// taskPos[i] is the cached (not deduplicated) position workload of
+	// discretize task i; nil marks it dirty.
+	taskPos [][]geom.Vec
+	// sweep maps a candidate position to its Algorithm 1 output. Values own
+	// their Covers privately.
+	sweep map[posKey][]pdcs.Candidate
+}
+
+// Session incrementally re-solves one scenario under a mutation stream.
+// Not safe for concurrent use.
+type Session struct {
+	sc    *model.Scenario
+	opt   core.Options
+	brute bool
+	types []*typeState
+
+	// gains content-addresses round-0 singleton gains by coverage list;
+	// gainsOK is false whenever reuse would not be bit-exact (device count
+	// changed since the table was built, or a custom objective is in play).
+	gains   map[string]float64
+	gainsOK bool
+
+	prev  *core.Solution
+	fresh bool // prev reflects the current scenario
+	stats Stats
+}
+
+// NewSession validates the scenario and primes a session. The first Solve
+// is a cold solve run through the incremental machinery (so its caches fill
+// and its output is the cold placement, bit for bit). The scenario is
+// cloned; the caller's copy is never touched.
+//
+// opt.Variant must be the default lazy greedy — the warm-start path is CELF
+// only. opt.Ctx is ignored; mutations and solves are short-lived relative
+// to a cold pipeline run.
+func NewSession(sc *model.Scenario, opt core.Options) (*Session, error) {
+	if opt.Variant != core.GreedyLazy {
+		return nil, fmt.Errorf("incremental: only the lazy greedy variant supports warm-started re-solves")
+	}
+	if opt.SkipDominanceFilter {
+		return nil, fmt.Errorf("incremental: the SkipDominanceFilter ablation is not supported; sessions always run the full reduction")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("incremental: invalid scenario: %w", err)
+	}
+	s := &Session{
+		sc:    sc.Clone(),
+		opt:   opt,
+		brute: opt.BruteForceVisibility || os.Getenv("HIPO_BRUTE_FORCE_VISIBILITY") != "",
+	}
+	if !s.brute {
+		s.sc = visindex.Ensure(s.sc)
+	}
+	s.types = make([]*typeState, len(s.sc.ChargerTypes))
+	for q := range s.types {
+		s.types[q] = &typeState{
+			taskPos: make([][]geom.Vec, len(s.sc.Devices)),
+			sweep:   make(map[posKey][]pdcs.Candidate),
+		}
+	}
+	return s, nil
+}
+
+// Scenario returns a copy of the session's current (mutated) scenario.
+func (s *Session) Scenario() *model.Scenario { return s.sc.Clone() }
+
+// Stats returns the cumulative cache counters.
+func (s *Session) Stats() Stats { return s.stats }
+
+// eps1 mirrors core.Options' defaulting of the level parameter.
+func (s *Session) eps1() float64 {
+	eps := s.opt.Eps
+	if eps <= 0 || eps >= 0.5 {
+		eps = 0.15
+	}
+	return power.Eps1ForEps(eps)
+}
+
+func (s *Session) workers() int {
+	if s.opt.Workers > 0 {
+		return s.opt.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Apply applies the mutations in order. Each mutation is validated against
+// the current scenario before it lands; on error the earlier mutations of
+// the batch remain applied and the session stays consistent.
+func (s *Session) Apply(muts ...Mutation) error {
+	for _, m := range muts {
+		if err := s.applyOne(m); err != nil {
+			return err
+		}
+		s.stats.Mutations++
+		s.fresh = false
+	}
+	return nil
+}
+
+func (s *Session) applyOne(m Mutation) error {
+	switch m.Op {
+	case OpAddDevice:
+		if err := s.checkDevice(m.Device, true); err != nil {
+			return err
+		}
+		s.sc.Devices = append(s.sc.Devices, m.Device)
+		for _, ts := range s.types {
+			ts.taskPos = append(ts.taskPos, nil)
+		}
+		s.invalidateAround(m.Device.Pos, m.Device.Pos)
+		s.gains, s.gainsOK = nil, false
+		return nil
+
+	case OpRemoveDevice:
+		if m.Index < 0 || m.Index >= len(s.sc.Devices) {
+			return fmt.Errorf("incremental: remove: device index %d out of range [0, %d)", m.Index, len(s.sc.Devices))
+		}
+		old := s.sc.Devices[m.Index].Pos
+		s.sc.Devices = append(s.sc.Devices[:m.Index], s.sc.Devices[m.Index+1:]...)
+		for _, ts := range s.types {
+			ts.taskPos = append(ts.taskPos[:m.Index], ts.taskPos[m.Index+1:]...)
+			// Surviving sweeps are > d_max from the removed device, so it
+			// never appears in their Covers; later device indices shift down.
+			for _, cs := range ts.sweep {
+				for i := range cs {
+					for c := range cs[i].Covers {
+						if cs[i].Covers[c].Device > m.Index {
+							cs[i].Covers[c].Device--
+						}
+					}
+				}
+			}
+		}
+		s.invalidateAround(old, old)
+		s.gains, s.gainsOK = nil, false
+		return nil
+
+	case OpMoveDevice:
+		if m.Index < 0 || m.Index >= len(s.sc.Devices) {
+			return fmt.Errorf("incremental: move: device index %d out of range [0, %d)", m.Index, len(s.sc.Devices))
+		}
+		d := s.sc.Devices[m.Index]
+		d.Pos, d.Orient = m.Device.Pos, m.Device.Orient
+		if err := s.checkDevice(d, false); err != nil {
+			return err
+		}
+		old := s.sc.Devices[m.Index].Pos
+		s.sc.Devices[m.Index] = d
+		for _, ts := range s.types {
+			ts.taskPos[m.Index] = nil
+		}
+		s.invalidateAround(old, d.Pos)
+		return nil
+
+	case OpAddObstacle:
+		if err := m.Obstacle.Shape.Validate(); err != nil {
+			return fmt.Errorf("incremental: obstacle: %w", err)
+		}
+		for _, v := range m.Obstacle.Shape.Vertices {
+			if !finite(v.X) || !finite(v.Y) {
+				return fmt.Errorf("incremental: obstacle: non-finite vertex (%v, %v)", v.X, v.Y)
+			}
+		}
+		for i, d := range s.sc.Devices {
+			if m.Obstacle.Shape.ContainsInterior(d.Pos) {
+				return fmt.Errorf("incremental: obstacle would swallow device %d", i)
+			}
+		}
+		s.sc.Obstacles = append(s.sc.Obstacles, m.Obstacle)
+		if !s.brute {
+			// Ensure detects the obstacle-set change by hash and rebuilds the
+			// index on a clone.
+			s.sc = visindex.Ensure(s.sc)
+		}
+		// Event angles and hole rays scan the full obstacle set, so every
+		// task's position workload is stale; sweeps depend on obstacles only
+		// within d_max of the position.
+		lo, hi := bbox(m.Obstacle.Shape.Vertices)
+		for q, ts := range s.types {
+			for i := range ts.taskPos {
+				ts.taskPos[i] = nil
+			}
+			rs := s.sc.ChargerTypes[q].DMax + invPad
+			for k := range ts.sweep {
+				if distToBox(vecOf(k), lo, hi) <= rs {
+					delete(ts.sweep, k)
+				}
+			}
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("incremental: unknown mutation op %d", m.Op)
+	}
+}
+
+// checkDevice validates a device against the current scenario (the same
+// predicates Scenario.Validate applies).
+func (s *Session) checkDevice(d model.Device, checkType bool) error {
+	if !finite(d.Pos.X) || !finite(d.Pos.Y) || !finite(d.Orient) {
+		return fmt.Errorf("incremental: device has non-finite position or orientation")
+	}
+	if checkType && (d.Type < 0 || d.Type >= len(s.sc.DeviceTypes)) {
+		return fmt.Errorf("incremental: device type %d out of range [0, %d)", d.Type, len(s.sc.DeviceTypes))
+	}
+	if !s.sc.Region.Contains(d.Pos) {
+		return fmt.Errorf("incremental: device position (%v, %v) outside region", d.Pos.X, d.Pos.Y)
+	}
+	for h := range s.sc.Obstacles {
+		if s.sc.Obstacles[h].Shape.ContainsInterior(d.Pos) {
+			return fmt.Errorf("incremental: device position (%v, %v) inside obstacle %d", d.Pos.X, d.Pos.Y, h)
+		}
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// invalidateAround dirties, for every charger type, the discretize tasks
+// whose device lies within 2·d_max + pad of either point (their event
+// samples or pair constructions can involve the mutated device) and drops
+// cached sweeps within d_max + pad (their eligibility, coverage, or
+// feasibility can involve it).
+func (s *Session) invalidateAround(a, b geom.Vec) {
+	for q, ts := range s.types {
+		ct := s.sc.ChargerTypes[q]
+		rt := 2*ct.DMax + invPad
+		for i := range ts.taskPos {
+			if ts.taskPos[i] == nil {
+				continue
+			}
+			p := s.sc.Devices[i].Pos
+			if p.Dist(a) <= rt || p.Dist(b) <= rt {
+				ts.taskPos[i] = nil
+			}
+		}
+		rs := ct.DMax + invPad
+		for k := range ts.sweep {
+			p := vecOf(k)
+			if p.Dist(a) <= rs || p.Dist(b) <= rs {
+				delete(ts.sweep, k)
+			}
+		}
+	}
+}
+
+func vecOf(k posKey) geom.Vec {
+	return geom.Vec{X: math.Float64frombits(k.x), Y: math.Float64frombits(k.y)}
+}
+
+func bbox(vs []geom.Vec) (lo, hi geom.Vec) {
+	lo, hi = vs[0], vs[0]
+	for _, v := range vs[1:] {
+		lo.X, lo.Y = math.Min(lo.X, v.X), math.Min(lo.Y, v.Y)
+		hi.X, hi.Y = math.Max(hi.X, v.X), math.Max(hi.Y, v.Y)
+	}
+	return lo, hi
+}
+
+func distToBox(p, lo, hi geom.Vec) float64 {
+	dx := math.Max(math.Max(lo.X-p.X, p.X-hi.X), 0)
+	dy := math.Max(math.Max(lo.Y-p.Y, p.Y-hi.Y), 0)
+	return math.Hypot(dx, dy)
+}
+
+// Solve re-solves the current scenario. The placement is bit-for-bit the
+// one core.Solve would produce on the same scenario with the same options;
+// only the amount of recomputation differs. Consecutive Solves without
+// intervening mutations return the previous solution.
+func (s *Session) Solve() (*core.Solution, error) {
+	if s.fresh && s.prev != nil {
+		s.stats.FastPath++
+		return s.prev, nil
+	}
+	workers := s.workers()
+	pcfg := pdcs.Config{
+		Eps1:                  s.eps1(),
+		Workers:               workers,
+		SkipPairConstructions: s.opt.SkipPairConstructions,
+		BruteForceVisibility:  s.brute,
+		Tracer:                s.opt.Tracer,
+	}
+	dcfg := discretize.Config{
+		Eps1:                  pcfg.Eps1,
+		Workers:               workers,
+		SkipPairConstructions: pcfg.SkipPairConstructions,
+		BruteForceVisibility:  s.brute,
+		Tracer:                s.opt.Tracer,
+	}
+	cands := make([][]pdcs.Candidate, len(s.types))
+	for q, ts := range s.types {
+		gen := discretize.NewGenerator(s.sc, q, dcfg)
+
+		// Regenerate dirty task workloads in parallel; reuse the rest.
+		var dirty []int
+		for i := range ts.taskPos {
+			if ts.taskPos[i] == nil {
+				dirty = append(dirty, i)
+			}
+		}
+		s.stats.TasksRecomputed += len(dirty)
+		s.stats.TasksReused += len(ts.taskPos) - len(dirty)
+		regen := schedule.RunPool(len(dirty), workers, func(k int) []geom.Vec {
+			return gen.TaskPositions(dirty[k])
+		})
+		for k, i := range dirty {
+			ts.taskPos[i] = regen[k]
+		}
+
+		// Reassemble the cold position list: concatenation in device order,
+		// first-wins dedup, usefulness filter — CandidatePositions verbatim.
+		var all []geom.Vec
+		for i := range ts.taskPos {
+			all = append(all, ts.taskPos[i]...)
+		}
+		positions := gen.FilterUseful(discretize.Dedup(all))
+
+		// Sweep only cache misses, then reduce in full position order.
+		perPos := make([][]pdcs.Candidate, len(positions))
+		var missIdx []int
+		var missPts []geom.Vec
+		for i, p := range positions {
+			if cs, ok := ts.sweep[keyOf(p)]; ok {
+				perPos[i] = cs
+			} else {
+				missIdx = append(missIdx, i)
+				missPts = append(missPts, p)
+			}
+		}
+		s.stats.SweepsComputed += len(missPts)
+		s.stats.SweepsReused += len(positions) - len(missPts)
+		if len(missPts) > 0 {
+			sw := pdcs.NewSweeper(s.sc, q, pcfg)
+			out := sw.SweepPositions(missPts)
+			for k, i := range missIdx {
+				perPos[i] = out[k]
+				ts.sweep[keyOf(positions[i])] = out[k]
+			}
+		}
+		// Mark-and-sweep: drop cache entries no current position references,
+		// bounding the cache at the live position count.
+		if len(ts.sweep) > len(positions) {
+			live := make(map[posKey]bool, len(positions))
+			for _, p := range positions {
+				live[keyOf(p)] = true
+			}
+			for k := range ts.sweep {
+				if !live[k] {
+					delete(ts.sweep, k)
+				}
+			}
+		}
+		cands[q] = pdcs.ReduceCandidates(perPos, len(s.sc.Devices))
+	}
+
+	sol, err := s.selectWarm(cands)
+	if err != nil {
+		return nil, err
+	}
+	s.prev, s.fresh = sol, true
+	s.stats.Solves++
+	return sol, nil
+}
+
+// selectWarm mirrors core.SelectFromCandidates for the lazy variant, with
+// round-0 gains replayed from the content-addressed cache when bit-exact
+// reuse is possible.
+func (s *Session) selectWarm(cands [][]pdcs.Candidate) (*core.Solution, error) {
+	inst, flat := core.BuildInstance(s.sc, cands, s.opt)
+	inst.Tracer = s.opt.Tracer
+
+	var prior []float64
+	if s.gainsOK && s.opt.Objective == nil {
+		prior = make([]float64, len(flat))
+		for e := range flat {
+			if g, ok := s.gains[coverKey(flat[e].Covers)]; ok {
+				prior[e] = g
+				s.stats.GainsWarm++
+			} else {
+				prior[e] = math.NaN()
+				s.stats.GainsCold++
+			}
+		}
+	} else {
+		s.stats.GainsCold += len(flat)
+	}
+	res, table := submodular.GreedyLazyWarm(inst, prior)
+
+	// Rebuild the gain cache from this run's exact table (its own
+	// mark-and-sweep: stale coverage signatures drop out).
+	if s.opt.Objective == nil {
+		s.gains = make(map[string]float64, len(flat))
+		for e := range flat {
+			s.gains[coverKey(flat[e].Covers)] = table[e]
+		}
+		s.gainsOK = true
+	}
+
+	sol := &core.Solution{ApproxValue: res.Value, Candidates: make([]int, len(cands))}
+	for q := range cands {
+		sol.Candidates[q] = len(cands[q])
+	}
+	for _, e := range res.Selected {
+		sol.Placed = append(sol.Placed, flat[e].S)
+	}
+	sol.Utility = power.TotalUtility(s.sc, sol.Placed)
+	return sol, nil
+}
+
+// coverKey content-addresses a coverage list: the round-0 singleton gain of
+// an element is a pure function of (Covers, Weight, Phi), and the cache is
+// cleared whenever the device count or type tables change, so equal keys
+// imply bit-equal gains. The key is the full binary content — no lossy
+// hashing, so a collision cannot smuggle a wrong gain into the CELF heap.
+func coverKey(covers []pdcs.DevPower) string {
+	buf := make([]byte, 0, 16*len(covers))
+	for _, dp := range covers {
+		d, p := uint64(dp.Device), math.Float64bits(dp.Power)
+		buf = append(buf,
+			byte(d), byte(d>>8), byte(d>>16), byte(d>>24),
+			byte(d>>32), byte(d>>40), byte(d>>48), byte(d>>56),
+			byte(p), byte(p>>8), byte(p>>16), byte(p>>24),
+			byte(p>>32), byte(p>>40), byte(p>>48), byte(p>>56))
+	}
+	return string(buf)
+}

@@ -1,0 +1,282 @@
+// Parity tests: every incremental solve must be bit-for-bit identical to a
+// cold core.Solve of the session's current scenario — same strategies, same
+// approximate value bits, same exact utility bits. External test package so
+// it can lean on internal/expt and internal/oracle.
+package incremental_test
+
+import (
+	"math"
+	"testing"
+
+	"hipo/internal/core"
+	"hipo/internal/expt"
+	"hipo/internal/geom"
+	"hipo/internal/incremental"
+	"hipo/internal/model"
+	"hipo/internal/oracle"
+	"hipo/internal/submodular"
+)
+
+func testOptions() core.Options {
+	return core.Options{Eps: 0.3, Workers: 4}
+}
+
+// midScenario is large enough that blast radii leave real cache survivors:
+// a 60×60 region with obstacles and devices spread out relative to d_max.
+func midScenario() *model.Scenario {
+	return expt.BenchScenario(5, 8, 1)
+}
+
+// coldSolve runs the cold pipeline on its own clone.
+func coldSolve(t *testing.T, sc *model.Scenario, opt core.Options) *core.Solution {
+	t.Helper()
+	sol, err := core.Solve(sc.Clone(), opt)
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+	return sol
+}
+
+func sameSolution(t *testing.T, label string, cold, inc *core.Solution) {
+	t.Helper()
+	if math.Float64bits(cold.ApproxValue) != math.Float64bits(inc.ApproxValue) {
+		t.Fatalf("%s: ApproxValue %v vs cold %v", label, inc.ApproxValue, cold.ApproxValue)
+	}
+	if math.Float64bits(cold.Utility) != math.Float64bits(inc.Utility) {
+		t.Fatalf("%s: Utility %v vs cold %v", label, inc.Utility, cold.Utility)
+	}
+	if len(cold.Placed) != len(inc.Placed) {
+		t.Fatalf("%s: %d strategies vs cold %d", label, len(inc.Placed), len(cold.Placed))
+	}
+	for i := range cold.Placed {
+		a, b := cold.Placed[i], inc.Placed[i]
+		if math.Float64bits(a.Pos.X) != math.Float64bits(b.Pos.X) ||
+			math.Float64bits(a.Pos.Y) != math.Float64bits(b.Pos.Y) ||
+			math.Float64bits(a.Orient) != math.Float64bits(b.Orient) ||
+			a.Type != b.Type {
+			t.Fatalf("%s: strategy %d diverged: %+v vs cold %+v", label, i, b, a)
+		}
+	}
+	if len(cold.Candidates) != len(inc.Candidates) {
+		t.Fatalf("%s: candidate counts %v vs cold %v", label, inc.Candidates, cold.Candidates)
+	}
+	for q := range cold.Candidates {
+		if cold.Candidates[q] != inc.Candidates[q] {
+			t.Fatalf("%s: candidate counts %v vs cold %v", label, inc.Candidates, cold.Candidates)
+		}
+	}
+}
+
+// feasiblePoint finds a placeable point near the region center.
+func feasiblePoint(sc *model.Scenario) geom.Vec {
+	c := geom.V((sc.Region.Min.X+sc.Region.Max.X)/2, (sc.Region.Min.Y+sc.Region.Max.Y)/2)
+	for r := 0.0; r < sc.Region.Width()/2; r += 0.7 {
+		for _, d := range []geom.Vec{{X: r, Y: 0}, {X: -r, Y: 0.3 * r}, {X: 0.5 * r, Y: r}, {X: 0, Y: -r}} {
+			p := geom.V(c.X+d.X, c.Y+d.Y)
+			if sc.FeasiblePosition(p) {
+				return p
+			}
+		}
+	}
+	return c
+}
+
+// TestParityAcrossMutations drives one session through every mutation kind
+// and demands bit-identity with a cold solve at each step.
+func TestParityAcrossMutations(t *testing.T) {
+	sc := midScenario()
+	opt := testOptions()
+	sess, err := incremental.NewSession(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold prime through the incremental machinery.
+	inc, err := sess.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSolution(t, "prime", coldSolve(t, sess.Scenario(), opt), inc)
+
+	// Fast path: no mutations since the last solve.
+	again, err := sess.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != inc {
+		t.Fatal("mutation-free re-solve did not reuse the previous solution")
+	}
+
+	cur := sess.Scenario()
+	steps := []struct {
+		label string
+		mut   incremental.Mutation
+	}{
+		{"move", incremental.MoveDevice(0, feasiblePoint(cur), 1.25)},
+		{"add-device", incremental.AddDevice(model.Device{Pos: feasiblePoint(cur).Add(geom.V(1.3, -0.9)), Orient: 2.1, Type: 0})},
+		{"remove-device", incremental.RemoveDevice(1)},
+		{"add-obstacle", incremental.AddObstacle(model.Obstacle{Shape: geom.Rect(
+			cur.Region.Min.X+2, cur.Region.Min.Y+2, cur.Region.Min.X+5, cur.Region.Min.Y+4)})},
+	}
+	for _, step := range steps {
+		if err := sess.Apply(step.mut); err != nil {
+			t.Fatalf("%s: %v", step.label, err)
+		}
+		inc, err := sess.Solve()
+		if err != nil {
+			t.Fatalf("%s: %v", step.label, err)
+		}
+		sameSolution(t, step.label, coldSolve(t, sess.Scenario(), opt), inc)
+	}
+
+	st := sess.Stats()
+	if st.TasksReused == 0 || st.SweepsReused == 0 {
+		t.Fatalf("no cache reuse across mutations — the blast radius is degenerate: %+v", st)
+	}
+	if st.GainsWarm == 0 {
+		t.Fatalf("no warm gain replays across mutations: %+v", st)
+	}
+	if st.FastPath != 1 {
+		t.Fatalf("fast path served %d times, want 1", st.FastPath)
+	}
+}
+
+// TestRemoveThenReAddRoundTrip removes a device and re-adds it (it lands at
+// the tail index, so strategy enumeration order legitimately changes); the
+// achieved utility must return to the original up to summation-order jitter.
+func TestRemoveThenReAddRoundTrip(t *testing.T) {
+	sc := midScenario()
+	opt := testOptions()
+	sess, err := incremental.NewSession(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sess.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	victim := sc.Devices[2]
+	if err := sess.Apply(incremental.RemoveDevice(2)); err != nil {
+		t.Fatal(err)
+	}
+	mid, err := sess.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSolution(t, "removed", coldSolve(t, sess.Scenario(), opt), mid)
+
+	if err := sess.Apply(incremental.AddDevice(victim)); err != nil {
+		t.Fatal(err)
+	}
+	back, err := sess.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSolution(t, "re-added", coldSolve(t, sess.Scenario(), opt), back)
+	if math.Abs(back.Utility-base.Utility) > 1e-9 {
+		t.Fatalf("utility did not round-trip: %v -> %v -> %v", base.Utility, mid.Utility, back.Utility)
+	}
+	if math.Abs(back.ApproxValue-base.ApproxValue) > 1e-9 {
+		t.Fatalf("approx value did not round-trip: %v -> %v", base.ApproxValue, back.ApproxValue)
+	}
+}
+
+// TestWarmSolveMeetsOracleBound re-solves tiny mutated instances and checks
+// the incremental (warm-started) value against the exhaustive optimum over
+// the same candidate set — the 1/2 − ε guarantee must survive warm starts.
+func TestWarmSolveMeetsOracleBound(t *testing.T) {
+	sc := &model.Scenario{
+		Region: model.Region{Min: geom.V(0, 0), Max: geom.V(12, 12)},
+		ChargerTypes: []model.ChargerType{
+			{Name: "t1", Alpha: math.Pi / 2, DMin: 0.5, DMax: 6, Count: 2},
+		},
+		DeviceTypes: []model.DeviceType{{Name: "d", Alpha: 2 * math.Pi, PTh: 0.05}},
+		Power:       [][]model.PowerParams{{{A: 100, B: 40}}},
+		Obstacles:   []model.Obstacle{{Shape: geom.Rect(5, 5, 7, 7)}},
+		Devices: []model.Device{
+			{Pos: geom.V(3, 3), Orient: 0},
+			{Pos: geom.V(9, 4), Orient: math.Pi},
+			{Pos: geom.V(4, 9), Orient: -math.Pi / 2},
+		},
+	}
+	opt := testOptions()
+	sess, err := incremental.NewSession(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	muts := []incremental.Mutation{
+		incremental.MoveDevice(1, geom.V(8.2, 8.6), 2.0),
+		incremental.AddDevice(model.Device{Pos: geom.V(10.5, 10.5), Orient: 0.5}),
+		incremental.RemoveDevice(0),
+	}
+	for step, m := range muts {
+		if err := sess.Apply(m); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		sol, err := sess.Solve()
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		orc, inst, err := oracle.OptimalValue(sess.Scenario(), opt, 5_000_000)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if orc.Value <= 0 {
+			t.Fatalf("step %d: degenerate oracle optimum %v", step, orc.Value)
+		}
+		if sol.ApproxValue < orc.Value/2-1e-9 {
+			t.Fatalf("step %d: warm value %v violates the 1/2 bound against optimum %v",
+				step, sol.ApproxValue, orc.Value)
+		}
+		if sol.ApproxValue > orc.Value+1e-9 {
+			t.Fatalf("step %d: warm value %v exceeds the optimum %v", step, sol.ApproxValue, orc.Value)
+		}
+		// And the warm value equals the cold instance-level greedy exactly.
+		if g := submodular.GreedyLazy(inst); math.Float64bits(g.Value) != math.Float64bits(sol.ApproxValue) {
+			t.Fatalf("step %d: warm value %v differs from cold greedy %v", step, sol.ApproxValue, g.Value)
+		}
+	}
+}
+
+// TestMutationValidation exercises the rejection paths; a rejected mutation
+// must leave the session consistent (next solve still matches cold).
+func TestMutationValidation(t *testing.T) {
+	sc := midScenario()
+	opt := testOptions()
+	sess, err := incremental.NewSession(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []incremental.Mutation{
+		incremental.RemoveDevice(-1),
+		incremental.RemoveDevice(len(sc.Devices)),
+		incremental.MoveDevice(0, geom.V(math.NaN(), 1), 0),
+		incremental.MoveDevice(0, geom.V(sc.Region.Max.X+100, 1), 0),
+		incremental.AddDevice(model.Device{Pos: geom.V(1, 1), Type: 99}),
+		incremental.AddObstacle(model.Obstacle{Shape: geom.Polygon{Vertices: []geom.Vec{{X: 0, Y: 0}}}}),
+		incremental.AddObstacle(model.Obstacle{Shape: geom.Rect(
+			sc.Devices[0].Pos.X-1, sc.Devices[0].Pos.Y-1,
+			sc.Devices[0].Pos.X+1, sc.Devices[0].Pos.Y+1)}),
+	}
+	for i, m := range bad {
+		if err := sess.Apply(m); err == nil {
+			t.Fatalf("mutation %d was accepted", i)
+		}
+	}
+	inc, err := sess.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSolution(t, "after-rejections", coldSolve(t, sess.Scenario(), opt), inc)
+
+	if _, err := incremental.NewSession(sc, core.Options{Variant: core.GreedyPerType}); err == nil {
+		t.Fatal("per-type variant accepted")
+	}
+	if _, err := incremental.NewSession(sc, core.Options{SkipDominanceFilter: true}); err == nil {
+		t.Fatal("SkipDominanceFilter accepted")
+	}
+}

@@ -39,31 +39,39 @@ import (
 // Kind is the request archetype of one planned request.
 type Kind string
 
-// The four request archetypes a plan mixes. Cancels submit an async job
+// The five request archetypes a plan mixes. Cancels submit an async job
 // and immediately cancel it — the submit/cancel/poll round-trip is the
-// measured unit.
+// measured unit. Mutate-solves replay a mutation-trace item through the
+// scenario registry (register → mutate → incremental solve), measuring the
+// whole chain; draws that land on an item without a trace degrade to a
+// plain sync solve so the mix stays meaningful on any family subset.
 const (
-	KindSolveSync  Kind = "solve_sync"
-	KindSolveAsync Kind = "solve_async"
-	KindCancel     Kind = "cancel"
-	KindEvaluate   Kind = "evaluate"
+	KindSolveSync   Kind = "solve_sync"
+	KindSolveAsync  Kind = "solve_async"
+	KindCancel      Kind = "cancel"
+	KindEvaluate    Kind = "evaluate"
+	KindMutateSolve Kind = "mutate_solve"
 )
 
 // Mix weights the request archetypes in a plan. Zero-valued mixes get
 // DefaultMix; individual zero weights simply exclude that kind.
 type Mix struct {
-	SolveSync  int `json:"solve_sync"`
-	SolveAsync int `json:"solve_async"`
-	Cancel     int `json:"cancel"`
-	Evaluate   int `json:"evaluate"`
+	SolveSync   int `json:"solve_sync"`
+	SolveAsync  int `json:"solve_async"`
+	Cancel      int `json:"cancel"`
+	Evaluate    int `json:"evaluate"`
+	MutateSolve int `json:"mutate_solve"`
 }
 
 // DefaultMix approximates the online redeployment workload: mostly
 // synchronous solves, a steady trickle of async jobs, the occasional
-// cancel, and evaluate calls scoring live placements.
-var DefaultMix = Mix{SolveSync: 70, SolveAsync: 15, Cancel: 5, Evaluate: 10}
+// cancel, evaluate calls scoring live placements, and mutation traces
+// replayed through the scenario registry.
+var DefaultMix = Mix{SolveSync: 65, SolveAsync: 15, Cancel: 5, Evaluate: 10, MutateSolve: 5}
 
-func (m Mix) total() int { return m.SolveSync + m.SolveAsync + m.Cancel + m.Evaluate }
+func (m Mix) total() int {
+	return m.SolveSync + m.SolveAsync + m.Cancel + m.Evaluate + m.MutateSolve
+}
 
 // Profile fixes the shape of a load run.
 type Profile struct {
@@ -124,6 +132,11 @@ type Planned struct {
 	Family       string
 	ScenarioHash string
 	Body         []byte
+	// MutateBody and SolveBody are the second and third requests of a
+	// mutate_solve chain (Body registers the base scenario); empty for
+	// every other kind.
+	MutateBody []byte
+	SolveBody  []byte
 	// At is the arrival offset from run start (open-loop plans only).
 	At time.Duration
 	// Warmup requests execute normally but stay out of the statistics.
@@ -150,7 +163,10 @@ func Plan(c *corpus.Corpus, prof Profile) ([]Planned, string, error) {
 	for i := 0; i < prof.Requests; i++ {
 		kind := kinds[rng.Intn(len(kinds))]
 		item := c.Items[rng.Intn(len(c.Items))]
-		endpoint, body, err := buildBody(kind, item)
+		if kind == KindMutateSolve && len(item.Mutations) == 0 {
+			kind = KindSolveSync
+		}
+		endpoint, body, mutateBody, solveBody, err := buildBody(kind, item)
 		if err != nil {
 			return nil, "", err
 		}
@@ -166,11 +182,14 @@ func Plan(c *corpus.Corpus, prof Profile) ([]Planned, string, error) {
 			Family:       item.Family,
 			ScenarioHash: item.Hash,
 			Body:         body,
+			MutateBody:   mutateBody,
+			SolveBody:    solveBody,
 			At:           at,
 			Warmup:       i < prof.Warmup,
 		}
 		plan = append(plan, p)
-		fmt.Fprintf(digest, "%d|%s|%s|%s|%x\n", i, kind, endpoint, item.Hash, sha256.Sum256(body))
+		fmt.Fprintf(digest, "%d|%s|%s|%s|%x|%x|%x\n", i, kind, endpoint, item.Hash,
+			sha256.Sum256(body), sha256.Sum256(mutateBody), sha256.Sum256(solveBody))
 	}
 	return plan, hex.EncodeToString(digest.Sum(nil)), nil
 }
@@ -186,6 +205,7 @@ func weightedKinds(m Mix) []Kind {
 		{KindSolveAsync, m.SolveAsync},
 		{KindCancel, m.Cancel},
 		{KindEvaluate, m.Evaluate},
+		{KindMutateSolve, m.MutateSolve},
 	} {
 		for i := 0; i < kw.w; i++ {
 			out = append(out, kw.k)
@@ -194,18 +214,36 @@ func weightedKinds(m Mix) []Kind {
 	return out
 }
 
-// buildBody marshals the request envelope for one (kind, item) pair. The
-// request types are the server's own, so the wire format cannot drift.
-func buildBody(kind Kind, item corpus.Item) (string, []byte, error) {
+// buildBody marshals the request envelope(s) for one (kind, item) pair.
+// The request types are the server's own, so the wire format cannot drift.
+// Only KindMutateSolve fills mutateBody and solveBody (the second and
+// third requests of its chain).
+func buildBody(kind Kind, item corpus.Item) (endpoint string, body, mutateBody, solveBody []byte, err error) {
 	if kind == KindEvaluate {
 		// Scoring an empty placement is the cheapest valid evaluate: it
 		// exercises decode, validation, and the exact power model per
 		// device without any solver work.
-		body, err := json.Marshal(serve.EvaluateRequest{
+		body, err = json.Marshal(serve.EvaluateRequest{
 			Scenario:  item.Scenario,
 			Placement: &hipo.Placement{Chargers: []hipo.PlacedCharger{}},
 		})
-		return "/v1/evaluate", body, err
+		return "/v1/evaluate", body, nil, nil, err
+	}
+	if kind == KindMutateSolve {
+		if body, err = json.Marshal(struct {
+			Scenario *hipo.Scenario `json:"scenario"`
+		}{item.Scenario}); err != nil {
+			return "", nil, nil, nil, err
+		}
+		if mutateBody, err = json.Marshal(struct {
+			Mutations []hipo.Mutation `json:"mutations"`
+		}{item.Mutations}); err != nil {
+			return "", nil, nil, nil, err
+		}
+		solveBody, err = json.Marshal(struct {
+			Options serve.SolveOptions `json:"options"`
+		}{serve.SolveOptions{Eps: item.Eps}})
+		return corpus.EndpointScenarios, body, mutateBody, solveBody, err
 	}
 	req := serve.SolveRequest{
 		Scenario:   item.Scenario,
@@ -220,8 +258,14 @@ func buildBody(kind Kind, item corpus.Item) (string, []byte, error) {
 	case KindSolveAsync, KindCancel:
 		req.Mode = "async"
 	default:
-		return "", nil, fmt.Errorf("loadrun: unknown kind %q", kind)
+		return "", nil, nil, nil, fmt.Errorf("loadrun: unknown kind %q", kind)
 	}
-	body, err := json.Marshal(req)
-	return item.Endpoint, body, err
+	// Mutation-trace items drawn for a plain solve kind still need a solve
+	// route: their registry endpoint only accepts the chain.
+	endpoint = item.Endpoint
+	if endpoint == corpus.EndpointScenarios {
+		endpoint = corpus.EndpointSolve
+	}
+	body, err = json.Marshal(req)
+	return endpoint, body, nil, nil, err
 }

@@ -197,6 +197,20 @@ func (s *stubServer) handler() http.Handler {
 	mux.HandleFunc("POST /v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(map[string]float64{"utility": 0})
 	})
+	// Scenario registry: registration echoes a fixed hash, mutate derives a
+	// child hash, the incremental solve answers like a sync solve.
+	mux.HandleFunc("POST /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(map[string]string{"scenario_hash": "base"})
+	})
+	mux.HandleFunc("POST /v1/scenarios/{hash}/mutate", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(map[string]string{"scenario_hash": r.PathValue("hash") + "m"})
+	})
+	mux.HandleFunc("POST /v1/scenarios/{hash}/solve", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Cache", "miss")
+		json.NewEncoder(w).Encode(map[string]any{"scenario_hash": r.PathValue("hash"), "placement": map[string]any{}})
+	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		state, ok := s.jobs[r.PathValue("id")]
@@ -389,5 +403,63 @@ func TestGoroutineCount(t *testing.T) {
 	}
 	if n != 17 {
 		t.Errorf("goroutines = %d, want 17", n)
+	}
+}
+
+// TestMutateSolvePlanAndRun: mutate_solve draws materialize the full
+// three-request chain for mutation-trace items and degrade to sync solves
+// on families without traces; the runner drives the chain to ok.
+func TestMutateSolvePlanAndRun(t *testing.T) {
+	traced, err := corpus.Generate(corpus.Config{Seed: 3, PerFamily: 2, Families: []string{"mutation-trace"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := Profile{Concurrency: 2, Requests: 12, Seed: 6, Mix: Mix{MutateSolve: 1}, Timeout: 5 * time.Second}
+	plan, _, err := Plan(traced, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range plan {
+		if p.Kind != KindMutateSolve {
+			t.Fatalf("request %d: kind %s, want mutate_solve", i, p.Kind)
+		}
+		if p.Endpoint != corpus.EndpointScenarios {
+			t.Fatalf("request %d: endpoint %s", i, p.Endpoint)
+		}
+		if len(p.MutateBody) == 0 || len(p.SolveBody) == 0 {
+			t.Fatalf("request %d: chain bodies missing", i)
+		}
+	}
+
+	stub := &stubServer{jobs: make(map[string]string)}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+	r := &Runner{BaseURL: ts.URL, Client: ts.Client(), PollInterval: time.Millisecond}
+	res, err := r.Run(context.Background(), plan, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Total()
+	if total.Outcomes[OutcomeOK] != 12 || total.ErrorRate() != 0 {
+		t.Fatalf("outcomes = %v", total.Outcomes)
+	}
+	if total.CacheMisses != 12 {
+		t.Fatalf("cache misses = %d, want 12 (one per final solve)", total.CacheMisses)
+	}
+
+	// Families without traces degrade the kind rather than sending an
+	// unservable request.
+	plain, err := corpus.Generate(corpus.Config{Seed: 3, PerFamily: 2, Families: []string{"uniform-devices"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _, err = Plan(plain, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range plan {
+		if p.Kind != KindSolveSync || p.Endpoint != corpus.EndpointSolve {
+			t.Fatalf("request %d: %s %s, want degraded sync solve", i, p.Kind, p.Endpoint)
+		}
 	}
 }

@@ -262,17 +262,13 @@ func (r *Runner) execute(ctx context.Context, p Planned, prof Profile, rec *Reco
 }
 
 func (r *Runner) roundTrip(ctx context.Context, p Planned) (outcome, cache string) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.BaseURL+p.Endpoint, bytes.NewReader(p.Body))
-	if err != nil {
-		return OutcomeTransport, ""
+	if p.Kind == KindMutateSolve {
+		return r.mutateSolve(ctx, p)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := r.client().Do(req)
+	resp, body, err := r.post(ctx, p.Endpoint, p.Body)
 	if err != nil {
 		return classifyTransport(ctx), ""
 	}
-	body, _ := io.ReadAll(resp.Body)
-	_ = resp.Body.Close()
 	cache = resp.Header.Get("X-Cache")
 	switch {
 	case resp.StatusCode == http.StatusOK:
@@ -282,6 +278,59 @@ func (r *Runner) roundTrip(ctx context.Context, p Planned) (outcome, cache strin
 	default:
 		return classifyStatus(resp.StatusCode), cache
 	}
+}
+
+// post issues one JSON POST and returns the drained response.
+func (r *Runner) post(ctx context.Context, endpoint string, body []byte) (*http.Response, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.BaseURL+endpoint, bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	return resp, out, nil
+}
+
+// mutateSolve drives the register → mutate → incremental-solve chain. The
+// measured unit is the whole chain; the cache header comes from the final
+// solve (registers and mutates never touch the solve cache).
+func (r *Runner) mutateSolve(ctx context.Context, p Planned) (outcome, cache string) {
+	hash := p.ScenarioHash
+	for _, step := range []struct {
+		endpoint string
+		body     []byte
+	}{
+		{p.Endpoint, p.Body},
+		{p.Endpoint + "/" + hash + "/mutate", p.MutateBody},
+	} {
+		resp, body, err := r.post(ctx, step.endpoint, step.body)
+		if err != nil {
+			return classifyTransport(ctx), ""
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+			return classifyStatus(resp.StatusCode), ""
+		}
+		var info struct {
+			Hash string `json:"scenario_hash"`
+		}
+		if err := json.Unmarshal(body, &info); err != nil || info.Hash == "" {
+			return OutcomeServerErr, ""
+		}
+		hash = info.Hash
+	}
+	resp, _, err := r.post(ctx, p.Endpoint+"/"+hash+"/solve", p.SolveBody)
+	if err != nil {
+		return classifyTransport(ctx), ""
+	}
+	if resp.StatusCode != http.StatusOK {
+		return classifyStatus(resp.StatusCode), resp.Header.Get("X-Cache")
+	}
+	return OutcomeOK, resp.Header.Get("X-Cache")
 }
 
 // followJob drives a 202 response to a terminal state: cancel kinds issue

@@ -1,0 +1,84 @@
+// Bit-identity tests for the incremental sweep surface (Sweeper,
+// ReduceCandidates): per-position sweep outputs reassembled in position
+// order must reproduce Extract exactly, including when the positions were
+// swept in separate batches — the caching contract internal/incremental
+// builds on.
+package pdcs_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hipo/internal/corpus"
+	"hipo/internal/discretize"
+	"hipo/internal/expt"
+	"hipo/internal/geom"
+	"hipo/internal/model"
+	"hipo/internal/pdcs"
+	"hipo/internal/power"
+	"hipo/internal/visindex"
+)
+
+// sweepReassemble runs the incremental surface end to end on a fresh clone:
+// cold positions, per-position sweeps, reduction in position order.
+func sweepReassemble(sc *model.Scenario, q int, cfg pdcs.Config, batches int) []pdcs.Candidate {
+	sc = visindex.Ensure(sc.Clone())
+	positions := discretize.CandidatePositions(sc, q, discretize.Config{
+		Eps1: cfg.Eps1, Workers: cfg.Workers,
+	})
+	sw := pdcs.NewSweeper(sc, q, cfg)
+	perPos := make([][]pdcs.Candidate, len(positions))
+	// Sweep the positions in `batches` interleaved subsets to model cache
+	// misses scattered across the position list, then slot each batch's
+	// outputs back by original index.
+	for b := 0; b < batches; b++ {
+		var idx []int
+		for i := b; i < len(positions); i += batches {
+			idx = append(idx, i)
+		}
+		sub := make([]geom.Vec, 0, len(idx))
+		for _, i := range idx {
+			sub = append(sub, positions[i])
+		}
+		out := sw.SweepPositions(sub)
+		for k, i := range idx {
+			perPos[i] = out[k]
+		}
+	}
+	return pdcs.ReduceCandidates(perPos, len(sc.Devices))
+}
+
+// TestSweeperMatchesExtract pins the Sweeper/ReduceCandidates contract
+// against Extract across corpus families: identical candidates bit for bit,
+// whether the positions are swept in one pass or in interleaved batches.
+func TestSweeperMatchesExtract(t *testing.T) {
+	eps1 := power.Eps1ForEps(wallEps)
+	for _, fam := range []string{"mixed-type", "clustered-devices", "dense-obstacles"} {
+		for i := 0; i < 2; i++ {
+			t.Run(fmt.Sprintf("%s/%d", fam, i), func(t *testing.T) {
+				sc, err := corpus.BuildModel(11, fam, i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				testSweeperScenario(t, sc, eps1)
+			})
+		}
+	}
+	t.Run("bench-scenario", func(t *testing.T) {
+		testSweeperScenario(t, expt.BenchScenario(3, 10, 2), eps1)
+	})
+}
+
+func testSweeperScenario(t *testing.T, sc *model.Scenario, eps1 float64) {
+	t.Helper()
+	for q := range sc.ChargerTypes {
+		cfg := pdcs.Config{Eps1: eps1, Workers: 4}
+		ref := pdcs.Extract(visindex.Ensure(sc.Clone()), q, cfg)
+		for _, batches := range []int{1, 3} {
+			got := sweepReassemble(sc, q, cfg, batches)
+			if !candidatesBitIdentical([][]pdcs.Candidate{ref}, [][]pdcs.Candidate{got}) {
+				t.Fatalf("type %d: sweep-reassemble (batches=%d) diverged from Extract", q, batches)
+			}
+		}
+	}
+}

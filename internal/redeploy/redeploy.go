@@ -6,6 +6,16 @@
 // overhead followed by total overhead (bottleneck matching via binary
 // search with Hall-feasibility checks, then Hungarian on the thresholded
 // graph).
+//
+// Unequal per-type counts — a scenario mutation can change how many
+// chargers of a type get bought — are handled by padding the cost matrix to
+// a square: surplus new strategies match against virtual "install" sources
+// at CostModel.PerInstall apiece, surplus old strategies match against
+// virtual "decommission" sinks at CostModel.PerDecommission. Because every
+// virtual row (column) carries one flat cost toward every real column
+// (row), the padding changes neither which real pairs the matching prefers
+// nor the optimal assignment among them; it only accounts for the
+// unavoidable installs/decommissions explicitly in the plan.
 package redeploy
 
 import (
@@ -16,16 +26,38 @@ import (
 	"hipo/internal/model"
 )
 
-// CostModel weighs the two components of switching overhead: moving a
-// charger and rotating it.
+// MoveKind classifies a plan entry.
+type MoveKind string
+
+const (
+	// KindMove is an existing charger transitioning between strategies.
+	KindMove MoveKind = ""
+	// KindInstall is a charger present only in the new placement: From is
+	// meaningless (set equal to To) and the cost is CostModel.PerInstall.
+	KindInstall MoveKind = "install"
+	// KindDecommission is a charger present only in the old placement: To is
+	// meaningless (set equal to From) and the cost is
+	// CostModel.PerDecommission.
+	KindDecommission MoveKind = "decommission"
+)
+
+// CostModel weighs the components of switching overhead: moving a charger,
+// rotating it, and standing one up or retiring it.
 type CostModel struct {
 	// PerMeter is the cost per unit travel distance.
 	PerMeter float64
 	// PerRadian is the cost per radian of rotation (smallest rotation).
 	PerRadian float64
+	// PerInstall is the flat cost of deploying a charger that has no old
+	// counterpart (new count exceeds old count for its type).
+	PerInstall float64
+	// PerDecommission is the flat cost of retiring a charger that has no
+	// new counterpart (old count exceeds new count for its type).
+	PerDecommission float64
 }
 
-// DefaultCostModel weighs a meter of travel like a radian of rotation.
+// DefaultCostModel weighs a meter of travel like a radian of rotation;
+// installs and decommissions are free unless priced explicitly.
 func DefaultCostModel() CostModel { return CostModel{PerMeter: 1, PerRadian: 1} }
 
 // Cost returns the switching overhead of transforming strategy a into b.
@@ -34,10 +66,11 @@ func (cm CostModel) Cost(a, b model.Strategy) float64 {
 }
 
 // Move describes one charger's transition from an old strategy to a new
-// one.
+// one, or an install/decommission when the per-type counts differ.
 type Move struct {
 	From, To model.Strategy
 	Cost     float64
+	Kind     MoveKind
 }
 
 // Plan is a complete redeployment: one move per charger.
@@ -59,9 +92,9 @@ func groupByType(ss []model.Strategy, nTypes int) [][]model.Strategy {
 }
 
 // MinTotal computes the redeployment plan minimizing the overall switching
-// overhead (Section 8.1.1): per charger type, a minimum-cost perfect
-// matching between old and new strategies. Old and new must contain the
-// same number of strategies of every type.
+// overhead (Section 8.1.1): per charger type, a minimum-cost matching
+// between old and new strategies, padded with installs/decommissions when
+// the counts differ.
 func MinTotal(old, new_ []model.Strategy, nTypes int, cm CostModel) (*Plan, error) {
 	return solve(old, new_, nTypes, cm, false)
 }
@@ -73,23 +106,40 @@ func MinMax(old, new_ []model.Strategy, nTypes int, cm CostModel) (*Plan, error)
 }
 
 func solve(old, new_ []model.Strategy, nTypes int, cm CostModel, bottleneck bool) (*Plan, error) {
+	for _, s := range old {
+		if s.Type < 0 || s.Type >= nTypes {
+			return nil, fmt.Errorf("redeploy: old strategy type %d out of range [0, %d)", s.Type, nTypes)
+		}
+	}
+	for _, s := range new_ {
+		if s.Type < 0 || s.Type >= nTypes {
+			return nil, fmt.Errorf("redeploy: new strategy type %d out of range [0, %d)", s.Type, nTypes)
+		}
+	}
 	og := groupByType(old, nTypes)
 	ng := groupByType(new_, nTypes)
 	plan := &Plan{}
 	for q := 0; q < nTypes; q++ {
-		if len(og[q]) != len(ng[q]) {
-			return nil, fmt.Errorf("redeploy: type %d has %d old but %d new strategies",
-				q, len(og[q]), len(ng[q]))
-		}
-		n := len(og[q])
+		nOld, nNew := len(og[q]), len(ng[q])
+		n := max(nOld, nNew)
 		if n == 0 {
 			continue
 		}
+		// Square cost matrix: rows past nOld are virtual install sources,
+		// columns past nNew are virtual decommission sinks. A virtual row
+		// meeting a virtual column is a no-op pairing at zero cost.
 		cost := make([][]float64, n)
 		for i := range cost {
 			cost[i] = make([]float64, n)
 			for j := range cost[i] {
-				cost[i][j] = cm.Cost(og[q][i], ng[q][j])
+				switch {
+				case i < nOld && j < nNew:
+					cost[i][j] = cm.Cost(og[q][i], ng[q][j])
+				case i < nOld: // real old, virtual sink
+					cost[i][j] = cm.PerDecommission
+				case j < nNew: // virtual source, real new
+					cost[i][j] = cm.PerInstall
+				}
 			}
 		}
 		var assign []int
@@ -103,7 +153,17 @@ func solve(old, new_ []model.Strategy, nTypes int, cm CostModel, bottleneck bool
 			return nil, fmt.Errorf("redeploy: type %d: %w", q, err)
 		}
 		for i, j := range assign {
-			mv := Move{From: og[q][i], To: ng[q][j], Cost: cost[i][j]}
+			var mv Move
+			switch {
+			case i < nOld && j < nNew:
+				mv = Move{From: og[q][i], To: ng[q][j], Cost: cost[i][j]}
+			case i < nOld:
+				mv = Move{From: og[q][i], To: og[q][i], Cost: cost[i][j], Kind: KindDecommission}
+			case j < nNew:
+				mv = Move{From: ng[q][j], To: ng[q][j], Cost: cost[i][j], Kind: KindInstall}
+			default:
+				continue // virtual-virtual pairing: not a charger
+			}
 			plan.Moves = append(plan.Moves, mv)
 			plan.Total += mv.Cost
 			if mv.Cost > plan.Max {

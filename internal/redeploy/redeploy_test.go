@@ -71,11 +71,145 @@ func TestTypesMatchedSeparately(t *testing.T) {
 	}
 }
 
-func TestMismatchedCounts(t *testing.T) {
+// TestSurplusNewInstalls covers the deficit direction: more new chargers
+// than old. The extra chargers must appear as install moves at PerInstall,
+// and the real pairs must still match minimally.
+func TestSurplusNewInstalls(t *testing.T) {
+	cm := CostModel{PerMeter: 1, PerRadian: 1, PerInstall: 2.5, PerDecommission: 9}
 	old := []model.Strategy{strat(0, 0, 0, 0)}
-	new_ := []model.Strategy{strat(0, 0, 0, 0), strat(1, 1, 0, 0)}
-	if _, err := MinTotal(old, new_, 1, DefaultCostModel()); err == nil {
-		t.Error("expected error for mismatched counts")
+	new_ := []model.Strategy{strat(1, 0, 0, 0), strat(50, 0, 0, 0), strat(51, 0, 0, 0)}
+	for name, solve := range map[string]func() (*Plan, error){
+		"MinTotal": func() (*Plan, error) { return MinTotal(old, new_, 1, cm) },
+		"MinMax":   func() (*Plan, error) { return MinMax(old, new_, 1, cm) },
+	} {
+		plan, err := solve()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(plan.Moves) != 3 {
+			t.Fatalf("%s: %d moves, want 3", name, len(plan.Moves))
+		}
+		installs, moves := 0, 0
+		for _, mv := range plan.Moves {
+			switch mv.Kind {
+			case KindInstall:
+				installs++
+				if mv.Cost != 2.5 {
+					t.Errorf("%s: install cost %v, want 2.5", name, mv.Cost)
+				}
+				if mv.From != mv.To {
+					t.Errorf("%s: install move has From %v != To %v", name, mv.From, mv.To)
+				}
+			case KindMove:
+				moves++
+				// The single real charger must take the cheap pairing.
+				if math.Abs(mv.Cost-1) > 1e-12 {
+					t.Errorf("%s: real move cost %v, want 1", name, mv.Cost)
+				}
+			default:
+				t.Errorf("%s: unexpected kind %q", name, mv.Kind)
+			}
+		}
+		if installs != 2 || moves != 1 {
+			t.Fatalf("%s: %d installs / %d moves, want 2/1", name, installs, moves)
+		}
+		if want := 1 + 2*2.5; math.Abs(plan.Total-want) > 1e-12 {
+			t.Errorf("%s: total %v, want %v", name, plan.Total, want)
+		}
+	}
+}
+
+// TestSurplusOldDecommissions covers the surplus direction: more old
+// chargers than new. Extras become decommission moves at PerDecommission.
+func TestSurplusOldDecommissions(t *testing.T) {
+	cm := CostModel{PerMeter: 1, PerRadian: 1, PerInstall: 9, PerDecommission: 0.75}
+	old := []model.Strategy{strat(0, 0, 0, 1), strat(10, 0, 0, 1), strat(20, 0, 0, 1)}
+	new_ := []model.Strategy{strat(21, 0, 0, 1)}
+	plan, err := MinTotal(old, new_, 2, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 3 {
+		t.Fatalf("%d moves, want 3", len(plan.Moves))
+	}
+	decomms, moves := 0, 0
+	for _, mv := range plan.Moves {
+		switch mv.Kind {
+		case KindDecommission:
+			decomms++
+			if mv.Cost != 0.75 {
+				t.Errorf("decommission cost %v, want 0.75", mv.Cost)
+			}
+			if mv.From != mv.To {
+				t.Errorf("decommission move has From %v != To %v", mv.From, mv.To)
+			}
+		case KindMove:
+			moves++
+			if math.Abs(mv.Cost-1) > 1e-12 {
+				t.Errorf("real move cost %v, want 1 (old at 20 -> new at 21)", mv.Cost)
+			}
+		default:
+			t.Errorf("unexpected kind %q", mv.Kind)
+		}
+	}
+	if decomms != 2 || moves != 1 {
+		t.Fatalf("%d decommissions / %d moves, want 2/1", decomms, moves)
+	}
+	if want := 1 + 2*0.75; math.Abs(plan.Total-want) > 1e-12 {
+		t.Errorf("total %v, want %v", plan.Total, want)
+	}
+}
+
+// TestMixedSurplusAcrossTypes: one type gains a charger while another loses
+// one — both paddings engage in the same plan, independently per type.
+func TestMixedSurplusAcrossTypes(t *testing.T) {
+	cm := CostModel{PerMeter: 1, PerInstall: 3, PerDecommission: 4}
+	old := []model.Strategy{strat(0, 0, 0, 0), strat(5, 0, 0, 1), strat(6, 0, 0, 1)}
+	new_ := []model.Strategy{strat(0, 0, 0, 0), strat(2, 0, 0, 0), strat(5, 0, 0, 1)}
+	plan, err := MinTotal(old, new_, 2, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[MoveKind]int{}
+	for _, mv := range plan.Moves {
+		kinds[mv.Kind]++
+	}
+	if kinds[KindInstall] != 1 || kinds[KindDecommission] != 1 || kinds[KindMove] != 2 {
+		t.Fatalf("kind histogram %v, want 1 install / 1 decommission / 2 moves", kinds)
+	}
+	// type 0: identity move (0) + install (3); type 1: identity move (0) +
+	// decommission (4).
+	if want := 3.0 + 4.0; math.Abs(plan.Total-want) > 1e-12 {
+		t.Errorf("total %v, want %v", plan.Total, want)
+	}
+}
+
+// TestPaddingDoesNotPerturbRealMatching: with padding present, the real
+// pairs must still take the assignment they would take in a balanced
+// instance (flat virtual costs cannot bias among real pairings).
+func TestPaddingDoesNotPerturbRealMatching(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(4)
+		var old, new_ []model.Strategy
+		for i := 0; i < n; i++ {
+			old = append(old, strat(rng.Float64()*20, rng.Float64()*20, 0, 0))
+			new_ = append(new_, strat(rng.Float64()*20, rng.Float64()*20, 0, 0))
+		}
+		cm := CostModel{PerMeter: 1, PerInstall: 100, PerDecommission: 100}
+		balanced, err := MinTotal(old, new_, 1, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Add one far-away new charger: it must become the install (every
+		// real old charger is closer to its balanced partner than to it).
+		padded, err := MinTotal(old, append(new_, strat(1e6, 1e6, 0, 0)), 1, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := balanced.Total + 100; math.Abs(padded.Total-want) > 1e-9 {
+			t.Fatalf("trial %d: padded total %v, want balanced %v + 100", trial, padded.Total, balanced.Total)
+		}
 	}
 }
 

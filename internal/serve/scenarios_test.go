@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+
+	"hipo"
+)
+
+// registerScenario registers sc and returns its hash.
+func registerScenario(t *testing.T, url string, sc *hipo.Scenario) string {
+	t.Helper()
+	resp, body := postJSON(t, url+"/v1/scenarios", map[string]any{"scenario": sc})
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	var info scenarioInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ScenarioHash == "" {
+		t.Fatalf("register returned no hash: %s", body)
+	}
+	return info.ScenarioHash
+}
+
+// TestScenarioRegisterMutateSolve is the acceptance flow: register, solve,
+// mutate, incremental solve — with the incremental placement matching a
+// cold /v1/solve of the mutated scenario bit for bit, and the session
+// reusing caches across the chain.
+func TestScenarioRegisterMutateSolve(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	sc := testScenario()
+	hash := registerScenario(t, ts.URL, sc)
+
+	// Re-registering is idempotent and answers 200 with the same hash.
+	resp, body := postJSON(t, ts.URL+"/v1/scenarios", map[string]any{"scenario": sc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-register: %d %s", resp.StatusCode, body)
+	}
+
+	// Prime the session on the root.
+	resp, body = postJSON(t, ts.URL+"/v1/scenarios/"+hash+"/solve",
+		map[string]any{"options": SolveOptions{Eps: 0.3}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("root solve: %d %s", resp.StatusCode, body)
+	}
+
+	// Mutate: move one device, add another.
+	muts := []hipo.Mutation{
+		hipo.MutateMoveDevice(0, hipo.Point{X: 12, Y: 9}, 0.4),
+		hipo.MutateAddDevice(hipo.Device{Pos: hipo.Point{X: 6, Y: 22}, Orient: 1.1}),
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/scenarios/"+hash+"/mutate",
+		map[string]any{"mutations": muts})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("mutate: %d %s", resp.StatusCode, body)
+	}
+	var child scenarioInfo
+	if err := json.Unmarshal(body, &child); err != nil {
+		t.Fatal(err)
+	}
+	if child.Parent != hash || child.ScenarioHash == hash || child.Devices != len(sc.Devices)+1 {
+		t.Fatalf("mutate info = %+v", child)
+	}
+
+	// Incremental solve of the child must advance the live session.
+	resp, body = postJSON(t, ts.URL+"/v1/scenarios/"+child.ScenarioHash+"/solve",
+		map[string]any{"options": SolveOptions{Eps: 0.3}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("child solve: %d %s", resp.StatusCode, body)
+	}
+	var got scenarioSolveResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	// The 30×30 test scenario is small relative to d_max, so every
+	// discretization task is in the blast radius — but position sweeps
+	// outside it must still be served from the session cache.
+	if got.Stats == nil || got.Stats.SweepsReused == 0 || got.Stats.Mutations != 2 {
+		t.Fatalf("incremental solve did not reuse session caches: %s", body)
+	}
+	var incr hipo.Placement
+	if err := json.Unmarshal(got.Placement, &incr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold reference through the plain solve endpoint on the mutated scenario.
+	mutated := testScenario()
+	mutated.Devices[0].Pos, mutated.Devices[0].Orient = hipo.Point{X: 12, Y: 9}, 0.4
+	mutated.Devices = append(mutated.Devices, hipo.Device{Pos: hipo.Point{X: 6, Y: 22}, Orient: 1.1})
+	resp, body = postJSON(t, ts.URL+"/v1/solve",
+		SolveRequest{Scenario: mutated, Options: SolveOptions{Eps: 0.3}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold solve: %d %s", resp.StatusCode, body)
+	}
+	var cold hipo.Placement
+	if err := json.Unmarshal(body, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(incr.Utility) != math.Float64bits(cold.Utility) {
+		t.Fatalf("incremental utility %v != cold %v", incr.Utility, cold.Utility)
+	}
+	if len(incr.Chargers) != len(cold.Chargers) {
+		t.Fatalf("incremental %d chargers, cold %d", len(incr.Chargers), len(cold.Chargers))
+	}
+	for i := range incr.Chargers {
+		if incr.Chargers[i] != cold.Chargers[i] {
+			t.Fatalf("charger %d: %+v vs cold %+v", i, incr.Chargers[i], cold.Chargers[i])
+		}
+	}
+
+	// Repeating the child solve hits the solve cache with the same placement
+	// bytes and no stats (nothing ran).
+	resp, body2 := postJSON(t, ts.URL+"/v1/scenarios/"+child.ScenarioHash+"/solve",
+		map[string]any{"options": SolveOptions{Eps: 0.3}})
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("repeat solve: %d X-Cache=%q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	var cached scenarioSolveResponse
+	if err := json.Unmarshal(body2, &cached); err != nil {
+		t.Fatal(err)
+	}
+	if cached.Stats != nil || string(cached.Placement) != string(got.Placement) {
+		t.Fatalf("cache hit diverged: %s", body2)
+	}
+
+	// GET returns the stored child scenario with its parent link.
+	resp, body = getBody(t, ts.URL+"/v1/scenarios/"+child.ScenarioHash)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get: %d %s", resp.StatusCode, body)
+	}
+	var fetched struct {
+		scenarioInfo
+		Scenario *hipo.Scenario `json:"scenario"`
+	}
+	if err := json.Unmarshal(body, &fetched); err != nil {
+		t.Fatal(err)
+	}
+	if fetched.Parent != hash || fetched.Scenario == nil || len(fetched.Scenario.Devices) != 3 {
+		t.Fatalf("get = %s", body)
+	}
+}
+
+// TestScenarioChainAdvance chains two mutate steps and solves only the
+// final hash: the session must replay both batches from the root session
+// rather than rebuilding cold.
+func TestScenarioChainAdvance(t *testing.T) {
+	ts, s := newTestServer(t, Config{})
+	hash := registerScenario(t, ts.URL, testScenario())
+
+	resp, body := postJSON(t, ts.URL+"/v1/scenarios/"+hash+"/solve", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("root solve: %d %s", resp.StatusCode, body)
+	}
+
+	cur := hash
+	for _, m := range []hipo.Mutation{
+		hipo.MutateMoveDevice(1, hipo.Point{X: 18, Y: 17}, 2.2),
+		hipo.MutateAddObstacle(hipo.Obstacle{Vertices: []hipo.Point{
+			{X: 3, Y: 3}, {X: 5, Y: 3}, {X: 5, Y: 5}, {X: 3, Y: 5}}}),
+	} {
+		resp, body = postJSON(t, ts.URL+"/v1/scenarios/"+cur+"/mutate",
+			map[string]any{"mutations": []hipo.Mutation{m}})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("mutate: %d %s", resp.StatusCode, body)
+		}
+		var info scenarioInfo
+		if err := json.Unmarshal(body, &info); err != nil {
+			t.Fatal(err)
+		}
+		cur = info.ScenarioHash
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/scenarios/"+cur+"/solve", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chain solve: %d %s", resp.StatusCode, body)
+	}
+	var got scenarioSolveResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats == nil || got.Stats.Mutations != 2 || got.Stats.Solves != 2 {
+		t.Fatalf("session did not advance along the chain: %s", body)
+	}
+	if c := s.incAdvanced.Value(); c != 1 {
+		t.Fatalf("incremental_advanced_total = %d, want 1", c)
+	}
+}
+
+// TestScenarioEndpointErrors covers the rejection paths.
+func TestScenarioEndpointErrors(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	hash := registerScenario(t, ts.URL, testScenario())
+
+	cases := []struct {
+		name   string
+		url    string
+		body   any
+		status int
+	}{
+		{"register-nil", "/v1/scenarios", map[string]any{}, http.StatusBadRequest},
+		{"register-invalid", "/v1/scenarios", map[string]any{"scenario": &hipo.Scenario{}}, http.StatusBadRequest},
+		{"mutate-unknown-hash", "/v1/scenarios/deadbeef/mutate",
+			map[string]any{"mutations": []hipo.Mutation{hipo.MutateRemoveDevice(0)}}, http.StatusNotFound},
+		{"mutate-empty", "/v1/scenarios/" + hash + "/mutate",
+			map[string]any{"mutations": []hipo.Mutation{}}, http.StatusBadRequest},
+		{"mutate-bad-op", "/v1/scenarios/" + hash + "/mutate",
+			map[string]any{"mutations": []hipo.Mutation{{Op: "teleport_device"}}}, http.StatusBadRequest},
+		{"mutate-bad-index", "/v1/scenarios/" + hash + "/mutate",
+			map[string]any{"mutations": []hipo.Mutation{hipo.MutateRemoveDevice(99)}}, http.StatusBadRequest},
+		{"solve-unknown-hash", "/v1/scenarios/deadbeef/solve", map[string]any{}, http.StatusNotFound},
+		{"solve-bad-eps", "/v1/scenarios/" + hash + "/solve",
+			map[string]any{"options": SolveOptions{Eps: 0.7}}, http.StatusBadRequest},
+		{"solve-per-type", "/v1/scenarios/" + hash + "/solve",
+			map[string]any{"options": SolveOptions{PerType: true}}, http.StatusBadRequest},
+		{"solve-continuous", "/v1/scenarios/" + hash + "/solve",
+			map[string]any{"options": SolveOptions{Continuous: true}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+tc.url, tc.body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("%s: %d %s, want %d", tc.url, resp.StatusCode, body, tc.status)
+			}
+		})
+	}
+
+	// A rejected mutation must not register a child.
+	resp, _ := getBody(t, ts.URL+"/v1/scenarios/"+hash)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("parent vanished after rejected mutation: %d", resp.StatusCode)
+	}
+}

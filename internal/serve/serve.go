@@ -35,6 +35,10 @@ type Config struct {
 	QueueDepth int
 	// CacheSize is the solve-cache capacity in entries.
 	CacheSize int
+	// ScenarioCapacity bounds the scenario registry (entries beyond it are
+	// evicted least-recently-used, which can break long mutation chains —
+	// an incremental solve across a broken link falls back to a cold run).
+	ScenarioCapacity int
 	// SyncTimeout is the request deadline for synchronous solves;
 	// JobTimeout (0 = none) bounds each async job.
 	SyncTimeout time.Duration
@@ -67,6 +71,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize <= 0 {
 		c.CacheSize = 256
 	}
+	if c.ScenarioCapacity <= 0 {
+		c.ScenarioCapacity = 64
+	}
 	if c.SyncTimeout <= 0 {
 		c.SyncTimeout = 30 * time.Second
 	}
@@ -82,18 +89,21 @@ func (c Config) withDefaults() Config {
 // Server wires the job manager, solve cache, and metrics registry behind
 // the HTTP mux.
 type Server struct {
-	cfg   Config
-	jobs  *jobs.Manager
-	cache *solvecache.Cache
-	reg   *servemetrics.Registry
-	log   *slog.Logger
-	mux   *http.ServeMux
+	cfg       Config
+	jobs      *jobs.Manager
+	cache     *solvecache.Cache
+	scenarios *scenarioStore
+	reg       *servemetrics.Registry
+	log       *slog.Logger
+	mux       *http.ServeMux
 
 	cacheHits    *servemetrics.Counter
 	cacheMisses  *servemetrics.Counter
 	jobsQueued   *servemetrics.Counter
 	jobsEvicted  *servemetrics.Counter
 	jobsRejected *servemetrics.Counter
+	incAdvanced  *servemetrics.Counter
+	incRebuilt   *servemetrics.Counter
 }
 
 // New builds a fully wired server from cfg. ctx is the base context for
@@ -101,11 +111,12 @@ type Server struct {
 func New(ctx context.Context, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: solvecache.New(cfg.CacheSize),
-		reg:   servemetrics.NewRegistry(),
-		log:   cfg.Logger,
-		mux:   http.NewServeMux(),
+		cfg:       cfg,
+		cache:     solvecache.New(cfg.CacheSize),
+		scenarios: newScenarioStore(cfg.ScenarioCapacity),
+		reg:       servemetrics.NewRegistry(),
+		log:       cfg.Logger,
+		mux:       http.NewServeMux(),
 	}
 	s.cacheHits = s.reg.Counter("hiposerve_cache_hits_total",
 		"Solve-cache hits across all solve endpoints.")
@@ -117,6 +128,10 @@ func New(ctx context.Context, cfg Config) *Server {
 		"Terminal jobs evicted by the retention policy (TTL or cap).")
 	s.jobsRejected = s.reg.Counter("hiposerve_jobs_rejected_total",
 		"Async submits load-shed with 429 because the queue was saturated.")
+	s.incAdvanced = s.reg.Counter("hiposerve_incremental_advanced_total",
+		"Incremental solves that reused a live session by replaying a mutation chain.")
+	s.incRebuilt = s.reg.Counter("hiposerve_incremental_rebuilt_total",
+		"Incremental solves that had to build a session cold.")
 	s.jobs = jobs.NewManager(ctx, jobs.Config{
 		Workers:     cfg.Workers,
 		Depth:       cfg.QueueDepth,
@@ -140,6 +155,9 @@ func New(ctx context.Context, cfg Config) *Server {
 			}
 			return float64(hits) / float64(hits+misses)
 		})
+	s.reg.Gauge("hiposerve_scenarios_tracked",
+		"Scenarios currently held by the registry.",
+		func() float64 { return float64(s.scenarios.len()) })
 	s.reg.Gauge("hiposerve_jobs_queue_depth",
 		"Jobs buffered in the queue awaiting a worker.",
 		func() float64 { return float64(s.jobs.QueueDepth()) })
@@ -173,6 +191,10 @@ func (s *Server) routes() {
 		s.solveHandler("/v1/solve/maxmin", runMaxMin)))
 	s.mux.HandleFunc("POST /v1/solve/propfair", s.instrument("/v1/solve/propfair",
 		s.solveHandler("/v1/solve/propfair", runPropFair)))
+	s.mux.HandleFunc("POST /v1/scenarios", s.instrument("/v1/scenarios", s.handleScenarioRegister))
+	s.mux.HandleFunc("GET /v1/scenarios/{hash}", s.instrument("/v1/scenarios", s.handleScenarioGet))
+	s.mux.HandleFunc("POST /v1/scenarios/{hash}/mutate", s.instrument("/v1/scenarios/mutate", s.handleScenarioMutate))
+	s.mux.HandleFunc("POST /v1/scenarios/{hash}/solve", s.instrument("/v1/scenarios/solve", s.handleScenarioSolve))
 	s.mux.HandleFunc("POST /v1/evaluate", s.instrument("/v1/evaluate", s.handleEvaluate))
 	s.mux.HandleFunc("POST /v1/redeploy", s.instrument("/v1/redeploy", s.handleRedeploy))
 	s.mux.HandleFunc("POST /v1/diagnostics", s.instrument("/v1/diagnostics", s.handleDiagnostics))
@@ -254,14 +276,16 @@ type SolveOptions struct {
 }
 
 func (o SolveOptions) validate() error {
-	if o.Eps != 0 && (o.Eps <= 0 || o.Eps >= 0.5) {
-		return fmt.Errorf("options.eps must be in (0, 0.5), got %v", o.Eps)
+	// The range test is written positively so a NaN eps (which fails every
+	// comparison) cannot sneak through as "in range".
+	if o.Eps != 0 && !(o.Eps > 0 && o.Eps < 0.5) {
+		return fieldErrf("options.eps", "must be in (0, 0.5), got %v", o.Eps)
 	}
 	if o.Workers < 0 {
-		return fmt.Errorf("options.workers must be >= 0, got %d", o.Workers)
+		return fieldErrf("options.workers", "must be >= 0, got %d", o.Workers)
 	}
 	if o.PerType && o.Continuous {
-		return errors.New("options.per_type and options.continuous are mutually exclusive")
+		return fieldErrf("options", "per_type and continuous are mutually exclusive")
 	}
 	return nil
 }
@@ -360,9 +384,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func writeError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
+	body := map[string]string{"error": err.Error()}
+	var fe *fieldError
+	if errors.As(err, &fe) {
+		body["field"] = fe.field
+	}
 	// The status line is already on the wire; an encode failure here means
 	// the client went away.
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	_ = json.NewEncoder(w).Encode(body)
 }
 
 // cacheKey derives the canonical key: endpoint + scenario content hash +
@@ -405,7 +434,22 @@ func (s *Server) solveHandler(endpoint string, run solveFn) http.HandlerFunc {
 		case "", "auto", "sync", "async":
 		default:
 			writeError(w, http.StatusBadRequest,
-				fmt.Errorf("mode must be sync, async, or auto; got %q", req.Mode))
+				fieldErrf("mode", "must be sync, async, or auto; got %q", req.Mode))
+			return
+		}
+		if req.Iterations < 0 {
+			writeError(w, http.StatusBadRequest,
+				fieldErrf("iterations", "must be >= 0, got %d", req.Iterations))
+			return
+		}
+		if req.Budget != nil {
+			if err := validateBudget("budget", req.Budget); err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		if err := validateScenario("scenario", req.Scenario); err != nil {
+			writeError(w, http.StatusBadRequest, err)
 			return
 		}
 		if err := req.Scenario.Validate(); err != nil {
@@ -585,6 +629,14 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("scenario and placement are required"))
 		return
 	}
+	if err := validateScenario("scenario", req.Scenario); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := validatePlacement("placement", req.Scenario, req.Placement); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	m, err := req.Scenario.Evaluate(req.Placement)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -611,6 +663,22 @@ func (s *Server) handleRedeploy(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Scenario == nil || req.Old == nil || req.New == nil {
 		writeError(w, http.StatusBadRequest, errors.New("scenario, old, and new are required"))
+		return
+	}
+	if err := validateScenario("scenario", req.Scenario); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := validatePlacement("old", req.Scenario, req.Old); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := validatePlacement("new", req.Scenario, req.New); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := validateRedeployCost("cost", req.Cost); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	var plan *hipo.RedeployPlan
@@ -653,6 +721,15 @@ func (s *Server) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Scenario == nil {
 		writeError(w, http.StatusBadRequest, errors.New("scenario is required"))
+		return
+	}
+	if err := validateScenario("scenario", req.Scenario); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Eps != 0 && !(req.Eps > 0 && req.Eps < 1) {
+		writeError(w, http.StatusBadRequest,
+			fieldErrf("eps", "must be in (0, 1), got %v", req.Eps))
 		return
 	}
 	sc := req.Scenario

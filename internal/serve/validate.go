@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"hipo"
+)
+
+// fieldError is a 400-class request defect annotated with the JSON path of
+// the offending field. writeError surfaces the path in a dedicated "field"
+// response key so clients can point at the exact input that was rejected
+// instead of re-reading a prose message.
+type fieldError struct {
+	field string
+	msg   string
+}
+
+func (e *fieldError) Error() string { return e.field + ": " + e.msg }
+
+func fieldErrf(field, format string, args ...any) *fieldError {
+	return &fieldError{field: field, msg: fmt.Sprintf(format, args...)}
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// maxAlpha mirrors the model's angle bound (2π plus the geometric epsilon).
+const maxAlpha = 2*math.Pi + 1e-9
+
+// validateScenario rejects decode-level garbage — NaN/Inf coordinates,
+// out-of-range angles, non-positive thresholds, bad type indexes — with a
+// precise field path. Deeper semantic checks (devices inside obstacles,
+// degenerate polygons, region containment) remain with Scenario.Validate,
+// which runs after this and already maps to 400.
+func validateScenario(path string, s *hipo.Scenario) error {
+	for _, c := range []struct {
+		field string
+		v     float64
+	}{
+		{".min.x", s.Min.X}, {".min.y", s.Min.Y},
+		{".max.x", s.Max.X}, {".max.y", s.Max.Y},
+	} {
+		if !finite(c.v) {
+			return fieldErrf(path+c.field, "must be finite, got %v", c.v)
+		}
+	}
+	for q, ct := range s.ChargerTypes {
+		p := fmt.Sprintf("%s.charger_types[%d]", path, q)
+		switch {
+		case !finite(ct.Alpha):
+			return fieldErrf(p+".alpha", "must be finite, got %v", ct.Alpha)
+		case ct.Alpha <= 0 || ct.Alpha > maxAlpha:
+			return fieldErrf(p+".alpha", "must be in (0, 2π], got %v", ct.Alpha)
+		case !finite(ct.DMin):
+			return fieldErrf(p+".dmin", "must be finite, got %v", ct.DMin)
+		case !finite(ct.DMax):
+			return fieldErrf(p+".dmax", "must be finite, got %v", ct.DMax)
+		case ct.DMin < 0:
+			return fieldErrf(p+".dmin", "must be >= 0, got %v", ct.DMin)
+		case ct.DMax <= ct.DMin:
+			return fieldErrf(p+".dmax", "must exceed dmin %v, got %v", ct.DMin, ct.DMax)
+		case ct.Count < 0:
+			return fieldErrf(p+".count", "must be >= 0, got %d", ct.Count)
+		}
+	}
+	for t, dt := range s.DeviceTypes {
+		p := fmt.Sprintf("%s.device_types[%d]", path, t)
+		switch {
+		case !finite(dt.Alpha):
+			return fieldErrf(p+".alpha", "must be finite, got %v", dt.Alpha)
+		case dt.Alpha <= 0 || dt.Alpha > maxAlpha:
+			return fieldErrf(p+".alpha", "must be in (0, 2π], got %v", dt.Alpha)
+		case !finite(dt.PTh):
+			return fieldErrf(p+".pth", "must be finite, got %v", dt.PTh)
+		case dt.PTh <= 0:
+			return fieldErrf(p+".pth", "must be > 0, got %v", dt.PTh)
+		}
+	}
+	for q, row := range s.Power {
+		for t, pp := range row {
+			p := fmt.Sprintf("%s.power[%d][%d]", path, q, t)
+			switch {
+			case !finite(pp.A):
+				return fieldErrf(p+".a", "must be finite, got %v", pp.A)
+			case !finite(pp.B):
+				return fieldErrf(p+".b", "must be finite, got %v", pp.B)
+			case pp.A <= 0:
+				return fieldErrf(p+".a", "must be > 0, got %v", pp.A)
+			case pp.B <= 0:
+				return fieldErrf(p+".b", "must be > 0, got %v", pp.B)
+			}
+		}
+	}
+	for i, d := range s.Devices {
+		p := fmt.Sprintf("%s.devices[%d]", path, i)
+		switch {
+		case !finite(d.Pos.X):
+			return fieldErrf(p+".pos.x", "must be finite, got %v", d.Pos.X)
+		case !finite(d.Pos.Y):
+			return fieldErrf(p+".pos.y", "must be finite, got %v", d.Pos.Y)
+		case !finite(d.Orient):
+			return fieldErrf(p+".orient", "must be finite, got %v", d.Orient)
+		case d.Type < 0 || d.Type >= len(s.DeviceTypes):
+			return fieldErrf(p+".type", "must index device_types (0..%d), got %d",
+				len(s.DeviceTypes)-1, d.Type)
+		}
+	}
+	for h, o := range s.Obstacles {
+		for k, v := range o.Vertices {
+			p := fmt.Sprintf("%s.obstacles[%d].vertices[%d]", path, h, k)
+			if !finite(v.X) {
+				return fieldErrf(p+".x", "must be finite, got %v", v.X)
+			}
+			if !finite(v.Y) {
+				return fieldErrf(p+".y", "must be finite, got %v", v.Y)
+			}
+		}
+	}
+	return nil
+}
+
+// validatePlacement guards the placement-scoring paths (evaluate, redeploy):
+// an out-of-range charger type would index past the scenario's type tables
+// deep inside the power model, and non-finite strategies would propagate NaN
+// into every metric.
+func validatePlacement(path string, s *hipo.Scenario, p *hipo.Placement) error {
+	for i, c := range p.Chargers {
+		fp := fmt.Sprintf("%s.chargers[%d]", path, i)
+		switch {
+		case !finite(c.Pos.X):
+			return fieldErrf(fp+".pos.x", "must be finite, got %v", c.Pos.X)
+		case !finite(c.Pos.Y):
+			return fieldErrf(fp+".pos.y", "must be finite, got %v", c.Pos.Y)
+		case !finite(c.Orient):
+			return fieldErrf(fp+".orient", "must be finite, got %v", c.Orient)
+		case c.Type < 0 || c.Type >= len(s.ChargerTypes):
+			return fieldErrf(fp+".type", "must index charger_types (0..%d), got %d",
+				len(s.ChargerTypes)-1, c.Type)
+		}
+	}
+	return nil
+}
+
+// validateBudget rejects non-positive or non-finite deployment budgets and
+// negative cost rates before they reach the cost-benefit greedy (which would
+// otherwise return a silently empty placement for budget <= 0).
+func validateBudget(path string, b *hipo.DeploymentBudget) error {
+	switch {
+	case !finite(b.Depot.X):
+		return fieldErrf(path+".depot.x", "must be finite, got %v", b.Depot.X)
+	case !finite(b.Depot.Y):
+		return fieldErrf(path+".depot.y", "must be finite, got %v", b.Depot.Y)
+	case !finite(b.PerMeter) || b.PerMeter < 0:
+		return fieldErrf(path+".per_meter", "must be finite and >= 0, got %v", b.PerMeter)
+	case !finite(b.PerRadian) || b.PerRadian < 0:
+		return fieldErrf(path+".per_radian", "must be finite and >= 0, got %v", b.PerRadian)
+	case !finite(b.PerWatt) || b.PerWatt < 0:
+		return fieldErrf(path+".per_watt", "must be finite and >= 0, got %v", b.PerWatt)
+	case !finite(b.Budget) || b.Budget <= 0:
+		return fieldErrf(path+".budget", "must be finite and > 0, got %v", b.Budget)
+	}
+	for i, tp := range b.TypePower {
+		if !finite(tp) || tp < 0 {
+			return fieldErrf(fmt.Sprintf("%s.type_power[%d]", path, i),
+				"must be finite and >= 0, got %v", tp)
+		}
+	}
+	return nil
+}
+
+// validateRedeployCost keeps switching-cost rates finite and non-negative so
+// the matching objective stays well-defined.
+func validateRedeployCost(path string, c hipo.RedeployCost) error {
+	for _, f := range []struct {
+		field string
+		v     float64
+	}{
+		{".per_meter", c.PerMeter}, {".per_radian", c.PerRadian},
+		{".per_install", c.PerInstall}, {".per_decommission", c.PerDecommission},
+	} {
+		if !finite(f.v) || f.v < 0 {
+			return fieldErrf(path+f.field, "must be finite and >= 0, got %v", f.v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"hipo"
+)
+
+// TestValidatorsFieldPaths drives the request validators directly with the
+// non-representable-in-JSON garbage (NaN/Inf reaches them via in-process
+// embedding, e.g. cmd/hipoload) and asserts each rejection names the exact
+// offending field.
+func TestValidatorsFieldPaths(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+
+	t.Run("scenario", func(t *testing.T) {
+		cases := []struct {
+			name   string
+			mutate func(*hipo.Scenario)
+			field  string
+		}{
+			{"nan-min", func(s *hipo.Scenario) { s.Min.X = nan }, "scenario.min.x"},
+			{"inf-max", func(s *hipo.Scenario) { s.Max.Y = inf }, "scenario.max.y"},
+			{"alpha-zero", func(s *hipo.Scenario) { s.ChargerTypes[0].Alpha = 0 }, "scenario.charger_types[0].alpha"},
+			{"alpha-over", func(s *hipo.Scenario) { s.ChargerTypes[0].Alpha = 7 }, "scenario.charger_types[0].alpha"},
+			{"alpha-nan", func(s *hipo.Scenario) { s.ChargerTypes[0].Alpha = nan }, "scenario.charger_types[0].alpha"},
+			{"dmin-neg", func(s *hipo.Scenario) { s.ChargerTypes[0].DMin = -1 }, "scenario.charger_types[0].dmin"},
+			{"dmax-inverted", func(s *hipo.Scenario) { s.ChargerTypes[0].DMax = 1 }, "scenario.charger_types[0].dmax"},
+			{"count-neg", func(s *hipo.Scenario) { s.ChargerTypes[0].Count = -1 }, "scenario.charger_types[0].count"},
+			{"dev-alpha", func(s *hipo.Scenario) { s.DeviceTypes[0].Alpha = -2 }, "scenario.device_types[0].alpha"},
+			{"pth-zero", func(s *hipo.Scenario) { s.DeviceTypes[0].PTh = 0 }, "scenario.device_types[0].pth"},
+			{"power-a", func(s *hipo.Scenario) { s.Power[0][0].A = nan }, "scenario.power[0][0].a"},
+			{"power-b-neg", func(s *hipo.Scenario) { s.Power[0][0].B = -3 }, "scenario.power[0][0].b"},
+			{"device-pos", func(s *hipo.Scenario) { s.Devices[1].Pos.X = inf }, "scenario.devices[1].pos.x"},
+			{"device-orient", func(s *hipo.Scenario) { s.Devices[0].Orient = nan }, "scenario.devices[0].orient"},
+			{"device-type", func(s *hipo.Scenario) { s.Devices[0].Type = 3 }, "scenario.devices[0].type"},
+			{"obstacle-vertex", func(s *hipo.Scenario) {
+				s.Obstacles = []hipo.Obstacle{{Vertices: []hipo.Point{{X: 1, Y: 1}, {X: 2, Y: nan}, {X: 2, Y: 2}}}}
+			}, "scenario.obstacles[0].vertices[1].y"},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				sc := testScenario()
+				tc.mutate(sc)
+				err := validateScenario("scenario", sc)
+				var fe *fieldError
+				if err == nil {
+					t.Fatal("validateScenario accepted the mutation")
+				}
+				if !asFieldError(err, &fe) || fe.field != tc.field {
+					t.Fatalf("error %v, want field %s", err, tc.field)
+				}
+			})
+		}
+		if err := validateScenario("scenario", testScenario()); err != nil {
+			t.Fatalf("valid scenario rejected: %v", err)
+		}
+	})
+
+	t.Run("placement", func(t *testing.T) {
+		sc := testScenario()
+		cases := []struct {
+			name  string
+			p     hipo.Placement
+			field string
+		}{
+			{"nan-pos", hipo.Placement{Chargers: []hipo.PlacedCharger{{Pos: hipo.Point{X: nan}}}},
+				"placement.chargers[0].pos.x"},
+			{"inf-orient", hipo.Placement{Chargers: []hipo.PlacedCharger{{Orient: inf}}},
+				"placement.chargers[0].orient"},
+			{"type-oob", hipo.Placement{Chargers: []hipo.PlacedCharger{{Pos: hipo.Point{X: 1, Y: 1}}, {Type: 9}}},
+				"placement.chargers[1].type"},
+			{"type-neg", hipo.Placement{Chargers: []hipo.PlacedCharger{{Type: -1}}},
+				"placement.chargers[0].type"},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				err := validatePlacement("placement", sc, &tc.p)
+				var fe *fieldError
+				if err == nil || !asFieldError(err, &fe) || fe.field != tc.field {
+					t.Fatalf("error %v, want field %s", err, tc.field)
+				}
+			})
+		}
+	})
+
+	t.Run("budget", func(t *testing.T) {
+		cases := []struct {
+			name   string
+			mutate func(*hipo.DeploymentBudget)
+			field  string
+		}{
+			{"zero-budget", func(b *hipo.DeploymentBudget) { b.Budget = 0 }, "budget.budget"},
+			{"neg-budget", func(b *hipo.DeploymentBudget) { b.Budget = -4 }, "budget.budget"},
+			{"nan-budget", func(b *hipo.DeploymentBudget) { b.Budget = nan }, "budget.budget"},
+			{"nan-depot", func(b *hipo.DeploymentBudget) { b.Depot.X = nan }, "budget.depot.x"},
+			{"neg-rate", func(b *hipo.DeploymentBudget) { b.PerMeter = -1 }, "budget.per_meter"},
+			{"inf-watt", func(b *hipo.DeploymentBudget) { b.PerWatt = inf }, "budget.per_watt"},
+			{"neg-type-power", func(b *hipo.DeploymentBudget) { b.TypePower = []float64{1, -2} }, "budget.type_power[1]"},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				b := &hipo.DeploymentBudget{PerMeter: 1, PerRadian: 1, Budget: 50}
+				tc.mutate(b)
+				err := validateBudget("budget", b)
+				var fe *fieldError
+				if err == nil || !asFieldError(err, &fe) || fe.field != tc.field {
+					t.Fatalf("error %v, want field %s", err, tc.field)
+				}
+			})
+		}
+	})
+
+	t.Run("redeploy-cost", func(t *testing.T) {
+		err := validateRedeployCost("cost", hipo.RedeployCost{PerMeter: 1, PerInstall: nan})
+		var fe *fieldError
+		if err == nil || !asFieldError(err, &fe) || fe.field != "cost.per_install" {
+			t.Fatalf("error %v, want field cost.per_install", err)
+		}
+		if err := validateRedeployCost("cost", hipo.RedeployCost{PerMeter: 1, PerRadian: 2}); err != nil {
+			t.Fatalf("valid cost rejected: %v", err)
+		}
+	})
+}
+
+func asFieldError(err error, fe **fieldError) bool {
+	for err != nil {
+		if e, ok := err.(*fieldError); ok {
+			*fe = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// TestHandlersRejectInvalidRequests runs representable request garbage
+// through the full HTTP stack and asserts 400 plus the "field" key in the
+// error body. The evaluate case with an out-of-range charger type used to
+// panic inside the power model instead of 400ing.
+func TestHandlersRejectInvalidRequests(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	sc := testScenario()
+
+	cases := []struct {
+		name     string
+		endpoint string
+		body     any
+		field    string
+	}{
+		{"solve-bad-eps", "/v1/solve",
+			SolveRequest{Scenario: sc, Options: SolveOptions{Eps: 0.7}}, "options.eps"},
+		{"solve-neg-workers", "/v1/solve",
+			SolveRequest{Scenario: sc, Options: SolveOptions{Workers: -2}}, "options.workers"},
+		{"solve-neg-iterations", "/v1/solve/maxmin",
+			SolveRequest{Scenario: sc, Iterations: -1}, "iterations"},
+		{"solve-bad-alpha", "/v1/solve",
+			func() SolveRequest {
+				bad := *sc
+				bad.ChargerTypes = []hipo.ChargerSpec{{Name: "c", Alpha: 9, DMin: 2, DMax: 8, Count: 1}}
+				return SolveRequest{Scenario: &bad}
+			}(), "scenario.charger_types[0].alpha"},
+		{"solve-bad-device-type", "/v1/solve",
+			func() SolveRequest {
+				bad := *sc
+				bad.Devices = []hipo.Device{{Pos: hipo.Point{X: 5, Y: 5}, Type: 4}}
+				return SolveRequest{Scenario: &bad}
+			}(), "scenario.devices[0].type"},
+		{"budgeted-nonpositive", "/v1/solve/budgeted",
+			SolveRequest{Scenario: sc, Budget: &hipo.DeploymentBudget{PerMeter: 1, Budget: -10}},
+			"budget.budget"},
+		{"evaluate-type-oob", "/v1/evaluate",
+			EvaluateRequest{Scenario: sc, Placement: &hipo.Placement{
+				Chargers: []hipo.PlacedCharger{{Pos: hipo.Point{X: 5, Y: 5}, Type: 3}},
+			}}, "placement.chargers[0].type"},
+		{"redeploy-type-neg", "/v1/redeploy",
+			RedeployRequest{Scenario: sc,
+				Old: &hipo.Placement{Chargers: []hipo.PlacedCharger{{Type: -2}}},
+				New: &hipo.Placement{}}, "old.chargers[0].type"},
+		{"redeploy-neg-cost", "/v1/redeploy",
+			RedeployRequest{Scenario: sc, Old: &hipo.Placement{}, New: &hipo.Placement{},
+				Cost: hipo.RedeployCost{PerMeter: -1}}, "cost.per_meter"},
+		{"diagnostics-neg-eps", "/v1/diagnostics",
+			DiagnosticsRequest{Scenario: sc, Eps: -0.2}, "eps"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+tc.endpoint, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, body %s, want 400", resp.StatusCode, body)
+			}
+			var e struct {
+				Error string `json:"error"`
+				Field string `json:"field"`
+			}
+			if err := json.Unmarshal(body, &e); err != nil {
+				t.Fatalf("non-JSON error body %s: %v", body, err)
+			}
+			if e.Field != tc.field {
+				t.Fatalf("field = %q (error %q), want %q", e.Field, e.Error, tc.field)
+			}
+			if !strings.Contains(e.Error, tc.field) {
+				t.Errorf("error message %q does not name the field %q", e.Error, tc.field)
+			}
+		})
+	}
+
+	// A valid request on every touched endpoint must still pass (the golden
+	// and metamorphic harnesses depend on unchanged happy paths).
+	if resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Scenario: sc}); resp.StatusCode != 200 {
+		t.Fatalf("valid solve now fails: %d %s", resp.StatusCode, body)
+	}
+}

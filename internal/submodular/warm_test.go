@@ -1,0 +1,94 @@
+package submodular
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGreedyLazyWarmNilIsGreedyLazy: with no prior, the warm variant must be
+// GreedyLazy bit for bit — same selection sequence, same value bits.
+func TestGreedyLazyWarmNilIsGreedyLazy(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 30; trial++ {
+		inst := randomInstance(rng, 12, 60, 3)
+		if trial%3 == 0 {
+			inst.AllowRepeat = true
+		}
+		cold := GreedyLazy(inst)
+		warm, gains := GreedyLazyWarm(inst, nil)
+		assertSameResult(t, trial, cold, warm)
+		if len(gains) != len(inst.Elements) {
+			t.Fatalf("trial %d: gain table length %d, want %d", trial, len(gains), len(inst.Elements))
+		}
+		// The returned table must hold the exact round-0 singleton gains.
+		st := newState(inst)
+		for e := range inst.Elements {
+			if g := st.gain(e); g != gains[e] {
+				t.Fatalf("trial %d: gains[%d] = %v, want exact %v", trial, e, gains[e], g)
+			}
+		}
+	}
+}
+
+// TestGreedyLazyWarmSelfFedPrior: feeding a run's own round-0 gain table back
+// as the prior (the incremental warm-start path when the ground set survives
+// a mutation untouched) must reproduce the cold run bit for bit while
+// skipping every initial gain evaluation.
+func TestGreedyLazyWarmSelfFedPrior(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 30; trial++ {
+		inst := randomInstance(rng, 12, 60, 3)
+		cold := GreedyLazy(inst)
+		_, gains := GreedyLazyWarm(inst, nil)
+		warm, gains2 := GreedyLazyWarm(inst, gains)
+		assertSameResult(t, trial, cold, warm)
+		for e := range gains {
+			if gains[e] != gains2[e] {
+				t.Fatalf("trial %d: round-trip gain table diverged at %d: %v vs %v",
+					trial, e, gains[e], gains2[e])
+			}
+		}
+	}
+}
+
+// TestGreedyLazyWarmPartialPrior: NaN entries mean "compute"; a prior mixing
+// exact cached entries with NaN holes (the incremental path after a blast
+// radius invalidates some elements) must still match the cold run exactly.
+// A short prior is also legal: elements past its end are computed.
+func TestGreedyLazyWarmPartialPrior(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		inst := randomInstance(rng, 12, 60, 3)
+		cold := GreedyLazy(inst)
+		_, exact := GreedyLazyWarm(inst, nil)
+
+		holed := append([]float64(nil), exact...)
+		for e := range holed {
+			if rng.Intn(2) == 0 {
+				holed[e] = math.NaN()
+			}
+		}
+		warm, _ := GreedyLazyWarm(inst, holed)
+		assertSameResult(t, trial, cold, warm)
+
+		short, _ := GreedyLazyWarm(inst, exact[:len(exact)/2])
+		assertSameResult(t, trial, cold, short)
+	}
+}
+
+func assertSameResult(t *testing.T, trial int, a, b Result) {
+	t.Helper()
+	if a.Value != b.Value {
+		t.Fatalf("trial %d: value bits differ: %v vs %v", trial, a.Value, b.Value)
+	}
+	if len(a.Selected) != len(b.Selected) {
+		t.Fatalf("trial %d: selection lengths differ: %v vs %v", trial, a.Selected, b.Selected)
+	}
+	for i := range a.Selected {
+		if a.Selected[i] != b.Selected[i] {
+			t.Fatalf("trial %d: selection diverged at %d: %v vs %v",
+				trial, i, a.Selected, b.Selected)
+		}
+	}
+}

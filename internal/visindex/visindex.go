@@ -64,13 +64,53 @@ type Index struct {
 	bbLo, bbHi []geom.Vec
 
 	memo memoStore
+
+	// obsHash fingerprints the obstacle set the index was built from (see
+	// ObstacleHash). Ensure compares it against the scenario's current
+	// obstacles to detect in-place mutation: the grid, the per-obstacle
+	// caches, and every sync.Map memo are keyed to the geometry at New time,
+	// so a mutated obstacle set must trigger a rebuild, never a reuse.
+	obsHash uint64
+}
+
+// ObstacleHash fingerprints an obstacle set: an FNV-1a hash over the
+// obstacle count, each polygon's vertex count, and every vertex coordinate's
+// float64 bit pattern. Any change to the set — adding, removing, reordering,
+// or moving a vertex — changes the hash (up to FNV collisions, which the
+// 64-bit digest makes negligible for staleness detection).
+func ObstacleHash(obs []model.Obstacle) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	mix(uint64(len(obs)))
+	for _, o := range obs {
+		mix(uint64(len(o.Shape.Vertices)))
+		for _, v := range o.Shape.Vertices {
+			mix(math.Float64bits(v.X))
+			mix(math.Float64bits(v.Y))
+		}
+	}
+	return h
+}
+
+// MatchesObstacles reports whether the index was built from an obstacle set
+// with the same geometry fingerprint as obs — i.e. whether its grid and
+// memos are still valid for a scenario carrying obs.
+func (ix *Index) MatchesObstacles(obs []model.Obstacle) bool {
+	return ix.obsHash == ObstacleHash(obs)
 }
 
 // New builds the index for the scenario's current obstacle set. The index
 // keeps references to the obstacle polygons; the caller must not mutate
 // them afterwards.
 func New(sc *model.Scenario) *Index {
-	ix := &Index{obs: sc.Obstacles}
+	ix := &Index{obs: sc.Obstacles, obsHash: ObstacleHash(sc.Obstacles)}
 	n := len(sc.Obstacles)
 	if n == 0 {
 		return ix

@@ -197,17 +197,27 @@ type RedeployPlan struct {
 	MaxCost   float64 `json:"max_cost"`
 }
 
-// RedeployMove is one charger's transition.
+// RedeployMove is one charger's transition. Kind is empty for an ordinary
+// move; "install" marks a charger that exists only in the new placement
+// (From mirrors To), "decommission" one that exists only in the old
+// placement (To mirrors From) — both appear when a mutation changed how
+// many chargers of a type are deployed.
 type RedeployMove struct {
 	From PlacedCharger `json:"from"`
 	To   PlacedCharger `json:"to"`
 	Cost float64       `json:"cost"`
+	Kind string        `json:"kind,omitempty"`
 }
 
 // RedeployCost weighs movement and rotation in the switching overhead.
+// PerInstall and PerDecommission are the flat costs charged when the old
+// and new placements deploy different charger counts of a type (zero by
+// default: count changes are planned but not priced).
 type RedeployCost struct {
-	PerMeter  float64 `json:"per_meter"`
-	PerRadian float64 `json:"per_radian"`
+	PerMeter        float64 `json:"per_meter"`
+	PerRadian       float64 `json:"per_radian"`
+	PerInstall      float64 `json:"per_install,omitempty"`
+	PerDecommission float64 `json:"per_decommission,omitempty"`
 }
 
 func (s *Scenario) redeploy(old, new_ *Placement, cost RedeployCost, minmax bool) (*RedeployPlan, error) {
@@ -215,7 +225,12 @@ func (s *Scenario) redeploy(old, new_ *Placement, cost RedeployCost, minmax bool
 	if err != nil {
 		return nil, err
 	}
-	cm := redeploy.CostModel{PerMeter: cost.PerMeter, PerRadian: cost.PerRadian}
+	cm := redeploy.CostModel{
+		PerMeter:        cost.PerMeter,
+		PerRadian:       cost.PerRadian,
+		PerInstall:      cost.PerInstall,
+		PerDecommission: cost.PerDecommission,
+	}
 	var plan *redeploy.Plan
 	if minmax {
 		plan, err = redeploy.MinMax(placedToStrategies(old.Chargers),
@@ -233,15 +248,17 @@ func (s *Scenario) redeploy(old, new_ *Placement, cost RedeployCost, minmax bool
 			From: PlacedCharger{Pos: fromVec(mv.From.Pos), Orient: mv.From.Orient, Type: mv.From.Type},
 			To:   PlacedCharger{Pos: fromVec(mv.To.Pos), Orient: mv.To.Orient, Type: mv.To.Type},
 			Cost: mv.Cost,
+			Kind: string(mv.Kind),
 		})
 	}
 	return out, nil
 }
 
 // RedeployMinTotal plans the migration from old to new minimizing the total
-// switching overhead (per charger type, a minimum-cost perfect matching —
-// Section 8.1.1 of the paper). Old and new must place the same number of
-// chargers of every type.
+// switching overhead (per charger type, a minimum-cost matching — Section
+// 8.1.1 of the paper). When old and new place different charger counts of a
+// type, the surplus is planned explicitly as install or decommission moves
+// priced by RedeployCost.PerInstall / PerDecommission.
 func (s *Scenario) RedeployMinTotal(old, new_ *Placement, cost RedeployCost) (*RedeployPlan, error) {
 	return s.redeploy(old, new_, cost, false)
 }
